@@ -1,0 +1,36 @@
+//! Experiment C2: centralized (total-order) safety — the geometric method
+//! (Proposition 1, after [5, 14]) versus the graph-theoretic method the
+//! paper introduces as "an alternative to geometric methods".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplock_bench::{centralized_pair, STEP_SWEEP};
+use kplock_core::decide_total_pair;
+use kplock_geometry::{plane_is_safe, PlanePicture};
+use kplock_model::TxnId;
+
+fn bench_centralized(c: &mut Criterion) {
+    let mut graph_group = c.benchmark_group("centralized_graph_method");
+    for &n in STEP_SWEEP {
+        let sys = centralized_pair(11, n);
+        graph_group.bench_with_input(BenchmarkId::new("d_scc", n), &sys, |b, sys| {
+            b.iter(|| decide_total_pair(std::hint::black_box(sys), TxnId(0), TxnId(1)))
+        });
+    }
+    graph_group.finish();
+
+    let mut geo_group = c.benchmark_group("centralized_geometric_method");
+    for &n in STEP_SWEEP {
+        let sys = centralized_pair(11, n);
+        geo_group.bench_with_input(BenchmarkId::new("separation", n), &sys, |b, sys| {
+            b.iter(|| {
+                let plane = PlanePicture::new(std::hint::black_box(sys), TxnId(0), TxnId(1))
+                    .expect("total orders");
+                plane_is_safe(&plane)
+            })
+        });
+    }
+    geo_group.finish();
+}
+
+criterion_group!(benches, bench_centralized);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Ablation: dominator choice in the closure certificate construction.
+//!
+//! Theorem 2 allows any dominator; this bench compares certificate
+//! construction from the source-SCC dominator against the largest
+//! enumerated dominator, and measures closure cost on reduction instances
+//! (where closures do real work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplock_bench::two_site_pair;
+use kplock_core::closure::try_unsafety_via_dominator;
+use kplock_core::reduction::reduce;
+use kplock_core::ConflictDigraph;
+use kplock_graph::{enumerate_dominators, find_dominator};
+use kplock_model::{EntityId, TxnId};
+use kplock_sat::{solve, SatResult};
+use kplock_workload::random_instance;
+
+fn bench_closure(c: &mut Criterion) {
+    // Find an unsafe two-site instance with several dominators.
+    let sys = (0..100)
+        .map(|seed| two_site_pair(seed, 12))
+        .find(|sys| {
+            let d = ConflictDigraph::build(sys, TxnId(0), TxnId(1));
+            if d.is_strongly_connected() || d.entities.len() < 3 {
+                return false;
+            }
+            enumerate_dominators(&d.graph, 64).0.len() >= 2
+        })
+        .expect("an unsafe multi-dominator instance exists");
+    let d = ConflictDigraph::build(&sys, TxnId(0), TxnId(1));
+    let source: Vec<EntityId> = find_dominator(&d.graph)
+        .unwrap()
+        .iter()
+        .map(|i| d.entities[i])
+        .collect();
+    let (all, _) = enumerate_dominators(&d.graph, 64);
+    let largest: Vec<EntityId> = all
+        .iter()
+        .max_by_key(|b| b.count())
+        .unwrap()
+        .iter()
+        .map(|i| d.entities[i])
+        .collect();
+
+    let mut group = c.benchmark_group("closure_dominator_choice");
+    group.bench_function("source_scc", |b| {
+        b.iter(|| {
+            try_unsafety_via_dominator(std::hint::black_box(&sys), TxnId(0), TxnId(1), &source)
+        })
+    });
+    group.bench_function("largest", |b| {
+        b.iter(|| {
+            try_unsafety_via_dominator(std::hint::black_box(&sys), TxnId(0), TxnId(1), &largest)
+        })
+    });
+    group.finish();
+
+    // Closure workload on reduction instances (iterative edge additions).
+    let mut group = c.benchmark_group("closure_on_reduction");
+    group.sample_size(10);
+    for (vars, clauses) in [(4usize, 3usize), (6, 5)] {
+        let f = random_instance(2, vars, clauses);
+        let r = reduce(&f).unwrap();
+        if let SatResult::Sat(model) = solve(&f) {
+            let dom = r.dominator_for_assignment(&model);
+            group.bench_with_input(
+                BenchmarkId::new("desirable", format!("{vars}v{clauses}c")),
+                &(r, dom),
+                |b, (r, dom)| {
+                    b.iter(|| {
+                        try_unsafety_via_dominator(
+                            std::hint::black_box(&r.sys),
+                            TxnId(0),
+                            TxnId(1),
+                            dom,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closure);
+criterion_main!(benches);

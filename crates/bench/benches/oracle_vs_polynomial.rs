@@ -1,0 +1,39 @@
+//! Experiment C4: the "qualitative jump" made measurable — exhaustive
+//! product-space search (exponential in concurrent steps) versus the
+//! polynomial Theorem-2 test, on identical two-site instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplock_bench::two_site_pair;
+use kplock_core::{decide_exhaustive, decide_two_site_system, OracleOptions};
+
+fn bench_oracle_vs_polynomial(c: &mut Criterion) {
+    // Keep n small: the oracle blows up quickly.
+    let sweep = [3usize, 4, 5, 6];
+    let mut group = c.benchmark_group("oracle_exhaustive");
+    for &n in &sweep {
+        let sys = two_site_pair(3, n);
+        group.bench_with_input(BenchmarkId::new("product_bfs", n), &sys, |b, sys| {
+            b.iter(|| {
+                decide_exhaustive(
+                    std::hint::black_box(sys),
+                    &OracleOptions {
+                        max_states: 10_000_000,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("polynomial_theorem2");
+    for &n in &sweep {
+        let sys = two_site_pair(3, n);
+        group.bench_with_input(BenchmarkId::new("decide", n), &sys, |b, sys| {
+            b.iter(|| decide_two_site_system(std::hint::black_box(sys)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle_vs_polynomial);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Experiment C5 (Proposition 2): scaling of the many-transaction safety
+//! analysis in the number of transactions k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplock_core::policy::LockStrategy;
+use kplock_core::{proposition2, Prop2Options};
+use kplock_workload::{random_system, WorkloadParams};
+
+fn bench_prop2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proposition2");
+    group.sample_size(20);
+    for k in [2usize, 3, 4, 5, 6] {
+        let sys = random_system(&WorkloadParams {
+            seed: 13,
+            sites: 2,
+            entities_per_site: 3,
+            transactions: k,
+            steps_per_txn: 5,
+            strategy: LockStrategy::TwoPhaseSync,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::new("analyze", k), &sys, |b, sys| {
+            b.iter(|| proposition2(std::hint::black_box(sys), &Prop2Options::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prop2);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Experiment C3 (Theorem 3): cost of the SAT reduction pipeline —
+//! construction of T1(F), T2(F); DPLL on F; and the certificate search via
+//! dominator closures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplock_core::closure::try_unsafety_via_dominator;
+use kplock_core::reduction::reduce;
+use kplock_model::TxnId;
+use kplock_sat::{solve, SatResult};
+use kplock_workload::random_instance;
+
+fn bench_reduction(c: &mut Criterion) {
+    let sweep = [(4usize, 3usize), (6, 5), (8, 7), (12, 10)];
+
+    let mut group = c.benchmark_group("reduction_construct");
+    for &(vars, clauses) in &sweep {
+        let f = random_instance(1, vars, clauses);
+        group.bench_with_input(
+            BenchmarkId::new("build", format!("{vars}v{clauses}c")),
+            &f,
+            |b, f| b.iter(|| reduce(std::hint::black_box(f)).unwrap()),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("reduction_dpll");
+    for &(vars, clauses) in &sweep {
+        let f = random_instance(1, vars, clauses);
+        group.bench_with_input(
+            BenchmarkId::new("solve", format!("{vars}v{clauses}c")),
+            &f,
+            |b, f| b.iter(|| solve(std::hint::black_box(f))),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("reduction_certificate");
+    group.sample_size(10);
+    for &(vars, clauses) in &sweep[..3] {
+        let f = random_instance(1, vars, clauses);
+        let r = reduce(&f).unwrap();
+        let SatResult::Sat(model) = solve(&f) else {
+            continue;
+        };
+        let dom = r.dominator_for_assignment(&model);
+        group.bench_with_input(
+            BenchmarkId::new("closure_certificate", format!("{vars}v{clauses}c")),
+            &(r, dom),
+            |b, (r, dom)| {
+                b.iter(|| {
+                    try_unsafety_via_dominator(
+                        std::hint::black_box(&r.sys),
+                        TxnId(0),
+                        TxnId(1),
+                        dom,
+                    )
+                    .expect("desirable dominator closes")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Experiment S1: simulator throughput across locking strategies and
+//! contention levels (the intro's correctness-vs-parallelism trade-off),
+//! plus the victim-policy ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplock_core::policy::LockStrategy;
+use kplock_sim::{run, LatencyModel, SimConfig, VictimPolicy};
+use kplock_workload::{random_system, WorkloadParams};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_strategy");
+    group.sample_size(20);
+    for strategy in [
+        LockStrategy::Minimal,
+        LockStrategy::TwoPhaseLoose,
+        LockStrategy::TwoPhaseSync,
+    ] {
+        let sys = random_system(&WorkloadParams {
+            seed: 21,
+            sites: 3,
+            entities_per_site: 2,
+            transactions: 4,
+            steps_per_txn: 6,
+            strategy,
+            ..Default::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("run", format!("{strategy:?}")),
+            &sys,
+            |b, sys| {
+                b.iter(|| {
+                    run(
+                        std::hint::black_box(sys),
+                        &SimConfig {
+                            latency: LatencyModel::Uniform(1, 20),
+                            ..Default::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sim_victim_policy");
+    group.sample_size(20);
+    let sys = random_system(&WorkloadParams {
+        seed: 23,
+        sites: 2,
+        entities_per_site: 2,
+        transactions: 4,
+        steps_per_txn: 6,
+        strategy: LockStrategy::TwoPhaseSync,
+        ..Default::default()
+    });
+    for policy in [VictimPolicy::Youngest, VictimPolicy::Oldest] {
+        group.bench_with_input(
+            BenchmarkId::new("deadlocks", format!("{policy:?}")),
+            &sys,
+            |b, sys| {
+                b.iter(|| {
+                    run(
+                        std::hint::black_box(sys),
+                        &SimConfig {
+                            latency: LatencyModel::Fixed(5),
+                            victim_policy: policy,
+                            ..Default::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

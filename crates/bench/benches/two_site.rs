@@ -1,0 +1,41 @@
+//! Experiment C1 (Corollary 1): the O(n²) two-site safety test.
+//!
+//! Sweeps the per-transaction step count and measures the full decision —
+//! building D(T1,T2), the SCC test, and (when unsafe) the closure
+//! certificate. The paper's claim: polynomial, quadratic in n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplock_bench::{two_site_pair, STEP_SWEEP};
+use kplock_core::decide_two_site_system;
+
+fn bench_two_site(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_site_decision");
+    for &n in STEP_SWEEP {
+        let sys = two_site_pair(7, n);
+        group.bench_with_input(BenchmarkId::new("decide", n), &sys, |b, sys| {
+            b.iter(|| decide_two_site_system(std::hint::black_box(sys)).unwrap())
+        });
+    }
+    group.finish();
+
+    // Decision only (no certificate construction): the pure Corollary-1
+    // test, on safe (strongly connected) instances.
+    let mut group = c.benchmark_group("two_site_scc_only");
+    for &n in STEP_SWEEP {
+        let sys = two_site_pair(7, n);
+        group.bench_with_input(BenchmarkId::new("d_graph_scc", n), &sys, |b, sys| {
+            b.iter(|| {
+                let d = kplock_core::ConflictDigraph::build(
+                    std::hint::black_box(sys),
+                    kplock_model::TxnId(0),
+                    kplock_model::TxnId(1),
+                );
+                d.is_strongly_connected()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_site);
+criterion_main!(benches);

@@ -1,0 +1,499 @@
+//! Regenerates every experiment row reported in EXPERIMENTS.md.
+//!
+//! Run with: `cargo run --release -p kplock-bench --bin experiments`
+
+use kplock_bench::{centralized_pair, two_site_pair};
+use kplock_core::closure::try_unsafety_via_dominator;
+use kplock_core::policy::LockStrategy;
+use kplock_core::reduction::reduce;
+use kplock_core::{
+    analyze_pair, decide_exhaustive, decide_total_pair, decide_two_site_system, proposition2,
+    ConflictDigraph, OracleOptions, OracleOutcome, Prop2Options, Prop2Verdict, SafetyVerdict,
+};
+use kplock_geometry::{plane_is_safe, PlanePicture};
+use kplock_model::{EntityId, TxnId};
+use kplock_sat::{solve, SatResult};
+use kplock_sim::{run, LatencyModel, SimConfig, VictimPolicy};
+use kplock_workload::{
+    fig1, fig2, fig3, fig5, fig8_formula, random_instance, random_system, unsat_restricted,
+    WorkloadParams,
+};
+use std::time::Instant;
+
+fn time_us<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e6)
+}
+
+fn avg_time_us<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() * 1e6 / reps as f64
+}
+
+fn exp_figures() {
+    println!("## F1–F5: figure verification\n");
+    println!("| figure | property | result |");
+    println!("|---|---|---|");
+    let sys = fig1();
+    let v = decide_two_site_system(&sys).unwrap();
+    let ok = v.certificate().map(|c| c.verify(&sys).is_ok()) == Some(true);
+    println!("| Fig. 1 | two-site system unsafe, witness schedule verifies | {ok} |");
+
+    let sys = fig2();
+    let plane = PlanePicture::new(&sys, TxnId(0), TxnId(1)).unwrap();
+    let rx = *plane.rect_of(sys.db().entity("x").unwrap()).unwrap();
+    let rz = *plane.rect_of(sys.db().entity("z").unwrap()).unwrap();
+    let sep = kplock_geometry::separate(&plane, &rz, &rx).is_some();
+    println!("| Fig. 2 | curve separates x- and z-rectangles (Prop. 1) | {sep} |");
+
+    let sys = fig3();
+    let a = analyze_pair(&sys);
+    println!(
+        "| Fig. 3 | D not strongly connected; unsafe by Thm 2 | {} |",
+        !a.strongly_connected && a.verdict.is_unsafe()
+    );
+
+    let sys = fig5();
+    let a = analyze_pair(&sys);
+    let safe_exhaustive = matches!(a.verdict, SafetyVerdict::Safe(_));
+    println!(
+        "| Fig. 5 | D not strongly connected yet SAFE (4 sites) | {} |",
+        !a.strongly_connected && safe_exhaustive
+    );
+    println!();
+}
+
+fn exp_fig8() {
+    println!("## F8/F9: Theorem-3 reduction on the Fig. 8 formula\n");
+    let f = fig8_formula();
+    let r = reduce(&f).unwrap();
+    let d = r.d_graph();
+    let (doms, _) = kplock_graph::enumerate_dominators(&d.graph, 10_000);
+    let mut desirable = 0;
+    let mut certs = 0;
+    for bits in &doms {
+        let dom: Vec<EntityId> = bits.iter().map(|i| d.entities[i]).collect();
+        if r.is_desirable(&dom) {
+            desirable += 1;
+        }
+        if try_unsafety_via_dominator(&r.sys, TxnId(0), TxnId(1), &dom).is_some() {
+            certs += 1;
+        }
+    }
+    println!("| quantity | value |");
+    println!("|---|---|");
+    println!("| entities (one site each) | {} |", r.sys.db().entity_count());
+    println!("| steps per transaction | {} |", r.sys.txn(TxnId(0)).len());
+    println!("| D matches intended digraph | {} |", r.verify_intended());
+    println!("| dominators | {} |", doms.len());
+    println!("| desirable dominators | {desirable} |");
+    println!("| dominators yielding verified certificates | {certs} |");
+    println!("| DPLL verdict | {:?} |", solve(&f).is_sat());
+    println!(
+        "| equivalence desirable == certificate | {} |",
+        desirable == certs
+    );
+    println!();
+}
+
+fn exp_c1_two_site_scaling() {
+    println!("## C1 (Corollary 1): two-site decision scaling\n");
+    println!("| n steps/txn | decision µs | µs / n² × 10³ |");
+    println!("|---|---|---|");
+    for &n in &[8usize, 16, 32, 64, 128] {
+        let sys = two_site_pair(7, n);
+        let us = avg_time_us(20, || decide_two_site_system(&sys).unwrap());
+        println!(
+            "| {n} | {us:.1} | {:.2} |",
+            us * 1000.0 / (n * n) as f64
+        );
+    }
+    println!();
+}
+
+fn exp_c2_centralized() {
+    println!("## C2: centralized pair — graph method vs geometric method\n");
+    println!("| n | graph (D + SCC) µs | geometric (Prop. 1) µs | agree |");
+    println!("|---|---|---|---|");
+    for &n in &[8usize, 16, 32, 64] {
+        let sys = centralized_pair(11, n);
+        let (gv, _) = time_us(|| decide_total_pair(&sys, TxnId(0), TxnId(1)));
+        let graph_us = avg_time_us(20, || decide_total_pair(&sys, TxnId(0), TxnId(1)));
+        let geo_us = avg_time_us(20, || {
+            let plane = PlanePicture::new(&sys, TxnId(0), TxnId(1)).unwrap();
+            plane_is_safe(&plane)
+        });
+        let plane = PlanePicture::new(&sys, TxnId(0), TxnId(1)).unwrap();
+        let agree = gv.is_safe() == plane_is_safe(&plane);
+        println!("| {n} | {graph_us:.1} | {geo_us:.1} | {agree} |");
+    }
+    println!();
+}
+
+fn exp_c3_reduction() {
+    println!("## C3 (Theorem 3): reduction pipeline scaling\n");
+    println!("| formula | entities | steps/txn | build µs | DPLL µs | SAT | certificate µs |");
+    println!("|---|---|---|---|---|---|---|");
+    for &(vars, clauses) in &[(4usize, 3usize), (6, 5), (8, 7), (12, 10), (16, 14)] {
+        let f = random_instance(1, vars, clauses);
+        let (r, build_us) = time_us(|| reduce(&f).unwrap());
+        let dpll_us = avg_time_us(10, || solve(&f));
+        let (sat, cert_us) = match solve(&f) {
+            SatResult::Sat(model) => {
+                let dom = r.dominator_for_assignment(&model);
+                let us = avg_time_us(3, || {
+                    try_unsafety_via_dominator(&r.sys, TxnId(0), TxnId(1), &dom)
+                });
+                (true, format!("{us:.0}"))
+            }
+            SatResult::Unsat => (false, "-".into()),
+        };
+        println!(
+            "| {vars}v/{clauses}c | {} | {} | {build_us:.0} | {dpll_us:.1} | {sat} | {cert_us} |",
+            r.sys.db().entity_count(),
+            r.sys.txn(TxnId(0)).len()
+        );
+    }
+    let f = unsat_restricted();
+    let r = reduce(&f).unwrap();
+    println!(
+        "| unsat_restricted | {} | {} | - | - | false | - |",
+        r.sys.db().entity_count(),
+        r.sys.txn(TxnId(0)).len()
+    );
+    println!();
+}
+
+fn exp_c4_jump() {
+    println!("## C4: exhaustive oracle vs polynomial test (the complexity jump)\n");
+    // Safe (synchronized-2PL) instances force the oracle to exhaust the
+    // whole reachable product space; Theorem 2 answers from D alone.
+    println!("| distribution | verdict | oracle states | oracle µs | Thm-1 µs | speedup |");
+    println!("|---|---|---|---|---|---|");
+    for &sites in &[2usize, 3, 4, 5, 6] {
+        let sys = wide_safe_pair(sites);
+        let n = sys.txn(TxnId(0)).len();
+        let opts = OracleOptions {
+            max_states: 50_000_000,
+        };
+        let (report, oracle_us) = time_us(|| decide_exhaustive(&sys, &opts));
+        // The polynomial side: Theorem 1's strong-connectivity test (the
+        // instances keep D complete, so it proves safety at any #sites).
+        let poly_us = avg_time_us(50, || {
+            let d = ConflictDigraph::build(&sys, TxnId(0), TxnId(1));
+            assert!(d.is_strongly_connected());
+        });
+        let verdict = match report.outcome {
+            OracleOutcome::Safe => "safe",
+            OracleOutcome::Unsafe(_) => "unsafe",
+            OracleOutcome::Aborted => "aborted",
+        };
+        println!(
+            "| {sites} sites ({n} steps/txn) | {verdict} | {} | {oracle_us:.0} | {poly_us:.1} | {:.0}x |",
+            report.states_explored,
+            oracle_us / poly_us
+        );
+    }
+    println!();
+}
+
+fn exp_c5_prop2() {
+    println!("## C5 (Proposition 2): k-transaction analysis\n");
+    println!("| k | verdict | pairs checked | cycles checked | µs |");
+    println!("|---|---|---|---|---|");
+    for k in [2usize, 3, 4, 5, 6] {
+        let sys = random_system(&WorkloadParams {
+            seed: 13,
+            sites: 2,
+            entities_per_site: 3,
+            transactions: k,
+            steps_per_txn: 5,
+            strategy: LockStrategy::TwoPhaseSync,
+            ..Default::default()
+        });
+        let (report, us) = time_us(|| proposition2(&sys, &Prop2Options::default()));
+        let verdict = match report.verdict {
+            Prop2Verdict::Safe => "safe",
+            Prop2Verdict::UnsafePair => "unsafe(pair)",
+            Prop2Verdict::UnsafeCycle => "unsafe(cycle)",
+            Prop2Verdict::Unknown => "unknown",
+        };
+        println!(
+            "| {k} | {verdict} | {} | {} | {us:.0} |",
+            report.pair_verdicts.len(),
+            report.cycle_checks.len()
+        );
+    }
+    println!();
+}
+
+fn exp_s1_sim() {
+    println!("## S1: simulator — strategy × contention\n");
+    println!("| strategy | contention | commits/run | aborts/run | msgs/run | wait/run | anomalies |");
+    println!("|---|---|---|---|---|---|---|");
+    for strategy in [
+        LockStrategy::Minimal,
+        LockStrategy::TwoPhaseLoose,
+        LockStrategy::TwoPhaseSync,
+    ] {
+        for (label, entities) in [("high", 1usize), ("low", 4)] {
+            let sys = random_system(&WorkloadParams {
+                seed: 21,
+                sites: 3,
+                entities_per_site: entities,
+                transactions: 4,
+                steps_per_txn: 6,
+                strategy,
+                ..Default::default()
+            });
+            let runs = 60u64;
+            let mut commits = 0usize;
+            let mut aborts = 0usize;
+            let mut msgs = 0u64;
+            let mut wait = 0u64;
+            let mut anomalies = 0usize;
+            for seed in 0..runs {
+                let r = run(
+                    &sys,
+                    &SimConfig {
+                        seed,
+                        latency: LatencyModel::Uniform(1, 20),
+                        ..Default::default()
+                    },
+                );
+                if !r.finished {
+                    continue;
+                }
+                commits += r.metrics.committed;
+                aborts += r.metrics.aborts;
+                msgs += r.metrics.messages;
+                wait += r.metrics.lock_wait_ticks;
+                if !r.audit.serializable {
+                    anomalies += 1;
+                }
+            }
+            println!(
+                "| {strategy:?} | {label} | {:.1} | {:.1} | {} | {} | {anomalies}/{runs} |",
+                commits as f64 / runs as f64,
+                aborts as f64 / runs as f64,
+                msgs / runs,
+                wait / runs
+            );
+        }
+    }
+    println!();
+}
+
+fn exp_s2_victim_ablation() {
+    println!("## Ablation: deadlock victim policy\n");
+    println!("| policy | deadlocks/run | aborts/run | makespan avg |");
+    println!("|---|---|---|---|");
+    // Deadlock-prone workload: four two-phase transactions locking the
+    // same entities in rotated orders.
+    let sys = deadlock_prone_system();
+    for policy in [VictimPolicy::Youngest, VictimPolicy::Oldest] {
+        let runs = 60u64;
+        let mut deadlocks = 0usize;
+        let mut aborts = 0usize;
+        let mut makespan = 0u64;
+        for seed in 0..runs {
+            let r = run(
+                &sys,
+                &SimConfig {
+                    seed,
+                    latency: LatencyModel::Fixed(5),
+                    victim_policy: policy,
+                    ..Default::default()
+                },
+            );
+            deadlocks += r.metrics.deadlocks_resolved;
+            aborts += r.metrics.aborts;
+            makespan += r.metrics.makespan;
+        }
+        println!(
+            "| {policy:?} | {:.2} | {:.2} | {} |",
+            deadlocks as f64 / runs as f64,
+            aborts as f64 / runs as f64,
+            makespan / runs
+        );
+    }
+    println!();
+}
+
+fn exp_safety_rates() {
+    println!("## Strategy safety rates (static analysis, 40 random two-site pairs)\n");
+    println!("| strategy | safe | unsafe | D strongly connected |");
+    println!("|---|---|---|---|");
+    for strategy in [
+        LockStrategy::Minimal,
+        LockStrategy::TwoPhaseLoose,
+        LockStrategy::TwoPhaseSync,
+    ] {
+        let mut safe = 0;
+        let mut unsafe_ = 0;
+        let mut sc = 0;
+        for seed in 0..40 {
+            let sys = kplock_workload::random_pair(&WorkloadParams {
+                seed,
+                sites: 2,
+                entities_per_site: 2,
+                steps_per_txn: 5,
+                strategy,
+                ..Default::default()
+            });
+            let d = ConflictDigraph::build(&sys, TxnId(0), TxnId(1));
+            if d.is_strongly_connected() {
+                sc += 1;
+            }
+            match decide_two_site_system(&sys).unwrap() {
+                SafetyVerdict::Safe(_) => safe += 1,
+                SafetyVerdict::Unsafe(_) => unsafe_ += 1,
+                SafetyVerdict::Unknown => {}
+            }
+        }
+        println!("| {strategy:?} | {safe} | {unsafe_} | {sc} |");
+    }
+    println!();
+}
+
+fn exp_oracle_deadlock() {
+    println!("## Geometric vs state-space deadlock detection (centralized pairs)\n");
+    println!("| seed | geometric deadlock | oracle deadlock | agree |");
+    println!("|---|---|---|---|");
+    let mut all_agree = true;
+    for seed in 0..8 {
+        let sys = centralized_pair(seed, 6);
+        let t1 = sys.txn(TxnId(0));
+        let t2 = sys.txn(TxnId(1));
+        if !(t1.is_total_order() && t2.is_total_order()) {
+            continue;
+        }
+        let plane = PlanePicture::new(&sys, TxnId(0), TxnId(1)).unwrap();
+        let geo = kplock_geometry::has_deadlock(&plane);
+        let oracle = decide_exhaustive(&sys, &OracleOptions::default());
+        let odl = oracle.deadlock_reachable;
+        let agree = geo == odl;
+        all_agree &= agree;
+        println!("| {seed} | {geo} | {odl} | {agree} |");
+    }
+    println!("(all agree: {all_agree})\n");
+}
+
+/// Four two-phase transactions locking x, y, z in rotated orders: a
+/// deadlock-prone but safe workload.
+fn deadlock_prone_system() -> kplock_model::TxnSystem {
+    use kplock_model::{Database, TxnBuilder, TxnSystem};
+    let db = Database::from_spec(&[("x", 0), ("y", 0), ("z", 1)]);
+    let orders = [
+        "Lx Ly Lz x y z Ux Uy Uz",
+        "Ly Lz Lx y z x Uy Uz Ux",
+        "Lz Lx Ly z x y Uz Ux Uy",
+        "Lx Lz Ly x z y Ux Uz Uy",
+    ];
+    let txns = orders
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut b = TxnBuilder::new(&db, format!("T{}", i + 1));
+            b.script(s).unwrap();
+            b.build().unwrap()
+        })
+        .collect();
+    TxnSystem::new(db, txns)
+}
+
+/// A *safe* pair whose concurrency grows with distribution: two entities at
+/// site 0 accessed in synchronized-2PL fashion (D complete => safe by
+/// Theorem 1), plus one private entity per extra site, each a concurrent
+/// per-site chain. The oracle's reachable product space grows exponentially
+/// with the number of sites; Theorem 2 only ever looks at D.
+fn wide_safe_pair(sites: usize) -> kplock_model::TxnSystem {
+    use kplock_model::{Database, TxnBuilder, TxnSystem};
+    let mut spec: Vec<(String, usize)> = vec![("a".into(), 0), ("b".into(), 0)];
+    for s in 1..sites {
+        spec.push((format!("p{s}"), s)); // private to T1
+        spec.push((format!("q{s}"), s)); // private to T2
+    }
+    let spec_ref: Vec<(&str, usize)> = spec.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+    let db = Database::from_spec(&spec_ref);
+    let mk = |name: &str, private: char| {
+        let mut b = TxnBuilder::new(&db, name);
+        b.script("La Lb a b Ua Ub").unwrap();
+        for s in 1..sites {
+            b.script(&format!("L{private}{s} {private}{s} U{private}{s}"))
+                .unwrap();
+        }
+        b.build().unwrap()
+    };
+    let (t1, t2) = (mk("T1", 'p'), mk("T2", 'q'));
+    TxnSystem::new(db, vec![t1, t2])
+}
+
+fn exp_s3_load_sweep() {
+    println!("## S3: open-loop load sweep (arrival spacing vs contention)\n");
+    println!("| mean gap | lock-wait/run | deadlocks/run | anomalies |");
+    println!("|---|---|---|---|");
+    let sys = random_system(&WorkloadParams {
+        seed: 31,
+        sites: 3,
+        entities_per_site: 2,
+        transactions: 6,
+        steps_per_txn: 5,
+        strategy: LockStrategy::Minimal,
+        ..Default::default()
+    });
+    for gap in [0u64, 50, 200, 800] {
+        let runs = 40u64;
+        let mut wait = 0u64;
+        let mut deadlocks = 0usize;
+        let mut anomalies = 0usize;
+        for seed in 0..runs {
+            let r = kplock_sim::run_open_loop(
+                &sys,
+                &SimConfig {
+                    seed,
+                    latency: LatencyModel::Uniform(1, 20),
+                    ..Default::default()
+                },
+                &kplock_sim::ArrivalConfig { mean_gap: gap, seed },
+            );
+            if !r.finished {
+                continue;
+            }
+            wait += r.metrics.lock_wait_ticks;
+            deadlocks += r.metrics.deadlocks_resolved;
+            if !r.audit.serializable {
+                anomalies += 1;
+            }
+        }
+        println!(
+            "| {gap} | {} | {:.2} | {anomalies}/{runs} |",
+            wait / runs,
+            deadlocks as f64 / runs as f64
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("# kplock experiment tables\n");
+    println!("(regenerate with `cargo run --release -p kplock-bench --bin experiments`)\n");
+    exp_figures();
+    exp_fig8();
+    exp_c1_two_site_scaling();
+    exp_c2_centralized();
+    exp_c3_reduction();
+    exp_c4_jump();
+    exp_c5_prop2();
+    exp_safety_rates();
+    exp_s1_sim();
+    exp_s2_victim_ablation();
+    exp_s3_load_sweep();
+    exp_oracle_deadlock();
+    // Exercise OracleOutcome import.
+    let _ = |o: OracleOutcome| matches!(o, OracleOutcome::Safe);
+}

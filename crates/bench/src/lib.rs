@@ -1,0 +1,54 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every table/figure of the paper maps to one Criterion bench target (see
+//! `benches/`) plus a row-printing experiment in `src/bin/experiments.rs`;
+//! DESIGN.md §5 is the index.
+
+use kplock_core::policy::LockStrategy;
+use kplock_model::TxnSystem;
+use kplock_workload::{random_pair, WorkloadParams};
+
+/// A standard two-site pair workload of roughly `n` steps per transaction.
+pub fn two_site_pair(seed: u64, n: usize) -> TxnSystem {
+    random_pair(&WorkloadParams {
+        seed,
+        sites: 2,
+        entities_per_site: (n / 4).max(1),
+        steps_per_txn: n,
+        cross_edge_percent: 30,
+        strategy: LockStrategy::Minimal,
+        ..Default::default()
+    })
+}
+
+/// A centralized (one-site) pair workload.
+pub fn centralized_pair(seed: u64, n: usize) -> TxnSystem {
+    random_pair(&WorkloadParams {
+        seed,
+        sites: 1,
+        entities_per_site: (n / 3).max(2),
+        steps_per_txn: n,
+        cross_edge_percent: 0,
+        strategy: LockStrategy::Minimal,
+        ..Default::default()
+    })
+}
+
+/// Parameter sweep used across scaling experiments.
+pub const STEP_SWEEP: &[usize] = &[4, 8, 16, 32, 64];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_helpers_produce_valid_systems() {
+        for &n in STEP_SWEEP {
+            let sys = two_site_pair(1, n);
+            assert_eq!(sys.len(), 2);
+            sys.validate(kplock_model::Level::Strict).unwrap();
+            let c = centralized_pair(1, n);
+            c.validate(kplock_model::Level::Strict).unwrap();
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Safety verdicts and machine-checkable certificates.
+//!
+//! An unsafety certificate packages what Theorem 2's proof constructs: a
+//! pair of linear extensions, a dominator of `D(t1, t2)`, and an explicit
+//! legal, complete, non-serializable schedule. [`UnsafetyCertificate::verify`]
+//! re-checks everything against the *original* system, so callers never have
+//! to trust the search that produced it.
+
+use kplock_model::{
+    is_serializable, EntityId, ModelError, Schedule, StepId, TxnId, TxnSystem,
+};
+
+/// How a system was proven safe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SafeProof {
+    /// `D(T1,T2)` strongly connected (Theorem 1; exact for ≤ 2 sites by
+    /// Theorem 2).
+    StronglyConnected,
+    /// Exhaustive product-space search (the exact oracle).
+    Exhaustive,
+    /// Fewer than two entities are locked by both transactions.
+    TrivialOverlap,
+}
+
+/// The outcome of a safety decision.
+#[derive(Clone, Debug)]
+pub enum SafetyVerdict {
+    /// Every schedule is serializable.
+    Safe(SafeProof),
+    /// Some legal schedule is not serializable; here is one.
+    Unsafe(Box<UnsafetyCertificate>),
+    /// The procedure could not decide within its resource caps (only
+    /// possible for ≥ 3 sites, where the problem is coNP-complete).
+    Unknown,
+}
+
+impl SafetyVerdict {
+    /// True for `Safe`.
+    pub fn is_safe(&self) -> bool {
+        matches!(self, SafetyVerdict::Safe(_))
+    }
+
+    /// True for `Unsafe`.
+    pub fn is_unsafe(&self) -> bool {
+        matches!(self, SafetyVerdict::Unsafe(_))
+    }
+
+    /// The certificate, if unsafe.
+    pub fn certificate(&self) -> Option<&UnsafetyCertificate> {
+        match self {
+            SafetyVerdict::Unsafe(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// A certificate that a two-transaction system is unsafe.
+#[derive(Clone, Debug)]
+pub struct UnsafetyCertificate {
+    /// The two transactions concerned.
+    pub txn_a: TxnId,
+    /// Second transaction.
+    pub txn_b: TxnId,
+    /// A linear extension of `txn_a`'s partial order.
+    pub t1_order: Vec<StepId>,
+    /// A linear extension of `txn_b`'s partial order.
+    pub t2_order: Vec<StepId>,
+    /// The dominator `X` of `D(t1, t2)` used to orient lock sections
+    /// (entities in `X` run `txn_a` first).
+    pub dominator: Vec<EntityId>,
+    /// A legal, complete, non-serializable schedule of the pair.
+    pub schedule: Schedule,
+}
+
+/// Why a certificate failed verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertificateError {
+    /// `t1_order`/`t2_order` is not a linear extension.
+    NotALinearExtension(TxnId),
+    /// The schedule is illegal or incomplete.
+    BadSchedule(ModelError),
+    /// The schedule is serializable after all.
+    ScheduleSerializable,
+    /// The dominator is empty or covers all shared entities.
+    BadDominator,
+}
+
+impl UnsafetyCertificate {
+    /// Re-checks the certificate against `sys` (restricted to the two
+    /// transactions named in it).
+    pub fn verify(&self, sys: &TxnSystem) -> Result<(), CertificateError> {
+        let ta = sys.txn(self.txn_a);
+        let tb = sys.txn(self.txn_b);
+        if !ta.is_linear_extension(&self.t1_order) {
+            return Err(CertificateError::NotALinearExtension(self.txn_a));
+        }
+        if !tb.is_linear_extension(&self.t2_order) {
+            return Err(CertificateError::NotALinearExtension(self.txn_b));
+        }
+        let shared = sys.shared_locked_entities(self.txn_a, self.txn_b);
+        if self.dominator.is_empty()
+            || self.dominator.len() >= shared.len()
+            || self.dominator.iter().any(|e| !shared.contains(e))
+        {
+            return Err(CertificateError::BadDominator);
+        }
+        // The schedule must involve only the two transactions.
+        let pair_sys = pair_subsystem(sys, self.txn_a, self.txn_b);
+        let remapped = remap_schedule(&self.schedule, self.txn_a, self.txn_b);
+        remapped
+            .validate_complete(&pair_sys)
+            .map_err(CertificateError::BadSchedule)?;
+        if is_serializable(&pair_sys, &remapped) {
+            return Err(CertificateError::ScheduleSerializable);
+        }
+        Ok(())
+    }
+}
+
+/// The two-transaction subsystem `{Ta, Tb}` (ids 0 and 1).
+pub fn pair_subsystem(sys: &TxnSystem, a: TxnId, b: TxnId) -> TxnSystem {
+    TxnSystem::new(sys.db().clone(), vec![sys.txn(a).clone(), sys.txn(b).clone()])
+}
+
+/// Renames transactions `a -> 0`, `b -> 1` in a schedule.
+pub fn remap_schedule(s: &Schedule, a: TxnId, b: TxnId) -> Schedule {
+    Schedule::new(
+        s.steps()
+            .iter()
+            .map(|ss| kplock_model::ScheduledStep {
+                txn: if ss.txn == a { TxnId(0) } else if ss.txn == b { TxnId(1) } else { ss.txn },
+                step: ss.step,
+            })
+            .collect(),
+    )
+}

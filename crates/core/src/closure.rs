@@ -1,0 +1,337 @@
+//! The dominator-closure construction (Definition 3, Lemmas 2 and 3) and
+//! certificate extraction (proof of Theorem 2, Corollary 2).
+//!
+//! Given a dominator `X` of `D(T1, T2)`, the closure repeatedly finds
+//! triples `z ∈ V−X`, `x, y ∈ X` with `Lz ≺₁ Ux` and `Ly ≺₂ Uz` and adds
+//! the precedences `Uy ≺₁ Ux` and `Ly ≺₂ Lx`. For two sites this always
+//! succeeds and preserves the dominator (Lemmas 2–3); for three or more
+//! sites it can fail — by creating a precedence cycle, or by growing a
+//! `D`-arc into `X` — and each failure mode is reported. From a successfully
+//! closed system, Corollary 2 extracts a certificate of unsafeness via two
+//! priority topological sorts.
+
+use crate::certificate::UnsafetyCertificate;
+use crate::conflict_graph::ConflictDigraph;
+use crate::total_pair::schedule_from_orientation;
+use kplock_graph::topo_sort_by_key;
+use kplock_model::{ActionKind, EntityId, StepId, Transaction, TxnId, TxnSystem};
+
+/// A successfully closed system.
+#[derive(Clone, Debug)]
+pub struct Closure {
+    /// The strengthened system (transactions `txn_a`, `txn_b` replaced by
+    /// `R1`, `R2`; all other transactions untouched).
+    pub system: TxnSystem,
+    /// First transaction of the pair.
+    pub txn_a: TxnId,
+    /// Second transaction of the pair.
+    pub txn_b: TxnId,
+    /// The dominator the closure was taken with respect to.
+    pub dominator: Vec<EntityId>,
+    /// Precedences added to `txn_a` (audit trail).
+    pub added_a: Vec<(StepId, StepId)>,
+    /// Precedences added to `txn_b`.
+    pub added_b: Vec<(StepId, StepId)>,
+}
+
+/// Why a closure attempt failed (possible only with ≥ 3 sites).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClosureError {
+    /// A required precedence would create a cycle in a transaction's
+    /// partial order.
+    CycleCreated {
+        /// Which transaction.
+        txn: TxnId,
+        /// Required precedence source.
+        from: StepId,
+        /// Required precedence target.
+        to: StepId,
+    },
+    /// After strengthening, `D(R1, R2)` gained an arc from outside into the
+    /// dominator, so `X` no longer dominates.
+    DominatorBroken,
+    /// The final orientation produced no legal schedule.
+    OrientationInfeasible,
+}
+
+/// Closes `{Ta, Tb}` with respect to `dominator` (a set of shared locked
+/// entities forming a dominator of `D(Ta, Tb)`).
+pub fn close_wrt_dominator(
+    sys: &TxnSystem,
+    a: TxnId,
+    b: TxnId,
+    dominator: &[EntityId],
+) -> Result<Closure, ClosureError> {
+    let mut cur = sys.clone();
+    let mut added_a = Vec::new();
+    let mut added_b = Vec::new();
+
+    loop {
+        let d = ConflictDigraph::build(&cur, a, b);
+        // X must still dominate: no arc from V−X into X.
+        let in_x: Vec<bool> = d
+            .entities
+            .iter()
+            .map(|e| dominator.contains(e))
+            .collect();
+        for (u, v) in d.graph.edges() {
+            if !in_x[u] && in_x[v] {
+                return Err(ClosureError::DominatorBroken);
+            }
+        }
+
+        let ta = cur.txn(a).clone();
+        let tb = cur.txn(b).clone();
+        let mut changed = false;
+
+        for (zi, &z) in d.entities.iter().enumerate() {
+            if in_x[zi] {
+                continue;
+            }
+            let lz_a = ta.lock_step(z).expect("shared entity");
+            let uz_b = tb.unlock_step(z).expect("shared entity");
+            for (xi, &x) in d.entities.iter().enumerate() {
+                if !in_x[xi] {
+                    continue;
+                }
+                let ux_a = ta.unlock_step(x).expect("shared");
+                let lx_b = tb.lock_step(x).expect("shared");
+                if !ta.precedes(lz_a, ux_a) {
+                    continue;
+                }
+                for (yi, &y) in d.entities.iter().enumerate() {
+                    if !in_x[yi] || x == y {
+                        continue;
+                    }
+                    let ly_b = tb.lock_step(y).expect("shared");
+                    let uy_a = ta.unlock_step(y).expect("shared");
+                    if !tb.precedes(ly_b, uz_b) {
+                        continue;
+                    }
+                    // Condition met: require Uy ≺₁ Ux and Ly ≺₂ Lx.
+                    if !ta.precedes(uy_a, ux_a) {
+                        let t = cur.txn(a).with_precedence(uy_a, ux_a).map_err(|_| {
+                            ClosureError::CycleCreated {
+                                txn: a,
+                                from: uy_a,
+                                to: ux_a,
+                            }
+                        })?;
+                        cur = cur.with_txn(a, t);
+                        added_a.push((uy_a, ux_a));
+                        changed = true;
+                    }
+                    if !tb.precedes(ly_b, lx_b) {
+                        let t = cur.txn(b).with_precedence(ly_b, lx_b).map_err(|_| {
+                            ClosureError::CycleCreated {
+                                txn: b,
+                                from: ly_b,
+                                to: lx_b,
+                            }
+                        })?;
+                        cur = cur.with_txn(b, t);
+                        added_b.push((ly_b, lx_b));
+                        changed = true;
+                    }
+                    if changed {
+                        break;
+                    }
+                }
+                if changed {
+                    break;
+                }
+            }
+            if changed {
+                break;
+            }
+        }
+
+        if !changed {
+            return Ok(Closure {
+                system: cur,
+                txn_a: a,
+                txn_b: b,
+                dominator: dominator.to_vec(),
+                added_a,
+                added_b,
+            });
+        }
+    }
+}
+
+/// Extracts the Theorem-2/Corollary-2 certificate from a closed system:
+///
+/// * `t1` topologically sorts `R1`, emitting `Ux` (x ∈ X) steps as early as
+///   possible;
+/// * `t2` topologically sorts `R2`, deferring `Lx` (x ∈ X) steps as long as
+///   possible and tie-breaking them by the position of `Ux` in `t1`;
+/// * the schedule runs `Ta`'s lock sections first on `X` and `Tb`'s first on
+///   `V − X`.
+pub fn certificate_from_closure(
+    original: &TxnSystem,
+    closure: &Closure,
+) -> Result<UnsafetyCertificate, ClosureError> {
+    let (a, b) = (closure.txn_a, closure.txn_b);
+    let r1 = closure.system.txn(a);
+    let r2 = closure.system.txn(b);
+    let x_set = &closure.dominator;
+
+    let is_unlock_of_x = |t: &Transaction, v: usize| {
+        let s = t.step(StepId::from_idx(v));
+        s.kind == ActionKind::Unlock && x_set.contains(&s.entity)
+    };
+    // "Place the Ux (x ∈ X) steps as early as possible in t1". Concretely:
+    // rank the X-unlocks in an order consistent with R1's partial order
+    // (the closure makes the relevant ones comparable), then emit each step
+    // keyed by the rank of the earliest X-unlock it is an ancestor of —
+    // steps not needed for any X-unlock come last. This realizes the
+    // proof's property: if Uy ≺₁⁺ Ux for every x ∈ X with Lz ≺₁⁺ Ux, then
+    // Uy precedes Lz in t1 (the whole ancestor cone of Uy carries smaller
+    // keys than Lz).
+    let x_unlocks_1: Vec<StepId> = x_set
+        .iter()
+        .map(|&e| r1.unlock_step(e).expect("dominator entity locked"))
+        .collect();
+    // Rank = position in a topological order of the X-unlocks under R1's
+    // precedence (a partial-order-respecting total order; index tiebreak).
+    let mut mini = kplock_graph::DiGraph::new(x_unlocks_1.len());
+    for (i, &a) in x_unlocks_1.iter().enumerate() {
+        for (j, &b) in x_unlocks_1.iter().enumerate() {
+            if i != j && r1.precedes(a, b) {
+                mini.add_edge(i, j);
+            }
+        }
+    }
+    let mini_order = topo_sort_by_key(&mini, |v| v).expect("partial order is acyclic");
+    let ranked: Vec<StepId> = mini_order.iter().map(|&i| x_unlocks_1[i]).collect();
+    let rank_of = |u: StepId| ranked.iter().position(|&r| r == u);
+    let target = |t: &Transaction, v: usize| -> usize {
+        x_unlocks_1
+            .iter()
+            .filter(|&&u| t.precedes_eq(StepId::from_idx(v), u))
+            .filter_map(|&u| rank_of(u))
+            .min()
+            .unwrap_or(usize::MAX)
+    };
+    let t1_idx = topo_sort_by_key(r1.edge_graph(), |v| {
+        (
+            target(r1, v),
+            if is_unlock_of_x(r1, v) { 0usize } else { 1 },
+            v,
+        )
+    })
+    .expect("transaction partial orders are acyclic");
+    let t1_order: Vec<StepId> = t1_idx.iter().map(|&v| StepId::from_idx(v)).collect();
+
+    // Position of Ux in t1 per entity in X.
+    let ux_pos = |e: EntityId| -> usize {
+        let ux = r1.unlock_step(e).expect("dominator entity locked");
+        t1_order.iter().position(|&s| s == ux).expect("in order")
+    };
+
+    let t2_idx = topo_sort_by_key(r2.edge_graph(), |v| {
+        let s = r2.step(StepId::from_idx(v));
+        if s.kind == ActionKind::Lock && x_set.contains(&s.entity) {
+            (1usize, ux_pos(s.entity), v)
+        } else {
+            (0, 0, v)
+        }
+    })
+    .expect("acyclic");
+    let t2_order: Vec<StepId> = t2_idx.iter().map(|&v| StepId::from_idx(v)).collect();
+
+    let schedule = schedule_from_orientation(original, a, b, &t1_order, &t2_order, x_set)
+        .ok_or(ClosureError::OrientationInfeasible)?;
+
+    Ok(UnsafetyCertificate {
+        txn_a: a,
+        txn_b: b,
+        t1_order,
+        t2_order,
+        dominator: x_set.to_vec(),
+        schedule,
+    })
+}
+
+/// Corollary-2 pipeline: attempt closure with respect to `dominator`,
+/// extract a certificate and verify it. `None` if any stage fails —
+/// soundness is preserved because only verified certificates are returned.
+pub fn try_unsafety_via_dominator(
+    sys: &TxnSystem,
+    a: TxnId,
+    b: TxnId,
+    dominator: &[EntityId],
+) -> Option<UnsafetyCertificate> {
+    let closure = close_wrt_dominator(sys, a, b, dominator).ok()?;
+    let cert = certificate_from_closure(sys, &closure).ok()?;
+    cert.verify(sys).ok()?;
+    Some(cert)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kplock_graph::find_dominator;
+    use kplock_model::{Database, TxnBuilder};
+
+    /// A two-site system whose D(T1,T2) is `x ↔ y` with `z` isolated:
+    /// dominators are {x, y} and {z}; the system is unsafe by Corollary 2.
+    fn two_site_dominator_system() -> TxnSystem {
+        let db = Database::from_spec(&[("x", 0), ("y", 0), ("z", 1)]);
+        // T1: site 0 chain Ly Lx Uy Ux; site 1 chain Lz Uz; Lz ≺ Ux.
+        let mut b1 = TxnBuilder::new(&db, "T1");
+        b1.script("Ly Lx Uy Ux").unwrap();
+        let [lz, _uz]: [_; 2] = b1.script("Lz Uz").unwrap().try_into().unwrap();
+        let ux = kplock_model::StepId(3);
+        b1.edge(lz, ux);
+        let t1 = b1.build().unwrap();
+        // T2: site 0 chain Ly Lx Uy Ux; site 1 chain Lz Uz; Ly ≺ Uz.
+        let mut b2 = TxnBuilder::new(&db, "T2");
+        let site0 = b2.script("Ly Lx Uy Ux").unwrap();
+        let site1 = b2.script("Lz Uz").unwrap();
+        b2.edge(site0[0], site1[1]); // Ly -> Uz
+        let t2 = b2.build().unwrap();
+        TxnSystem::new(db, vec![t1, t2])
+    }
+
+    #[test]
+    fn closure_succeeds_on_two_sites_and_produces_certificate() {
+        let sys = two_site_dominator_system();
+        let d = ConflictDigraph::build(&sys, TxnId(0), TxnId(1));
+        assert!(!d.is_strongly_connected(), "test premise");
+        let dom_bits = find_dominator(&d.graph).unwrap();
+        let dom: Vec<EntityId> = dom_bits.iter().map(|i| d.entities[i]).collect();
+        let cert = try_unsafety_via_dominator(&sys, TxnId(0), TxnId(1), &dom)
+            .expect("two-site closure must succeed (Lemma 3)");
+        cert.verify(&sys).unwrap();
+    }
+
+    #[test]
+    fn explicit_xy_dominator_also_works() {
+        let sys = two_site_dominator_system();
+        let x = sys.db().entity("x").unwrap();
+        let y = sys.db().entity("y").unwrap();
+        let cert = try_unsafety_via_dominator(&sys, TxnId(0), TxnId(1), &[x, y])
+            .expect("closure w.r.t. {x,y}");
+        cert.verify(&sys).unwrap();
+        assert_eq!(cert.dominator, vec![x, y]);
+    }
+
+    #[test]
+    fn closure_is_idempotent_when_nothing_to_add() {
+        // Totally ordered pair: already closed w.r.t. any dominator.
+        let db = Database::centralized(&["x", "y"]);
+        let mut b1 = TxnBuilder::new(&db, "t1");
+        b1.script("Lx x Ux Ly y Uy").unwrap();
+        let t1 = b1.build().unwrap();
+        let mut b2 = TxnBuilder::new(&db, "t2");
+        b2.script("Ly y Uy Lx x Ux").unwrap();
+        let t2 = b2.build().unwrap();
+        let sys = TxnSystem::new(db, vec![t1, t2]);
+        let d = ConflictDigraph::build(&sys, TxnId(0), TxnId(1));
+        let dom_bits = find_dominator(&d.graph).unwrap();
+        let dom: Vec<EntityId> = dom_bits.iter().map(|i| d.entities[i]).collect();
+        let c = close_wrt_dominator(&sys, TxnId(0), TxnId(1), &dom).unwrap();
+        assert!(c.added_a.is_empty() && c.added_b.is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! The paper's contribution: safety decision procedures for distributed
+//! locked transaction systems.
+//!
+//! *Is Distributed Locking Harder?* (Kanellakis & Papadimitriou) asks
+//! whether deciding safety of locked transactions survives the move from
+//! centralized to distributed databases. This crate implements every
+//! result:
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | Definition 1 — conflict digraph `D(T1,T2)` | [`conflict_graph`] |
+//! | Theorem 1 — strong connectivity ⇒ safe | [`conflict_graph::ConflictDigraph::is_strongly_connected`], used by all deciders |
+//! | Lemmas 2–3, Definition 3 — dominator closure | [`closure`] |
+//! | Theorem 2, Corollary 1 — two sites: safe ⟺ strongly connected, O(n²) | [`two_site`] |
+//! | Corollary 2 — closed w.r.t. dominator ⇒ unsafe | [`closure::try_unsafety_via_dominator`] |
+//! | Theorem 3 — many sites: coNP-complete (SAT reduction) | [`reduction`] |
+//! | Proposition 2 — k transactions | [`multi_txn`] |
+//! | Locking policies (2PL, tree) | [`policy`] |
+//!
+//! Ground truth for all of it: the exact oracles in [`oracle`], and
+//! machine-checkable certificates in [`certificate`].
+
+pub mod analysis;
+pub mod certificate;
+pub mod closure;
+pub mod conflict_graph;
+pub mod counting;
+pub mod multi_txn;
+pub mod multisite;
+pub mod oracle;
+pub mod policy;
+pub mod reduction;
+pub mod total_pair;
+pub mod two_site;
+
+pub use analysis::{analyze_pair, PairAnalysis};
+pub use certificate::{CertificateError, SafeProof, SafetyVerdict, UnsafetyCertificate};
+pub use closure::{
+    certificate_from_closure, close_wrt_dominator, try_unsafety_via_dominator, Closure,
+    ClosureError,
+};
+pub use conflict_graph::ConflictDigraph;
+pub use counting::{count_schedules, ScheduleCounts};
+pub use multi_txn::{proposition2, Prop2Options, Prop2Report, Prop2Verdict};
+pub use multisite::{decide_multisite, MultisiteOptions};
+pub use oracle::{
+    decide_by_extensions, decide_exhaustive, OracleOptions, OracleOutcome, OracleReport,
+};
+pub use reduction::{reduce, NodeKind, Reduction, ReductionError};
+pub use total_pair::{decide_total_pair, schedule_from_orientation};
+pub use two_site::{decide_two_site, decide_two_site_system, TwoSiteError};

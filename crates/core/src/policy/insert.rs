@@ -1,0 +1,262 @@
+//! Lock insertion: turning an unlocked transaction (updates only) into a
+//! locked one.
+//!
+//! Locking modifies transactions "by appropriately inserting lock and
+//! unlock steps between the update steps" (Section 1). Strategies trade
+//! concurrency for safety:
+//!
+//! * [`LockStrategy::Minimal`] — lock each entity immediately before its
+//!   first update and unlock immediately after its last (maximum
+//!   concurrency, no safety guarantee);
+//! * [`LockStrategy::TwoPhaseSync`] — a lock phase totally ordered across
+//!   sites, then the body, then an unlock phase (synchronized 2PL: always
+//!   safe, minimum concurrency);
+//! * [`LockStrategy::TwoPhaseLoose`] — per-site two-phase: locks first and
+//!   unlocks last *within each site's chain*, with no cross-site ordering
+//!   (safe centralized, unsafe distributed — the paper's gap).
+
+use kplock_model::{
+    ActionKind, Database, EntityId, ModelError, SiteId, Step, StepId, Transaction,
+};
+use std::collections::HashMap;
+
+/// How to place lock/unlock steps around updates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockStrategy {
+    /// Tightest sections around the updates of each entity.
+    Minimal,
+    /// Global lock phase, body, global unlock phase.
+    TwoPhaseSync,
+    /// Per-site two-phase without cross-site synchronization.
+    TwoPhaseLoose,
+}
+
+/// Inserts locks into `t` (which must contain only update steps) according
+/// to `strategy`. The returned transaction preserves all precedences among
+/// the original updates.
+pub fn insert_locks(
+    db: &Database,
+    t: &Transaction,
+    strategy: LockStrategy,
+) -> Result<Transaction, ModelError> {
+    if t.step_ids().any(|s| t.step(s).kind != ActionKind::Update) {
+        return Err(ModelError::IllegalSchedule(
+            "insert_locks expects an update-only transaction".into(),
+        ));
+    }
+    match strategy {
+        LockStrategy::Minimal => minimal(db, t),
+        LockStrategy::TwoPhaseSync => two_phase(db, t, true),
+        LockStrategy::TwoPhaseLoose => two_phase(db, t, false),
+    }
+}
+
+/// Per-site update order of `t` (steps grouped by site in chain order).
+fn site_chains(db: &Database, t: &Transaction) -> HashMap<SiteId, Vec<StepId>> {
+    let mut chains: HashMap<SiteId, Vec<StepId>> = HashMap::new();
+    for site in 0..db.site_count() {
+        let sid = SiteId::from_idx(site);
+        let steps = t.steps_at_site(db, sid);
+        if steps.is_empty() {
+            continue;
+        }
+        let mut ordered = steps;
+        ordered.sort_by(|&a, &b| {
+            if t.precedes(a, b) {
+                std::cmp::Ordering::Less
+            } else if t.precedes(b, a) {
+                std::cmp::Ordering::Greater
+            } else {
+                a.cmp(&b)
+            }
+        });
+        chains.insert(sid, ordered);
+    }
+    chains
+}
+
+fn minimal(db: &Database, t: &Transaction) -> Result<Transaction, ModelError> {
+    // Build new step list: per site chain, wrap each entity's update run.
+    let chains = site_chains(db, t);
+    let mut steps: Vec<Step> = Vec::new();
+    let mut edges: Vec<(StepId, StepId)> = Vec::new();
+    let mut map: HashMap<StepId, StepId> = HashMap::new(); // old -> new
+
+    let mut sites: Vec<SiteId> = chains.keys().copied().collect();
+    sites.sort();
+    for chain in sites.iter().map(|s| &chains[s]) {
+        // Entities at this site with first/last update positions.
+        let mut first: HashMap<EntityId, usize> = HashMap::new();
+        let mut last: HashMap<EntityId, usize> = HashMap::new();
+        for (i, &s) in chain.iter().enumerate() {
+            let e = t.step(s).entity;
+            first.entry(e).or_insert(i);
+            last.insert(e, i);
+        }
+        let mut prev: Option<StepId> = None;
+        let push = |steps: &mut Vec<Step>, edges: &mut Vec<(StepId, StepId)>, step: Step, prev: &mut Option<StepId>| {
+            let id = StepId::from_idx(steps.len());
+            steps.push(step);
+            if let Some(p) = *prev {
+                edges.push((p, id));
+            }
+            *prev = Some(id);
+            id
+        };
+        for (i, &s) in chain.iter().enumerate() {
+            let e = t.step(s).entity;
+            if first[&e] == i {
+                push(&mut steps, &mut edges, Step::lock(e), &mut prev);
+            }
+            let new_id = push(&mut steps, &mut edges, Step::update(e), &mut prev);
+            map.insert(s, new_id);
+            if last[&e] == i {
+                push(&mut steps, &mut edges, Step::unlock(e), &mut prev);
+            }
+        }
+    }
+    // Preserve original cross-step precedences.
+    for (a, b) in t.edge_graph().edges() {
+        let (na, nb) = (map[&StepId::from_idx(a)], map[&StepId::from_idx(b)]);
+        edges.push((na, nb));
+    }
+    Transaction::new(t.name().to_string(), steps, edges)
+}
+
+fn two_phase(db: &Database, t: &Transaction, sync: bool) -> Result<Transaction, ModelError> {
+    let chains = site_chains(db, t);
+    let mut steps: Vec<Step> = Vec::new();
+    let mut edges: Vec<(StepId, StepId)> = Vec::new();
+    let mut map: HashMap<StepId, StepId> = HashMap::new();
+
+    // Sorted sites for determinism.
+    let mut sites: Vec<SiteId> = chains.keys().copied().collect();
+    sites.sort();
+
+    let mut lock_ids: Vec<StepId> = Vec::new();
+    let mut unlock_ids: Vec<StepId> = Vec::new();
+
+    // Lock steps per site (in entity order), then updates, then unlocks.
+    for &site in &sites {
+        let chain = &chains[&site];
+        let mut entities: Vec<EntityId> = chain.iter().map(|&s| t.step(s).entity).collect();
+        entities.sort();
+        entities.dedup();
+        let mut prev: Option<StepId> = None;
+        for &e in &entities {
+            let id = StepId::from_idx(steps.len());
+            steps.push(Step::lock(e));
+            if let Some(p) = prev {
+                edges.push((p, id));
+            }
+            prev = Some(id);
+            lock_ids.push(id);
+        }
+        for &s in chain {
+            let id = StepId::from_idx(steps.len());
+            steps.push(Step::update(t.step(s).entity));
+            if let Some(p) = prev {
+                edges.push((p, id));
+            }
+            prev = Some(id);
+            map.insert(s, id);
+        }
+        for &e in &entities {
+            let id = StepId::from_idx(steps.len());
+            steps.push(Step::unlock(e));
+            if let Some(p) = prev {
+                edges.push((p, id));
+            }
+            prev = Some(id);
+            unlock_ids.push(id);
+        }
+    }
+    for (a, b) in t.edge_graph().edges() {
+        edges.push((map[&StepId::from_idx(a)], map[&StepId::from_idx(b)]));
+    }
+    if sync {
+        // Global lock point: every lock precedes every unlock, via a
+        // cross-site barrier (each site's last lock precedes each site's
+        // first unlock).
+        for &l in &lock_ids {
+            for &u in &unlock_ids {
+                edges.push((l, u));
+            }
+        }
+    }
+    let _ = db;
+    Transaction::new(t.name().to_string(), steps, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::two_phase::{is_loose_two_phase, is_synchronized_two_phase};
+    use kplock_model::{Level, TxnBuilder};
+
+    fn unlocked_txn(db: &Database) -> Transaction {
+        let mut b = TxnBuilder::new(db, "T");
+        let x1 = b.update("x").unwrap();
+        let _x2 = b.update("y").unwrap();
+        let w = b.update("w").unwrap();
+        b.edge(x1, w); // cross-site data dependency
+        b.build().unwrap()
+    }
+
+    fn db() -> Database {
+        Database::from_spec(&[("x", 0), ("y", 0), ("w", 1)])
+    }
+
+    #[test]
+    fn minimal_insertion_is_well_formed() {
+        let db = db();
+        let t = insert_locks(&db, &unlocked_txn(&db), LockStrategy::Minimal).unwrap();
+        kplock_model::validate(&db, &t, Level::Strict).unwrap();
+        assert!(!is_synchronized_two_phase(&t));
+    }
+
+    #[test]
+    fn sync_two_phase_insertion_is_two_phase() {
+        let db = db();
+        let t = insert_locks(&db, &unlocked_txn(&db), LockStrategy::TwoPhaseSync).unwrap();
+        kplock_model::validate(&db, &t, Level::Strict).unwrap();
+        assert!(is_synchronized_two_phase(&t));
+    }
+
+    #[test]
+    fn loose_two_phase_is_per_site_only() {
+        let db = db();
+        let t = insert_locks(&db, &unlocked_txn(&db), LockStrategy::TwoPhaseLoose).unwrap();
+        kplock_model::validate(&db, &t, Level::Strict).unwrap();
+        assert!(is_loose_two_phase(&t));
+        assert!(!is_synchronized_two_phase(&t));
+    }
+
+    #[test]
+    fn rejects_locked_input() {
+        let db = db();
+        let mut b = TxnBuilder::new(&db, "T");
+        b.script("Lx x Ux").unwrap();
+        let t = b.build().unwrap();
+        assert!(insert_locks(&db, &t, LockStrategy::Minimal).is_err());
+    }
+
+    #[test]
+    fn preserves_original_precedences() {
+        let db = db();
+        let orig = unlocked_txn(&db);
+        for strategy in [
+            LockStrategy::Minimal,
+            LockStrategy::TwoPhaseSync,
+            LockStrategy::TwoPhaseLoose,
+        ] {
+            let t = insert_locks(&db, &orig, strategy).unwrap();
+            // The x-update precedes the w-update in the new transaction.
+            let x = db.entity("x").unwrap();
+            let w = db.entity("w").unwrap();
+            let xs = t.update_steps(x);
+            let ws = t.update_steps(w);
+            assert!(t.precedes(xs[0], ws[0]), "{strategy:?}");
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Locking policies (Sections 1 and 6).
+//!
+//! A policy is a class of locked transactions. Two-phase locking is the
+//! classic safe policy; the paper observes that a distributed policy is
+//! correct iff its "centralized image" is, so the hypergraph/tree
+//! characterization of \[12, 17–19\] carries over with *previous step*
+//! reinterpreted as *preceding step in the partial order*.
+
+pub mod image;
+pub mod insert;
+pub mod tree;
+pub mod two_phase;
+
+pub use image::centralized_image_safe;
+pub use insert::{insert_locks, LockStrategy};
+pub use tree::{follows_tree_protocol, EntityTree};
+pub use two_phase::{is_loose_two_phase, is_synchronized_two_phase};

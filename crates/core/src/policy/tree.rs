@@ -1,0 +1,122 @@
+//! The tree (hierarchical) locking protocol of Silberschatz & Kedem \[12\]
+//! — a non-two-phase policy that is nonetheless safe, and the prototype of
+//! the hypergraph policies whose characterization the paper extends to
+//! distributed databases (Section 6).
+//!
+//! Rules (for totally ordered transactions over a rooted tree of entities):
+//!
+//! 1. the first lock may be on any entity;
+//! 2. subsequently, an entity may be locked only if the transaction
+//!    currently holds the lock on its parent;
+//! 3. each entity is locked at most once (enforced by the model);
+//! 4. unlocks may happen at any time (no two-phase requirement).
+
+use kplock_model::{ActionKind, EntityId, Transaction};
+use std::collections::{HashMap, HashSet};
+
+/// A rooted forest over entities: `parent[e] = None` for roots.
+#[derive(Clone, Debug, Default)]
+pub struct EntityTree {
+    parent: HashMap<EntityId, EntityId>,
+}
+
+impl EntityTree {
+    /// Builds a tree from `(child, parent)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (EntityId, EntityId)>) -> Self {
+        EntityTree {
+            parent: pairs.into_iter().collect(),
+        }
+    }
+
+    /// The parent of `e`, if any.
+    pub fn parent(&self, e: EntityId) -> Option<EntityId> {
+        self.parent.get(&e).copied()
+    }
+}
+
+/// Checks that a **totally ordered** transaction follows the tree protocol.
+/// Returns `false` for partial orders (the classic protocol is defined for
+/// sequential lock request streams).
+pub fn follows_tree_protocol(t: &Transaction, tree: &EntityTree) -> bool {
+    let Some(order) = t.total_order() else {
+        return false;
+    };
+    let mut held: HashSet<EntityId> = HashSet::new();
+    let mut first_lock = true;
+    for s in order {
+        let step = t.step(s);
+        match step.kind {
+            ActionKind::Lock => {
+                if !first_lock {
+                    match tree.parent(step.entity) {
+                        Some(p) if held.contains(&p) => {}
+                        _ => return false,
+                    }
+                }
+                first_lock = false;
+                held.insert(step.entity);
+            }
+            ActionKind::Unlock => {
+                held.remove(&step.entity);
+            }
+            ActionKind::Update => {}
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{decide_exhaustive, OracleOptions, OracleOutcome};
+    use kplock_model::{Database, TxnBuilder, TxnSystem};
+
+    /// Chain tree: x -> y -> z (x is root).
+    fn chain_tree(db: &Database) -> EntityTree {
+        let x = db.entity("x").unwrap();
+        let y = db.entity("y").unwrap();
+        let z = db.entity("z").unwrap();
+        EntityTree::from_pairs([(y, x), (z, y)])
+    }
+
+    #[test]
+    fn accepts_crabbing_descent() {
+        let db = Database::centralized(&["x", "y", "z"]);
+        let mut b = TxnBuilder::new(&db, "T");
+        // Lock x, lock y (parent x held), unlock x, lock z (parent y held).
+        b.script("Lx x Ly y Ux Lz z Uz Uy").unwrap();
+        let t = b.build().unwrap();
+        assert!(follows_tree_protocol(&t, &chain_tree(&db)));
+    }
+
+    #[test]
+    fn rejects_lock_without_parent() {
+        let db = Database::centralized(&["x", "y", "z"]);
+        let mut b = TxnBuilder::new(&db, "T");
+        // Locks z after releasing y: parent not held.
+        b.script("Lx x Ly y Ux Uy Lz z Uz").unwrap();
+        let t = b.build().unwrap();
+        assert!(!follows_tree_protocol(&t, &chain_tree(&db)));
+    }
+
+    /// Tree-protocol transactions are non-two-phase yet safe — checked
+    /// against the exact oracle.
+    #[test]
+    fn tree_protocol_pair_is_safe_but_not_two_phase() {
+        let db = Database::centralized(&["x", "y", "z"]);
+        let tree = chain_tree(&db);
+        let mk = |name: &str, script: &str| {
+            let mut b = TxnBuilder::new(&db, name);
+            b.script(script).unwrap();
+            b.build().unwrap()
+        };
+        // Both descend x -> y -> z with crabbing (release behind).
+        let t1 = mk("T1", "Lx x Ly y Ux Lz z Uy Uz");
+        let t2 = mk("T2", "Lx x Ly y Ux Lz z Uy Uz");
+        assert!(follows_tree_protocol(&t1, &tree));
+        assert!(!crate::policy::two_phase::is_loose_two_phase(&t1));
+        let sys = TxnSystem::new(db, vec![t1, t2]);
+        let r = decide_exhaustive(&sys, &OracleOptions::default());
+        assert!(matches!(r.outcome, OracleOutcome::Safe));
+    }
+}

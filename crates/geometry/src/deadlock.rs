@@ -1,0 +1,116 @@
+//! Geometric deadlock detection for pairs of total orders.
+//!
+//! A reachable state from which the goal `(m1, m2)` cannot be reached is a
+//! *deadlock state*: both transactions are blocked forever. In the
+//! coordinated plane these are the states trapped in the "concave corners"
+//! of the forbidden region (cf. Lipski & Papadimitriou \[5\] and
+//! Soisalon-Soininen & Wood \[14\], which test safety *and* deadlock-freedom).
+
+use crate::plane::PlanePicture;
+
+/// All deadlock states: reachable from `(0,0)` by legal monotone moves but
+/// unable to reach `(m1, m2)`.
+pub fn deadlock_states(plane: &PlanePicture) -> Vec<(usize, usize)> {
+    let (w, h) = (plane.width(), plane.height());
+    let idx = |i: usize, j: usize| i * (h + 1) + j;
+    let free: Vec<bool> = (0..=w)
+        .flat_map(|i| (0..=h).map(move |j| (i, j)))
+        .map(|(i, j)| !plane.forbidden(i, j))
+        .collect();
+
+    // Forward reachability from (0,0).
+    let mut reach = vec![false; (w + 1) * (h + 1)];
+    if free[idx(0, 0)] {
+        reach[idx(0, 0)] = true;
+        for i in 0..=w {
+            for j in 0..=h {
+                if !reach[idx(i, j)] {
+                    continue;
+                }
+                if i < w && free[idx(i + 1, j)] {
+                    reach[idx(i + 1, j)] = true;
+                }
+                if j < h && free[idx(i, j + 1)] {
+                    reach[idx(i, j + 1)] = true;
+                }
+            }
+        }
+    }
+
+    // Backward reachability to (w,h).
+    let mut coreach = vec![false; (w + 1) * (h + 1)];
+    if free[idx(w, h)] {
+        coreach[idx(w, h)] = true;
+        for i in (0..=w).rev() {
+            for j in (0..=h).rev() {
+                if !coreach[idx(i, j)] || !free[idx(i, j)] {
+                    continue;
+                }
+                if i > 0 && free[idx(i - 1, j)] {
+                    coreach[idx(i - 1, j)] = true;
+                }
+                if j > 0 && free[idx(i, j - 1)] {
+                    coreach[idx(i, j - 1)] = true;
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for i in 0..=w {
+        for j in 0..=h {
+            if reach[idx(i, j)] && !coreach[idx(i, j)] {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// True iff some legal execution of the pair can deadlock.
+pub fn has_deadlock(plane: &PlanePicture) -> bool {
+    !deadlock_states(plane).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::PlanePicture;
+    use kplock_model::{Database, TxnBuilder, TxnId, TxnSystem};
+
+    fn sys(script1: &str, script2: &str) -> TxnSystem {
+        let db = Database::centralized(&["x", "y"]);
+        let mut b1 = TxnBuilder::new(&db, "t1");
+        b1.script(script1).unwrap();
+        let t1 = b1.build().unwrap();
+        let mut b2 = TxnBuilder::new(&db, "t2");
+        b2.script(script2).unwrap();
+        let t2 = b2.build().unwrap();
+        TxnSystem::new(db, vec![t1, t2])
+    }
+
+    #[test]
+    fn opposite_order_two_phase_can_deadlock() {
+        // Classic: t1 locks x then y; t2 locks y then x.
+        let sys = sys("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux");
+        let plane = PlanePicture::new(&sys, TxnId(0), TxnId(1)).unwrap();
+        assert!(has_deadlock(&plane));
+        // The deadlock state: t1 holds x waiting for y, t2 holds y waiting
+        // for x — i.e. state (1,1) (each executed its first lock).
+        assert!(deadlock_states(&plane).contains(&(1, 1)));
+    }
+
+    #[test]
+    fn same_order_locking_is_deadlock_free() {
+        let sys = sys("Lx Ly x y Ux Uy", "Lx Ly x y Ux Uy");
+        let plane = PlanePicture::new(&sys, TxnId(0), TxnId(1)).unwrap();
+        assert!(!has_deadlock(&plane));
+    }
+
+    #[test]
+    fn disjoint_transactions_no_deadlock() {
+        let sys = sys("Lx x Ux", "Ly y Uy");
+        let plane = PlanePicture::new(&sys, TxnId(0), TxnId(1)).unwrap();
+        assert!(!has_deadlock(&plane));
+    }
+}

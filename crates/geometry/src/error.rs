@@ -1,0 +1,24 @@
+//! Errors for the geometry crate.
+
+use kplock_model::TxnId;
+use std::fmt;
+
+/// Errors raised by the geometric method.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GeometryError {
+    /// The transaction is not a total order, so it has no single geometric
+    /// picture (enumerate its linear extensions instead — Lemma 1).
+    NotTotalOrder(TxnId),
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::NotTotalOrder(t) => {
+                write!(f, "transaction {t} is not a total order")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}

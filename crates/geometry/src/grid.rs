@@ -1,0 +1,163 @@
+//! Monotone lattice paths through the coordinated plane.
+//!
+//! A legal schedule of `{t1, t2}` corresponds to a monotone path of states
+//! from `(0, 0)` to `(m1, m2)` avoiding all forbidden rectangles; this
+//! module finds such paths under additional state constraints (used to force
+//! a curve above one rectangle and below another — the separation test of
+//! Proposition 1).
+
+use crate::plane::PlanePicture;
+use kplock_model::{Schedule, ScheduledStep};
+
+/// Finds a monotone path from `(0,0)` to `(m1,m2)` avoiding forbidden
+/// rectangles and any state where `extra_forbidden(i, j)` holds.
+/// Returns the sequence of states (including both endpoints).
+pub fn find_path(
+    plane: &PlanePicture,
+    mut extra_forbidden: impl FnMut(usize, usize) -> bool,
+) -> Option<Vec<(usize, usize)>> {
+    let (w, h) = (plane.width(), plane.height());
+    let cols = w + 1;
+    let ok = |i: usize, j: usize, f: &mut dyn FnMut(usize, usize) -> bool| {
+        !plane.forbidden(i, j) && !f(i, j)
+    };
+    if !ok(0, 0, &mut extra_forbidden) {
+        return None;
+    }
+    // DP over states in lexicographic order; parent[state] = 0 (from left),
+    // 1 (from below), 2 (start), u8::MAX (unreachable).
+    let mut parent = vec![u8::MAX; cols * (h + 1)];
+    parent[0] = 2;
+    for i in 0..=w {
+        for j in 0..=h {
+            if parent[i * (h + 1) + j] == u8::MAX {
+                continue;
+            }
+            if i < w && parent[(i + 1) * (h + 1) + j] == u8::MAX && ok(i + 1, j, &mut extra_forbidden)
+            {
+                parent[(i + 1) * (h + 1) + j] = 0;
+            }
+            if j < h && parent[i * (h + 1) + j + 1] == u8::MAX && ok(i, j + 1, &mut extra_forbidden)
+            {
+                parent[i * (h + 1) + j + 1] = 1;
+            }
+        }
+    }
+    if parent[w * (h + 1) + h] == u8::MAX {
+        return None;
+    }
+    // Reconstruct.
+    let mut path = vec![(w, h)];
+    let (mut i, mut j) = (w, h);
+    while (i, j) != (0, 0) {
+        match parent[i * (h + 1) + j] {
+            0 => i -= 1,
+            1 => j -= 1,
+            _ => unreachable!("path reconstruction"),
+        }
+        path.push((i, j));
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Converts a path of states into the corresponding schedule.
+pub fn schedule_from_path(plane: &PlanePicture, path: &[(usize, usize)]) -> Schedule {
+    let mut steps = Vec::with_capacity(path.len().saturating_sub(1));
+    for pair in path.windows(2) {
+        let ((i0, j0), (i1, j1)) = (pair[0], pair[1]);
+        if i1 == i0 + 1 && j1 == j0 {
+            steps.push(ScheduledStep {
+                txn: plane.txn_x,
+                step: plane.order_x[i0],
+            });
+        } else if j1 == j0 + 1 && i1 == i0 {
+            steps.push(ScheduledStep {
+                txn: plane.txn_y,
+                step: plane.order_y[j0],
+            });
+        } else {
+            panic!("non-monotone path");
+        }
+    }
+    Schedule::new(steps)
+}
+
+/// The orientation of a path with respect to a rectangle: `true` if the path
+/// passes **above** it (t2's lock section completes before t1's begins),
+/// `false` if below. `None` if the path crosses the rectangle (illegal).
+pub fn passes_above(path: &[(usize, usize)], rect: &crate::plane::Rectangle) -> Option<bool> {
+    // At the first state with i == x_lo, either j >= y_hi (above) or
+    // j < y_lo (below); j in [y_lo, y_hi) would be a forbidden state.
+    let &(_, j) = path.iter().find(|&&(i, _)| i == rect.x_lo)?;
+    if j >= rect.y_hi {
+        Some(true)
+    } else if j < rect.y_lo {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kplock_model::{Database, TxnBuilder, TxnId, TxnSystem};
+
+    fn sys(script1: &str, script2: &str) -> TxnSystem {
+        let db = Database::centralized(&["x", "y", "z"]);
+        let mut b1 = TxnBuilder::new(&db, "t1");
+        b1.script(script1).unwrap();
+        let t1 = b1.build().unwrap();
+        let mut b2 = TxnBuilder::new(&db, "t2");
+        b2.script(script2).unwrap();
+        let t2 = b2.build().unwrap();
+        TxnSystem::new(db, vec![t1, t2])
+    }
+
+    #[test]
+    fn straight_path_without_rectangles() {
+        let sys = sys("Lx x Ux", "Ly y Uy");
+        let plane = crate::plane::PlanePicture::new(&sys, TxnId(0), TxnId(1)).unwrap();
+        assert!(plane.rects.is_empty());
+        let path = find_path(&plane, |_, _| false).unwrap();
+        assert_eq!(*path.first().unwrap(), (0, 0));
+        assert_eq!(*path.last().unwrap(), (3, 3));
+        let sched = schedule_from_path(&plane, &path);
+        assert_eq!(sched.len(), 6);
+        sched.validate_complete(&sys).unwrap();
+    }
+
+    #[test]
+    fn path_avoids_rectangles_and_is_legal() {
+        let sys = sys("Lx x Ux", "Lx x Ux");
+        let plane = crate::plane::PlanePicture::new(&sys, TxnId(0), TxnId(1)).unwrap();
+        assert_eq!(plane.rects.len(), 1);
+        let path = find_path(&plane, |_, _| false).unwrap();
+        let sched = schedule_from_path(&plane, &path);
+        sched.validate_complete(&sys).unwrap();
+        // Orientation must be defined (not crossing).
+        assert!(passes_above(&path, &plane.rects[0]).is_some());
+    }
+
+    #[test]
+    fn extra_constraints_can_make_it_infeasible() {
+        let sys = sys("Lx x Ux", "Ly y Uy");
+        let plane = crate::plane::PlanePicture::new(&sys, TxnId(0), TxnId(1)).unwrap();
+        // Forbid the entire middle column.
+        assert!(find_path(&plane, |i, _| i == 1).is_none());
+    }
+
+    #[test]
+    fn orientation_above_and_below() {
+        let sys = sys("Lx x Ux", "Lx x Ux");
+        let plane = crate::plane::PlanePicture::new(&sys, TxnId(0), TxnId(1)).unwrap();
+        let r = plane.rects[0];
+        // Force above: t1 may not start until t2 done.
+        let above = find_path(&plane, |i, j| i >= r.x_lo && j < r.y_hi).unwrap();
+        assert_eq!(passes_above(&above, &r), Some(true));
+        // Force below: t2 may not start until t1 done.
+        let below = find_path(&plane, |i, j| j >= r.y_lo && i < r.x_hi).unwrap();
+        assert_eq!(passes_above(&below, &r), Some(false));
+    }
+}

@@ -1,0 +1,25 @@
+//! The geometric method for pairs of totally ordered transactions
+//! (Section 3 of the paper, after Yannakakis, Papadimitriou & Kung \[17\] and
+//! Papadimitriou \[7\]).
+//!
+//! Two totally ordered transactions span a *coordinated plane*; entities
+//! locked by both contribute forbidden rectangles; schedules are monotone
+//! curves; and (Proposition 1) a schedule is non-serializable iff its curve
+//! separates two rectangles. This crate implements the picture, the
+//! separation test (an independent implementation used to cross-validate the
+//! graph-theoretic method of `kplock-core`), geometric deadlock detection,
+//! and ASCII rendering of the paper's figures.
+
+pub mod deadlock;
+pub mod error;
+pub mod grid;
+pub mod plane;
+pub mod render;
+pub mod separation;
+
+pub use deadlock::{deadlock_states, has_deadlock};
+pub use error::GeometryError;
+pub use grid::{find_path, passes_above, schedule_from_path};
+pub use plane::{PlanePicture, Rectangle};
+pub use render::render;
+pub use separation::{find_separation, plane_is_safe, separate, SeparationWitness};

@@ -1,0 +1,176 @@
+//! The coordinated plane of a pair of totally ordered transactions.
+//!
+//! Following \[7, 17\] and Section 3 of the paper: the horizontal axis lists
+//! the steps of `t1` (positions `1..=m1`), the vertical axis the steps of
+//! `t2`. A *state* `(i, j)` means `i` steps of `t1` and `j` steps of `t2`
+//! have executed. Every entity locked by both transactions contributes a
+//! **forbidden rectangle**: the states in which both transactions would hold
+//! its lock.
+
+use crate::error::GeometryError;
+use kplock_model::{EntityId, StepId, TxnId, TxnSystem};
+
+/// A forbidden rectangle for one entity locked by both transactions.
+///
+/// State `(i, j)` is inside iff `x_lo <= i < x_hi` and `y_lo <= j < y_hi`,
+/// where positions are 1-based step counts: `x_lo` is the position of
+/// `lock e` in `t1` and `x_hi` the position of `unlock e` in `t1` (likewise
+/// `y_*` in `t2`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rectangle {
+    /// The shared entity.
+    pub entity: EntityId,
+    /// Position of `lock e` in `t1`.
+    pub x_lo: usize,
+    /// Position of `unlock e` in `t1`.
+    pub x_hi: usize,
+    /// Position of `lock e` in `t2`.
+    pub y_lo: usize,
+    /// Position of `unlock e` in `t2`.
+    pub y_hi: usize,
+}
+
+impl Rectangle {
+    /// True iff state `(i, j)` lies inside the forbidden region.
+    #[inline]
+    pub fn contains_state(&self, i: usize, j: usize) -> bool {
+        self.x_lo <= i && i < self.x_hi && self.y_lo <= j && j < self.y_hi
+    }
+}
+
+/// The geometric picture of a pair of totally ordered transactions.
+#[derive(Clone, Debug)]
+pub struct PlanePicture {
+    /// Transaction on the horizontal axis.
+    pub txn_x: TxnId,
+    /// Transaction on the vertical axis.
+    pub txn_y: TxnId,
+    /// `t1`'s steps in execution order (position `p` ↔ `order_x[p-1]`).
+    pub order_x: Vec<StepId>,
+    /// `t2`'s steps in execution order.
+    pub order_y: Vec<StepId>,
+    /// One forbidden rectangle per entity locked by both transactions,
+    /// in ascending entity order.
+    pub rects: Vec<Rectangle>,
+}
+
+impl PlanePicture {
+    /// Builds the picture for transactions `a` (horizontal) and `b`
+    /// (vertical) of `sys`. Both must be total orders.
+    pub fn new(sys: &TxnSystem, a: TxnId, b: TxnId) -> Result<Self, GeometryError> {
+        let ta = sys.txn(a);
+        let tb = sys.txn(b);
+        let order_x = ta.total_order().ok_or(GeometryError::NotTotalOrder(a))?;
+        let order_y = tb.total_order().ok_or(GeometryError::NotTotalOrder(b))?;
+
+        // 1-based positions of each step.
+        let pos = |order: &[StepId], s: StepId| -> usize {
+            order.iter().position(|&t| t == s).expect("step in order") + 1
+        };
+
+        let mut rects = Vec::new();
+        for e in sys.shared_locked_entities(a, b) {
+            let (lx, ux) = (ta.lock_step(e).unwrap(), ta.unlock_step(e).unwrap());
+            let (ly, uy) = (tb.lock_step(e).unwrap(), tb.unlock_step(e).unwrap());
+            rects.push(Rectangle {
+                entity: e,
+                x_lo: pos(&order_x, lx),
+                x_hi: pos(&order_x, ux),
+                y_lo: pos(&order_y, ly),
+                y_hi: pos(&order_y, uy),
+            });
+        }
+        Ok(PlanePicture {
+            txn_x: a,
+            txn_y: b,
+            order_x,
+            order_y,
+            rects,
+        })
+    }
+
+    /// Horizontal extent (`m1`).
+    pub fn width(&self) -> usize {
+        self.order_x.len()
+    }
+
+    /// Vertical extent (`m2`).
+    pub fn height(&self) -> usize {
+        self.order_y.len()
+    }
+
+    /// True iff state `(i, j)` is forbidden (inside some rectangle).
+    pub fn forbidden(&self, i: usize, j: usize) -> bool {
+        self.rects.iter().any(|r| r.contains_state(i, j))
+    }
+
+    /// The rectangle of entity `e`, if the entity is shared.
+    pub fn rect_of(&self, e: EntityId) -> Option<&Rectangle> {
+        self.rects.iter().find(|r| r.entity == e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kplock_model::{Database, TxnBuilder};
+
+    fn sys() -> TxnSystem {
+        let db = Database::centralized(&["x", "y"]);
+        let mut b1 = TxnBuilder::new(&db, "t1");
+        b1.script("Lx x Ux Ly y Uy").unwrap();
+        let t1 = b1.build().unwrap();
+        let mut b2 = TxnBuilder::new(&db, "t2");
+        b2.script("Ly y Uy Lx x Ux").unwrap();
+        let t2 = b2.build().unwrap();
+        TxnSystem::new(db, vec![t1, t2])
+    }
+
+    #[test]
+    fn builds_rectangles() {
+        let sys = sys();
+        let p = PlanePicture::new(&sys, TxnId(0), TxnId(1)).unwrap();
+        assert_eq!(p.width(), 6);
+        assert_eq!(p.height(), 6);
+        assert_eq!(p.rects.len(), 2);
+        let x = sys.db().entity("x").unwrap();
+        let rx = p.rect_of(x).unwrap();
+        // In t1, Lx at position 1, Ux at position 3; in t2, Lx at 4, Ux at 6.
+        assert_eq!((rx.x_lo, rx.x_hi, rx.y_lo, rx.y_hi), (1, 3, 4, 6));
+        assert!(rx.contains_state(1, 4));
+        assert!(rx.contains_state(2, 5));
+        assert!(!rx.contains_state(3, 4));
+        assert!(!rx.contains_state(1, 6));
+    }
+
+    #[test]
+    fn forbidden_union() {
+        let sys = sys();
+        let p = PlanePicture::new(&sys, TxnId(0), TxnId(1)).unwrap();
+        // y-rectangle: t1 positions (4,6), t2 positions (1,3).
+        assert!(p.forbidden(4, 1));
+        assert!(p.forbidden(1, 4));
+        assert!(!p.forbidden(0, 0));
+        assert!(!p.forbidden(6, 6));
+        assert!(!p.forbidden(3, 3));
+    }
+
+    #[test]
+    fn rejects_partial_orders() {
+        let db = Database::from_spec(&[("x", 0), ("z", 1)]);
+        let mut b = TxnBuilder::new(&db, "T");
+        b.lock("x").unwrap();
+        b.lock("z").unwrap(); // concurrent with Lx (different sites)
+        b.unlock("x").unwrap();
+        b.unlock("z").unwrap();
+        let t = b.build().unwrap();
+        let mut b2 = TxnBuilder::new(&db, "t2");
+        b2.script("Lx Ux").unwrap();
+        let t2 = b2.build().unwrap();
+        let sys = TxnSystem::new(db, vec![t, t2]);
+        assert!(matches!(
+            PlanePicture::new(&sys, TxnId(0), TxnId(1)),
+            Err(GeometryError::NotTotalOrder(_))
+        ));
+    }
+}

@@ -1,0 +1,99 @@
+//! ASCII rendering of coordinated-plane pictures (regenerates the paper's
+//! Fig. 2-style drawings).
+
+use crate::plane::PlanePicture;
+use kplock_model::TxnSystem;
+
+/// Renders the plane: `#` marks forbidden states, `*` the given curve,
+/// `.` free states. Axis labels show each step (t1 along the bottom, t2
+/// along the left, bottom-up).
+pub fn render(sys: &TxnSystem, plane: &PlanePicture, curve: Option<&[(usize, usize)]>) -> String {
+    let (w, h) = (plane.width(), plane.height());
+    let t1 = sys.txn(plane.txn_x);
+    let t2 = sys.txn(plane.txn_y);
+    let label_x: Vec<String> = plane
+        .order_x
+        .iter()
+        .map(|&s| {
+            let st = t1.step(s);
+            st.label(sys.db().name_of(st.entity))
+        })
+        .collect();
+    let label_y: Vec<String> = plane
+        .order_y
+        .iter()
+        .map(|&s| {
+            let st = t2.step(s);
+            st.label(sys.db().name_of(st.entity))
+        })
+        .collect();
+    let ylab_w = label_y.iter().map(|l| l.len()).max().unwrap_or(1).max(2);
+    let cell_w = label_x.iter().map(|l| l.len()).max().unwrap_or(1).max(2) + 1;
+
+    let on_curve = |i: usize, j: usize| curve.is_some_and(|c| c.contains(&(i, j)));
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "t2 = {} (vertical, bottom-up) vs t1 = {} (horizontal)\n",
+        t2.name(),
+        t1.name()
+    ));
+    for j in (0..=h).rev() {
+        let ylab = if j >= 1 {
+            label_y[j - 1].as_str()
+        } else {
+            ""
+        };
+        out.push_str(&format!("{ylab:>ylab_w$} |"));
+        for i in 0..=w {
+            let ch = if on_curve(i, j) {
+                '*'
+            } else if plane.forbidden(i, j) {
+                '#'
+            } else {
+                '.'
+            };
+            out.push_str(&format!("{ch:^cell_w$}"));
+        }
+        out.push('\n');
+    }
+    // X axis.
+    out.push_str(&format!("{:>ylab_w$} +", ""));
+    out.push_str(&"-".repeat(cell_w * (w + 1)));
+    out.push('\n');
+    out.push_str(&format!("{:>ylab_w$}  ", ""));
+    out.push_str(&format!("{:^cell_w$}", "0"));
+    for l in &label_x {
+        out.push_str(&format!("{l:^cell_w$}"));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::PlanePicture;
+    use crate::separation::find_separation;
+    use kplock_model::{Database, TxnBuilder, TxnId, TxnSystem};
+
+    #[test]
+    fn renders_forbidden_regions_and_curve() {
+        let db = Database::centralized(&["x", "y"]);
+        let mut b1 = TxnBuilder::new(&db, "t1");
+        b1.script("Lx x Ux Ly y Uy").unwrap();
+        let t1 = b1.build().unwrap();
+        let mut b2 = TxnBuilder::new(&db, "t2");
+        b2.script("Ly y Uy Lx x Ux").unwrap();
+        let t2 = b2.build().unwrap();
+        let sys = TxnSystem::new(db, vec![t1, t2]);
+        let plane = PlanePicture::new(&sys, TxnId(0), TxnId(1)).unwrap();
+        let w = find_separation(&plane).unwrap();
+        let art = render(&sys, &plane, Some(&w.path));
+        assert!(art.contains('#'));
+        assert!(art.contains('*'));
+        assert!(art.contains("Lx"));
+        // Every row of the grid is present.
+        assert_eq!(art.lines().count(), 1 + 7 + 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Condensation (component DAG) of a directed graph.
+
+use crate::digraph::DiGraph;
+use crate::scc::{tarjan_scc, Sccs};
+
+/// The condensation of a graph: one node per SCC, edges between distinct
+/// components, plus the original SCC assignment.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// Component DAG. Node `c` corresponds to `sccs.members[c]`.
+    pub dag: DiGraph,
+    /// The underlying SCC decomposition.
+    pub sccs: Sccs,
+}
+
+/// Builds the condensation of `g`.
+pub fn condensation(g: &DiGraph) -> Condensation {
+    let sccs = tarjan_scc(g);
+    let mut dag = DiGraph::new(sccs.count());
+    for (u, v) in g.edges() {
+        let (cu, cv) = (sccs.comp[u], sccs.comp[v]);
+        if cu != cv {
+            dag.add_edge(cu, cv);
+        }
+    }
+    Condensation { dag, sccs }
+}
+
+impl Condensation {
+    /// Component indices with no incoming edges ("source" components).
+    pub fn source_components(&self) -> Vec<usize> {
+        (0..self.dag.node_count())
+            .filter(|&c| self.dag.predecessors(c).is_empty())
+            .collect()
+    }
+
+    /// Component indices with no outgoing edges ("sink" components).
+    pub fn sink_components(&self) -> Vec<usize> {
+        (0..self.dag.node_count())
+            .filter(|&c| self.dag.successors(c).is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condensation_of_two_cycles() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let c = condensation(&g);
+        assert_eq!(c.dag.node_count(), 2);
+        assert_eq!(c.dag.edge_count(), 1);
+        let sources = c.source_components();
+        assert_eq!(sources.len(), 1);
+        let mut src_members = c.sccs.members[sources[0]].clone();
+        src_members.sort();
+        assert_eq!(src_members, vec![0, 1]);
+        assert_eq!(c.sink_components().len(), 1);
+    }
+
+    #[test]
+    fn strongly_connected_graph_has_single_component() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let c = condensation(&g);
+        assert_eq!(c.dag.node_count(), 1);
+        assert_eq!(c.dag.edge_count(), 0);
+        assert_eq!(c.source_components(), vec![0]);
+    }
+
+    #[test]
+    fn parallel_edges_collapse() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 0), (0, 2), (1, 2), (2, 3)]);
+        let c = condensation(&g);
+        // {0,1} -> {2} -> {3}: 3 components, 2 DAG edges.
+        assert_eq!(c.dag.node_count(), 3);
+        assert_eq!(c.dag.edge_count(), 2);
+    }
+}

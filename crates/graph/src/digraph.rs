@@ -1,0 +1,125 @@
+//! A compact directed graph over `0..n` node indices.
+
+use crate::bitset::BitSet;
+
+/// Directed graph with adjacency lists and O(1) duplicate-edge detection.
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph {
+    succ: Vec<Vec<usize>>,
+    pred: Vec<Vec<usize>>,
+    /// `edge_set[u]` holds the successor set of `u` for O(1) `has_edge`.
+    edge_set: Vec<BitSet>,
+    edge_count: usize,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            succ: vec![Vec::new(); n],
+            pred: vec![Vec::new(); n],
+            edge_set: vec![BitSet::new(n); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds edge `u -> v` (self-loops allowed); returns `true` if new.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        if self.edge_set[u].contains(v) {
+            return false;
+        }
+        self.edge_set[u].insert(v);
+        self.succ[u].push(v);
+        self.pred[v].push(u);
+        self.edge_count += 1;
+        true
+    }
+
+    /// Edge membership.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edge_set[u].contains(v)
+    }
+
+    /// Successors of `u`.
+    pub fn successors(&self, u: usize) -> &[usize] {
+        &self.succ[u]
+    }
+
+    /// Predecessors of `u`.
+    pub fn predecessors(&self, u: usize) -> &[usize] {
+        &self.pred[u]
+    }
+
+    /// All edges as `(u, v)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.succ
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// Builds a graph from an edge list.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = DiGraph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// The reverse graph.
+    pub fn reversed(&self) -> DiGraph {
+        DiGraph::from_edges(self.node_count(), self.edges().map(|(u, v)| (v, u)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut g = DiGraph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(0, 1));
+        assert!(g.add_edge(1, 2));
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.successors(0), &[1]);
+        assert_eq!(g.predecessors(2), &[1]);
+    }
+
+    #[test]
+    fn reverse() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let r = g.reversed();
+        assert!(r.has_edge(1, 0) && r.has_edge(2, 1));
+        assert_eq!(r.edge_count(), 2);
+    }
+
+    #[test]
+    fn self_loop() {
+        let mut g = DiGraph::new(1);
+        assert!(g.add_edge(0, 0));
+        assert!(g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn edges_iterator() {
+        let g = DiGraph::from_edges(4, [(0, 1), (2, 3), (0, 2)]);
+        let mut es: Vec<_> = g.edges().collect();
+        es.sort();
+        assert_eq!(es, vec![(0, 1), (0, 2), (2, 3)]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Dominators in the sense of Kanellakis & Papadimitriou (Definition 2).
+//!
+//! A *dominator* of a directed graph `D = (V, A)` is a nonempty **proper**
+//! subset `X` of `V` with no incoming arcs from `V − X`. A directed graph has
+//! a dominator iff it is not strongly connected. (This is unrelated to the
+//! "dominator tree" of flow-graph analysis.)
+//!
+//! Structurally, `X` is a dominator iff it is a nonempty proper union of
+//! strongly connected components that is closed under predecessors
+//! ("ancestor-closed" in the condensation DAG).
+
+use crate::bitset::BitSet;
+use crate::condensation::{condensation, Condensation};
+use crate::digraph::DiGraph;
+use std::collections::{HashSet, VecDeque};
+
+/// Checks Definition 2 directly: `x` is nonempty, proper, and has no
+/// incoming arc from outside.
+pub fn is_dominator(g: &DiGraph, x: &BitSet) -> bool {
+    let n = g.node_count();
+    let size = x.count();
+    if size == 0 || size >= n {
+        return false;
+    }
+    for v in x.iter() {
+        for &u in g.predecessors(v) {
+            if !x.contains(u) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Returns some dominator if one exists (i.e. iff `g` is not strongly
+/// connected and has at least two nodes): the members of a source SCC.
+pub fn find_dominator(g: &DiGraph) -> Option<BitSet> {
+    let n = g.node_count();
+    if n < 2 {
+        return None;
+    }
+    let c = condensation(g);
+    if c.dag.node_count() < 2 {
+        return None;
+    }
+    let src = *c
+        .source_components()
+        .first()
+        .expect("a DAG always has a source");
+    Some(BitSet::from_indices(
+        n,
+        c.sccs.members[src].iter().copied(),
+    ))
+}
+
+/// Enumerates all dominators of `g`, up to `cap` of them.
+///
+/// Dominators are exactly the nonempty proper predecessor-closed unions of
+/// SCCs; there can be exponentially many, hence the cap. Returns the
+/// dominators found (possibly truncated at `cap`) and whether the
+/// enumeration was exhaustive.
+pub fn enumerate_dominators(g: &DiGraph, cap: usize) -> (Vec<BitSet>, bool) {
+    let n = g.node_count();
+    let c: Condensation = condensation(g);
+    let k = c.dag.node_count();
+    if k < 2 || n < 2 {
+        return (Vec::new(), true);
+    }
+
+    // BFS over predecessor-closed component sets (as BitSets over components).
+    let mut seen: HashSet<BitSet> = HashSet::new();
+    let mut out: Vec<BitSet> = Vec::new();
+    let mut queue: VecDeque<BitSet> = VecDeque::new();
+    queue.push_back(BitSet::new(k));
+    seen.insert(BitSet::new(k));
+    let mut exhaustive = true;
+
+    while let Some(cur) = queue.pop_front() {
+        // Try to extend `cur` by each component whose predecessors are all in.
+        for comp in 0..k {
+            if cur.contains(comp) {
+                continue;
+            }
+            if !c.dag.predecessors(comp).iter().all(|&p| cur.contains(p)) {
+                continue;
+            }
+            let mut next = cur.clone();
+            next.insert(comp);
+            if seen.contains(&next) {
+                continue;
+            }
+            seen.insert(next.clone());
+            // Record as dominator if nonempty (it is) and proper.
+            if next.count() < k || k_total_nodes(&c, &next) < n {
+                let nodes = comps_to_nodes(&c, &next, n);
+                if nodes.count() < n {
+                    out.push(nodes);
+                    if out.len() >= cap {
+                        exhaustive = false;
+                        return (out, exhaustive);
+                    }
+                }
+            }
+            queue.push_back(next);
+        }
+    }
+    (out, exhaustive)
+}
+
+fn comps_to_nodes(c: &Condensation, comps: &BitSet, n: usize) -> BitSet {
+    BitSet::from_indices(
+        n,
+        comps
+            .iter()
+            .flat_map(|ci| c.sccs.members[ci].iter().copied()),
+    )
+}
+
+fn k_total_nodes(c: &Condensation, comps: &BitSet) -> usize {
+    comps.iter().map(|ci| c.sccs.members[ci].len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strongly_connected_has_no_dominator() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!(find_dominator(&g).is_none());
+        let (all, exhaustive) = enumerate_dominators(&g, 100);
+        assert!(all.is_empty() && exhaustive);
+    }
+
+    #[test]
+    fn chain_dominators() {
+        // 0 -> 1 -> 2: dominators are {0}, {0,1}.
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let d = find_dominator(&g).unwrap();
+        assert!(is_dominator(&g, &d));
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![0]);
+        let (all, exhaustive) = enumerate_dominators(&g, 100);
+        assert!(exhaustive);
+        let mut sets: Vec<Vec<usize>> = all.iter().map(|b| b.iter().collect()).collect();
+        sets.sort();
+        assert_eq!(sets, vec![vec![0], vec![0, 1]]);
+    }
+
+    #[test]
+    fn two_sources() {
+        // 0 -> 2 <- 1: dominators {0},{1},{0,1}.
+        let g = DiGraph::from_edges(3, [(0, 2), (1, 2)]);
+        let (all, _) = enumerate_dominators(&g, 100);
+        let mut sets: Vec<Vec<usize>> = all.iter().map(|b| b.iter().collect()).collect();
+        sets.sort();
+        assert_eq!(sets, vec![vec![0], vec![0, 1], vec![1]]);
+        for d in &all {
+            assert!(is_dominator(&g, d));
+        }
+    }
+
+    #[test]
+    fn scc_granularity() {
+        // {0,1} cycle -> 2. Dominator must contain whole cycle: {0,1} only.
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 0), (1, 2)]);
+        let (all, _) = enumerate_dominators(&g, 100);
+        let mut sets: Vec<Vec<usize>> = all.iter().map(|b| b.iter().collect()).collect();
+        sets.sort();
+        assert_eq!(sets, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn is_dominator_rejects_improper_sets() {
+        let g = DiGraph::from_edges(2, [(0, 1)]);
+        assert!(!is_dominator(&g, &BitSet::new(2))); // empty
+        assert!(!is_dominator(&g, &BitSet::from_indices(2, [0, 1]))); // not proper
+        assert!(!is_dominator(&g, &BitSet::from_indices(2, [1]))); // incoming arc
+        assert!(is_dominator(&g, &BitSet::from_indices(2, [0])));
+    }
+
+    #[test]
+    fn has_dominator_iff_not_strongly_connected() {
+        // Easy to check on small random-ish graphs.
+        let cases: Vec<(usize, Vec<(usize, usize)>)> = vec![
+            (4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]),
+            (4, vec![(0, 1), (1, 2), (2, 3)]),
+            (5, vec![(0, 1), (1, 0), (2, 3), (3, 4), (4, 2), (1, 2)]),
+            (2, vec![]),
+            (1, vec![]),
+        ];
+        for (n, edges) in cases {
+            let g = DiGraph::from_edges(n, edges);
+            let sc = crate::scc::is_strongly_connected(&g);
+            assert_eq!(find_dominator(&g).is_none(), sc || n < 2, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Graph algorithms for the `kplock` workspace.
+//!
+//! This crate provides the graph-theoretic substrate used by the
+//! reproduction of Kanellakis & Papadimitriou, *Is Distributed Locking
+//! Harder?*: strongly connected components and condensations (Theorems 1
+//! and 2 reduce safety to strong connectivity of the conflict digraph
+//! `D(T1,T2)`), dominators in the paper's Definition-2 sense, priority
+//! topological sorts (the certificate construction of Theorem 2), cycle
+//! enumeration (Proposition 2) and dense bitsets/reachability (transitive
+//! closures of transaction partial orders).
+
+pub mod bitset;
+pub mod condensation;
+pub mod cycle;
+pub mod digraph;
+pub mod dominator;
+pub mod reach;
+pub mod scc;
+pub mod topo;
+
+pub use bitset::BitSet;
+pub use condensation::{condensation, Condensation};
+pub use cycle::{find_cycle, has_cycle, simple_cycles};
+pub use digraph::DiGraph;
+pub use dominator::{enumerate_dominators, find_dominator, is_dominator};
+pub use reach::{has_path, reachable_from, transitive_closure};
+pub use scc::{is_strongly_connected, tarjan_scc, Sccs};
+pub use topo::{is_acyclic, is_topological_order, topo_sort, topo_sort_by_key};

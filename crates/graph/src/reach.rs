@@ -1,0 +1,82 @@
+//! Reachability and transitive closure.
+
+use crate::bitset::BitSet;
+use crate::digraph::DiGraph;
+
+/// Set of nodes reachable from `start` (including `start`).
+pub fn reachable_from(g: &DiGraph, start: usize) -> BitSet {
+    let mut seen = BitSet::new(g.node_count());
+    let mut stack = vec![start];
+    seen.insert(start);
+    while let Some(v) = stack.pop() {
+        for &w in g.successors(v) {
+            if seen.insert(w) {
+                stack.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// Full transitive closure as one reachability row per node
+/// (`closure[v].contains(w)` iff there is a path `v -> ... -> w`, `v != w`
+/// included only via a real path; `v` itself is included).
+///
+/// O(V·E/64) via bitset row unions over a reverse post-order; falls back to
+/// per-node DFS on cyclic graphs.
+pub fn transitive_closure(g: &DiGraph) -> Vec<BitSet> {
+    let n = g.node_count();
+    if let Some(order) = crate::topo::topo_sort(g) {
+        // DAG: process in reverse topological order, union successor rows.
+        let mut rows: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for &v in order.iter().rev() {
+            let mut row = BitSet::new(n);
+            row.insert(v);
+            for &w in g.successors(v) {
+                row.union_with(&rows[w]);
+            }
+            rows[v] = row;
+        }
+        rows
+    } else {
+        (0..n).map(|v| reachable_from(g, v)).collect()
+    }
+}
+
+/// True iff there is a directed path from `a` to `b` (allows `a == b` only
+/// when a cycle through `a` exists or trivially as self-reach).
+pub fn has_path(g: &DiGraph, a: usize, b: usize) -> bool {
+    reachable_from(g, a).contains(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachability_on_chain() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let r = reachable_from(&g, 1);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(has_path(&g, 0, 3));
+        assert!(!has_path(&g, 3, 0));
+    }
+
+    #[test]
+    fn closure_matches_per_node_dfs() {
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (0, 3), (3, 2), (2, 4)]);
+        let tc = transitive_closure(&g);
+        for v in 0..5 {
+            let direct = reachable_from(&g, v);
+            assert_eq!(tc[v], direct, "row {v}");
+        }
+    }
+
+    #[test]
+    fn closure_on_cyclic_graph() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 0), (1, 2)]);
+        let tc = transitive_closure(&g);
+        assert!(tc[0].contains(0) && tc[0].contains(1) && tc[0].contains(2));
+        assert!(!tc[2].contains(0));
+    }
+}

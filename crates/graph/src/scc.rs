@@ -1,0 +1,155 @@
+//! Strongly connected components (iterative Tarjan).
+
+use crate::digraph::DiGraph;
+
+/// Result of an SCC computation.
+#[derive(Clone, Debug)]
+pub struct Sccs {
+    /// `comp[v]` is the component index of node `v`.
+    /// Components are numbered in *reverse topological order* of the
+    /// condensation (Tarjan property): if there is an edge from component
+    /// `a` to component `b` with `a != b`, then `comp` value of `a` is
+    /// **greater** than that of `b`.
+    pub comp: Vec<usize>,
+    /// Members of each component.
+    pub members: Vec<Vec<usize>>,
+}
+
+impl Sccs {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Computes strongly connected components with an iterative Tarjan.
+pub fn tarjan_scc(g: &DiGraph) -> Sccs {
+    let n = g.node_count();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![UNVISITED; n];
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    let mut next_index = 0usize;
+
+    // Explicit DFS frames: (node, next-successor position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            if *pos < g.successors(v).len() {
+                let w = g.successors(v)[*pos];
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let cid = members.len();
+                    let mut group = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp[w] = cid;
+                        group.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members.push(group);
+                }
+            }
+        }
+    }
+    Sccs { comp, members }
+}
+
+/// True iff the graph is strongly connected.
+///
+/// Convention matching the paper: graphs with zero or one node are strongly
+/// connected (a single entity cannot be separated from anything).
+pub fn is_strongly_connected(g: &DiGraph) -> bool {
+    g.node_count() <= 1 || tarjan_scc(g).count() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_is_one_scc() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let s = tarjan_scc(&g);
+        assert_eq!(s.count(), 1);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn chain_is_n_sccs() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let s = tarjan_scc(&g);
+        assert_eq!(s.count(), 3);
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn reverse_topological_numbering() {
+        // 0 -> 1 -> 2 with components {0},{1},{2}: comp[2] < comp[1] < comp[0].
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let s = tarjan_scc(&g);
+        assert!(s.comp[2] < s.comp[1]);
+        assert!(s.comp[1] < s.comp[0]);
+    }
+
+    #[test]
+    fn two_cycles_bridge() {
+        // {0,1} -> {2,3}
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let s = tarjan_scc(&g);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.comp[0], s.comp[1]);
+        assert_eq!(s.comp[2], s.comp[3]);
+        assert_ne!(s.comp[0], s.comp[2]);
+        // Edge goes from comp of 0/1 to comp of 2/3 => comp[0] > comp[2].
+        assert!(s.comp[0] > s.comp[2]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(is_strongly_connected(&DiGraph::new(0)));
+        assert!(is_strongly_connected(&DiGraph::new(1)));
+        assert!(!is_strongly_connected(&DiGraph::new(2)));
+    }
+
+    #[test]
+    fn deep_graph_no_stack_overflow() {
+        // A long chain exercises the iterative DFS.
+        let n = 200_000;
+        let g = DiGraph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)));
+        let s = tarjan_scc(&g);
+        assert_eq!(s.count(), n);
+    }
+}

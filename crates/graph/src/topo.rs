@@ -1,0 +1,113 @@
+//! Topological sorting with tie-breaking priorities.
+//!
+//! The certificate construction in Theorem 2 needs topological sorts that
+//! emit certain steps "as early as possible" (and tie-break among them with a
+//! secondary key), so the public entry point takes a priority function: among
+//! all currently available nodes the one with the **smallest** key is emitted
+//! next.
+
+use crate::digraph::DiGraph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Topologically sorts `g`, always emitting the available node with the
+/// smallest `key(node)`. Returns `None` if `g` has a cycle.
+pub fn topo_sort_by_key<K: Ord>(g: &DiGraph, mut key: impl FnMut(usize) -> K) -> Option<Vec<usize>> {
+    let n = g.node_count();
+    let mut indeg: Vec<usize> = (0..n).map(|v| g.predecessors(v).len()).collect();
+    let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::new();
+    for (v, &d) in indeg.iter().enumerate() {
+        if d == 0 {
+            heap.push(Reverse((key(v), v)));
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse((_, v))) = heap.pop() {
+        order.push(v);
+        for &w in g.successors(v) {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                heap.push(Reverse((key(w), w)));
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Plain topological sort (node index as tie-break). `None` on cycles.
+pub fn topo_sort(g: &DiGraph) -> Option<Vec<usize>> {
+    topo_sort_by_key(g, |v| v)
+}
+
+/// True iff `g` is acyclic.
+pub fn is_acyclic(g: &DiGraph) -> bool {
+    topo_sort(g).is_some()
+}
+
+/// Checks that `order` is a permutation of `0..n` consistent with all edges.
+pub fn is_topological_order(g: &DiGraph, order: &[usize]) -> bool {
+    let n = g.node_count();
+    if order.len() != n {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        if v >= n || pos[v] != usize::MAX {
+            return false;
+        }
+        pos[v] = i;
+    }
+    g.edges().all(|(u, v)| pos[u] < pos[v])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_a_dag() {
+        let g = DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let o = topo_sort(&g).unwrap();
+        assert!(is_topological_order(&g, &o));
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!(topo_sort(&g).is_none());
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn priority_prefers_small_keys() {
+        // 0 and 1 both available; key makes 1 come first.
+        let g = DiGraph::from_edges(3, [(0, 2), (1, 2)]);
+        let o = topo_sort_by_key(&g, |v| if v == 1 { 0 } else { 1 }).unwrap();
+        assert_eq!(o[0], 1);
+        assert!(is_topological_order(&g, &o));
+    }
+
+    #[test]
+    fn early_emission_of_flagged_nodes() {
+        // Chain 0->1, node 2 free and flagged: should be emitted first.
+        let g = DiGraph::from_edges(3, [(0, 1)]);
+        let flagged = [false, false, true];
+        let o = topo_sort_by_key(&g, |v| (!flagged[v], v)).unwrap();
+        assert_eq!(o[0], 2);
+    }
+
+    #[test]
+    fn rejects_bad_orders() {
+        let g = DiGraph::from_edges(2, [(0, 1)]);
+        assert!(!is_topological_order(&g, &[1, 0]));
+        assert!(!is_topological_order(&g, &[0]));
+        assert!(!is_topological_order(&g, &[0, 0]));
+        assert!(is_topological_order(&g, &[0, 1]));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new(0);
+        assert_eq!(topo_sort(&g).unwrap(), Vec::<usize>::new());
+    }
+}

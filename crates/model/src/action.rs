@@ -1,0 +1,74 @@
+//! Transaction steps: lock, unlock and update actions on entities.
+
+use crate::ids::EntityId;
+
+/// The kind of a transaction step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ActionKind {
+    /// `lock x`: obtain exclusive access to an entity.
+    Lock,
+    /// `update x`: the paper's indivisible read-then-write of an entity.
+    Update,
+    /// `unlock x`: give up exclusive access to an entity.
+    Unlock,
+}
+
+/// A single step of a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// What the step does.
+    pub kind: ActionKind,
+    /// The entity it does it to (the paper's modifies function `e`).
+    pub entity: EntityId,
+}
+
+impl Step {
+    /// `lock e`.
+    pub fn lock(entity: EntityId) -> Step {
+        Step {
+            kind: ActionKind::Lock,
+            entity,
+        }
+    }
+
+    /// `update e`.
+    pub fn update(entity: EntityId) -> Step {
+        Step {
+            kind: ActionKind::Update,
+            entity,
+        }
+    }
+
+    /// `unlock e`.
+    pub fn unlock(entity: EntityId) -> Step {
+        Step {
+            kind: ActionKind::Unlock,
+            entity,
+        }
+    }
+
+    /// Paper-style label, e.g. `Lx`, `Ux` or `x`, given the entity's name.
+    pub fn label(&self, entity_name: &str) -> String {
+        match self.kind {
+            ActionKind::Lock => format!("L{entity_name}"),
+            ActionKind::Unlock => format!("U{entity_name}"),
+            ActionKind::Update => entity_name.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_labels() {
+        let e = EntityId(0);
+        assert_eq!(Step::lock(e).kind, ActionKind::Lock);
+        assert_eq!(Step::update(e).kind, ActionKind::Update);
+        assert_eq!(Step::unlock(e).kind, ActionKind::Unlock);
+        assert_eq!(Step::lock(e).label("x"), "Lx");
+        assert_eq!(Step::unlock(e).label("x"), "Ux");
+        assert_eq!(Step::update(e).label("x"), "x");
+    }
+}

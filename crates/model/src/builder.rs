@@ -1,0 +1,167 @@
+//! Ergonomic construction of distributed transactions.
+//!
+//! The builder maintains the paper's structural invariant automatically:
+//! *steps touching entities stored at the same site are totally ordered*, in
+//! insertion order. Cross-site precedences are added explicitly with
+//! [`TxnBuilder::edge`] or implicitly by [`TxnBuilder::chain`].
+
+use crate::action::Step;
+use crate::entity::Database;
+use crate::error::ModelError;
+use crate::ids::{SiteId, StepId};
+use crate::txn::Transaction;
+use std::collections::HashMap;
+
+/// Builder for [`Transaction`]s over a fixed [`Database`].
+pub struct TxnBuilder<'a> {
+    db: &'a Database,
+    name: String,
+    steps: Vec<Step>,
+    edges: Vec<(StepId, StepId)>,
+    last_at_site: HashMap<SiteId, StepId>,
+}
+
+impl<'a> TxnBuilder<'a> {
+    /// Starts building a transaction named `name`.
+    pub fn new(db: &'a Database, name: impl Into<String>) -> Self {
+        TxnBuilder {
+            db,
+            name: name.into(),
+            steps: Vec::new(),
+            edges: Vec::new(),
+            last_at_site: HashMap::new(),
+        }
+    }
+
+    /// Appends a step. Automatically chains it after the previous step at
+    /// the same site (per-site total order).
+    pub fn push(&mut self, step: Step) -> StepId {
+        let id = StepId::from_idx(self.steps.len());
+        let site = self.db.site_of(step.entity);
+        if let Some(&prev) = self.last_at_site.get(&site) {
+            self.edges.push((prev, id));
+        }
+        self.last_at_site.insert(site, id);
+        self.steps.push(step);
+        id
+    }
+
+    /// Appends `lock name`.
+    pub fn lock(&mut self, name: &str) -> Result<StepId, ModelError> {
+        Ok(self.push(Step::lock(self.db.entity(name)?)))
+    }
+
+    /// Appends `update name`.
+    pub fn update(&mut self, name: &str) -> Result<StepId, ModelError> {
+        Ok(self.push(Step::update(self.db.entity(name)?)))
+    }
+
+    /// Appends `unlock name`.
+    pub fn unlock(&mut self, name: &str) -> Result<StepId, ModelError> {
+        Ok(self.push(Step::unlock(self.db.entity(name)?)))
+    }
+
+    /// Adds an explicit precedence `a ≺ b` (typically cross-site).
+    pub fn edge(&mut self, a: StepId, b: StepId) -> &mut Self {
+        self.edges.push((a, b));
+        self
+    }
+
+    /// Appends a totally ordered run of steps (consecutive pairs get edges,
+    /// in addition to the automatic per-site chaining). Returns the ids.
+    pub fn chain(&mut self, steps: impl IntoIterator<Item = Step>) -> Vec<StepId> {
+        let ids: Vec<StepId> = steps.into_iter().map(|s| self.push(s)).collect();
+        for w in ids.windows(2) {
+            self.edges.push((w[0], w[1]));
+        }
+        ids
+    }
+
+    /// Appends a totally ordered run described by a script such as
+    /// `"Lx Ly x y Ux Uy Lz z Uz"`: `L<e>` locks, `U<e>` unlocks and a bare
+    /// entity name updates. Entity names must exist in the database; note
+    /// that a name starting with `L` or `U` is parsed as lock/unlock first,
+    /// and as an update only if the suffix is not a known entity.
+    pub fn script(&mut self, script: &str) -> Result<Vec<StepId>, ModelError> {
+        let mut steps = Vec::new();
+        for tok in script.split_whitespace() {
+            steps.push(self.parse_token(tok)?);
+        }
+        Ok(self.chain(steps))
+    }
+
+    fn parse_token(&self, tok: &str) -> Result<Step, ModelError> {
+        if let Some(rest) = tok.strip_prefix('L') {
+            if let Ok(e) = self.db.entity(rest) {
+                return Ok(Step::lock(e));
+            }
+        }
+        if let Some(rest) = tok.strip_prefix('U') {
+            if let Ok(e) = self.db.entity(rest) {
+                return Ok(Step::unlock(e));
+            }
+        }
+        Ok(Step::update(self.db.entity(tok)?))
+    }
+
+    /// Finishes building. Checks acyclicity (site totality holds by
+    /// construction); full well-formedness checks live in `crate::validate`.
+    pub fn build(self) -> Result<Transaction, ModelError> {
+        Transaction::new(self.name, self.steps, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionKind;
+
+    fn db() -> Database {
+        Database::from_spec(&[("x", 0), ("y", 0), ("w", 1), ("z", 1)])
+    }
+
+    #[test]
+    fn auto_chains_per_site() {
+        let db = db();
+        let mut b = TxnBuilder::new(&db, "T1");
+        let lx = b.lock("x").unwrap();
+        let lw = b.lock("w").unwrap(); // other site: no edge to lx
+        let ux = b.unlock("x").unwrap(); // same site as lx: chained
+        let t = b.build().unwrap();
+        assert!(t.precedes(lx, ux));
+        assert!(t.concurrent(lx, lw));
+        assert!(t.concurrent(lw, ux));
+    }
+
+    #[test]
+    fn script_parses_paper_notation() {
+        let db = db();
+        let mut b = TxnBuilder::new(&db, "t1");
+        let ids = b.script("Lx Ly x y Ux Uy Lz z Uz").unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(ids.len(), 9);
+        assert!(t.is_total_order());
+        assert_eq!(t.step(ids[0]).kind, ActionKind::Lock);
+        assert_eq!(t.step(ids[2]).kind, ActionKind::Update);
+        assert_eq!(t.step(ids[8]).kind, ActionKind::Unlock);
+        assert_eq!(db.name_of(t.step(ids[8]).entity), "z");
+    }
+
+    #[test]
+    fn cross_site_edges() {
+        let db = db();
+        let mut b = TxnBuilder::new(&db, "T");
+        let lx = b.lock("x").unwrap();
+        let lz = b.lock("z").unwrap();
+        b.edge(lx, lz);
+        let t = b.build().unwrap();
+        assert!(t.precedes(lx, lz));
+    }
+
+    #[test]
+    fn script_unknown_entity_fails() {
+        let db = db();
+        let mut b = TxnBuilder::new(&db, "T");
+        assert!(b.script("Lq").is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! The distributed database: entities partitioned into sites.
+//!
+//! A distributed database is the paper's triple `D = (E, m, σ)`: a set of
+//! entities, a number of sites, and the *stored-at* function `σ : E → sites`.
+
+use crate::error::ModelError;
+use crate::ids::{EntityId, SiteId};
+use std::collections::HashMap;
+
+/// A distributed database schema: named entities, each stored at one site.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    names: Vec<String>,
+    sites: Vec<SiteId>,
+    by_name: HashMap<String, EntityId>,
+    site_count: usize,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new entity `name` stored at `site`.
+    ///
+    /// # Panics
+    /// Panics if the name is already registered (schema bugs should fail
+    /// loudly at construction time).
+    pub fn add_entity(&mut self, name: &str, site: SiteId) -> EntityId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate entity name {name:?}"
+        );
+        let id = EntityId::from_idx(self.names.len());
+        self.names.push(name.to_string());
+        self.sites.push(site);
+        self.by_name.insert(name.to_string(), id);
+        self.site_count = self.site_count.max(site.idx() + 1);
+        id
+    }
+
+    /// The paper's stored-at function `σ`.
+    pub fn site_of(&self, e: EntityId) -> SiteId {
+        self.sites[e.idx()]
+    }
+
+    /// Entity name for display.
+    pub fn name_of(&self, e: EntityId) -> &str {
+        &self.names[e.idx()]
+    }
+
+    /// Looks an entity up by name.
+    pub fn entity(&self, name: &str) -> Result<EntityId, ModelError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownEntity(name.to_string()))
+    }
+
+    /// Number of entities.
+    pub fn entity_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of sites (`m`): 1 + the largest site index used.
+    pub fn site_count(&self) -> usize {
+        self.site_count
+    }
+
+    /// All entities stored at `site`.
+    pub fn entities_at(&self, site: SiteId) -> impl Iterator<Item = EntityId> + '_ {
+        (0..self.entity_count())
+            .map(EntityId::from_idx)
+            .filter(move |&e| self.site_of(e) == site)
+    }
+
+    /// Iterates over all entity ids.
+    pub fn entities(&self) -> impl Iterator<Item = EntityId> {
+        (0..self.entity_count()).map(EntityId::from_idx)
+    }
+
+    /// Convenience constructor: `Database::from_spec(&[("x", 0), ("y", 1)])`.
+    pub fn from_spec(spec: &[(&str, usize)]) -> Self {
+        let mut db = Database::new();
+        for &(name, site) in spec {
+            db.add_entity(name, SiteId::from_idx(site));
+        }
+        db
+    }
+
+    /// A centralized (single-site) database over the given entity names.
+    pub fn centralized(names: &[&str]) -> Self {
+        let mut db = Database::new();
+        for name in names {
+            db.add_entity(name, SiteId(0));
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut db = Database::new();
+        let x = db.add_entity("x", SiteId(0));
+        let y = db.add_entity("y", SiteId(1));
+        assert_eq!(db.entity("x").unwrap(), x);
+        assert_eq!(db.site_of(y), SiteId(1));
+        assert_eq!(db.name_of(x), "x");
+        assert_eq!(db.entity_count(), 2);
+        assert_eq!(db.site_count(), 2);
+        assert!(db.entity("z").is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_name_panics() {
+        let mut db = Database::new();
+        db.add_entity("x", SiteId(0));
+        db.add_entity("x", SiteId(1));
+    }
+
+    #[test]
+    fn entities_at_site() {
+        let db = Database::from_spec(&[("x", 0), ("y", 1), ("z", 0)]);
+        let at0: Vec<_> = db.entities_at(SiteId(0)).collect();
+        assert_eq!(at0.len(), 2);
+        assert_eq!(db.site_count(), 2);
+    }
+
+    #[test]
+    fn centralized_uses_one_site() {
+        let db = Database::centralized(&["x", "y", "z"]);
+        assert_eq!(db.site_count(), 1);
+        assert!(db.entities().all(|e| db.site_of(e) == SiteId(0)));
+    }
+}

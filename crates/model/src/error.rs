@@ -1,0 +1,69 @@
+//! Error types for the model crate.
+
+use crate::ids::{EntityId, StepId};
+use std::fmt;
+
+/// Errors raised while constructing or validating transactions and systems.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// Entity name not present in the database.
+    UnknownEntity(String),
+    /// The precedence relation has a cycle involving this step.
+    CyclicPrecedence(StepId),
+    /// Two steps at the same site are not ordered (violates the paper's
+    /// per-site total-order restriction).
+    SiteNotTotallyOrdered(StepId, StepId),
+    /// More than one `lock x` (or `unlock x`) step for the same entity.
+    DuplicateLockStep(EntityId),
+    /// A `lock x` without `unlock x`, or vice versa.
+    UnmatchedLockPair(EntityId),
+    /// `unlock x` does not follow `lock x` in the partial order.
+    UnlockBeforeLock(EntityId),
+    /// No `update x` between `lock x` and `unlock x` (superfluous locking).
+    EmptyLockSection(EntityId),
+    /// An `update x` not surrounded by the `lock x`/`unlock x` pair.
+    UnprotectedUpdate(StepId),
+    /// A step index out of range for this transaction.
+    BadStepId(StepId),
+    /// Adding a precedence would create a cycle.
+    WouldCreateCycle(StepId, StepId),
+    /// Schedules: a step appears that is not next per some constraint.
+    IllegalSchedule(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownEntity(n) => write!(f, "unknown entity {n:?}"),
+            ModelError::CyclicPrecedence(s) => {
+                write!(f, "precedence relation is cyclic at step {s}")
+            }
+            ModelError::SiteNotTotallyOrdered(a, b) => write!(
+                f,
+                "steps {a} and {b} are at the same site but not ordered"
+            ),
+            ModelError::DuplicateLockStep(e) => {
+                write!(f, "more than one lock or unlock step for entity {e}")
+            }
+            ModelError::UnmatchedLockPair(e) => {
+                write!(f, "lock/unlock steps for entity {e} do not form a pair")
+            }
+            ModelError::UnlockBeforeLock(e) => {
+                write!(f, "unlock {e} does not follow lock {e}")
+            }
+            ModelError::EmptyLockSection(e) => {
+                write!(f, "no update between lock {e} and unlock {e}")
+            }
+            ModelError::UnprotectedUpdate(s) => {
+                write!(f, "update step {s} not surrounded by its lock/unlock pair")
+            }
+            ModelError::BadStepId(s) => write!(f, "step id {s} out of range"),
+            ModelError::WouldCreateCycle(a, b) => {
+                write!(f, "adding precedence {a} -> {b} would create a cycle")
+            }
+            ModelError::IllegalSchedule(msg) => write!(f, "illegal schedule: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,239 @@
+//! Linear extensions of transaction partial orders.
+//!
+//! Lemma 1 of the paper reduces safety of `{T1, T2}` to safety of all pairs
+//! of linear extensions `{t1, t2}`; this module enumerates, counts and
+//! samples extensions.
+
+use crate::ids::StepId;
+use crate::txn::Transaction;
+use kplock_graph::BitSet;
+use std::collections::HashMap;
+
+/// Iterator over all linear extensions of a transaction's partial order.
+///
+/// Classic backtracking over available (minimal) steps; yields each
+/// extension as a `Vec<StepId>`.
+pub struct LinearExtensions<'a> {
+    txn: &'a Transaction,
+    /// Stack of (chosen step, iteration position among avail at that depth).
+    stack: Vec<(usize, usize)>,
+    prefix: Vec<StepId>,
+    indeg: Vec<usize>,
+    done: bool,
+}
+
+impl<'a> LinearExtensions<'a> {
+    /// Creates the iterator.
+    pub fn new(txn: &'a Transaction) -> Self {
+        let indeg = (0..txn.len())
+            .map(|v| txn.edge_graph().predecessors(v).len())
+            .collect();
+        LinearExtensions {
+            txn,
+            stack: Vec::new(),
+            prefix: Vec::new(),
+            indeg,
+            done: false,
+        }
+    }
+
+    fn available(&self) -> Vec<usize> {
+        (0..self.txn.len())
+            .filter(|&v| self.indeg[v] == 0 && !self.prefix.iter().any(|s| s.idx() == v))
+            .collect()
+    }
+
+    fn push_choice(&mut self, v: usize, pos: usize) {
+        self.prefix.push(StepId::from_idx(v));
+        self.stack.push((v, pos));
+        for &w in self.txn.edge_graph().successors(v) {
+            self.indeg[w] -= 1;
+        }
+    }
+
+    fn pop_choice(&mut self) -> (usize, usize) {
+        let (v, pos) = self.stack.pop().expect("nonempty");
+        self.prefix.pop();
+        for &w in self.txn.edge_graph().successors(v) {
+            self.indeg[w] += 1;
+        }
+        (v, pos)
+    }
+}
+
+impl Iterator for LinearExtensions<'_> {
+    type Item = Vec<StepId>;
+
+    fn next(&mut self) -> Option<Vec<StepId>> {
+        if self.done {
+            return None;
+        }
+        let n = self.txn.len();
+        if n == 0 {
+            self.done = true;
+            return Some(Vec::new());
+        }
+
+        // If we have a complete extension from last time, backtrack first.
+        let mut resume_pos: Option<usize> = if self.prefix.len() == n {
+            let (v, pos) = self.pop_choice();
+            let _ = v;
+            Some(pos + 1)
+        } else {
+            None
+        };
+
+        loop {
+            let avail = self.available();
+            let start = resume_pos.take().unwrap_or(0);
+            if start < avail.len() {
+                let v = avail[start];
+                self.push_choice(v, start);
+                if self.prefix.len() == n {
+                    return Some(self.prefix.clone());
+                }
+            } else {
+                // Exhausted choices at this depth: backtrack.
+                if self.stack.is_empty() {
+                    self.done = true;
+                    return None;
+                }
+                let (_, pos) = self.pop_choice();
+                resume_pos = Some(pos + 1);
+            }
+        }
+    }
+}
+
+/// All linear extensions (consider [`LinearExtensions`] for streaming).
+pub fn linear_extensions(t: &Transaction) -> Vec<Vec<StepId>> {
+    LinearExtensions::new(t).collect()
+}
+
+/// Counts linear extensions by dynamic programming over downsets, giving up
+/// (returning `None`) once more than `cap` distinct downsets are visited.
+pub fn count_linear_extensions(t: &Transaction, cap: usize) -> Option<u128> {
+    let n = t.len();
+    if n > 127 {
+        return None;
+    }
+    let mut memo: HashMap<BitSet, u128> = HashMap::new();
+    let full = BitSet::from_indices(n.max(1), 0..n);
+    fn rec(
+        t: &Transaction,
+        done: &BitSet,
+        memo: &mut HashMap<BitSet, u128>,
+        cap: usize,
+    ) -> Option<u128> {
+        if done.count() == t.len() {
+            return Some(1);
+        }
+        if let Some(&v) = memo.get(done) {
+            return Some(v);
+        }
+        if memo.len() > cap {
+            return None;
+        }
+        let mut total: u128 = 0;
+        for v in 0..t.len() {
+            if done.contains(v) {
+                continue;
+            }
+            let ready = t
+                .edge_graph()
+                .predecessors(v)
+                .iter()
+                .all(|&p| done.contains(p));
+            if ready {
+                let mut next = done.clone();
+                next.insert(v);
+                total += rec(t, &next, memo, cap)?;
+            }
+        }
+        memo.insert(done.clone(), total);
+        Some(total)
+    }
+    let zero = BitSet::new(full.capacity());
+    rec(t, &zero, &mut memo, cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Step;
+    use crate::ids::EntityId;
+
+    fn antichain(n: usize) -> Transaction {
+        let steps = (0..n)
+            .map(|i| Step::update(EntityId::from_idx(i)))
+            .collect();
+        Transaction::new("A", steps, []).unwrap()
+    }
+
+    fn chain(n: usize) -> Transaction {
+        let steps = (0..n)
+            .map(|i| Step::update(EntityId::from_idx(i)))
+            .collect();
+        let edges = (0..n.saturating_sub(1)).map(|i| (StepId::from_idx(i), StepId::from_idx(i + 1)));
+        Transaction::new("C", steps, edges).unwrap()
+    }
+
+    #[test]
+    fn antichain_has_factorial_extensions() {
+        let t = antichain(4);
+        let exts = linear_extensions(&t);
+        assert_eq!(exts.len(), 24);
+        // All distinct and all valid.
+        for e in &exts {
+            assert!(t.is_linear_extension(e));
+        }
+        let mut sorted = exts.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 24);
+    }
+
+    #[test]
+    fn chain_has_one_extension() {
+        let t = chain(5);
+        let exts = linear_extensions(&t);
+        assert_eq!(exts.len(), 1);
+        assert_eq!(
+            exts[0],
+            (0..5).map(StepId::from_idx).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        // N-shaped poset: 0<2, 0<3, 1<3.
+        let t = Transaction::new(
+            "N",
+            (0..4).map(|i| Step::update(EntityId::from_idx(i))).collect(),
+            [
+                (StepId(0), StepId(2)),
+                (StepId(0), StepId(3)),
+                (StepId(1), StepId(3)),
+            ],
+        )
+        .unwrap();
+        let exts = linear_extensions(&t);
+        assert_eq!(
+            count_linear_extensions(&t, 10_000).unwrap(),
+            exts.len() as u128
+        );
+    }
+
+    #[test]
+    fn empty_transaction() {
+        let t = antichain(0);
+        assert_eq!(linear_extensions(&t), vec![Vec::<StepId>::new()]);
+        assert_eq!(count_linear_extensions(&t, 10).unwrap(), 1);
+    }
+
+    #[test]
+    fn cap_gives_none() {
+        let t = antichain(12);
+        assert_eq!(count_linear_extensions(&t, 5), None);
+    }
+}

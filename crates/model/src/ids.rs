@@ -1,0 +1,77 @@
+//! Newtype identifiers for the model.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index, for array addressing.
+            #[inline]
+            pub fn idx(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            #[inline]
+            pub fn from_idx(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id overflow"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a database entity (the paper's lockable granule).
+    EntityId,
+    "e"
+);
+id_type!(
+    /// Identifies a site of the distributed database.
+    SiteId,
+    "s"
+);
+id_type!(
+    /// Identifies a step within a single transaction (dense, 0-based).
+    StepId,
+    "p"
+);
+id_type!(
+    /// Identifies a transaction within a system (dense, 0-based).
+    TxnId,
+    "T"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_format() {
+        let e = EntityId::from_idx(7);
+        assert_eq!(e.idx(), 7);
+        assert_eq!(format!("{e}"), "e7");
+        assert_eq!(format!("{:?}", SiteId(2)), "s2");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(StepId(1) < StepId(2));
+        assert_eq!(TxnId(3), TxnId(3));
+    }
+}

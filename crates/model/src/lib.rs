@@ -1,0 +1,35 @@
+//! Data model for the `kplock` workspace: the paper's Section 2.
+//!
+//! A *distributed database* partitions entities into sites; a *transaction*
+//! is a partially ordered set of lock/update/unlock steps that is totally
+//! ordered at each site; a *schedule* is a legal interleaving; a system is
+//! *safe* when all its schedules are serializable. This crate defines those
+//! objects, their well-formedness rules, and conflict-serializability of
+//! schedules; the safety algorithms themselves live in `kplock-core`.
+
+pub mod action;
+pub mod builder;
+pub mod display;
+pub mod entity;
+pub mod error;
+pub mod extensions;
+pub mod ids;
+pub mod projection;
+pub mod schedule;
+pub mod serializability;
+pub mod system;
+pub mod txn;
+pub mod validate;
+
+pub use action::{ActionKind, Step};
+pub use builder::TxnBuilder;
+pub use entity::Database;
+pub use error::ModelError;
+pub use extensions::{count_linear_extensions, linear_extensions, LinearExtensions};
+pub use ids::{EntityId, SiteId, StepId, TxnId};
+pub use projection::{projection_respects_site_orders, schedule_at_site, txn_site_order};
+pub use schedule::{Schedule, ScheduledStep};
+pub use serializability::{equivalent_serial_order, is_serializable, serialization_graph};
+pub use system::TxnSystem;
+pub use txn::Transaction;
+pub use validate::{validate, Level};

@@ -1,0 +1,119 @@
+//! Per-site projections of transactions and schedules.
+//!
+//! The paper's key structural constraint is that a distributed transaction
+//! restricted to one site is a total order (an ordinary centralized
+//! transaction). Projections make that explicit, and let the simulator and
+//! the display code reason about what each site observes.
+
+use crate::entity::Database;
+use crate::ids::{SiteId, StepId, TxnId};
+use crate::schedule::{Schedule, ScheduledStep};
+use crate::system::TxnSystem;
+use crate::txn::Transaction;
+
+/// The steps of `t` located at `site`, in their (total) site order.
+pub fn txn_site_order(db: &Database, t: &Transaction, site: SiteId) -> Vec<StepId> {
+    let mut steps = t.steps_at_site(db, site);
+    steps.sort_by(|&a, &b| {
+        if t.precedes(a, b) {
+            std::cmp::Ordering::Less
+        } else if t.precedes(b, a) {
+            std::cmp::Ordering::Greater
+        } else {
+            a.cmp(&b)
+        }
+    });
+    steps
+}
+
+/// Projects a schedule onto one site: the sub-sequence of steps whose
+/// entities live at `site`.
+pub fn schedule_at_site(sys: &TxnSystem, schedule: &Schedule, site: SiteId) -> Vec<ScheduledStep> {
+    schedule
+        .steps()
+        .iter()
+        .copied()
+        .filter(|ss| {
+            let step = sys.txn(ss.txn).step(ss.step);
+            sys.db().site_of(step.entity) == site
+        })
+        .collect()
+}
+
+/// Checks the fundamental projection property: a legal schedule's
+/// projection onto any site executes each transaction's site steps in
+/// exactly their site order.
+pub fn projection_respects_site_orders(sys: &TxnSystem, schedule: &Schedule) -> bool {
+    for site in 0..sys.db().site_count() {
+        let site = SiteId::from_idx(site);
+        let proj = schedule_at_site(sys, schedule, site);
+        for t in 0..sys.len() {
+            let txn = TxnId::from_idx(t);
+            let observed: Vec<StepId> = proj
+                .iter()
+                .filter(|ss| ss.txn == txn)
+                .map(|ss| ss.step)
+                .collect();
+            let mut expected = txn_site_order(sys.db(), sys.txn(txn), site);
+            expected.truncate(observed.len()); // schedule may be a prefix
+            if observed != expected {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TxnBuilder;
+    use crate::entity::Database;
+
+    fn sys() -> TxnSystem {
+        let db = Database::from_spec(&[("x", 0), ("y", 0), ("w", 1)]);
+        let mut b1 = TxnBuilder::new(&db, "T1");
+        b1.script("Lx x Ux Ly y Uy").unwrap();
+        b1.script("Lw w Uw").unwrap();
+        let t1 = b1.build().unwrap();
+        let mut b2 = TxnBuilder::new(&db, "T2");
+        b2.script("Ly y Uy").unwrap();
+        let t2 = b2.build().unwrap();
+        TxnSystem::new(db, vec![t1, t2])
+    }
+
+    #[test]
+    fn site_order_is_total() {
+        let sys = sys();
+        let order = txn_site_order(sys.db(), sys.txn(TxnId(0)), SiteId(0));
+        assert_eq!(order.len(), 6);
+        // Consecutive steps are strictly ordered.
+        for w in order.windows(2) {
+            assert!(sys.txn(TxnId(0)).precedes(w[0], w[1]));
+        }
+        let site1 = txn_site_order(sys.db(), sys.txn(TxnId(0)), SiteId(1));
+        assert_eq!(site1.len(), 3);
+    }
+
+    #[test]
+    fn serial_schedule_projects_correctly() {
+        let sys = sys();
+        let s = Schedule::serial(&sys, &[TxnId(0), TxnId(1)]);
+        assert!(projection_respects_site_orders(&sys, &s));
+        let proj0 = schedule_at_site(&sys, &s, SiteId(0));
+        let proj1 = schedule_at_site(&sys, &s, SiteId(1));
+        assert_eq!(proj0.len() + proj1.len(), s.len());
+    }
+
+    #[test]
+    fn detects_out_of_order_projection() {
+        let sys = sys();
+        // Swap T1's Lx and x: illegal; projection check notices.
+        let mut steps = Schedule::serial(&sys, &[TxnId(0), TxnId(1)])
+            .steps()
+            .to_vec();
+        steps.swap(0, 1);
+        let s = Schedule::new(steps);
+        assert!(!projection_respects_site_orders(&sys, &s));
+    }
+}

@@ -1,0 +1,171 @@
+//! Serializability of schedules.
+//!
+//! Under the paper's update interpretation (each step reads then writes its
+//! entity) two schedules are equivalent iff conflicting accesses — accesses
+//! of the same entity by different transactions — occur in the same order.
+//! A schedule is serializable iff its *serialization graph* is acyclic.
+//!
+//! Lock and unlock steps carry no data flow. For well-locked transactions
+//! every update is inside its lock section and lock sections on the same
+//! entity never overlap in a legal schedule, so the per-entity access order
+//! equals the lock-section order; this lets us also analyze the paper's
+//! figure-style transactions whose update steps are elided.
+
+use crate::action::ActionKind;
+use crate::ids::{EntityId, TxnId};
+use crate::schedule::Schedule;
+use crate::system::TxnSystem;
+use kplock_graph::DiGraph;
+use std::collections::HashMap;
+
+/// Builds the serialization graph of a (complete, legal) schedule: one node
+/// per transaction, an edge `Ti -> Tj` iff some access of an entity by `Ti`
+/// precedes an access of the same entity by `Tj`.
+///
+/// An *access* of entity `x` by `T` is an `update x` step; if `T` locks `x`
+/// but never updates it (figure-style transactions), the lock section itself
+/// counts as a single access placed at the `lock x` step.
+pub fn serialization_graph(sys: &TxnSystem, schedule: &Schedule) -> DiGraph {
+    let k = sys.len();
+    let mut g = DiGraph::new(k);
+    // Per entity, the list of (position, txn) access events.
+    let mut accesses: HashMap<EntityId, Vec<(usize, TxnId)>> = HashMap::new();
+
+    for (pos, ss) in schedule.steps().iter().enumerate() {
+        let txn = sys.txn(ss.txn);
+        let step = txn.step(ss.step);
+        let is_access = match step.kind {
+            ActionKind::Update => true,
+            ActionKind::Lock => txn.update_steps(step.entity).is_empty(),
+            ActionKind::Unlock => false,
+        };
+        if is_access {
+            accesses.entry(step.entity).or_default().push((pos, ss.txn));
+        }
+    }
+
+    for events in accesses.values() {
+        for i in 0..events.len() {
+            for j in (i + 1)..events.len() {
+                let (a, b) = (events[i].1, events[j].1);
+                if a != b {
+                    g.add_edge(a.idx(), b.idx());
+                }
+            }
+        }
+    }
+    g
+}
+
+/// True iff the schedule is (conflict-)serializable.
+pub fn is_serializable(sys: &TxnSystem, schedule: &Schedule) -> bool {
+    kplock_graph::is_acyclic(&serialization_graph(sys, schedule))
+}
+
+/// If serializable, returns an equivalent serial order of transactions.
+pub fn equivalent_serial_order(sys: &TxnSystem, schedule: &Schedule) -> Option<Vec<TxnId>> {
+    let g = serialization_graph(sys, schedule);
+    kplock_graph::topo_sort(&g).map(|o| o.into_iter().map(TxnId::from_idx).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TxnBuilder;
+    use crate::entity::Database;
+    use crate::ids::StepId;
+    use crate::schedule::ScheduledStep;
+
+    fn two_txn_sys(scripts: [&str; 2], spec: &[(&str, usize)]) -> TxnSystem {
+        let db = Database::from_spec(spec);
+        let mut txns = Vec::new();
+        for (i, s) in scripts.iter().enumerate() {
+            let mut b = TxnBuilder::new(&db, format!("T{}", i + 1));
+            b.script(s).unwrap();
+            txns.push(b.build().unwrap());
+        }
+        TxnSystem::new(db, txns)
+    }
+
+    fn sched(steps: &[(u32, u32)]) -> Schedule {
+        Schedule::new(
+            steps
+                .iter()
+                .map(|&(t, s)| ScheduledStep {
+                    txn: TxnId(t),
+                    step: StepId(s),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn serial_is_serializable() {
+        let sys = two_txn_sys(
+            ["Lx x Ux Ly y Uy", "Lx x Ux Ly y Uy"],
+            &[("x", 0), ("y", 0)],
+        );
+        let s = Schedule::serial(&sys, &[TxnId(0), TxnId(1)]);
+        assert!(is_serializable(&sys, &s));
+        assert_eq!(
+            equivalent_serial_order(&sys, &s).unwrap(),
+            vec![TxnId(0), TxnId(1)]
+        );
+    }
+
+    #[test]
+    fn interleaving_with_cycle_is_not_serializable() {
+        // T1: Lx x Ux Ly y Uy ; T2: Ly y Uy Lx x Ux (both centralized,
+        // poorly locked: non-two-phase). Schedule: T1 finishes x, T2 finishes
+        // y, then T1 takes y, T2 takes x => T1->T2 on x? Let's order:
+        // T1 x-section, then T2 x-section (T1->T2 on x); T2 y-section first,
+        // then T1 y-section (T2->T1 on y): cycle.
+        let sys = two_txn_sys(
+            ["Lx x Ux Ly y Uy", "Ly y Uy Lx x Ux"],
+            &[("x", 0), ("y", 0)],
+        );
+        let s = sched(&[
+            (1, 0),
+            (1, 1),
+            (1, 2), // T2: Ly y Uy
+            (0, 0),
+            (0, 1),
+            (0, 2), // T1: Lx x Ux
+            (1, 3),
+            (1, 4),
+            (1, 5), // T2: Lx x Ux
+            (0, 3),
+            (0, 4),
+            (0, 5), // T1: Ly y Uy
+        ]);
+        s.validate_complete(&sys).unwrap();
+        assert!(!is_serializable(&sys, &s));
+        assert!(equivalent_serial_order(&sys, &s).is_none());
+    }
+
+    #[test]
+    fn figure_style_transactions_use_lock_sections() {
+        // No update steps at all; conflicts come from lock sections.
+        let sys = two_txn_sys(["Lx Ux Ly Uy", "Ly Uy Lx Ux"], &[("x", 0), ("y", 0)]);
+        let s = sched(&[
+            (1, 0),
+            (1, 1), // T2 y-section
+            (0, 0),
+            (0, 1), // T1 x-section
+            (1, 2),
+            (1, 3), // T2 x-section
+            (0, 2),
+            (0, 3), // T1 y-section
+        ]);
+        s.validate_complete(&sys).unwrap();
+        assert!(!is_serializable(&sys, &s));
+    }
+
+    #[test]
+    fn disjoint_entities_always_serializable() {
+        let sys = two_txn_sys(["Lx x Ux", "Ly y Uy"], &[("x", 0), ("y", 1)]);
+        let s = sched(&[(0, 0), (1, 0), (0, 1), (1, 1), (1, 2), (0, 2)]);
+        s.validate_complete(&sys).unwrap();
+        assert!(is_serializable(&sys, &s));
+    }
+}

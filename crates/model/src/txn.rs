@@ -1,0 +1,328 @@
+//! Transactions: partially ordered sets of steps, totally ordered per site.
+
+use crate::action::{ActionKind, Step};
+use crate::entity::Database;
+use crate::error::ModelError;
+use crate::ids::{EntityId, SiteId, StepId};
+use kplock_graph::{BitSet, DiGraph};
+use std::collections::HashMap;
+
+/// A (locked) transaction: the paper's triple `T = (S, A, e)`.
+///
+/// Steps are indexed densely by [`StepId`]. The precedence relation is kept
+/// both as the direct edge graph (the dag drawn in the paper's figures) and
+/// as its transitive closure for O(1) `precedes` queries. Construction
+/// guarantees acyclicity; site-totality and locking discipline are checked
+/// by `crate::validate`.
+#[derive(Clone, Debug)]
+pub struct Transaction {
+    name: String,
+    steps: Vec<Step>,
+    graph: DiGraph,
+    /// `closure[s]` = steps reachable from `s` (including `s` itself).
+    closure: Vec<BitSet>,
+    /// Lock/unlock step per entity (validated unique).
+    lock_of: HashMap<EntityId, StepId>,
+    unlock_of: HashMap<EntityId, StepId>,
+}
+
+impl Transaction {
+    /// Builds a transaction from steps and direct precedence edges.
+    ///
+    /// Fails if the precedence relation is cyclic or an entity has duplicate
+    /// lock/unlock steps. (Deeper well-formedness checks live in `crate::validate`.)
+    pub fn new(
+        name: impl Into<String>,
+        steps: Vec<Step>,
+        edges: impl IntoIterator<Item = (StepId, StepId)>,
+    ) -> Result<Self, ModelError> {
+        let n = steps.len();
+        let mut graph = DiGraph::new(n);
+        for (a, b) in edges {
+            if a.idx() >= n {
+                return Err(ModelError::BadStepId(a));
+            }
+            if b.idx() >= n {
+                return Err(ModelError::BadStepId(b));
+            }
+            graph.add_edge(a.idx(), b.idx());
+        }
+        Self::from_graph(name.into(), steps, graph)
+    }
+
+    fn from_graph(name: String, steps: Vec<Step>, graph: DiGraph) -> Result<Self, ModelError> {
+        if kplock_graph::topo_sort(&graph).is_none() {
+            // Find a node on a cycle for the error message.
+            let c = kplock_graph::find_cycle(&graph).expect("cycle exists");
+            return Err(ModelError::CyclicPrecedence(StepId::from_idx(c[0])));
+        }
+        let closure = kplock_graph::transitive_closure(&graph);
+        let mut lock_of = HashMap::new();
+        let mut unlock_of = HashMap::new();
+        for (i, s) in steps.iter().enumerate() {
+            let map = match s.kind {
+                ActionKind::Lock => &mut lock_of,
+                ActionKind::Unlock => &mut unlock_of,
+                ActionKind::Update => continue,
+            };
+            if map.insert(s.entity, StepId::from_idx(i)).is_some() {
+                return Err(ModelError::DuplicateLockStep(s.entity));
+            }
+        }
+        Ok(Transaction {
+            name,
+            steps,
+            graph,
+            closure,
+            lock_of,
+            unlock_of,
+        })
+    }
+
+    /// The transaction's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the transaction has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The step with the given id.
+    pub fn step(&self, s: StepId) -> Step {
+        self.steps[s.idx()]
+    }
+
+    /// All steps in id order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Iterates over step ids.
+    pub fn step_ids(&self) -> impl Iterator<Item = StepId> {
+        (0..self.steps.len()).map(StepId::from_idx)
+    }
+
+    /// The direct precedence edges (the dag of the paper's figures).
+    pub fn edge_graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Strict precedence in the partial order: `a ≺ b`.
+    pub fn precedes(&self, a: StepId, b: StepId) -> bool {
+        a != b && self.closure[a.idx()].contains(b.idx())
+    }
+
+    /// `a ≼ b`: precedes or equal.
+    pub fn precedes_eq(&self, a: StepId, b: StepId) -> bool {
+        self.closure[a.idx()].contains(b.idx())
+    }
+
+    /// True if neither `a ≺ b` nor `b ≺ a` (and `a != b`).
+    pub fn concurrent(&self, a: StepId, b: StepId) -> bool {
+        a != b && !self.precedes(a, b) && !self.precedes(b, a)
+    }
+
+    /// The `lock e` step, if present.
+    pub fn lock_step(&self, e: EntityId) -> Option<StepId> {
+        self.lock_of.get(&e).copied()
+    }
+
+    /// The `unlock e` step, if present.
+    pub fn unlock_step(&self, e: EntityId) -> Option<StepId> {
+        self.unlock_of.get(&e).copied()
+    }
+
+    /// Entities with a lock step, in ascending id order.
+    pub fn locked_entities(&self) -> Vec<EntityId> {
+        let mut v: Vec<EntityId> = self.lock_of.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// All `update e` steps.
+    pub fn update_steps(&self, e: EntityId) -> Vec<StepId> {
+        self.step_ids()
+            .filter(|&s| {
+                let st = self.step(s);
+                st.kind == ActionKind::Update && st.entity == e
+            })
+            .collect()
+    }
+
+    /// Entities touched by any step.
+    pub fn touched_entities(&self) -> Vec<EntityId> {
+        let mut v: Vec<EntityId> = self.steps.iter().map(|s| s.entity).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Steps located at `site` (by the entity's stored-at function), in id
+    /// order.
+    pub fn steps_at_site(&self, db: &Database, site: SiteId) -> Vec<StepId> {
+        self.step_ids()
+            .filter(|&s| db.site_of(self.step(s).entity) == site)
+            .collect()
+    }
+
+    /// Returns a new transaction with the extra precedence `a ≺ b`, or an
+    /// error if that would create a cycle. Used by the Theorem-2 closure
+    /// construction, which repeatedly strengthens partial orders.
+    pub fn with_precedence(&self, a: StepId, b: StepId) -> Result<Transaction, ModelError> {
+        if self.precedes(b, a) || a == b {
+            return Err(ModelError::WouldCreateCycle(a, b));
+        }
+        if self.precedes(a, b) {
+            return Ok(self.clone());
+        }
+        let mut graph = self.graph.clone();
+        graph.add_edge(a.idx(), b.idx());
+        Self::from_graph(self.name.clone(), self.steps.clone(), graph)
+    }
+
+    /// Whether `order` (a permutation of all steps) is a linear extension.
+    pub fn is_linear_extension(&self, order: &[StepId]) -> bool {
+        let as_idx: Vec<usize> = order.iter().map(|s| s.idx()).collect();
+        kplock_graph::is_topological_order(&self.graph, &as_idx)
+    }
+
+    /// A totally ordered copy of this transaction following `order`
+    /// (each consecutive pair gets an edge). Fails if `order` is not a
+    /// linear extension.
+    pub fn linearized(&self, order: &[StepId]) -> Result<Transaction, ModelError> {
+        if !self.is_linear_extension(order) {
+            return Err(ModelError::IllegalSchedule(
+                "order is not a linear extension".into(),
+            ));
+        }
+        let steps: Vec<Step> = order.iter().map(|&s| self.step(s)).collect();
+        let edges = (0..steps.len().saturating_sub(1))
+            .map(|i| (StepId::from_idx(i), StepId::from_idx(i + 1)));
+        Transaction::new(self.name.clone(), steps, edges)
+    }
+
+    /// True iff the partial order is already total.
+    pub fn is_total_order(&self) -> bool {
+        let n = self.len();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.concurrent(StepId::from_idx(a), StepId::from_idx(b)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// For a total order, the steps in execution order.
+    pub fn total_order(&self) -> Option<Vec<StepId>> {
+        let order = kplock_graph::topo_sort(&self.graph)?;
+        let ids: Vec<StepId> = order.into_iter().map(StepId::from_idx).collect();
+        // Verify totality: each consecutive pair must be ordered.
+        for w in ids.windows(2) {
+            if !self.precedes(w[0], w[1]) {
+                return None;
+            }
+        }
+        Some(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_step_txn() -> Transaction {
+        let x = EntityId(0);
+        Transaction::new(
+            "T",
+            vec![Step::lock(x), Step::unlock(x)],
+            [(StepId(0), StepId(1))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn precedence_queries() {
+        let t = two_step_txn();
+        assert!(t.precedes(StepId(0), StepId(1)));
+        assert!(!t.precedes(StepId(1), StepId(0)));
+        assert!(!t.precedes(StepId(0), StepId(0)));
+        assert!(t.precedes_eq(StepId(0), StepId(0)));
+        assert!(!t.concurrent(StepId(0), StepId(1)));
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let x = EntityId(0);
+        let r = Transaction::new(
+            "T",
+            vec![Step::lock(x), Step::unlock(x)],
+            [(StepId(0), StepId(1)), (StepId(1), StepId(0))],
+        );
+        assert!(matches!(r, Err(ModelError::CyclicPrecedence(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_locks() {
+        let x = EntityId(0);
+        let r = Transaction::new("T", vec![Step::lock(x), Step::lock(x)], []);
+        assert_eq!(r.unwrap_err(), ModelError::DuplicateLockStep(EntityId(0)));
+    }
+
+    #[test]
+    fn lock_lookup() {
+        let t = two_step_txn();
+        assert_eq!(t.lock_step(EntityId(0)), Some(StepId(0)));
+        assert_eq!(t.unlock_step(EntityId(0)), Some(StepId(1)));
+        assert_eq!(t.locked_entities(), vec![EntityId(0)]);
+    }
+
+    #[test]
+    fn with_precedence_detects_cycles() {
+        let x = EntityId(0);
+        let y = EntityId(1);
+        let t = Transaction::new("T", vec![Step::update(x), Step::update(y)], []).unwrap();
+        assert!(t.concurrent(StepId(0), StepId(1)));
+        let t2 = t.with_precedence(StepId(0), StepId(1)).unwrap();
+        assert!(t2.precedes(StepId(0), StepId(1)));
+        assert!(matches!(
+            t2.with_precedence(StepId(1), StepId(0)),
+            Err(ModelError::WouldCreateCycle(_, _))
+        ));
+        // Adding an already-implied precedence is a no-op.
+        let t3 = t2.with_precedence(StepId(0), StepId(1)).unwrap();
+        assert!(t3.precedes(StepId(0), StepId(1)));
+    }
+
+    #[test]
+    fn totality_checks() {
+        let x = EntityId(0);
+        let y = EntityId(1);
+        let partial = Transaction::new("T", vec![Step::update(x), Step::update(y)], []).unwrap();
+        assert!(!partial.is_total_order());
+        assert!(partial.total_order().is_none());
+        let total = partial.with_precedence(StepId(0), StepId(1)).unwrap();
+        assert!(total.is_total_order());
+        assert_eq!(total.total_order().unwrap(), vec![StepId(0), StepId(1)]);
+    }
+
+    #[test]
+    fn linear_extension_roundtrip() {
+        let x = EntityId(0);
+        let y = EntityId(1);
+        let t = Transaction::new("T", vec![Step::update(x), Step::update(y)], []).unwrap();
+        assert!(t.is_linear_extension(&[StepId(1), StepId(0)]));
+        let lin = t.linearized(&[StepId(1), StepId(0)]).unwrap();
+        assert!(lin.is_total_order());
+        assert_eq!(lin.step(StepId(0)).entity, y);
+        assert!(t.linearized(&[StepId(0)]).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Well-formedness of locked transactions (Section 2 of the paper).
+//!
+//! The paper imposes:
+//!
+//! 1. steps on entities stored at the same site are totally ordered;
+//! 2. at most one `lock x`/`unlock x` pair per entity, lock preceding
+//!    unlock, and lock/unlock steps appear only as such pairs;
+//! 3. if the pair exists, at least one `update x` lies between them;
+//! 4. no `update x` outside such a pair.
+//!
+//! Constraints 3–4 make the locking neither superfluous nor incorrect; they
+//! do not affect safety analysis, so [`Level::Locking`] skips them (the
+//! paper's own figures omit update steps for brevity).
+
+use crate::action::ActionKind;
+use crate::entity::Database;
+use crate::error::ModelError;
+use crate::ids::StepId;
+use crate::txn::Transaction;
+
+/// How strictly to validate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Constraints 1–2 only (figure-style transactions without updates).
+    Locking,
+    /// All constraints, including update coverage (3–4).
+    Strict,
+}
+
+/// Validates `t` against the paper's transaction model.
+pub fn validate(db: &Database, t: &Transaction, level: Level) -> Result<(), ModelError> {
+    validate_site_totality(db, t)?;
+    validate_lock_pairs(t)?;
+    if level == Level::Strict {
+        validate_updates(t)?;
+    }
+    Ok(())
+}
+
+/// Constraint 1: per-site total order.
+pub fn validate_site_totality(db: &Database, t: &Transaction) -> Result<(), ModelError> {
+    let n = t.len();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let (sa, sb) = (StepId::from_idx(a), StepId::from_idx(b));
+            let site_a = db.site_of(t.step(sa).entity);
+            let site_b = db.site_of(t.step(sb).entity);
+            if site_a == site_b && t.concurrent(sa, sb) {
+                return Err(ModelError::SiteNotTotallyOrdered(sa, sb));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Constraint 2: lock/unlock pairing and order. (Uniqueness is enforced at
+/// construction time by [`Transaction::new`].)
+pub fn validate_lock_pairs(t: &Transaction) -> Result<(), ModelError> {
+    let mut entities: Vec<_> = t.steps().iter().map(|s| s.entity).collect();
+    entities.sort();
+    entities.dedup();
+    for e in entities {
+        match (t.lock_step(e), t.unlock_step(e)) {
+            (None, None) => {}
+            (Some(l), Some(u)) => {
+                if !t.precedes(l, u) {
+                    return Err(ModelError::UnlockBeforeLock(e));
+                }
+            }
+            _ => return Err(ModelError::UnmatchedLockPair(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Constraints 3–4: every lock section contains an update; every update is
+/// inside its entity's lock section.
+pub fn validate_updates(t: &Transaction) -> Result<(), ModelError> {
+    for e in t.locked_entities() {
+        let l = t.lock_step(e).expect("locked");
+        let u = t.unlock_step(e).expect("validated pair");
+        let updates = t.update_steps(e);
+        if !updates
+            .iter()
+            .any(|&s| t.precedes(l, s) && t.precedes(s, u))
+        {
+            return Err(ModelError::EmptyLockSection(e));
+        }
+    }
+    for s in t.step_ids() {
+        let st = t.step(s);
+        if st.kind != ActionKind::Update {
+            continue;
+        }
+        let (Some(l), Some(u)) = (t.lock_step(st.entity), t.unlock_step(st.entity)) else {
+            return Err(ModelError::UnprotectedUpdate(s));
+        };
+        if !(t.precedes(l, s) && t.precedes(s, u)) {
+            return Err(ModelError::UnprotectedUpdate(s));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TxnBuilder;
+    use crate::entity::Database;
+
+    fn db() -> Database {
+        Database::from_spec(&[("x", 0), ("y", 1)])
+    }
+
+    #[test]
+    fn good_strict_transaction() {
+        let db = db();
+        let mut b = TxnBuilder::new(&db, "T");
+        b.script("Lx x Ux").unwrap();
+        let t = b.build().unwrap();
+        assert!(validate(&db, &t, Level::Strict).is_ok());
+    }
+
+    #[test]
+    fn site_totality_violation() {
+        let db = Database::from_spec(&[("x", 0), ("y", 0)]);
+        // Two steps at site 0 without ordering: build Transaction directly,
+        // bypassing the builder's auto-chaining.
+        let t = crate::txn::Transaction::new(
+            "T",
+            vec![
+                crate::action::Step::update(db.entity("x").unwrap()),
+                crate::action::Step::update(db.entity("y").unwrap()),
+            ],
+            [],
+        )
+        .unwrap();
+        assert!(matches!(
+            validate_site_totality(&db, &t),
+            Err(ModelError::SiteNotTotallyOrdered(_, _))
+        ));
+    }
+
+    #[test]
+    fn cross_site_concurrency_is_fine() {
+        let db = db();
+        let t = crate::txn::Transaction::new(
+            "T",
+            vec![
+                crate::action::Step::update(db.entity("x").unwrap()),
+                crate::action::Step::update(db.entity("y").unwrap()),
+            ],
+            [],
+        )
+        .unwrap();
+        assert!(validate_site_totality(&db, &t).is_ok());
+    }
+
+    #[test]
+    fn unmatched_pair() {
+        let db = db();
+        let mut b = TxnBuilder::new(&db, "T");
+        b.lock("x").unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(
+            validate_lock_pairs(&t),
+            Err(ModelError::UnmatchedLockPair(db.entity("x").unwrap()))
+        );
+    }
+
+    #[test]
+    fn unlock_before_lock() {
+        let db = db();
+        let mut b = TxnBuilder::new(&db, "T");
+        b.script("Ux x Lx").unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(
+            validate_lock_pairs(&t),
+            Err(ModelError::UnlockBeforeLock(db.entity("x").unwrap()))
+        );
+    }
+
+    #[test]
+    fn empty_lock_section_rejected_strict_only() {
+        let db = db();
+        let mut b = TxnBuilder::new(&db, "T");
+        b.script("Lx Ux").unwrap();
+        let t = b.build().unwrap();
+        assert!(validate(&db, &t, Level::Locking).is_ok());
+        assert_eq!(
+            validate(&db, &t, Level::Strict),
+            Err(ModelError::EmptyLockSection(db.entity("x").unwrap()))
+        );
+    }
+
+    #[test]
+    fn unprotected_update() {
+        let db = db();
+        let mut b = TxnBuilder::new(&db, "T");
+        b.script("x Lx y? ").unwrap_err();
+        // Build explicitly: update x outside any pair.
+        let mut b = TxnBuilder::new(&db, "T");
+        b.script("x").unwrap();
+        let t = b.build().unwrap();
+        assert!(matches!(
+            validate(&db, &t, Level::Strict),
+            Err(ModelError::UnprotectedUpdate(_))
+        ));
+    }
+}

@@ -1,0 +1,187 @@
+//! CNF formulas: variables, literals, clauses.
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Raw index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0 + 1)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit {
+    /// The variable.
+    pub var: Var,
+    /// True for the positive literal `x`, false for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit {
+            var: v,
+            positive: true,
+        }
+    }
+
+    /// Negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit {
+            var: v,
+            positive: false,
+        }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Evaluates under an assignment (`None` entries = unassigned).
+    pub fn eval(self, assignment: &[Option<bool>]) -> Option<bool> {
+        assignment[self.var.idx()].map(|v| v == self.positive)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{:?}", self.var)
+        } else {
+            write!(f, "¬{:?}", self.var)
+        }
+    }
+}
+
+/// A clause: a disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A CNF formula.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables (vars are `0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// An empty (trivially satisfiable) formula over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Adds a clause; panics on out-of-range variables.
+    pub fn add_clause(&mut self, clause: Clause) {
+        for l in &clause {
+            assert!(l.var.idx() < self.num_vars, "variable out of range");
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Builds from `(var_index, positive)` pairs, 0-based.
+    pub fn from_clauses(num_vars: usize, clauses: &[&[(usize, bool)]]) -> Self {
+        let mut f = Cnf::new(num_vars);
+        for c in clauses {
+            f.add_clause(
+                c.iter()
+                    .map(|&(v, p)| Lit {
+                        var: Var(v as u32),
+                        positive: p,
+                    })
+                    .collect(),
+            );
+        }
+        f
+    }
+
+    /// Evaluates the formula under a **complete** assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| assignment[l.var.idx()] == l.positive)
+        })
+    }
+
+    /// Number of positive/negative occurrences of each variable.
+    pub fn occurrence_counts(&self) -> Vec<(usize, usize)> {
+        let mut counts = vec![(0usize, 0usize); self.num_vars];
+        for c in &self.clauses {
+            for l in c {
+                if l.positive {
+                    counts[l.var.idx()].0 += 1;
+                } else {
+                    counts[l.var.idx()].1 += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Checks the paper's restricted form: every clause has 2 or 3 literals
+    /// and each variable occurs at most twice positively and at most once
+    /// negatively.
+    pub fn is_restricted_form(&self) -> bool {
+        self.clauses.iter().all(|c| c.len() == 2 || c.len() == 3)
+            && self
+                .occurrence_counts()
+                .iter()
+                .all(|&(p, n)| p <= 2 && n <= 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_eval() {
+        let l = Lit::pos(Var(0));
+        assert_eq!(l.eval(&[Some(true)]), Some(true));
+        assert_eq!(l.negated().eval(&[Some(true)]), Some(false));
+        assert_eq!(l.eval(&[None]), None);
+    }
+
+    #[test]
+    fn formula_eval() {
+        // (x1 ∨ ¬x2) ∧ (x2 ∨ x3)
+        let f = Cnf::from_clauses(3, &[&[(0, true), (1, false)], &[(1, true), (2, true)]]);
+        assert!(f.eval(&[true, true, false]));
+        assert!(!f.eval(&[false, true, false]));
+        assert!(f.eval(&[false, false, true]));
+    }
+
+    #[test]
+    fn occurrence_counts_and_restricted_form() {
+        let f = Cnf::from_clauses(
+            3,
+            &[
+                &[(0, true), (1, true), (2, true)],
+                &[(0, false), (1, true), (2, false)],
+            ],
+        );
+        assert_eq!(f.occurrence_counts(), vec![(1, 1), (2, 0), (1, 1)]);
+        assert!(f.is_restricted_form());
+        let g = Cnf::from_clauses(1, &[&[(0, true)]]);
+        assert!(!g.is_restricted_form()); // unit clause
+    }
+}

@@ -1,0 +1,323 @@
+//! A DPLL satisfiability solver with unit propagation and pure-literal
+//! elimination.
+//!
+//! Deliberately simple (the Theorem-3 experiments use formulas of tens to a
+//! few hundred variables) but complete and allocation-conscious: one
+//! assignment vector plus an explicit trail, no clause learning.
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// The result of solving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witness assignment (one value per variable).
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// True if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// Solver state.
+pub struct Solver<'a> {
+    cnf: &'a Cnf,
+    assignment: Vec<Option<bool>>,
+    trail: Vec<Var>,
+    /// Statistics: number of branching decisions made.
+    pub decisions: u64,
+    /// Statistics: number of unit propagations performed.
+    pub propagations: u64,
+}
+
+impl<'a> Solver<'a> {
+    /// Creates a solver for `cnf`.
+    pub fn new(cnf: &'a Cnf) -> Self {
+        Solver {
+            cnf,
+            assignment: vec![None; cnf.num_vars],
+            trail: Vec::new(),
+            decisions: 0,
+            propagations: 0,
+        }
+    }
+
+    /// Decides satisfiability.
+    pub fn solve(&mut self) -> SatResult {
+        if self.dpll() {
+            // Unassigned variables are don't-cares; default to false.
+            let model: Vec<bool> = self
+                .assignment
+                .iter()
+                .map(|v| v.unwrap_or(false))
+                .collect();
+            debug_assert!(self.cnf.eval(&model));
+            SatResult::Sat(model)
+        } else {
+            SatResult::Unsat
+        }
+    }
+
+    fn assign(&mut self, lit: Lit) {
+        self.assignment[lit.var.idx()] = Some(lit.positive);
+        self.trail.push(lit.var);
+    }
+
+    fn backtrack_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let v = self.trail.pop().expect("trail");
+            self.assignment[v.idx()] = None;
+        }
+    }
+
+    /// Unit propagation; returns `false` on conflict.
+    fn propagate(&mut self) -> bool {
+        loop {
+            let mut changed = false;
+            for clause in &self.cnf.clauses {
+                let mut unassigned: Option<Lit> = None;
+                let mut satisfied = false;
+                let mut unassigned_count = 0usize;
+                for &l in clause {
+                    match l.eval(&self.assignment) {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => {
+                            unassigned_count += 1;
+                            unassigned = Some(l);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned_count {
+                    0 => return false, // conflict
+                    1 => {
+                        self.propagations += 1;
+                        self.assignment[unassigned.unwrap().var.idx()] =
+                            Some(unassigned.unwrap().positive);
+                        self.trail.push(unassigned.unwrap().var);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    /// Assigns variables that occur with only one polarity among
+    /// not-yet-satisfied clauses.
+    fn pure_literals(&mut self) {
+        let mut pos = vec![false; self.cnf.num_vars];
+        let mut neg = vec![false; self.cnf.num_vars];
+        for clause in &self.cnf.clauses {
+            if clause
+                .iter()
+                .any(|l| l.eval(&self.assignment) == Some(true))
+            {
+                continue;
+            }
+            for &l in clause {
+                if self.assignment[l.var.idx()].is_none() {
+                    if l.positive {
+                        pos[l.var.idx()] = true;
+                    } else {
+                        neg[l.var.idx()] = true;
+                    }
+                }
+            }
+        }
+        for v in 0..self.cnf.num_vars {
+            if self.assignment[v].is_none() && pos[v] != neg[v] && (pos[v] || neg[v]) {
+                self.assign(Lit {
+                    var: Var(v as u32),
+                    positive: pos[v],
+                });
+            }
+        }
+    }
+
+    /// Chooses the unassigned variable appearing in the most unsatisfied
+    /// clauses.
+    fn pick_branch(&self) -> Option<Var> {
+        let mut counts = vec![0usize; self.cnf.num_vars];
+        for clause in &self.cnf.clauses {
+            if clause
+                .iter()
+                .any(|l| l.eval(&self.assignment) == Some(true))
+            {
+                continue;
+            }
+            for &l in clause {
+                if self.assignment[l.var.idx()].is_none() {
+                    counts[l.var.idx()] += 1;
+                }
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .filter(|&(v, &c)| c > 0 && self.assignment[v].is_none())
+            .max_by_key(|&(_, &c)| c)
+            .map(|(v, _)| Var(v as u32))
+            .or_else(|| {
+                (0..self.cnf.num_vars)
+                    .find(|&v| self.assignment[v].is_none())
+                    .map(|v| Var(v as u32))
+            })
+    }
+
+    fn all_satisfied(&self) -> bool {
+        self.cnf.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| l.eval(&self.assignment) == Some(true))
+        })
+    }
+
+    fn dpll(&mut self) -> bool {
+        let mark = self.trail.len();
+        if !self.propagate() {
+            self.backtrack_to(mark);
+            return false;
+        }
+        self.pure_literals();
+        if !self.propagate() {
+            self.backtrack_to(mark);
+            return false;
+        }
+        if self.all_satisfied() {
+            return true;
+        }
+        let Some(v) = self.pick_branch() else {
+            // No unassigned variable left but some clause unsatisfied.
+            let ok = self.all_satisfied();
+            if !ok {
+                self.backtrack_to(mark);
+            }
+            return ok;
+        };
+        for value in [true, false] {
+            self.decisions += 1;
+            let branch_mark = self.trail.len();
+            self.assign(Lit {
+                var: v,
+                positive: value,
+            });
+            if self.dpll() {
+                return true;
+            }
+            self.backtrack_to(branch_mark);
+        }
+        self.backtrack_to(mark);
+        false
+    }
+}
+
+/// One-shot convenience: solve `cnf`.
+pub fn solve(cnf: &Cnf) -> SatResult {
+    Solver::new(cnf).solve()
+}
+
+/// Brute-force satisfiability over all assignments (for cross-checking;
+/// panics above 24 variables).
+pub fn solve_brute_force(cnf: &Cnf) -> SatResult {
+    assert!(cnf.num_vars <= 24, "brute force limited to 24 variables");
+    for bits in 0u64..(1u64 << cnf.num_vars) {
+        let assignment: Vec<bool> = (0..cnf.num_vars).map(|v| bits >> v & 1 == 1).collect();
+        if cnf.eval(&assignment) {
+            return SatResult::Sat(assignment);
+        }
+    }
+    SatResult::Unsat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf;
+
+    #[test]
+    fn simple_sat() {
+        let f = Cnf::from_clauses(2, &[&[(0, true), (1, true)], &[(0, false), (1, true)]]);
+        let SatResult::Sat(m) = solve(&f) else {
+            panic!("should be sat");
+        };
+        assert!(f.eval(&m));
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let f = Cnf::from_clauses(
+            1,
+            &[&[(0, true)], &[(0, false)]],
+        );
+        assert_eq!(solve(&f), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_unsat() {
+        // p1 ∨ p2 forced each pigeon into hole 1; both can't share.
+        // Variables: x_ij = pigeon i in hole j, 2 pigeons 1 hole.
+        let f = Cnf::from_clauses(
+            2,
+            &[&[(0, true)], &[(1, true)], &[(0, false), (1, false)]],
+        );
+        assert_eq!(solve(&f), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let f = Cnf::new(3);
+        assert!(solve(&f).is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut f = Cnf::new(1);
+        f.add_clause(vec![]);
+        assert_eq!(solve(&f), SatResult::Unsat);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_small_formulas() {
+        // Deterministic pseudo-random small formulas.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..60 {
+            let nv = 3 + (next() % 4) as usize;
+            let nc = 2 + (next() % 8) as usize;
+            let mut f = Cnf::new(nv);
+            for _ in 0..nc {
+                let len = 1 + (next() % 3) as usize;
+                let clause: Vec<_> = (0..len)
+                    .map(|_| Lit {
+                        var: Var((next() % nv as u64) as u32),
+                        positive: next() % 2 == 0,
+                    })
+                    .collect();
+                f.add_clause(clause);
+            }
+            assert_eq!(
+                solve(&f).is_sat(),
+                solve_brute_force(&f).is_sat(),
+                "formula {f:?}"
+            );
+        }
+    }
+}

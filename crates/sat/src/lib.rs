@@ -1,0 +1,22 @@
+//! CNF satisfiability substrate for the Theorem-3 experiments.
+//!
+//! The paper's coNP-completeness proof reduces *restricted* CNF
+//! satisfiability (≤3 literals per clause, each variable at most twice
+//! positive and once negative) to unsafety of a two-transaction multisite
+//! system. This crate provides the CNF types, a complete DPLL solver (used
+//! as the decision baseline), the restricted-form conversion, random
+//! formula generators, and DIMACS I/O. No external SAT solver is available
+//! in the offline crate set, so everything is built from scratch.
+
+pub mod cnf;
+pub mod dimacs;
+pub mod dpll;
+pub mod gen;
+pub mod models;
+pub mod restricted;
+
+pub use cnf::{Clause, Cnf, Lit, Var};
+pub use dpll::{solve, solve_brute_force, SatResult, Solver};
+pub use gen::{random_kcnf, random_restricted, XorShift};
+pub use models::{all_models, count_models_brute_force};
+pub use restricted::{to_restricted_form, Restricted};

@@ -1,0 +1,63 @@
+//! Simulation configuration.
+
+/// Network latency model for coordinator ↔ site messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this many ticks.
+    Fixed(u64),
+    /// Uniform in `[lo, hi]` (seeded, deterministic).
+    Uniform(u64, u64),
+}
+
+impl LatencyModel {
+    /// Draws a latency.
+    pub fn sample(&self, rng: &mut impl rand::Rng) -> u64 {
+        match *self {
+            LatencyModel::Fixed(t) => t,
+            LatencyModel::Uniform(lo, hi) => rng.gen_range(lo..=hi),
+        }
+    }
+}
+
+/// Which transaction to abort when a deadlock cycle is found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// The most recently (re)started instance in the cycle.
+    Youngest,
+    /// The longest-running instance in the cycle.
+    Oldest,
+}
+
+/// Full simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// RNG seed (drives latency sampling only; everything else is
+    /// deterministic).
+    pub seed: u64,
+    /// Message latency model.
+    pub latency: LatencyModel,
+    /// Ticks a site spends applying a step.
+    pub local_step_time: u64,
+    /// Interval between global deadlock scans.
+    pub deadlock_scan_interval: u64,
+    /// Victim selection policy.
+    pub victim_policy: VictimPolicy,
+    /// Backoff before an aborted instance restarts.
+    pub restart_backoff: u64,
+    /// Hard cap on simulated time (guards against livelock).
+    pub max_time: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xC0FFEE,
+            latency: LatencyModel::Fixed(10),
+            local_step_time: 1,
+            deadlock_scan_interval: 50,
+            victim_policy: VictimPolicy::Youngest,
+            restart_backoff: 25,
+            max_time: 10_000_000,
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The deterministic event queue.
+
+use kplock_model::{EntityId, SiteId, StepId, TxnId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time, in abstract ticks.
+pub type SimTime = u64;
+
+/// A transaction *instance*: a transaction plus its restart epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Instance {
+    /// The transaction.
+    pub txn: TxnId,
+    /// Restart count (0 for the first attempt).
+    pub epoch: u32,
+}
+
+/// Messages between coordinators and sites.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// Coordinator asks the site to lock an entity for a step.
+    LockRequest {
+        /// Requesting instance.
+        inst: Instance,
+        /// Entity to lock.
+        entity: EntityId,
+        /// The lock step id.
+        step: StepId,
+    },
+    /// Site notifies the coordinator that the lock was granted.
+    LockGranted {
+        /// Granted instance.
+        inst: Instance,
+        /// Locked entity.
+        entity: EntityId,
+        /// The lock step id.
+        step: StepId,
+    },
+    /// Coordinator asks the site to apply an update step.
+    UpdateRequest {
+        /// Instance.
+        inst: Instance,
+        /// Updated entity.
+        entity: EntityId,
+        /// The update step id.
+        step: StepId,
+    },
+    /// Site confirms an applied update.
+    UpdateDone {
+        /// Instance.
+        inst: Instance,
+        /// Step id.
+        step: StepId,
+    },
+    /// Coordinator asks the site to release a lock.
+    UnlockRequest {
+        /// Instance.
+        inst: Instance,
+        /// Entity to unlock.
+        entity: EntityId,
+        /// The unlock step id.
+        step: StepId,
+    },
+    /// Site confirms the release.
+    UnlockDone {
+        /// Instance.
+        inst: Instance,
+        /// Step id.
+        step: StepId,
+    },
+}
+
+/// What happens at a point in simulated time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A message arrives at a site.
+    ToSite(SiteId, Payload),
+    /// A message arrives at a coordinator.
+    ToCoordinator(TxnId, Payload),
+    /// Periodic global deadlock scan.
+    DeadlockScan,
+    /// An aborted transaction restarts.
+    Restart(TxnId),
+}
+
+/// The queue: events ordered by `(time, seq)`, `seq` assigned at insertion
+/// so ties resolve deterministically in insertion order.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventOrd)>>,
+    next_seq: u64,
+}
+
+/// Wrapper giving `EventKind` an arbitrary (unused) ordering for the heap.
+#[derive(Debug, PartialEq, Eq)]
+struct EventOrd(EventKind);
+
+impl Ord for EventOrd {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl PartialOrd for EventOrd {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq, EventOrd(kind))));
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        self.heap.pop().map(|Reverse((t, _, e))| (t, e.0))
+    }
+
+    /// True if no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(10, EventKind::DeadlockScan);
+        q.push(5, EventKind::Restart(TxnId(0)));
+        q.push(10, EventKind::Restart(TxnId(1)));
+        assert_eq!(q.len(), 3);
+        let (t1, e1) = q.pop().unwrap();
+        assert_eq!((t1, &e1), (5, &EventKind::Restart(TxnId(0))));
+        let (t2, e2) = q.pop().unwrap();
+        assert_eq!(t2, 10);
+        assert_eq!(e2, EventKind::DeadlockScan); // inserted before the tie
+        let (_, e3) = q.pop().unwrap();
+        assert_eq!(e3, EventKind::Restart(TxnId(1)));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Execution history capture and serializability audit.
+
+use crate::event::{Instance, SimTime};
+use kplock_model::{
+    is_serializable, ModelError, Schedule, ScheduledStep, StepId, TxnSystem,
+};
+
+/// One applied step, as observed at its site.
+#[derive(Clone, Copy, Debug)]
+pub struct HistoryEvent {
+    /// When the site applied it.
+    pub time: SimTime,
+    /// Global tie-break sequence (application order).
+    pub seq: u64,
+    /// Which instance executed it.
+    pub inst: Instance,
+    /// The step.
+    pub step: StepId,
+}
+
+/// The full execution history of a run.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    events: Vec<HistoryEvent>,
+    next_seq: u64,
+}
+
+impl History {
+    /// Records an applied step.
+    pub fn record(&mut self, time: SimTime, inst: Instance, step: StepId) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(HistoryEvent {
+            time,
+            seq,
+            inst,
+            step,
+        });
+    }
+
+    /// All events in application order.
+    pub fn events(&self) -> &[HistoryEvent] {
+        &self.events
+    }
+
+    /// Projects the history onto the committed epochs: only events of
+    /// `(txn, committed_epoch[txn])` are kept (aborted attempts are undone
+    /// by the lock manager and carry no data flow). Returns a [`Schedule`]
+    /// in application order.
+    pub fn committed_schedule(&self, committed_epoch: &[u32]) -> Schedule {
+        let mut evs: Vec<&HistoryEvent> = self
+            .events
+            .iter()
+            .filter(|e| committed_epoch[e.inst.txn.idx()] == e.inst.epoch)
+            .collect();
+        evs.sort_by_key(|e| (e.time, e.seq));
+        Schedule::new(
+            evs.into_iter()
+                .map(|e| ScheduledStep {
+                    txn: e.inst.txn,
+                    step: e.step,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Result of auditing a run's committed schedule against the model.
+#[derive(Clone, Debug)]
+pub struct Audit {
+    /// The committed schedule.
+    pub schedule: Schedule,
+    /// Whether it is legal and complete for the system.
+    pub legal: Result<(), ModelError>,
+    /// Whether it is conflict-serializable.
+    pub serializable: bool,
+}
+
+/// Audits the committed schedule of a run.
+pub fn audit(sys: &TxnSystem, history: &History, committed_epoch: &[u32]) -> Audit {
+    let schedule = history.committed_schedule(committed_epoch);
+    let legal = schedule.validate_complete(sys);
+    let serializable = is_serializable(sys, &schedule);
+    Audit {
+        schedule,
+        legal,
+        serializable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kplock_model::TxnId;
+
+    #[test]
+    fn committed_projection_filters_epochs() {
+        let mut h = History::new_for_test();
+        h.record(1, Instance { txn: TxnId(0), epoch: 0 }, StepId(0));
+        h.record(2, Instance { txn: TxnId(0), epoch: 1 }, StepId(0));
+        h.record(3, Instance { txn: TxnId(1), epoch: 0 }, StepId(0));
+        let s = h.committed_schedule(&[1, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.steps()[0].txn, TxnId(0));
+        assert_eq!(s.steps()[1].txn, TxnId(1));
+    }
+
+    impl History {
+        fn new_for_test() -> History {
+            History::default()
+        }
+    }
+}

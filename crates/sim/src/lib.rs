@@ -1,0 +1,33 @@
+//! A distributed lock-manager simulator for locked transaction systems.
+//!
+//! The paper proves static properties of locked distributed transactions;
+//! this crate lets the same objects *execute*: coordinators drive each
+//! transaction's partial order, per-site lock managers grant exclusive
+//! locks FIFO, messages cross a latency-modelled network, deadlocks are
+//! detected globally and resolved by victim abort + restart, and every
+//! run's committed history is audited for conflict-serializability
+//! (safe systems never fail the audit; unsafe ones do, for some timings).
+//!
+//! Two runners share the semantics:
+//!
+//! * [`engine::run`] — deterministic discrete-event simulation (seeded);
+//! * [`threaded::run_threaded`] — real OS threads with timeout-based
+//!   deadlock breaking, for demonstrations under genuine concurrency.
+
+pub mod config;
+pub mod driver;
+pub mod engine;
+pub mod event;
+pub mod history;
+pub mod lock_table;
+pub mod metrics;
+pub mod threaded;
+
+pub use config::{LatencyModel, SimConfig, VictimPolicy};
+pub use driver::{draw_arrivals, run_open_loop, ArrivalConfig};
+pub use engine::{run, run_with_arrivals, SimReport};
+pub use event::{EventKind, EventQueue, Instance, Payload, SimTime};
+pub use history::{audit, Audit, History, HistoryEvent};
+pub use lock_table::LockTable;
+pub use metrics::Metrics;
+pub use threaded::{run_threaded, ThreadedConfig, ThreadedReport};

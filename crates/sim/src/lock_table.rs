@@ -1,0 +1,154 @@
+//! Per-site lock tables with FIFO queueing.
+
+use crate::event::Instance;
+use kplock_model::EntityId;
+use std::collections::{HashMap, VecDeque};
+
+/// A site's lock table: exclusive locks, FIFO wait queues.
+#[derive(Clone, Debug, Default)]
+pub struct LockTable {
+    holder: HashMap<EntityId, Instance>,
+    queue: HashMap<EntityId, VecDeque<Instance>>,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests the lock on `e`. Returns `true` if granted immediately;
+    /// otherwise the instance is queued.
+    pub fn request(&mut self, e: EntityId, inst: Instance) -> bool {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.holder.entry(e) {
+            e.insert(inst);
+            true
+        } else {
+            self.queue.entry(e).or_default().push_back(inst);
+            false
+        }
+    }
+
+    /// Releases the lock held by `inst` on `e`; returns the next instance
+    /// to grant to, if any (the grant is performed here).
+    ///
+    /// # Panics
+    /// Panics if `inst` does not hold the lock (a protocol bug).
+    pub fn release(&mut self, e: EntityId, inst: Instance) -> Option<Instance> {
+        let holder = self.holder.remove(&e);
+        assert_eq!(holder, Some(inst), "release by non-holder");
+        let next = self.queue.get_mut(&e).and_then(|q| q.pop_front());
+        if let Some(n) = next {
+            self.holder.insert(e, n);
+        }
+        next
+    }
+
+    /// Current holder of `e`.
+    pub fn holder(&self, e: EntityId) -> Option<Instance> {
+        self.holder.get(&e).copied()
+    }
+
+    /// Entities currently held by `inst`.
+    pub fn held_by(&self, inst: Instance) -> Vec<EntityId> {
+        let mut v: Vec<EntityId> = self
+            .holder
+            .iter()
+            .filter(|&(_, &h)| h == inst)
+            .map(|(&e, _)| e)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Removes `inst` from all wait queues; returns entities it was
+    /// waiting on.
+    pub fn cancel_waits(&mut self, inst: Instance) -> Vec<EntityId> {
+        let mut out = Vec::new();
+        for (&e, q) in self.queue.iter_mut() {
+            let before = q.len();
+            q.retain(|&i| i != inst);
+            if q.len() != before {
+                out.push(e);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Releases everything `inst` holds; returns `(entity, next_grantee)`
+    /// pairs.
+    pub fn release_all(&mut self, inst: Instance) -> Vec<(EntityId, Option<Instance>)> {
+        let held = self.held_by(inst);
+        held.into_iter()
+            .map(|e| (e, self.release(e, inst)))
+            .collect()
+    }
+
+    /// The waits-for edges at this site: `(waiter, holder)` pairs.
+    pub fn waits_for(&self) -> Vec<(Instance, Instance)> {
+        let mut out = Vec::new();
+        for (e, q) in &self.queue {
+            if let Some(&h) = self.holder.get(e) {
+                for &w in q {
+                    out.push((w, h));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kplock_model::TxnId;
+
+    fn inst(t: u32) -> Instance {
+        Instance {
+            txn: TxnId(t),
+            epoch: 0,
+        }
+    }
+
+    #[test]
+    fn grant_queue_release() {
+        let mut lt = LockTable::new();
+        let e = EntityId(0);
+        assert!(lt.request(e, inst(0)));
+        assert!(!lt.request(e, inst(1)));
+        assert!(!lt.request(e, inst(2)));
+        assert_eq!(lt.holder(e), Some(inst(0)));
+        assert_eq!(lt.waits_for(), vec![(inst(1), inst(0)), (inst(2), inst(0))]);
+        // FIFO: 1 gets it next.
+        assert_eq!(lt.release(e, inst(0)), Some(inst(1)));
+        assert_eq!(lt.holder(e), Some(inst(1)));
+        assert_eq!(lt.release(e, inst(1)), Some(inst(2)));
+        assert_eq!(lt.release(e, inst(2)), None);
+        assert_eq!(lt.holder(e), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn release_by_non_holder_panics() {
+        let mut lt = LockTable::new();
+        let e = EntityId(0);
+        lt.request(e, inst(0));
+        lt.release(e, inst(1));
+    }
+
+    #[test]
+    fn abort_helpers() {
+        let mut lt = LockTable::new();
+        let (x, y) = (EntityId(0), EntityId(1));
+        lt.request(x, inst(0));
+        lt.request(y, inst(0));
+        lt.request(x, inst(1));
+        assert_eq!(lt.held_by(inst(0)), vec![x, y]);
+        assert_eq!(lt.cancel_waits(inst(1)), vec![x]);
+        let released = lt.release_all(inst(0));
+        assert_eq!(released, vec![(x, None), (y, None)]);
+        assert!(lt.holder(x).is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! Run metrics.
+
+use crate::event::SimTime;
+
+/// Counters collected during a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Committed transactions.
+    pub committed: usize,
+    /// Aborted instances (each restart counts one abort).
+    pub aborts: usize,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total ticks instances spent queued for locks.
+    pub lock_wait_ticks: u64,
+    /// Deadlock cycles resolved.
+    pub deadlocks_resolved: usize,
+    /// Completion time of the last commit.
+    pub makespan: SimTime,
+}
+
+impl Metrics {
+    /// Throughput in commits per kilotick.
+    pub fn throughput_per_kilotick(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.committed as f64 * 1000.0 / self.makespan as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput() {
+        let m = Metrics {
+            committed: 10,
+            makespan: 2000,
+            ..Default::default()
+        };
+        assert!((m.throughput_per_kilotick() - 5.0).abs() < 1e-9);
+        assert_eq!(Metrics::default().throughput_per_kilotick(), 0.0);
+    }
+}

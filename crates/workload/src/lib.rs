@@ -1,0 +1,12 @@
+//! Workloads: random distributed transaction systems, the paper's figure
+//! instances, and named Theorem-3 reduction inputs.
+
+pub mod figures;
+pub mod reduction_instances;
+pub mod suite;
+pub mod txn_gen;
+
+pub use figures::{fig1, fig2, fig3, fig5};
+pub use reduction_instances::{fig8_formula, fig8_reduction, random_instance, unsat_restricted};
+pub use suite::{figure_corpus, regression_corpus, NamedSystem};
+pub use txn_gen::{make_database, random_pair, random_system, random_unlocked_txn, WorkloadParams};

@@ -1,0 +1,107 @@
+//! Named workload corpora shared by tests, benches and examples.
+
+use crate::figures::{fig1, fig2, fig3, fig5};
+use crate::txn_gen::{random_pair, WorkloadParams};
+use kplock_core::policy::LockStrategy;
+use kplock_model::TxnSystem;
+
+/// A named system with its expected safety (where known a priori).
+pub struct NamedSystem {
+    /// Short identifier used in reports.
+    pub name: &'static str,
+    /// The system.
+    pub sys: TxnSystem,
+    /// `Some(true)` = provably safe, `Some(false)` = provably unsafe,
+    /// `None` = depends on the seed.
+    pub expected_safe: Option<bool>,
+}
+
+/// The paper's figure instances.
+pub fn figure_corpus() -> Vec<NamedSystem> {
+    vec![
+        NamedSystem {
+            name: "fig1",
+            sys: fig1(),
+            expected_safe: Some(false),
+        },
+        NamedSystem {
+            name: "fig2",
+            sys: fig2(),
+            expected_safe: Some(false),
+        },
+        NamedSystem {
+            name: "fig3",
+            sys: fig3(),
+            expected_safe: Some(false),
+        },
+        NamedSystem {
+            name: "fig5",
+            sys: fig5(),
+            expected_safe: Some(true),
+        },
+    ]
+}
+
+/// A deterministic mixed corpus of random pairs across strategies and
+/// seeds — the standard regression set.
+pub fn regression_corpus() -> Vec<NamedSystem> {
+    let mut out = figure_corpus();
+    for (strategy, expected) in [
+        (LockStrategy::Minimal, None),
+        (LockStrategy::TwoPhaseLoose, None),
+        (LockStrategy::TwoPhaseSync, Some(true)),
+    ] {
+        for seed in 0..5 {
+            out.push(NamedSystem {
+                name: match strategy {
+                    LockStrategy::Minimal => "minimal",
+                    LockStrategy::TwoPhaseLoose => "loose2pl",
+                    LockStrategy::TwoPhaseSync => "sync2pl",
+                },
+                sys: random_pair(&WorkloadParams {
+                    seed,
+                    strategy,
+                    sites: 2,
+                    entities_per_site: 2,
+                    steps_per_txn: 5,
+                    ..Default::default()
+                }),
+                expected_safe: expected,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kplock_core::{decide_exhaustive, OracleOptions, OracleOutcome};
+    use kplock_model::Level;
+
+    #[test]
+    fn corpus_is_well_formed() {
+        for named in regression_corpus() {
+            named
+                .sys
+                .validate(Level::Strict)
+                .unwrap_or_else(|e| panic!("{}: {e}", named.name));
+        }
+    }
+
+    #[test]
+    fn expected_safety_holds() {
+        for named in regression_corpus() {
+            let Some(expected) = named.expected_safe else {
+                continue;
+            };
+            let report = decide_exhaustive(&named.sys, &OracleOptions::default());
+            let actual = match report.outcome {
+                OracleOutcome::Safe => true,
+                OracleOutcome::Unsafe(_) => false,
+                OracleOutcome::Aborted => continue,
+            };
+            assert_eq!(actual, expected, "{}", named.name);
+        }
+    }
+}

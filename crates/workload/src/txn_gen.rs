@@ -1,0 +1,170 @@
+//! Random distributed transaction generation.
+//!
+//! A generated transaction is a set of per-site chains of update steps plus
+//! random cross-site precedence edges (always forward with respect to a
+//! global step numbering, so the result is a dag), then locked by one of
+//! the strategies in `kplock_core::policy::insert`.
+
+use kplock_core::policy::{insert_locks, LockStrategy};
+use kplock_model::{Database, ModelError, SiteId, Step, StepId, Transaction, TxnSystem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for random workload generation.
+#[derive(Clone, Debug)]
+pub struct WorkloadParams {
+    /// Number of sites.
+    pub sites: usize,
+    /// Entities per site.
+    pub entities_per_site: usize,
+    /// Number of transactions.
+    pub transactions: usize,
+    /// Update steps per transaction.
+    pub steps_per_txn: usize,
+    /// Probability (0..=100) that consecutive generated steps get a
+    /// cross-site precedence edge.
+    pub cross_edge_percent: u32,
+    /// How to lock the transactions.
+    pub strategy: LockStrategy,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            sites: 2,
+            entities_per_site: 3,
+            transactions: 2,
+            steps_per_txn: 6,
+            cross_edge_percent: 30,
+            strategy: LockStrategy::Minimal,
+            seed: 1,
+        }
+    }
+}
+
+/// Builds the database for the parameters: entities named `e<site>_<i>`.
+pub fn make_database(p: &WorkloadParams) -> Database {
+    let mut db = Database::new();
+    for s in 0..p.sites {
+        for i in 0..p.entities_per_site {
+            db.add_entity(&format!("e{s}_{i}"), SiteId::from_idx(s));
+        }
+    }
+    db
+}
+
+/// Generates one unlocked (update-only) transaction.
+pub fn random_unlocked_txn(
+    db: &Database,
+    p: &WorkloadParams,
+    name: &str,
+    rng: &mut StdRng,
+) -> Result<Transaction, ModelError> {
+    // Choose entities; dedupe consecutive repeats per site chain is not
+    // required (multiple updates of one entity are fine).
+    let mut steps: Vec<Step> = Vec::new();
+    let mut edges: Vec<(StepId, StepId)> = Vec::new();
+    let mut last_at_site: Vec<Option<StepId>> = vec![None; p.sites];
+    let mut prev: Option<StepId> = None;
+    for _ in 0..p.steps_per_txn {
+        let site = rng.gen_range(0..p.sites);
+        let idx = rng.gen_range(0..p.entities_per_site);
+        let e = db
+            .entity(&format!("e{site}_{idx}"))
+            .expect("generated name");
+        let id = StepId::from_idx(steps.len());
+        steps.push(Step::update(e));
+        // Per-site chain (model invariant).
+        if let Some(l) = last_at_site[site] {
+            edges.push((l, id));
+        }
+        last_at_site[site] = Some(id);
+        // Occasional cross-site forward edge for data dependencies.
+        if let Some(pv) = prev {
+            if rng.gen_range(0..100) < p.cross_edge_percent {
+                edges.push((pv, id));
+            }
+        }
+        prev = Some(id);
+    }
+    Transaction::new(name.to_string(), steps, edges)
+}
+
+/// Generates a full locked transaction system.
+pub fn random_system(p: &WorkloadParams) -> TxnSystem {
+    let db = make_database(p);
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut txns = Vec::with_capacity(p.transactions);
+    for t in 0..p.transactions {
+        let unlocked = random_unlocked_txn(&db, p, &format!("T{}", t + 1), &mut rng)
+            .expect("generated dag is acyclic");
+        let locked = insert_locks(&db, &unlocked, p.strategy).expect("lockable");
+        txns.push(locked);
+    }
+    TxnSystem::new(db, txns)
+}
+
+/// Generates a pair (convenience for the pair-safety experiments).
+pub fn random_pair(p: &WorkloadParams) -> TxnSystem {
+    let mut p = p.clone();
+    p.transactions = 2;
+    random_system(&p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kplock_model::Level;
+
+    #[test]
+    fn generated_systems_are_well_formed() {
+        for seed in 0..30 {
+            for strategy in [
+                LockStrategy::Minimal,
+                LockStrategy::TwoPhaseSync,
+                LockStrategy::TwoPhaseLoose,
+            ] {
+                let p = WorkloadParams {
+                    seed,
+                    strategy,
+                    sites: 3,
+                    transactions: 3,
+                    ..Default::default()
+                };
+                let sys = random_system(&p);
+                sys.validate(Level::Strict)
+                    .unwrap_or_else(|e| panic!("seed {seed} {strategy:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = WorkloadParams::default();
+        let a = random_system(&p);
+        let b = random_system(&p);
+        for (ta, tb) in a.txns().iter().zip(b.txns()) {
+            assert_eq!(ta.steps(), tb.steps());
+        }
+    }
+
+    #[test]
+    fn respects_step_count() {
+        let p = WorkloadParams {
+            steps_per_txn: 10,
+            strategy: LockStrategy::Minimal,
+            ..Default::default()
+        };
+        let sys = random_system(&p);
+        for t in sys.txns() {
+            let updates = t
+                .steps()
+                .iter()
+                .filter(|s| s.kind == kplock_model::ActionKind::Update)
+                .count();
+            assert_eq!(updates, 10);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # kplock
+//!
+//! A reproduction of Paris C. Kanellakis and Christos H. Papadimitriou,
+//! *Is Distributed Locking Harder?* (PODS 1982 / JCSS 28, 1984).
+//!
+//! The paper asks whether deciding **safety** — "does this set of locked
+//! transactions admit only serializable schedules?" — stays easy when the
+//! database is distributed. Its answers, all implemented here:
+//!
+//! * strong connectivity of the conflict digraph `D(T1,T2)` is *sufficient*
+//!   for safety at any number of sites (Theorem 1),
+//! * for **two sites** it is also *necessary*, giving an `O(n²)` decision
+//!   procedure with explicit counterexample schedules (Theorem 2,
+//!   Corollary 1),
+//! * for arbitrarily many sites the problem becomes **coNP-complete**
+//!   (Theorem 3, by reduction from CNF satisfiability),
+//! * safety of many-transaction systems reduces to pairs plus a cycle
+//!   condition (Proposition 2).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`model`] — entities/sites, distributed transactions (partial orders),
+//!   schedules, serializability;
+//! * [`graph`] — SCCs, dominators, topological sorts, cycles;
+//! * [`geometry`] — the coordinated-plane method for pairs of total orders;
+//! * [`core`] — the paper's decision procedures and certificates;
+//! * [`sat`] — CNF + DPLL (substrate for Theorem 3);
+//! * [`sim`] — a discrete-event distributed lock-manager simulator;
+//! * [`workload`] — generators and the paper's figure instances.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kplock::model::{Database, TxnBuilder, TxnSystem};
+//! use kplock::core::analyze_pair;
+//!
+//! // Entities x,y at site 0; w,z at site 1.
+//! let db = Database::from_spec(&[("x", 0), ("y", 0), ("w", 1), ("z", 1)]);
+//!
+//! let mut b = TxnBuilder::new(&db, "T1");
+//! b.script("Lx x Ux Ly y Uy").unwrap(); // runs at site 0
+//! let t1 = b.build().unwrap();
+//!
+//! let mut b = TxnBuilder::new(&db, "T2");
+//! b.script("Ly y Uy Lx x Ux").unwrap();
+//! let t2 = b.build().unwrap();
+//!
+//! let sys = TxnSystem::new(db, vec![t1, t2]);
+//! let analysis = analyze_pair(&sys);
+//! assert!(!analysis.verdict.is_safe()); // classic non-two-phase anomaly
+//! ```
+
+pub use kplock_core as core;
+pub use kplock_geometry as geometry;
+pub use kplock_graph as graph;
+pub use kplock_model as model;
+pub use kplock_sat as sat;
+pub use kplock_sim as sim;
+pub use kplock_workload as workload;

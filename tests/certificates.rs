@@ -1,0 +1,111 @@
+//! Failure injection: tampered certificates must fail verification.
+//!
+//! The decision procedures are only trustworthy because every `Unsafe`
+//! verdict is re-checked; these tests establish that the checker actually
+//! rejects each way a certificate can be wrong.
+
+use kplock::core::{decide_two_site_system, CertificateError, UnsafetyCertificate};
+use kplock::model::{Schedule, ScheduledStep, TxnId, TxnSystem};
+use kplock::workload::fig1;
+
+fn unsafe_cert() -> (TxnSystem, UnsafetyCertificate) {
+    let sys = fig1();
+    let v = decide_two_site_system(&sys).unwrap();
+    let cert = v.certificate().expect("fig1 unsafe").clone();
+    cert.verify(&sys).expect("pristine certificate verifies");
+    (sys, cert)
+}
+
+#[test]
+fn truncated_schedule_rejected() {
+    let (sys, mut cert) = unsafe_cert();
+    let steps = cert.schedule.steps().to_vec();
+    cert.schedule = Schedule::new(steps[..steps.len() - 1].to_vec());
+    assert!(matches!(
+        cert.verify(&sys),
+        Err(CertificateError::BadSchedule(_))
+    ));
+}
+
+#[test]
+fn reordered_schedule_rejected() {
+    let (sys, mut cert) = unsafe_cert();
+    let mut steps = cert.schedule.steps().to_vec();
+    steps.reverse(); // violates partial orders and lock discipline
+    cert.schedule = Schedule::new(steps);
+    assert!(matches!(
+        cert.verify(&sys),
+        Err(CertificateError::BadSchedule(_))
+    ));
+}
+
+#[test]
+fn serial_schedule_rejected() {
+    let (sys, mut cert) = unsafe_cert();
+    // Replace the witness with a perfectly serial (hence serializable)
+    // schedule.
+    let pair = kplock::core::certificate::pair_subsystem(&sys, cert.txn_a, cert.txn_b);
+    let serial = Schedule::serial(&pair, &[TxnId(0), TxnId(1)]);
+    cert.schedule = Schedule::new(
+        serial
+            .steps()
+            .iter()
+            .map(|ss| ScheduledStep {
+                txn: if ss.txn == TxnId(0) { cert.txn_a } else { cert.txn_b },
+                step: ss.step,
+            })
+            .collect(),
+    );
+    assert_eq!(
+        cert.verify(&sys),
+        Err(CertificateError::ScheduleSerializable)
+    );
+}
+
+#[test]
+fn empty_dominator_rejected() {
+    let (sys, mut cert) = unsafe_cert();
+    cert.dominator.clear();
+    assert_eq!(cert.verify(&sys), Err(CertificateError::BadDominator));
+}
+
+#[test]
+fn full_dominator_rejected() {
+    let (sys, mut cert) = unsafe_cert();
+    cert.dominator = sys.shared_locked_entities(cert.txn_a, cert.txn_b);
+    assert_eq!(cert.verify(&sys), Err(CertificateError::BadDominator));
+}
+
+#[test]
+fn foreign_entity_dominator_rejected() {
+    let (sys, mut cert) = unsafe_cert();
+    // An entity id beyond the shared set.
+    cert.dominator = vec![kplock::model::EntityId(999)];
+    assert_eq!(cert.verify(&sys), Err(CertificateError::BadDominator));
+}
+
+#[test]
+fn bogus_extension_rejected() {
+    let (sys, mut cert) = unsafe_cert();
+    cert.t1_order.swap(0, 1); // Lx before its own site's earlier step
+    // Either it stops being a linear extension, or if steps were
+    // concurrent the certificate may still pass — fig1's first two steps
+    // are chained, so it must fail.
+    assert_eq!(
+        cert.verify(&sys),
+        Err(CertificateError::NotALinearExtension(cert.txn_a))
+    );
+}
+
+#[test]
+fn duplicated_step_rejected() {
+    let (sys, mut cert) = unsafe_cert();
+    let first = cert.schedule.steps()[0];
+    let mut steps = cert.schedule.steps().to_vec();
+    steps.push(first);
+    cert.schedule = Schedule::new(steps);
+    assert!(matches!(
+        cert.verify(&sys),
+        Err(CertificateError::BadSchedule(_))
+    ));
+}

@@ -1,0 +1,84 @@
+//! Integration: Proposition 2 (k transactions) against the exact oracle on
+//! randomized centralized and two-site systems.
+
+use kplock::core::{
+    decide_exhaustive, proposition2, OracleOptions, OracleOutcome, Prop2Options, Prop2Verdict,
+};
+use kplock::core::policy::LockStrategy;
+use kplock::workload::{random_system, WorkloadParams};
+
+fn run_case(params: &WorkloadParams) -> Option<(bool, bool)> {
+    let sys = random_system(params);
+    let report = proposition2(&sys, &Prop2Options::default());
+    let prop2_safe = match report.verdict {
+        Prop2Verdict::Safe => true,
+        Prop2Verdict::UnsafePair | Prop2Verdict::UnsafeCycle => false,
+        Prop2Verdict::Unknown => return None,
+    };
+    let oracle = decide_exhaustive(&sys, &OracleOptions { max_states: 4_000_000 });
+    let oracle_safe = match oracle.outcome {
+        OracleOutcome::Safe => true,
+        OracleOutcome::Unsafe(_) => false,
+        OracleOutcome::Aborted => return None,
+    };
+    Some((prop2_safe, oracle_safe))
+}
+
+#[test]
+fn prop2_agrees_with_oracle_centralized_three_txns() {
+    let mut checked = 0;
+    for seed in 0..40 {
+        let params = WorkloadParams {
+            seed,
+            sites: 1,
+            entities_per_site: 3,
+            transactions: 3,
+            steps_per_txn: 4,
+            strategy: LockStrategy::Minimal,
+            ..Default::default()
+        };
+        if let Some((p, o)) = run_case(&params) {
+            assert_eq!(p, o, "Proposition 2 disagrees with oracle (seed {seed})");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 20, "too many skipped cases ({checked} checked)");
+}
+
+#[test]
+fn prop2_agrees_with_oracle_two_sites() {
+    let mut checked = 0;
+    for seed in 0..40 {
+        let params = WorkloadParams {
+            seed,
+            sites: 2,
+            entities_per_site: 2,
+            transactions: 3,
+            steps_per_txn: 4,
+            strategy: LockStrategy::Minimal,
+            ..Default::default()
+        };
+        if let Some((p, o)) = run_case(&params) {
+            assert_eq!(p, o, "Proposition 2 disagrees with oracle (seed {seed})");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 20, "too many skipped cases ({checked} checked)");
+}
+
+#[test]
+fn sync_two_phase_systems_pass_prop2() {
+    for seed in 0..20 {
+        let sys = random_system(&WorkloadParams {
+            seed,
+            sites: 2,
+            entities_per_site: 2,
+            transactions: 4,
+            steps_per_txn: 4,
+            strategy: LockStrategy::TwoPhaseSync,
+            ..Default::default()
+        });
+        let report = proposition2(&sys, &Prop2Options::default());
+        assert_eq!(report.verdict, Prop2Verdict::Safe, "seed {seed}");
+    }
+}
