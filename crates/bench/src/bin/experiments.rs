@@ -86,7 +86,10 @@ fn exp_fig8() {
     }
     println!("| quantity | value |");
     println!("|---|---|");
-    println!("| entities (one site each) | {} |", r.sys.db().entity_count());
+    println!(
+        "| entities (one site each) | {} |",
+        r.sys.db().entity_count()
+    );
     println!("| steps per transaction | {} |", r.sys.txn(TxnId(0)).len());
     println!("| D matches intended digraph | {} |", r.verify_intended());
     println!("| dominators | {} |", doms.len());
@@ -107,10 +110,7 @@ fn exp_c1_two_site_scaling() {
     for &n in &[8usize, 16, 32, 64, 128] {
         let sys = two_site_pair(7, n);
         let us = avg_time_us(20, || decide_two_site_system(&sys).unwrap());
-        println!(
-            "| {n} | {us:.1} | {:.2} |",
-            us * 1000.0 / (n * n) as f64
-        );
+        println!("| {n} | {us:.1} | {:.2} |", us * 1000.0 / (n * n) as f64);
     }
     println!();
 }
@@ -233,7 +233,9 @@ fn exp_c5_prop2() {
 
 fn exp_s1_sim() {
     println!("## S1: simulator — strategy × contention\n");
-    println!("| strategy | contention | commits/run | aborts/run | msgs/run | wait/run | anomalies |");
+    println!(
+        "| strategy | contention | commits/run | aborts/run | msgs/run | wait/run | anomalies |"
+    );
     println!("|---|---|---|---|---|---|---|");
     for strategy in [
         LockStrategy::Minimal,
@@ -459,7 +461,10 @@ fn exp_s3_load_sweep() {
                     latency: LatencyModel::Uniform(1, 20),
                     ..Default::default()
                 },
-                &kplock_sim::ArrivalConfig { mean_gap: gap, seed },
+                &kplock_sim::ArrivalConfig {
+                    mean_gap: gap,
+                    seed,
+                },
             );
             if !r.finished {
                 continue;

@@ -22,7 +22,11 @@ pub struct PairAnalysis {
 
 /// Analyzes a system of exactly two transactions with default options.
 pub fn analyze_pair(sys: &TxnSystem) -> PairAnalysis {
-    assert_eq!(sys.len(), 2, "analyze_pair expects exactly two transactions");
+    assert_eq!(
+        sys.len(),
+        2,
+        "analyze_pair expects exactly two transactions"
+    );
     let (a, b) = (TxnId(0), TxnId(1));
     let d = ConflictDigraph::build(sys, a, b);
     let strongly_connected = d.is_strongly_connected();

@@ -6,9 +6,7 @@
 //! re-checks everything against the *original* system, so callers never have
 //! to trust the search that produced it.
 
-use kplock_model::{
-    is_serializable, EntityId, ModelError, Schedule, StepId, TxnId, TxnSystem,
-};
+use kplock_model::{is_serializable, EntityId, ModelError, Schedule, StepId, TxnId, TxnSystem};
 
 /// How a system was proven safe.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,7 +117,10 @@ impl UnsafetyCertificate {
 
 /// The two-transaction subsystem `{Ta, Tb}` (ids 0 and 1).
 pub fn pair_subsystem(sys: &TxnSystem, a: TxnId, b: TxnId) -> TxnSystem {
-    TxnSystem::new(sys.db().clone(), vec![sys.txn(a).clone(), sys.txn(b).clone()])
+    TxnSystem::new(
+        sys.db().clone(),
+        vec![sys.txn(a).clone(), sys.txn(b).clone()],
+    )
 }
 
 /// Renames transactions `a -> 0`, `b -> 1` in a schedule.
@@ -128,7 +129,13 @@ pub fn remap_schedule(s: &Schedule, a: TxnId, b: TxnId) -> Schedule {
         s.steps()
             .iter()
             .map(|ss| kplock_model::ScheduledStep {
-                txn: if ss.txn == a { TxnId(0) } else if ss.txn == b { TxnId(1) } else { ss.txn },
+                txn: if ss.txn == a {
+                    TxnId(0)
+                } else if ss.txn == b {
+                    TxnId(1)
+                } else {
+                    ss.txn
+                },
                 step: ss.step,
             })
             .collect(),

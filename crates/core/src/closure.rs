@@ -69,11 +69,7 @@ pub fn close_wrt_dominator(
     loop {
         let d = ConflictDigraph::build(&cur, a, b);
         // X must still dominate: no arc from V−X into X.
-        let in_x: Vec<bool> = d
-            .entities
-            .iter()
-            .map(|e| dominator.contains(e))
-            .collect();
+        let in_x: Vec<bool> = d.entities.iter().map(|e| dominator.contains(e)).collect();
         for (u, v) in d.graph.edges() {
             if !in_x[u] && in_x[v] {
                 return Err(ClosureError::DominatorBroken);

@@ -99,11 +99,7 @@ mod tests {
     fn two_phase_totals_give_complete_digraph() {
         // Both transactions lock everything before unlocking anything:
         // every (x,y) pair satisfies Definition 1.
-        let sys = pair(
-            "Lx Ly x y Ux Uy",
-            "Ly Lx y x Uy Ux",
-            &[("x", 0), ("y", 0)],
-        );
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 0)]);
         let d = ConflictDigraph::build(&sys, TxnId(0), TxnId(1));
         assert_eq!(d.entities.len(), 2);
         assert_eq!(d.graph.edge_count(), 2); // both directions, no self-arcs
@@ -114,11 +110,7 @@ mod tests {
     fn non_two_phase_centralized_pair_not_strongly_connected() {
         // T1 releases x before acquiring y; T2 likewise in opposite order:
         // classic unsafe pair. D must not be strongly connected.
-        let sys = pair(
-            "Lx x Ux Ly y Uy",
-            "Ly y Uy Lx x Ux",
-            &[("x", 0), ("y", 0)],
-        );
+        let sys = pair("Lx x Ux Ly y Uy", "Ly y Uy Lx x Ux", &[("x", 0), ("y", 0)]);
         let d = ConflictDigraph::build(&sys, TxnId(0), TxnId(1));
         // Arc (x,y): Lx <1 Uy (yes) and Ly <2 Ux (yes) => present.
         // Arc (y,x): Ly <1 Ux (no: Ly comes after Ux in T1).

@@ -52,7 +52,10 @@ pub fn count_schedules(sys: &TxnSystem, max_states: usize) -> Option<ScheduleCou
     let k = sys.len();
     assert!(k <= 8, "counting limited to 8 transactions");
     for t in sys.txns() {
-        assert!(t.len() <= 64, "counting limited to 64 steps per transaction");
+        assert!(
+            t.len() <= 64,
+            "counting limited to 64 steps per transaction"
+        );
     }
 
     let full: Vec<u64> = sys
@@ -103,7 +106,12 @@ pub fn count_schedules(sys: &TxnSystem, max_states: usize) -> Option<ScheduleCou
         }
     }
 
-    fn rec(ctx: &mut Ctx<'_>, done: &[u64], sg: u64, cyclic: &impl Fn(u64) -> bool) -> Option<(u128, u128)> {
+    fn rec(
+        ctx: &mut Ctx<'_>,
+        done: &[u64],
+        sg: u64,
+        cyclic: &impl Fn(u64) -> bool,
+    ) -> Option<(u128, u128)> {
         let k = ctx.sys.len();
         if (0..k).all(|i| done[i] == ctx.full[i]) {
             let ser = u128::from(!cyclic(sg));
@@ -238,11 +246,7 @@ mod tests {
 
     #[test]
     fn unsafe_pair_has_nonserializable_schedules() {
-        let sys = pair(
-            "Lx x Ux Ly y Uy",
-            "Ly y Uy Lx x Ux",
-            &[("x", 0), ("y", 0)],
-        );
+        let sys = pair("Lx x Ux Ly y Uy", "Ly y Uy Lx x Ux", &[("x", 0), ("y", 0)]);
         let c = count_schedules(&sys, 1_000_000).unwrap();
         assert!(c.legal > c.serializable, "{c:?}");
         assert!(!c.is_safe());
@@ -253,11 +257,7 @@ mod tests {
 
     #[test]
     fn deadlock_detected_in_counts() {
-        let sys = pair(
-            "Lx Ly x y Ux Uy",
-            "Ly Lx y x Uy Ux",
-            &[("x", 0), ("y", 0)],
-        );
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 0)]);
         let c = count_schedules(&sys, 1_000_000).unwrap();
         assert!(c.deadlock_reachable);
         assert!(c.is_safe(), "two-phase: every completion serializable");

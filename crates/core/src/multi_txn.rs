@@ -247,11 +247,7 @@ mod tests {
     fn three_two_phase_transactions_are_safe() {
         let sys = sys_from_scripts(
             &["x", "y", "z"],
-            &[
-                "Lx Ly x y Ux Uy",
-                "Ly Lz y z Uy Uz",
-                "Lz Lx z x Uz Ux",
-            ],
+            &["Lx Ly x y Ux Uy", "Ly Lz y z Uy Uz", "Lz Lx z x Uz Ux"],
         );
         let report = proposition2(&sys, &Prop2Options::default());
         assert_eq!(report.verdict, Prop2Verdict::Safe);

@@ -66,12 +66,10 @@ pub fn decide_multisite(
         let report = decide_exhaustive(&pair, oracle_opts);
         return match report.outcome {
             OracleOutcome::Safe => SafetyVerdict::Safe(SafeProof::Exhaustive),
-            OracleOutcome::Unsafe(witness) => {
-                match certificate_from_witness(sys, a, b, &witness) {
-                    Some(cert) => SafetyVerdict::Unsafe(Box::new(cert)),
-                    None => SafetyVerdict::Unknown,
-                }
-            }
+            OracleOutcome::Unsafe(witness) => match certificate_from_witness(sys, a, b, &witness) {
+                Some(cert) => SafetyVerdict::Unsafe(Box::new(cert)),
+                None => SafetyVerdict::Unknown,
+            },
             OracleOutcome::Aborted => SafetyVerdict::Unknown,
         };
     }

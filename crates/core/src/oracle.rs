@@ -354,11 +354,7 @@ mod tests {
 
     #[test]
     fn oracle_finds_classic_anomaly() {
-        let sys = pair(
-            "Lx x Ux Ly y Uy",
-            "Ly y Uy Lx x Ux",
-            &[("x", 0), ("y", 0)],
-        );
+        let sys = pair("Lx x Ux Ly y Uy", "Ly y Uy Lx x Ux", &[("x", 0), ("y", 0)]);
         let r = decide_exhaustive(&sys, &OracleOptions::default());
         let OracleOutcome::Unsafe(witness) = r.outcome else {
             panic!("expected unsafe");
@@ -369,11 +365,7 @@ mod tests {
 
     #[test]
     fn oracle_confirms_two_phase_safety_and_deadlock() {
-        let sys = pair(
-            "Lx Ly x y Ux Uy",
-            "Ly Lx y x Uy Ux",
-            &[("x", 0), ("y", 0)],
-        );
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 0)]);
         let r = decide_exhaustive(&sys, &OracleOptions::default());
         assert!(matches!(r.outcome, OracleOutcome::Safe));
         // Opposite lock orders: the classic deadlock is reachable.
@@ -382,11 +374,7 @@ mod tests {
 
     #[test]
     fn oracle_same_order_two_phase_no_deadlock() {
-        let sys = pair(
-            "Lx Ly x y Ux Uy",
-            "Lx Ly x y Ux Uy",
-            &[("x", 0), ("y", 0)],
-        );
+        let sys = pair("Lx Ly x y Ux Uy", "Lx Ly x y Ux Uy", &[("x", 0), ("y", 0)]);
         let r = decide_exhaustive(&sys, &OracleOptions::default());
         assert!(matches!(r.outcome, OracleOutcome::Safe));
         assert!(!r.deadlock_reachable);
@@ -409,10 +397,7 @@ mod tests {
 
         let state = decide_exhaustive(&sys, &OracleOptions::default());
         let ext = decide_by_extensions(&sys, TxnId(0), TxnId(1), 1_000_000).unwrap();
-        assert_eq!(
-            matches!(state.outcome, OracleOutcome::Safe),
-            ext.is_safe()
-        );
+        assert_eq!(matches!(state.outcome, OracleOutcome::Safe), ext.is_safe());
         if let SafetyVerdict::Unsafe(cert) = &ext {
             cert.verify(&sys).unwrap();
         }
@@ -420,11 +405,7 @@ mod tests {
 
     #[test]
     fn extension_oracle_cap() {
-        let sys = pair(
-            "Lx x Ux Ly y Uy",
-            "Lx x Ux Ly y Uy",
-            &[("x", 0), ("y", 0)],
-        );
+        let sys = pair("Lx x Ux Ly y Uy", "Lx x Ux Ly y Uy", &[("x", 0), ("y", 0)]);
         assert!(decide_by_extensions(&sys, TxnId(0), TxnId(1), 0).is_none());
     }
 

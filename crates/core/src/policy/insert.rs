@@ -15,9 +15,7 @@
 //!   unlocks last *within each site's chain*, with no cross-site ordering
 //!   (safe centralized, unsafe distributed — the paper's gap).
 
-use kplock_model::{
-    ActionKind, Database, EntityId, ModelError, SiteId, Step, StepId, Transaction,
-};
+use kplock_model::{ActionKind, Database, EntityId, ModelError, SiteId, Step, StepId, Transaction};
 use std::collections::HashMap;
 
 /// How to place lock/unlock steps around updates.
@@ -94,7 +92,10 @@ fn minimal(db: &Database, t: &Transaction) -> Result<Transaction, ModelError> {
             last.insert(e, i);
         }
         let mut prev: Option<StepId> = None;
-        let push = |steps: &mut Vec<Step>, edges: &mut Vec<(StepId, StepId)>, step: Step, prev: &mut Option<StepId>| {
+        let push = |steps: &mut Vec<Step>,
+                    edges: &mut Vec<(StepId, StepId)>,
+                    step: Step,
+                    prev: &mut Option<StepId>| {
             let id = StepId::from_idx(steps.len());
             steps.push(step);
             if let Some(p) = *prev {

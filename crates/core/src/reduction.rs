@@ -91,7 +91,10 @@ impl std::fmt::Display for ReductionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ReductionError::NotRestricted => {
-                write!(f, "formula not in restricted form (use kplock_sat::to_restricted_form)")
+                write!(
+                    f,
+                    "formula not in restricted form (use kplock_sat::to_restricted_form)"
+                )
             }
             ReductionError::RepeatedVariable(c) => {
                 write!(f, "clause {c} repeats a variable")
@@ -131,10 +134,7 @@ impl Reduction {
         if d.graph.edge_count() != self.intended.edge_count() {
             return false;
         }
-        let matches = d
-            .graph
-            .edges()
-            .all(|(a, b)| self.intended.has_edge(a, b));
+        let matches = d.graph.edges().all(|(a, b)| self.intended.has_edge(a, b));
         matches
     }
 
@@ -159,10 +159,7 @@ impl Reduction {
     /// Reads a dominator as a (partial) assignment: `Some(true)` if `w_k`
     /// is in, `Some(false)` if `w'_k` is in, `None` if neither, and an
     /// error (`Err(var)`) if both are (undesirable type 1).
-    pub fn assignment_of_dominator(
-        &self,
-        dom: &[EntityId],
-    ) -> Result<Vec<Option<bool>>, usize> {
+    pub fn assignment_of_dominator(&self, dom: &[EntityId]) -> Result<Vec<Option<bool>>, usize> {
         let mut out = vec![None; self.cnf.num_vars];
         for e in dom {
             match &self.kinds[e.idx()] {
@@ -276,7 +273,12 @@ pub fn reduce(cnf: &Cnf) -> Result<Reduction, ReductionError> {
             } else {
                 format!("w{}_{}", k + 1, copy + 1)
             };
-            row.push(add(&mut db, &mut kinds, name, NodeKind::WPos { var: k, copy }));
+            row.push(add(
+                &mut db,
+                &mut kinds,
+                name,
+                NodeKind::WPos { var: k, copy },
+            ));
         }
         wpos.push(row);
         wneg.push(add(
@@ -294,20 +296,45 @@ pub fn reduce(cnf: &Cnf) -> Result<Reduction, ReductionError> {
     let mut zneg: Vec<EntityId> = Vec::new();
     let mut ldummy = 0usize;
     for k in 0..cnf.num_vars {
-        let d = add(&mut db, &mut kinds, format!("ld{ldummy}"), NodeKind::LowerDummy);
+        let d = add(
+            &mut db,
+            &mut kinds,
+            format!("ld{ldummy}"),
+            NodeKind::LowerDummy,
+        );
         ldummy += 1;
         lower_cycle.push(d);
-        let z = add(&mut db, &mut kinds, format!("z{}", k + 1), NodeKind::Z { var: k, neg: false });
+        let z = add(
+            &mut db,
+            &mut kinds,
+            format!("z{}", k + 1),
+            NodeKind::Z { var: k, neg: false },
+        );
         lower_cycle.push(z);
         zpos.push(z);
-        let d = add(&mut db, &mut kinds, format!("ld{ldummy}"), NodeKind::LowerDummy);
+        let d = add(
+            &mut db,
+            &mut kinds,
+            format!("ld{ldummy}"),
+            NodeKind::LowerDummy,
+        );
         ldummy += 1;
         lower_cycle.push(d);
-        let z2 = add(&mut db, &mut kinds, format!("z{}'", k + 1), NodeKind::Z { var: k, neg: true });
+        let z2 = add(
+            &mut db,
+            &mut kinds,
+            format!("z{}'", k + 1),
+            NodeKind::Z { var: k, neg: true },
+        );
         lower_cycle.push(z2);
         zneg.push(z2);
     }
-    let closing_low = add(&mut db, &mut kinds, format!("ld{ldummy}"), NodeKind::LowerDummy);
+    let closing_low = add(
+        &mut db,
+        &mut kinds,
+        format!("ld{ldummy}"),
+        NodeKind::LowerDummy,
+    );
     lower_cycle.push(closing_low);
 
     // ---- 2. Intended arcs. -------------------------------------------

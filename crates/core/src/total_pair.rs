@@ -136,11 +136,7 @@ mod tests {
 
     #[test]
     fn unsafe_pair_has_verifiable_certificate() {
-        let sys = pair(
-            "Lx x Ux Ly y Uy",
-            "Ly y Uy Lx x Ux",
-            &["x", "y"],
-        );
+        let sys = pair("Lx x Ux Ly y Uy", "Ly y Uy Lx x Ux", &["x", "y"]);
         let v = decide_total_pair(&sys, TxnId(0), TxnId(1));
         let cert = v.certificate().expect("unsafe");
         cert.verify(&sys).unwrap();
@@ -150,7 +146,10 @@ mod tests {
     fn safe_pair_two_phase() {
         let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &["x", "y"]);
         let v = decide_total_pair(&sys, TxnId(0), TxnId(1));
-        assert!(matches!(v, SafetyVerdict::Safe(SafeProof::StronglyConnected)));
+        assert!(matches!(
+            v,
+            SafetyVerdict::Safe(SafeProof::StronglyConnected)
+        ));
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub fn find_path(
             if parent[i * (h + 1) + j] == u8::MAX {
                 continue;
             }
-            if i < w && parent[(i + 1) * (h + 1) + j] == u8::MAX && ok(i + 1, j, &mut extra_forbidden)
+            if i < w
+                && parent[(i + 1) * (h + 1) + j] == u8::MAX
+                && ok(i + 1, j, &mut extra_forbidden)
             {
                 parent[(i + 1) * (h + 1) + j] = 0;
             }

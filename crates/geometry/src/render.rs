@@ -39,11 +39,7 @@ pub fn render(sys: &TxnSystem, plane: &PlanePicture, curve: Option<&[(usize, usi
         t1.name()
     ));
     for j in (0..=h).rev() {
-        let ylab = if j >= 1 {
-            label_y[j - 1].as_str()
-        } else {
-            ""
-        };
+        let ylab = if j >= 1 { label_y[j - 1].as_str() } else { "" };
         out.push_str(&format!("{ylab:>ylab_w$} |"));
         for i in 0..=w {
             let ch = if on_curve(i, j) {

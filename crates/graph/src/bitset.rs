@@ -99,7 +99,10 @@ impl BitSet {
 
     /// True if every element of `self` is in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Clears all bits.

@@ -47,10 +47,7 @@ pub fn find_dominator(g: &DiGraph) -> Option<BitSet> {
         .source_components()
         .first()
         .expect("a DAG always has a source");
-    Some(BitSet::from_indices(
-        n,
-        c.sccs.members[src].iter().copied(),
-    ))
+    Some(BitSet::from_indices(n, c.sccs.members[src].iter().copied()))
 }
 
 /// Enumerates all dominators of `g`, up to `cap` of them.

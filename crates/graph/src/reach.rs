@@ -66,9 +66,9 @@ mod tests {
     fn closure_matches_per_node_dfs() {
         let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (0, 3), (3, 2), (2, 4)]);
         let tc = transitive_closure(&g);
-        for v in 0..5 {
+        for (v, row) in tc.iter().enumerate() {
             let direct = reachable_from(&g, v);
-            assert_eq!(tc[v], direct, "row {v}");
+            assert_eq!(*row, direct, "row {v}");
         }
     }
 

@@ -12,7 +12,10 @@ use std::collections::BinaryHeap;
 
 /// Topologically sorts `g`, always emitting the available node with the
 /// smallest `key(node)`. Returns `None` if `g` has a cycle.
-pub fn topo_sort_by_key<K: Ord>(g: &DiGraph, mut key: impl FnMut(usize) -> K) -> Option<Vec<usize>> {
+pub fn topo_sort_by_key<K: Ord>(
+    g: &DiGraph,
+    mut key: impl FnMut(usize) -> K,
+) -> Option<Vec<usize>> {
     let n = g.node_count();
     let mut indeg: Vec<usize> = (0..n).map(|v| g.predecessors(v).len()).collect();
     let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::new();

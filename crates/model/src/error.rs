@@ -38,10 +38,9 @@ impl fmt::Display for ModelError {
             ModelError::CyclicPrecedence(s) => {
                 write!(f, "precedence relation is cyclic at step {s}")
             }
-            ModelError::SiteNotTotallyOrdered(a, b) => write!(
-                f,
-                "steps {a} and {b} are at the same site but not ordered"
-            ),
+            ModelError::SiteNotTotallyOrdered(a, b) => {
+                write!(f, "steps {a} and {b} are at the same site but not ordered")
+            }
             ModelError::DuplicateLockStep(e) => {
                 write!(f, "more than one lock or unlock step for entity {e}")
             }

@@ -174,7 +174,8 @@ mod tests {
         let steps = (0..n)
             .map(|i| Step::update(EntityId::from_idx(i)))
             .collect();
-        let edges = (0..n.saturating_sub(1)).map(|i| (StepId::from_idx(i), StepId::from_idx(i + 1)));
+        let edges =
+            (0..n.saturating_sub(1)).map(|i| (StepId::from_idx(i), StepId::from_idx(i + 1)));
         Transaction::new("C", steps, edges).unwrap()
     }
 
@@ -198,10 +199,7 @@ mod tests {
         let t = chain(5);
         let exts = linear_extensions(&t);
         assert_eq!(exts.len(), 1);
-        assert_eq!(
-            exts[0],
-            (0..5).map(StepId::from_idx).collect::<Vec<_>>()
-        );
+        assert_eq!(exts[0], (0..5).map(StepId::from_idx).collect::<Vec<_>>());
     }
 
     #[test]
@@ -209,7 +207,9 @@ mod tests {
         // N-shaped poset: 0<2, 0<3, 1<3.
         let t = Transaction::new(
             "N",
-            (0..4).map(|i| Step::update(EntityId::from_idx(i))).collect(),
+            (0..4)
+                .map(|i| Step::update(EntityId::from_idx(i)))
+                .collect(),
             [
                 (StepId(0), StepId(2)),
                 (StepId(0), StepId(3)),

@@ -69,11 +69,7 @@ impl Schedule {
     /// Use [`Schedule::validate_complete`] to additionally require that every
     /// step of every transaction appears.
     pub fn validate_prefix(&self, sys: &TxnSystem) -> Result<(), ModelError> {
-        let mut done: Vec<Vec<bool>> = sys
-            .txns()
-            .iter()
-            .map(|t| vec![false; t.len()])
-            .collect();
+        let mut done: Vec<Vec<bool>> = sys.txns().iter().map(|t| vec![false; t.len()]).collect();
         // Lock ownership: entity -> holder txn.
         let mut lock_held: HashMap<crate::ids::EntityId, TxnId> = HashMap::new();
 

@@ -116,10 +116,9 @@ impl Cnf {
 
     /// Evaluates the formula under a **complete** assignment.
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().all(|c| {
-            c.iter()
-                .any(|l| assignment[l.var.idx()] == l.positive)
-        })
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| assignment[l.var.idx()] == l.positive))
     }
 
     /// Number of positive/negative occurrences of each variable.

@@ -106,10 +106,7 @@ mod tests {
     #[test]
     fn error_cases() {
         assert_eq!(parse("1 2 0"), Err(DimacsError::BadHeader));
-        assert_eq!(
-            parse("p cnf 1 1\n2 0"),
-            Err(DimacsError::VarOutOfRange(2))
-        );
+        assert_eq!(parse("p cnf 1 1\n2 0"), Err(DimacsError::VarOutOfRange(2)));
         assert!(matches!(
             parse("p cnf 1 1\nxyz 0"),
             Err(DimacsError::BadToken(_))

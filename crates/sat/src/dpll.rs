@@ -50,11 +50,7 @@ impl<'a> Solver<'a> {
     pub fn solve(&mut self) -> SatResult {
         if self.dpll() {
             // Unassigned variables are don't-cares; default to false.
-            let model: Vec<bool> = self
-                .assignment
-                .iter()
-                .map(|v| v.unwrap_or(false))
-                .collect();
+            let model: Vec<bool> = self.assignment.iter().map(|v| v.unwrap_or(false)).collect();
             debug_assert!(self.cnf.eval(&model));
             SatResult::Sat(model)
         } else {
@@ -179,10 +175,10 @@ impl<'a> Solver<'a> {
     }
 
     fn all_satisfied(&self) -> bool {
-        self.cnf.clauses.iter().all(|c| {
-            c.iter()
-                .any(|l| l.eval(&self.assignment) == Some(true))
-        })
+        self.cnf
+            .clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(&self.assignment) == Some(true)))
     }
 
     fn dpll(&mut self) -> bool {
@@ -258,10 +254,7 @@ mod tests {
 
     #[test]
     fn simple_unsat() {
-        let f = Cnf::from_clauses(
-            1,
-            &[&[(0, true)], &[(0, false)]],
-        );
+        let f = Cnf::from_clauses(1, &[&[(0, true)], &[(0, false)]]);
         assert_eq!(solve(&f), SatResult::Unsat);
     }
 
@@ -269,10 +262,7 @@ mod tests {
     fn pigeonhole_2_into_1_unsat() {
         // p1 ∨ p2 forced each pigeon into hole 1; both can't share.
         // Variables: x_ij = pigeon i in hole j, 2 pigeons 1 hole.
-        let f = Cnf::from_clauses(
-            2,
-            &[&[(0, true)], &[(1, true)], &[(0, false), (1, false)]],
-        );
+        let f = Cnf::from_clauses(2, &[&[(0, true)], &[(1, true)], &[(0, false), (1, false)]]);
         assert_eq!(solve(&f), SatResult::Unsat);
     }
 

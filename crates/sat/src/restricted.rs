@@ -40,10 +40,7 @@ pub fn to_restricted_form(cnf: &Cnf) -> Restricted {
     loop {
         let mut changed = false;
         let mut conflict = false;
-        clauses.retain(|c| {
-            !c.iter()
-                .any(|l| l.eval(&assignment) == Some(true))
-        });
+        clauses.retain(|c| !c.iter().any(|l| l.eval(&assignment) == Some(true)));
         for c in &mut clauses {
             c.retain(|l| l.eval(&assignment).is_none());
         }
@@ -83,8 +80,9 @@ pub fn to_restricted_form(cnf: &Cnf) -> Restricted {
 
     // --- 2. Split wide clauses. --------------------------------------
     let mut num_vars = cnf.num_vars;
-    let mut back_map: Vec<Option<(Var, bool)>> =
-        (0..cnf.num_vars).map(|v| Some((Var(v as u32), true))).collect();
+    let mut back_map: Vec<Option<(Var, bool)>> = (0..cnf.num_vars)
+        .map(|v| Some((Var(v as u32), true)))
+        .collect();
     let mut split: Vec<Vec<Lit>> = Vec::new();
     for c in clauses {
         let mut rest = c;
@@ -128,13 +126,11 @@ pub fn to_restricted_form(cnf: &Cnf) -> Restricted {
         // the meaning of representative r_i is `x` if the slot was positive
         // and `¬x` if negative; each slot then uses r_i positively.
         let r = slots.len();
-        let reps: Vec<Var> = (0..r)
-            .map(|i| {
-                
-                Var((num_vars + i) as u32)
-            })
+        let reps: Vec<Var> = (0..r).map(|i| Var((num_vars + i) as u32)).collect();
+        let polarities: Vec<bool> = slots
+            .iter()
+            .map(|&(ci, li)| split[ci][li].positive)
             .collect();
-        let polarities: Vec<bool> = slots.iter().map(|&(ci, li)| split[ci][li].positive).collect();
         for (i, &(ci, li)) in slots.iter().enumerate() {
             out[ci][li] = Lit::pos(reps[i]);
             back_map.push(Some((Var(v as u32), polarities[i])));
@@ -187,7 +183,11 @@ mod tests {
             Some(d) => assert_eq!(d, orig_sat, "propagation decision wrong for {f:?}"),
             None => {
                 assert!(r.cnf.is_restricted_form(), "not restricted: {:?}", r.cnf);
-                assert_eq!(solve(&r.cnf).is_sat(), orig_sat, "equisatisfiability broken");
+                assert_eq!(
+                    solve(&r.cnf).is_sat(),
+                    orig_sat,
+                    "equisatisfiability broken"
+                );
             }
         }
     }
@@ -196,7 +196,10 @@ mod tests {
     fn wide_clauses_are_split() {
         let f = Cnf::from_clauses(
             5,
-            &[&[(0, true), (1, true), (2, true), (3, true), (4, true)], &[(0, false), (1, false)]],
+            &[
+                &[(0, true), (1, true), (2, true), (3, true), (4, true)],
+                &[(0, false), (1, false)],
+            ],
         );
         check_equisat(&f);
     }
@@ -222,7 +225,11 @@ mod tests {
     fn unit_clauses_are_propagated_away() {
         let f = Cnf::from_clauses(
             3,
-            &[&[(0, true)], &[(0, false), (1, true), (2, true)], &[(1, false), (2, false)]],
+            &[
+                &[(0, true)],
+                &[(0, false), (1, true), (2, true)],
+                &[(1, false), (2, false)],
+            ],
         );
         let r = to_restricted_form(&f);
         if r.decided.is_none() {

@@ -67,13 +67,25 @@ mod tests {
 
     #[test]
     fn arrivals_are_monotone_and_deterministic() {
-        let cfg = ArrivalConfig { mean_gap: 50, seed: 9 };
+        let cfg = ArrivalConfig {
+            mean_gap: 50,
+            seed: 9,
+        };
         let a = draw_arrivals(6, &cfg);
         let b = draw_arrivals(6, &cfg);
         assert_eq!(a, b);
         assert!(a.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(a[0], 0);
-        assert_eq!(draw_arrivals(3, &ArrivalConfig { mean_gap: 0, seed: 1 }), vec![0, 0, 0]);
+        assert_eq!(
+            draw_arrivals(
+                3,
+                &ArrivalConfig {
+                    mean_gap: 0,
+                    seed: 1
+                }
+            ),
+            vec![0, 0, 0]
+        );
     }
 
     #[test]
@@ -85,7 +97,10 @@ mod tests {
                 latency: LatencyModel::Fixed(3),
                 ..Default::default()
             },
-            &ArrivalConfig { mean_gap: 40, seed: 5 },
+            &ArrivalConfig {
+                mean_gap: 40,
+                seed: 5,
+            },
         );
         assert!(r.finished);
         assert_eq!(r.metrics.committed, 4);
@@ -100,8 +115,22 @@ mod tests {
             latency: LatencyModel::Fixed(3),
             ..Default::default()
         };
-        let burst = run_open_loop(&sys, &sim, &ArrivalConfig { mean_gap: 0, seed: 5 });
-        let spread = run_open_loop(&sys, &sim, &ArrivalConfig { mean_gap: 500, seed: 5 });
+        let burst = run_open_loop(
+            &sys,
+            &sim,
+            &ArrivalConfig {
+                mean_gap: 0,
+                seed: 5,
+            },
+        );
+        let spread = run_open_loop(
+            &sys,
+            &sim,
+            &ArrivalConfig {
+                mean_gap: 500,
+                seed: 5,
+            },
+        );
         assert!(burst.finished && spread.finished);
         assert!(
             spread.metrics.lock_wait_ticks <= burst.metrics.lock_wait_ticks,

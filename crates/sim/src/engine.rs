@@ -69,7 +69,11 @@ pub fn run(sys: &TxnSystem, cfg: &SimConfig) -> SimReport {
 /// Runs the system with per-transaction arrival times (an open-loop
 /// workload): transaction `t` issues its first steps at `arrivals[t]`.
 pub fn run_with_arrivals(sys: &TxnSystem, cfg: &SimConfig, arrivals: &[SimTime]) -> SimReport {
-    assert_eq!(arrivals.len(), sys.len(), "one arrival time per transaction");
+    assert_eq!(
+        arrivals.len(),
+        sys.len(),
+        "one arrival time per transaction"
+    );
     let mut eng = Engine {
         sys,
         cfg,
@@ -100,7 +104,8 @@ pub fn run_with_arrivals(sys: &TxnSystem, cfg: &SimConfig, arrivals: &[SimTime])
         if arrival == 0 {
             eng.issue_ready(TxnId::from_idx(t));
         } else {
-            eng.queue.push(arrival, EventKind::Restart(TxnId::from_idx(t)));
+            eng.queue
+                .push(arrival, EventKind::Restart(TxnId::from_idx(t)));
         }
     }
     eng.queue
@@ -174,11 +179,7 @@ impl Engine<'_> {
         let ready: Vec<usize> = (0..t.len())
             .filter(|&v| {
                 let c = &self.coords[txn.idx()];
-                !c.issued[v]
-                    && t.edge_graph()
-                        .predecessors(v)
-                        .iter()
-                        .all(|&p| c.done[p])
+                !c.issued[v] && t.edge_graph().predecessors(v).iter().all(|&p| c.done[p])
             })
             .collect();
         for v in ready {
@@ -218,10 +219,7 @@ impl Engine<'_> {
                 }
                 if self.sites[site.idx()].request(entity, inst) {
                     self.history.record(self.now, inst, step);
-                    self.send_to_coordinator(
-                        inst.txn,
-                        Payload::LockGranted { inst, entity, step },
-                    );
+                    self.send_to_coordinator(inst.txn, Payload::LockGranted { inst, entity, step });
                 } else {
                     self.pending_lock_step.insert((inst, entity), step);
                     self.waiting_since.insert((inst, entity), self.now);
@@ -409,11 +407,7 @@ mod tests {
     #[test]
     fn resolves_deadlock_and_commits() {
         // Opposite-order two-phase: guaranteed deadlock under fixed latency.
-        let sys = pair(
-            "Lx Ly x y Ux Uy",
-            "Ly Lx y x Uy Ux",
-            &[("x", 0), ("y", 0)],
-        );
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 0)]);
         let cfg = SimConfig {
             latency: LatencyModel::Fixed(5),
             ..Default::default()
@@ -428,11 +422,7 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let sys = pair(
-            "Lx Ly x y Ux Uy",
-            "Ly Lx y x Uy Ux",
-            &[("x", 0), ("y", 0)],
-        );
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 0)]);
         let cfg = SimConfig {
             latency: LatencyModel::Uniform(1, 20),
             seed: 7,
@@ -448,11 +438,7 @@ mod tests {
     fn unsafe_locking_can_commit_non_serializable_history() {
         // The classic unsafe pair. With asymmetric latencies, T2 slips its
         // y-section between T1's x- and y-sections. Search a few seeds.
-        let sys = pair(
-            "Lx x Ux Ly y Uy",
-            "Ly y Uy Lx x Ux",
-            &[("x", 0), ("y", 0)],
-        );
+        let sys = pair("Lx x Ux Ly y Uy", "Ly y Uy Lx x Ux", &[("x", 0), ("y", 0)]);
         let mut saw_anomaly = false;
         for seed in 0..200 {
             let cfg = SimConfig {

@@ -1,9 +1,7 @@
 //! Execution history capture and serializability audit.
 
 use crate::event::{Instance, SimTime};
-use kplock_model::{
-    is_serializable, ModelError, Schedule, ScheduledStep, StepId, TxnSystem,
-};
+use kplock_model::{is_serializable, ModelError, Schedule, ScheduledStep, StepId, TxnSystem};
 
 /// One applied step, as observed at its site.
 #[derive(Clone, Copy, Debug)]
@@ -96,9 +94,30 @@ mod tests {
     #[test]
     fn committed_projection_filters_epochs() {
         let mut h = History::new_for_test();
-        h.record(1, Instance { txn: TxnId(0), epoch: 0 }, StepId(0));
-        h.record(2, Instance { txn: TxnId(0), epoch: 1 }, StepId(0));
-        h.record(3, Instance { txn: TxnId(1), epoch: 0 }, StepId(0));
+        h.record(
+            1,
+            Instance {
+                txn: TxnId(0),
+                epoch: 0,
+            },
+            StepId(0),
+        );
+        h.record(
+            2,
+            Instance {
+                txn: TxnId(0),
+                epoch: 1,
+            },
+            StepId(0),
+        );
+        h.record(
+            3,
+            Instance {
+                txn: TxnId(1),
+                epoch: 0,
+            },
+            StepId(0),
+        );
         let s = h.committed_schedule(&[1, 0]);
         assert_eq!(s.len(), 2);
         assert_eq!(s.steps()[0].txn, TxnId(0));

@@ -11,8 +11,8 @@
 //! phenomena under genuine concurrency; the discrete-event engine in
 //! [`crate::engine`] is the reproducible instrument.
 
-use crate::history::{audit, Audit};
 use crate::history::History;
+use crate::history::{audit, Audit};
 use kplock_model::{ActionKind, EntityId, StepId, TxnId, TxnSystem};
 use parking_lot::{Condvar, Mutex};
 use rand::Rng;
@@ -148,13 +148,9 @@ fn attempt(
     // Execute steps as they become ready (single-threaded within a
     // transaction; parallel across transactions).
     loop {
-        let Some(v) = (0..t.len()).find(|&v| {
-            !done[v]
-                && t.edge_graph()
-                    .predecessors(v)
-                    .iter()
-                    .all(|&p| done[p])
-        }) else {
+        let Some(v) = (0..t.len())
+            .find(|&v| !done[v] && t.edge_graph().predecessors(v).iter().all(|&p| done[p]))
+        else {
             return true; // all steps done
         };
         let step = t.step(StepId::from_idx(v));
@@ -176,11 +172,12 @@ fn attempt(
                 while st.holder.contains_key(&step.entity) {
                     let timeout = deadline.saturating_duration_since(std::time::Instant::now());
                     if (timeout.is_zero() || cv.wait_for(&mut st, timeout).timed_out())
-                        && st.holder.contains_key(&step.entity) {
-                            drop(st);
-                            release_all(&mut held);
-                            return false; // presumed deadlock: abort
-                        }
+                        && st.holder.contains_key(&step.entity)
+                    {
+                        drop(st);
+                        release_all(&mut held);
+                        return false; // presumed deadlock: abort
+                    }
                 }
                 st.holder.insert(step.entity, (txn, epoch));
                 held.push(step.entity);

@@ -162,8 +162,8 @@ mod tests {
         let (x, z) = (sys.db().entity("x").unwrap(), sys.db().entity("z").unwrap());
         let rx = *plane.rect_of(x).unwrap();
         let rz = *plane.rect_of(z).unwrap();
-        let wxz = kplock_geometry::separate(&plane, &rz, &rx)
-            .expect("curve above z, below x exists");
+        let wxz =
+            kplock_geometry::separate(&plane, &rz, &rx).expect("curve above z, below x exists");
         wxz.schedule.validate_complete(&sys).unwrap();
         assert!(!kplock_model::is_serializable(&sys, &wxz.schedule));
     }

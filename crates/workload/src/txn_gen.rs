@@ -83,7 +83,7 @@ pub fn random_unlocked_txn(
         last_at_site[site] = Some(id);
         // Occasional cross-site forward edge for data dependencies.
         if let Some(pv) = prev {
-            if rng.gen_range(0..100) < p.cross_edge_percent {
+            if rng.gen_range(0u32..100) < p.cross_edge_percent {
                 edges.push((pv, id));
             }
         }

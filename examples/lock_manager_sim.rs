@@ -55,7 +55,8 @@ fn main() {
         println!(
             "  {runs} seeded runs: commits={commits} aborts={aborts} deadlocks={deadlocks} \
              msgs/run={} wait/run={} non-serializable={anomalies}",
-            messages / runs, wait / runs
+            messages / runs,
+            wait / runs
         );
 
         // The same system under genuine concurrency.

@@ -31,7 +31,13 @@ fn describe(sys: &kplock::model::TxnSystem, title: &str) {
         SafetyVerdict::Safe(p) => println!("verdict: SAFE ({p:?})"),
         SafetyVerdict::Unsafe(cert) => {
             println!("verdict: UNSAFE");
-            println!("  dominator X = {:?}", cert.dominator.iter().map(|&e| sys.db().name_of(e)).collect::<Vec<_>>());
+            println!(
+                "  dominator X = {:?}",
+                cert.dominator
+                    .iter()
+                    .map(|&e| sys.db().name_of(e))
+                    .collect::<Vec<_>>()
+            );
             println!("  witness: {}", cert.schedule.display(sys));
         }
         SafetyVerdict::Unknown => println!("verdict: UNKNOWN"),

@@ -24,8 +24,14 @@ fn main() {
     let t2 = b.build().unwrap();
 
     let sys = TxnSystem::new(db, vec![t1, t2]);
-    println!("{}", kplock::model::display::render_columns(sys.db(), sys.txn(kplock::model::TxnId(0))));
-    println!("{}", kplock::model::display::render_columns(sys.db(), sys.txn(kplock::model::TxnId(1))));
+    println!(
+        "{}",
+        kplock::model::display::render_columns(sys.db(), sys.txn(kplock::model::TxnId(0)))
+    );
+    println!(
+        "{}",
+        kplock::model::display::render_columns(sys.db(), sys.txn(kplock::model::TxnId(1)))
+    );
 
     // Theorem 2: for two sites, safety <=> strong connectivity of D(T1,T2).
     let analysis = analyze_pair(&sys);

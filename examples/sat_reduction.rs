@@ -29,8 +29,14 @@ fn main() {
     let d = r.d_graph();
     let (doms, exhaustive) = enumerate_dominators(&d.graph, 10_000);
     assert!(exhaustive);
-    println!("{} dominators; the assignment table (middle row only):", doms.len());
-    println!("{:<30} {:>4} {:>4} {:>4}  desirable  closure", "dominator (middle part)", "x1", "x2", "x3");
+    println!(
+        "{} dominators; the assignment table (middle row only):",
+        doms.len()
+    );
+    println!(
+        "{:<30} {:>4} {:>4} {:>4}  desirable  closure",
+        "dominator (middle part)", "x1", "x2", "x3"
+    );
     let mut certificates = 0;
     for dom_bits in &doms {
         let dom: Vec<EntityId> = dom_bits.iter().map(|i| d.entities[i]).collect();
@@ -62,7 +68,11 @@ fn main() {
         println!(
             "{:<30} {a1:>4} {a2:>4} {a3:>4}  {desirable:<9}  {}",
             format!("{{{}}}", middle.join(",")),
-            if cert.is_some() { "certificate" } else { "fails" }
+            if cert.is_some() {
+                "certificate"
+            } else {
+                "fails"
+            }
         );
         // Soundness: a closure certificate exists exactly for desirable
         // dominators (paper, proof of Theorem 3).

@@ -51,7 +51,11 @@ fn serial_schedule_rejected() {
             .steps()
             .iter()
             .map(|ss| ScheduledStep {
-                txn: if ss.txn == TxnId(0) { cert.txn_a } else { cert.txn_b },
+                txn: if ss.txn == TxnId(0) {
+                    cert.txn_a
+                } else {
+                    cert.txn_b
+                },
                 step: ss.step,
             })
             .collect(),
@@ -88,9 +92,9 @@ fn foreign_entity_dominator_rejected() {
 fn bogus_extension_rejected() {
     let (sys, mut cert) = unsafe_cert();
     cert.t1_order.swap(0, 1); // Lx before its own site's earlier step
-    // Either it stops being a linear extension, or if steps were
-    // concurrent the certificate may still pass — fig1's first two steps
-    // are chained, so it must fail.
+                              // Either it stops being a linear extension, or if steps were
+                              // concurrent the certificate may still pass — fig1's first two steps
+                              // are chained, so it must fail.
     assert_eq!(
         cert.verify(&sys),
         Err(CertificateError::NotALinearExtension(cert.txn_a))

@@ -1,10 +1,10 @@
 //! Integration: Proposition 2 (k transactions) against the exact oracle on
 //! randomized centralized and two-site systems.
 
+use kplock::core::policy::LockStrategy;
 use kplock::core::{
     decide_exhaustive, proposition2, OracleOptions, OracleOutcome, Prop2Options, Prop2Verdict,
 };
-use kplock::core::policy::LockStrategy;
 use kplock::workload::{random_system, WorkloadParams};
 
 fn run_case(params: &WorkloadParams) -> Option<(bool, bool)> {
@@ -15,7 +15,12 @@ fn run_case(params: &WorkloadParams) -> Option<(bool, bool)> {
         Prop2Verdict::UnsafePair | Prop2Verdict::UnsafeCycle => false,
         Prop2Verdict::Unknown => return None,
     };
-    let oracle = decide_exhaustive(&sys, &OracleOptions { max_states: 4_000_000 });
+    let oracle = decide_exhaustive(
+        &sys,
+        &OracleOptions {
+            max_states: 4_000_000,
+        },
+    );
     let oracle_safe = match oracle.outcome {
         OracleOutcome::Safe => true,
         OracleOutcome::Unsafe(_) => false,

@@ -1,7 +1,7 @@
 //! Property-based tests (proptest) for the paper's core invariants.
 
 use kplock::core::policy::LockStrategy;
-use kplock::core::{ConflictDigraph, decide_total_pair, SafetyVerdict};
+use kplock::core::{decide_total_pair, ConflictDigraph, SafetyVerdict};
 use kplock::geometry::{plane_is_safe, PlanePicture};
 use kplock::model::{linear_extensions, TxnId, TxnSystem};
 use kplock::workload::{random_pair, WorkloadParams};

@@ -5,9 +5,7 @@ use kplock::core::closure::close_wrt_dominator;
 use kplock::core::policy::LockStrategy;
 use kplock::core::ConflictDigraph;
 use kplock::graph::find_dominator;
-use kplock::model::{
-    is_serializable, projection_respects_site_orders, EntityId, Schedule, TxnId,
-};
+use kplock::model::{is_serializable, projection_respects_site_orders, EntityId, Schedule, TxnId};
 use kplock::sim::{run, LatencyModel, SimConfig};
 use kplock::workload::{random_pair, random_system, WorkloadParams};
 use proptest::prelude::*;

@@ -58,7 +58,10 @@ fn fig1_exhibits_anomaly_for_some_timing() {
         let r = run(&sys, &cfg);
         r.finished && !r.audit.serializable
     });
-    assert!(found, "Fig. 1 is unsafe; some timing must commit an anomaly");
+    assert!(
+        found,
+        "Fig. 1 is unsafe; some timing must commit an anomaly"
+    );
 }
 
 #[test]
@@ -73,7 +76,10 @@ fn fig3_exhibits_anomaly_for_some_timing() {
         let r = run(&sys, &cfg);
         r.finished && !r.audit.serializable
     });
-    assert!(found, "Fig. 3 is unsafe; some timing must commit an anomaly");
+    assert!(
+        found,
+        "Fig. 3 is unsafe; some timing must commit an anomaly"
+    );
 }
 
 #[test]

@@ -1,0 +1,274 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! The build environment has no registry access, so this crate implements a
+//! small wall-clock benchmarking harness behind `criterion`'s API surface:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark is
+//! warmed up, then timed over enough iterations to fill a short measurement
+//! window, and the mean time per iteration is printed in criterion's
+//! `name ... time: [..]` style. Statistical analysis (outlier detection,
+//! regressions, HTML reports) is out of scope; swap in the real crate when a
+//! registry is reachable.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value. Re-exported for parity with
+/// `criterion::black_box`; forwards to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark, `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, recording mean wall-clock time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that fills the
+        // measurement window without timing each call individually.
+        let mut n: u64 = 1;
+        let calibration_floor = self.measurement_time / 20;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= calibration_floor || n >= (1 << 30) {
+                let target_iters = if elapsed.as_nanos() == 0 {
+                    n * 8
+                } else {
+                    let scale = self.measurement_time.as_nanos() as f64 / elapsed.as_nanos() as f64;
+                    ((n as f64 * scale).ceil() as u64).max(1)
+                };
+                let start = Instant::now();
+                for _ in 0..target_iters {
+                    black_box(routine());
+                }
+                self.total = start.elapsed();
+                self.iters = target_iters;
+                return;
+            }
+            n = n.saturating_mul(2);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<40} (no measurement)");
+            return;
+        }
+        let per_iter = self.total.as_nanos() as f64 / self.iters as f64;
+        println!(
+            "{name:<40} time: [{} {} {}]  ({} iterations)",
+            format_ns(per_iter * 0.98),
+            format_ns(per_iter),
+            format_ns(per_iter * 1.02),
+            self.iters
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    // Group-scoped override, like real criterion: it must not leak into
+    // groups created after this one finishes.
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the shim's fixed measurement window ignores
+    /// the requested sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = Some(time);
+        self
+    }
+
+    pub fn bench_function<S: fmt::Display, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let window = self.window();
+        self.criterion.run_one(&full, window, f);
+        self
+    }
+
+    pub fn bench_with_input<S: fmt::Display, I: ?Sized, F>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let window = self.window();
+        self.criterion.run_one(&full, window, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn window(&self) -> Duration {
+        self.measurement_time
+            .unwrap_or(self.criterion.measurement_time)
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Short window: these benches run in CI smoke mode, not for
+            // statistically rigorous comparisons.
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            measurement_time: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let window = self.measurement_time;
+        self.run_one(name, window, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, window: Duration, mut f: F) {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            measurement_time: window,
+        };
+        f(&mut bencher);
+        bencher.report(name);
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`: bundle benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: generate `main` running the groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_cheap_closures() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_measurement_time_does_not_leak() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.measurement_time(Duration::from_millis(40));
+        group.bench_function("x", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(c.measurement_time, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}
