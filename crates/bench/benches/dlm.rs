@@ -1,0 +1,133 @@
+//! Experiment D1: the lock-manager levers — shard count × lock mode.
+//!
+//! Three regimes over the standard contended workload suite:
+//!
+//! * `dlm_threaded_sweep` — end-to-end contended execution on real
+//!   threads (`run_threaded`, which parks waiters on per-shard condvars):
+//!   1 shard funnels every wakeup through one condvar (thundering herd),
+//!   16 shards wake only the waiters of the touched partition. The full
+//!   effect — independent entities proceeding in parallel on separate
+//!   shard mutexes — needs a multi-core host; on one core only the
+//!   wakeup-targeting difference remains, which sits near the noise
+//!   floor for the exclusive regime.
+//! * `dlm_threaded_rw` — the same workload with 70% reads: read-only
+//!   entities get shared locks, so readers overlap instead of queueing
+//!   (the regime where the shard sweep separates even on small hosts).
+//! * `dlm_table_ops` — raw single-threaded table throughput (sharding
+//!   must cost nothing when uncontended) and the batch API.
+//!
+//! Numbers from this bench are quoted in ARCHITECTURE.md §6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplock_core::policy::LockStrategy;
+use kplock_dlm::ShardedTable;
+use kplock_model::{EntityId, LockMode};
+use kplock_sim::{run_threaded, ThreadedConfig};
+use kplock_workload::{random_system, WorkloadParams};
+use std::time::Duration;
+
+/// The contended suite: many transactions funneled through few entities.
+fn contended(read_percent: u32) -> kplock_model::TxnSystem {
+    random_system(&WorkloadParams {
+        seed: 11,
+        sites: 2,
+        entities_per_site: 2,
+        transactions: 48,
+        steps_per_txn: 10,
+        read_percent,
+        strategy: LockStrategy::TwoPhaseSync,
+        ..Default::default()
+    })
+}
+
+fn threaded_cfg(shards: usize) -> ThreadedConfig {
+    ThreadedConfig {
+        shards,
+        // Generous timeout: on an oversubscribed host, presumed-deadlock
+        // aborts would otherwise dominate the measurement with noise.
+        lock_timeout: Duration::from_millis(400),
+        max_attempts: 256,
+        ..Default::default()
+    }
+}
+
+fn bench_dlm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dlm_threaded_sweep");
+    group.sample_size(10);
+    // Thread scheduling is noisy; a long window keeps run-to-run jitter
+    // below the shard effect, especially on small hosts.
+    group.measurement_time(Duration::from_secs(2));
+    let sys = contended(0);
+    for shards in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("exclusive", format!("{shards}shards")),
+            &sys,
+            |b, sys| {
+                b.iter(|| {
+                    let r = run_threaded(std::hint::black_box(sys), &threaded_cfg(shards));
+                    assert!(r.finished);
+                    r
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dlm_threaded_rw");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    let sys = contended(70);
+    for shards in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("rw70", format!("{shards}shards")),
+            &sys,
+            |b, sys| {
+                b.iter(|| {
+                    let r = run_threaded(std::hint::black_box(sys), &threaded_cfg(shards));
+                    assert!(r.finished);
+                    r
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Raw table ops, uncontended: sharding must be (near) free, and the
+    // batch API amortizes one shard lock over many entities.
+    let mut group = c.benchmark_group("dlm_table_ops");
+    for shards in [1usize, 4, 16] {
+        group.bench_function(
+            BenchmarkId::new("acquire_release", format!("{shards}shards")),
+            |b| {
+                let t: ShardedTable<u32> = ShardedTable::new(shards);
+                let mut i = 0u32;
+                b.iter(|| {
+                    let e = EntityId(i % 64);
+                    i = i.wrapping_add(7);
+                    t.acquire(e, 0, LockMode::Exclusive).unwrap();
+                    t.release(e, 0).unwrap()
+                })
+            },
+        );
+    }
+    for shards in [1usize, 16] {
+        group.bench_function(
+            BenchmarkId::new("batch16", format!("{shards}shards")),
+            |b| {
+                let t: ShardedTable<u32> = ShardedTable::new(shards);
+                let reqs: Vec<(EntityId, LockMode)> = (0..16)
+                    .map(|i| (EntityId(i), LockMode::Exclusive))
+                    .collect();
+                let ents: Vec<EntityId> = reqs.iter().map(|&(e, _)| e).collect();
+                b.iter(|| {
+                    t.acquire_batch(0, std::hint::black_box(&reqs)).unwrap();
+                    t.release_batch(0, &ents).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dlm);
+criterion_main!(benches);

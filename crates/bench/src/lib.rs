@@ -2,7 +2,19 @@
 //!
 //! Every table/figure of the paper maps to one Criterion bench target (see
 //! `benches/`) plus a row-printing experiment in `src/bin/experiments.rs`;
-//! DESIGN.md §5 is the index.
+//! ARCHITECTURE.md §6 is the index.
+//!
+//! # Example
+//!
+//! ```
+//! use kplock_bench::{centralized_pair, two_site_pair, STEP_SWEEP};
+//! use kplock_model::Level;
+//!
+//! let sys = two_site_pair(7, STEP_SWEEP[1]); // seed 7, 8 steps per txn
+//! sys.validate(Level::Strict).unwrap();
+//! assert_eq!(sys.len(), 2);
+//! assert_eq!(centralized_pair(7, 6).db().site_count(), 1);
+//! ```
 
 use kplock_core::policy::LockStrategy;
 use kplock_model::TxnSystem;

@@ -19,6 +19,32 @@
 //!
 //! Ground truth for all of it: the exact oracles in [`oracle`], and
 //! machine-checkable certificates in [`certificate`].
+//!
+//! # Example
+//!
+//! The classic centralized anomaly (non-two-phase, opposite entity
+//! orders) is decided unsafe with a counterexample schedule attached:
+//!
+//! ```
+//! use kplock_core::{analyze_pair, SafetyVerdict};
+//! use kplock_model::{Database, TxnBuilder, TxnSystem};
+//!
+//! let db = Database::from_spec(&[("x", 0), ("y", 0)]);
+//! let mut b1 = TxnBuilder::new(&db, "T1");
+//! b1.script("Lx x Ux Ly y Uy").unwrap();
+//! let t1 = b1.build().unwrap();
+//! let mut b2 = TxnBuilder::new(&db, "T2");
+//! b2.script("Ly y Uy Lx x Ux").unwrap();
+//! let t2 = b2.build().unwrap();
+//! let sys = TxnSystem::new(db, vec![t1, t2]);
+//!
+//! let analysis = analyze_pair(&sys);
+//! assert!(!analysis.strongly_connected); // Theorem 1's condition fails...
+//! match analysis.verdict {
+//!     SafetyVerdict::Unsafe(cert) => cert.verify(&sys).unwrap(), // ...provably
+//!     _ => unreachable!(),
+//! }
+//! ```
 
 pub mod analysis;
 pub mod certificate;

@@ -15,7 +15,9 @@
 //!   unlocks last *within each site's chain*, with no cross-site ordering
 //!   (safe centralized, unsafe distributed — the paper's gap).
 
-use kplock_model::{ActionKind, Database, EntityId, ModelError, SiteId, Step, StepId, Transaction};
+use kplock_model::{
+    ActionKind, Database, EntityId, LockMode, ModelError, SiteId, Step, StepId, Transaction,
+};
 use std::collections::HashMap;
 
 /// How to place lock/unlock steps around updates.
@@ -31,7 +33,9 @@ pub enum LockStrategy {
 
 /// Inserts locks into `t` (which must contain only update steps) according
 /// to `strategy`. The returned transaction preserves all precedences among
-/// the original updates.
+/// the original updates, and the updates keep their access modes: an entity
+/// whose accesses are all pure reads ([`LockMode::Shared`] updates) gets a
+/// *shared* lock; any written entity gets the paper's exclusive lock.
 pub fn insert_locks(
     db: &Database,
     t: &Transaction,
@@ -46,6 +50,20 @@ pub fn insert_locks(
         LockStrategy::Minimal => minimal(db, t),
         LockStrategy::TwoPhaseSync => two_phase(db, t, true),
         LockStrategy::TwoPhaseLoose => two_phase(db, t, false),
+    }
+}
+
+/// The mode of the lock protecting `e` in `t`: shared iff no access of `e`
+/// writes.
+fn lock_mode_for(t: &Transaction, e: EntityId) -> LockMode {
+    let writes = t
+        .steps()
+        .iter()
+        .any(|s| s.entity == e && s.mode == LockMode::Exclusive);
+    if writes {
+        LockMode::Exclusive
+    } else {
+        LockMode::Shared
     }
 }
 
@@ -107,9 +125,10 @@ fn minimal(db: &Database, t: &Transaction) -> Result<Transaction, ModelError> {
         for (i, &s) in chain.iter().enumerate() {
             let e = t.step(s).entity;
             if first[&e] == i {
-                push(&mut steps, &mut edges, Step::lock(e), &mut prev);
+                let lock = Step::lock(e).with_mode(lock_mode_for(t, e));
+                push(&mut steps, &mut edges, lock, &mut prev);
             }
-            let new_id = push(&mut steps, &mut edges, Step::update(e), &mut prev);
+            let new_id = push(&mut steps, &mut edges, t.step(s), &mut prev);
             map.insert(s, new_id);
             if last[&e] == i {
                 push(&mut steps, &mut edges, Step::unlock(e), &mut prev);
@@ -146,7 +165,7 @@ fn two_phase(db: &Database, t: &Transaction, sync: bool) -> Result<Transaction, 
         let mut prev: Option<StepId> = None;
         for &e in &entities {
             let id = StepId::from_idx(steps.len());
-            steps.push(Step::lock(e));
+            steps.push(Step::lock(e).with_mode(lock_mode_for(t, e)));
             if let Some(p) = prev {
                 edges.push((p, id));
             }
@@ -155,7 +174,7 @@ fn two_phase(db: &Database, t: &Transaction, sync: bool) -> Result<Transaction, 
         }
         for &s in chain {
             let id = StepId::from_idx(steps.len());
-            steps.push(Step::update(t.step(s).entity));
+            steps.push(t.step(s));
             if let Some(p) = prev {
                 edges.push((p, id));
             }
@@ -240,6 +259,34 @@ mod tests {
         b.script("Lx x Ux").unwrap();
         let t = b.build().unwrap();
         assert!(insert_locks(&db, &t, LockStrategy::Minimal).is_err());
+    }
+
+    #[test]
+    fn read_only_entities_get_shared_locks() {
+        let db = db();
+        let mut b = TxnBuilder::new(&db, "T");
+        b.read("x").unwrap(); // pure read: expects a shared lock
+        b.update("y").unwrap(); // write: exclusive
+        b.read("y").unwrap(); // read of a written entity: still exclusive
+        let t = b.build().unwrap();
+        for strategy in [
+            LockStrategy::Minimal,
+            LockStrategy::TwoPhaseSync,
+            LockStrategy::TwoPhaseLoose,
+        ] {
+            let locked = insert_locks(&db, &t, strategy).unwrap();
+            kplock_model::validate(&db, &locked, Level::Strict).unwrap();
+            let x = db.entity("x").unwrap();
+            let y = db.entity("y").unwrap();
+            let lx = locked.step(locked.lock_step(x).unwrap());
+            let ly = locked.step(locked.lock_step(y).unwrap());
+            assert_eq!(lx.mode, LockMode::Shared, "{strategy:?}");
+            assert_eq!(ly.mode, LockMode::Exclusive, "{strategy:?}");
+            // The read steps keep their mode through insertion.
+            assert!(locked.steps().iter().any(|s| s.entity == x
+                && s.kind == ActionKind::Update
+                && s.mode == LockMode::Shared));
+        }
     }
 
     #[test]

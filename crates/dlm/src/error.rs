@@ -1,0 +1,57 @@
+//! Typed errors for the lock-manager API boundary.
+//!
+//! The simulator's internal table treats protocol violations as bugs and
+//! panics (its callers are the engine itself); this crate is a *service*
+//! layer, so the same violations surface as values a caller can handle.
+
+use kplock_model::EntityId;
+use std::fmt;
+
+/// A protocol violation reported by the lock-manager API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockError {
+    /// `release(e, o)` was called but `o` does not hold a lock on `e`.
+    NotHolder {
+        /// The entity whose release was attempted.
+        entity: EntityId,
+    },
+    /// `acquire(e, o, _)` was called while `o` is already queued for `e`
+    /// (a well-formed client waits for its first request to resolve).
+    AlreadyQueued {
+        /// The entity requested twice.
+        entity: EntityId,
+    },
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::NotHolder { entity } => {
+                write!(f, "release of {entity} by an owner that does not hold it")
+            }
+            LockError::AlreadyQueued { entity } => {
+                write!(f, "duplicate lock request for {entity} while still queued")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_entity() {
+        let e = LockError::NotHolder {
+            entity: EntityId(3),
+        };
+        assert!(e.to_string().contains("e3"));
+        let e = LockError::AlreadyQueued {
+            entity: EntityId(7),
+        };
+        assert!(e.to_string().contains("e7"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,522 @@
+//! The mode-aware FIFO lock table (one partition).
+//!
+//! [`ModeTable`] generalizes the simulator's exclusive-only table to
+//! reader–writer locks while keeping its grant discipline *bit-identical*
+//! in the exclusive-only case: requests queue strictly FIFO (no waiter is
+//! ever overtaken by a later request, so writers never starve), and grants
+//! happen inside [`ModeTable::release`] so the caller can forward them.
+//!
+//! # Invariants
+//!
+//! * At most one [`LockMode::Exclusive`] holder per entity, and never
+//!   alongside a shared holder (the S/X compatibility matrix).
+//! * The wait queue is FIFO: a queued request is granted only when it is at
+//!   the front and compatible with the current holders; runs of adjacent
+//!   shared requests are granted together.
+//! * An upgrade (a shared holder requesting exclusive) takes priority over
+//!   the queue but must wait until it is the sole holder. Two concurrent
+//!   upgraders deadlock by construction — that is the caller's problem to
+//!   detect (see [`crate::WaitForGraph`]) and resolve by aborting one.
+//! * Protocol violations return [`LockError`]; nothing panics.
+
+use crate::error::LockError;
+use kplock_model::{EntityId, LockMode};
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// Grants unblocked by one release/cancel at one entity: the granted
+/// owners with their granted modes, in FIFO order.
+pub type Grants<O> = Vec<(O, LockMode)>;
+
+/// Per-entity grant lists, ascending by entity — what the bulk operations
+/// (`release_all`, batch release) report.
+pub type EntityGrants<O> = Vec<(EntityId, Grants<O>)>;
+
+/// Outcome of a lock request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Acquire {
+    /// The lock was granted immediately.
+    Granted,
+    /// The request was queued; it will appear in a later release's grant
+    /// list (or be cancelled).
+    Queued,
+}
+
+/// Per-entity lock state.
+#[derive(Clone, Debug)]
+struct LockState<O> {
+    /// Current holders with their modes (one exclusive, or any number
+    /// shared).
+    holders: Vec<(O, LockMode)>,
+    /// Shared holders waiting to upgrade to exclusive.
+    upgrades: Vec<O>,
+    /// FIFO wait queue.
+    queue: VecDeque<(O, LockMode)>,
+}
+
+impl<O> LockState<O> {
+    fn new() -> Self {
+        LockState {
+            holders: Vec::new(),
+            upgrades: Vec::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.holders.is_empty() && self.upgrades.is_empty() && self.queue.is_empty()
+    }
+}
+
+/// Result of cancelling an owner's waits: which entities it stopped waiting
+/// on, and any grants the cancellation unblocked (e.g. a cancelled upgrade
+/// letting queued readers through).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CancelOutcome<O> {
+    /// Entities the owner was queued (or upgrade-pending) on, ascending.
+    pub cancelled: Vec<EntityId>,
+    /// Grants performed as a consequence, in ascending entity order.
+    pub granted: EntityGrants<O>,
+}
+
+impl<O> Default for CancelOutcome<O> {
+    fn default() -> Self {
+        CancelOutcome {
+            cancelled: Vec::new(),
+            granted: Vec::new(),
+        }
+    }
+}
+
+/// A reader–writer FIFO lock table over one partition of the entity space.
+///
+/// `O` is the owner handle (a transaction instance, a session id, …); it
+/// must be cheap to copy and totally ordered so every query can return
+/// deterministic, sorted results.
+#[derive(Clone, Debug)]
+pub struct ModeTable<O> {
+    states: HashMap<EntityId, LockState<O>>,
+}
+
+impl<O> Default for ModeTable<O> {
+    fn default() -> Self {
+        ModeTable {
+            states: HashMap::new(),
+        }
+    }
+}
+
+impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests `mode` on `e` for `o`.
+    ///
+    /// Re-requesting a mode already covered by the held one returns
+    /// [`Acquire::Granted`] without changing state. A shared holder
+    /// requesting exclusive starts an *upgrade*: granted immediately if it
+    /// is the sole holder, otherwise pending until the other holders
+    /// release (reported as `Queued`).
+    pub fn request(&mut self, e: EntityId, o: O, mode: LockMode) -> Result<Acquire, LockError> {
+        let st = self.states.entry(e).or_insert_with(LockState::new);
+        if st.queue.iter().any(|&(w, _)| w == o) || st.upgrades.contains(&o) {
+            return Err(LockError::AlreadyQueued { entity: e });
+        }
+        if let Some(held) = st.holders.iter().find(|&&(h, _)| h == o).map(|&(_, m)| m) {
+            if held.covers(mode) {
+                return Ok(Acquire::Granted);
+            }
+            // Upgrade S -> X.
+            if st.holders.len() == 1 {
+                st.holders[0].1 = LockMode::Exclusive;
+                return Ok(Acquire::Granted);
+            }
+            st.upgrades.push(o);
+            return Ok(Acquire::Queued);
+        }
+        let grantable = if st.holders.is_empty() {
+            st.queue.is_empty()
+        } else {
+            mode == LockMode::Shared
+                && st.upgrades.is_empty()
+                && st.queue.is_empty()
+                && st.holders.iter().all(|&(_, m)| m == LockMode::Shared)
+        };
+        if grantable {
+            st.holders.push((o, mode));
+            Ok(Acquire::Granted)
+        } else {
+            st.queue.push_back((o, mode));
+            Ok(Acquire::Queued)
+        }
+    }
+
+    /// Grants whatever the state now admits: a sole-holder upgrade first,
+    /// then the longest compatible prefix of the FIFO queue.
+    fn promote(st: &mut LockState<O>) -> Grants<O> {
+        let mut out = Vec::new();
+        loop {
+            if !st.upgrades.is_empty()
+                && st.holders.len() == 1
+                && st.upgrades.contains(&st.holders[0].0)
+            {
+                let u = st.holders[0].0;
+                st.holders[0].1 = LockMode::Exclusive;
+                st.upgrades.retain(|&x| x != u);
+                out.push((u, LockMode::Exclusive));
+                continue;
+            }
+            let Some(&(w, m)) = st.queue.front() else {
+                break;
+            };
+            let ok = if st.holders.is_empty() {
+                true
+            } else {
+                m == LockMode::Shared
+                    && st.upgrades.is_empty()
+                    && st.holders.iter().all(|&(_, hm)| hm == LockMode::Shared)
+            };
+            if !ok {
+                break;
+            }
+            st.queue.pop_front();
+            st.holders.push((w, m));
+            out.push((w, m));
+        }
+        out
+    }
+
+    /// Releases `o`'s lock on `e`; returns the grants this unblocked, in
+    /// FIFO order. A pending upgrade by `o` is cancelled alongside.
+    ///
+    /// Returns [`LockError::NotHolder`] if `o` holds no lock on `e` — the
+    /// typed twin of the simulator table's "release by non-holder" panic.
+    pub fn release(&mut self, e: EntityId, o: O) -> Result<Grants<O>, LockError> {
+        let Some(st) = self.states.get_mut(&e) else {
+            return Err(LockError::NotHolder { entity: e });
+        };
+        let before = st.holders.len();
+        st.holders.retain(|&(h, _)| h != o);
+        if st.holders.len() == before {
+            return Err(LockError::NotHolder { entity: e });
+        }
+        st.upgrades.retain(|&x| x != o);
+        let grants = Self::promote(st);
+        if st.is_empty() {
+            self.states.remove(&e);
+        }
+        Ok(grants)
+    }
+
+    /// The mode `o` holds on `e`, if any.
+    pub fn holds(&self, e: EntityId, o: O) -> Option<LockMode> {
+        self.states
+            .get(&e)?
+            .holders
+            .iter()
+            .find(|&&(h, _)| h == o)
+            .map(|&(_, m)| m)
+    }
+
+    /// Current holders of `e` with their modes (unspecified order).
+    pub fn holders(&self, e: EntityId) -> Vec<(O, LockMode)> {
+        self.states
+            .get(&e)
+            .map(|st| st.holders.clone())
+            .unwrap_or_default()
+    }
+
+    /// Sole exclusive holder of `e`, if the lock is held exclusively.
+    pub fn exclusive_holder(&self, e: EntityId) -> Option<O> {
+        let st = self.states.get(&e)?;
+        match st.holders.as_slice() {
+            [(h, LockMode::Exclusive)] => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// Entities currently held by `o`, ascending.
+    pub fn held_by(&self, o: O) -> Vec<EntityId> {
+        let mut v: Vec<EntityId> = self
+            .states
+            .iter()
+            .filter(|(_, st)| st.holders.iter().any(|&(h, _)| h == o))
+            .map(|(&e, _)| e)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Removes `o` from every wait queue and pending-upgrade slot. Grants
+    /// unblocked by the cancellation are performed and reported.
+    pub fn cancel_waits(&mut self, o: O) -> CancelOutcome<O> {
+        let mut entities: Vec<EntityId> = self.states.keys().copied().collect();
+        entities.sort();
+        let mut out = CancelOutcome::default();
+        for e in entities {
+            let st = self.states.get_mut(&e).expect("key just listed");
+            let before = st.queue.len() + st.upgrades.len();
+            st.queue.retain(|&(w, _)| w != o);
+            st.upgrades.retain(|&x| x != o);
+            if st.queue.len() + st.upgrades.len() == before {
+                continue;
+            }
+            out.cancelled.push(e);
+            let grants = Self::promote(st);
+            if !grants.is_empty() {
+                out.granted.push((e, grants));
+            }
+            if st.is_empty() {
+                self.states.remove(&e);
+            }
+        }
+        out
+    }
+
+    /// Releases everything `o` holds; returns `(entity, grants)` pairs in
+    /// ascending entity order.
+    pub fn release_all(&mut self, o: O) -> EntityGrants<O> {
+        self.held_by(o)
+            .into_iter()
+            .map(|e| {
+                let grants = self.release(e, o).expect("held_by listed the entity");
+                (e, grants)
+            })
+            .collect()
+    }
+
+    /// The waits-for edges `(waiter, holder)` induced by `e` alone:
+    /// queued requests wait on every holder; pending upgraders wait on
+    /// every *other* holder.
+    pub fn entity_waits_for(&self, e: EntityId) -> Vec<(O, O)> {
+        let Some(st) = self.states.get(&e) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for &(w, _) in &st.queue {
+            for &(h, _) in &st.holders {
+                out.push((w, h));
+            }
+        }
+        for &u in &st.upgrades {
+            for &(h, _) in &st.holders {
+                if h != u {
+                    out.push((u, h));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// All waits-for edges `(waiter, holder)` at this table, ascending.
+    pub fn waits_for(&self) -> Vec<(O, O)> {
+        let mut out = Vec::new();
+        for &e in self.states.keys() {
+            out.extend(self.entity_waits_for(e));
+        }
+        out.sort();
+        out
+    }
+
+    /// Entities with any lock state (held or queued), ascending.
+    pub fn active_entities(&self) -> Vec<EntityId> {
+        let mut v: Vec<EntityId> = self.states.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// True when nothing is held or queued anywhere.
+    pub fn is_idle(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Checks the table's structural invariants (for tests): S/X exclusion,
+    /// at most one exclusive holder, upgraders are holders, no
+    /// holder-and-waiter owners.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (e, st) in &self.states {
+            let x = st
+                .holders
+                .iter()
+                .filter(|&&(_, m)| m == LockMode::Exclusive)
+                .count();
+            if x > 1 {
+                return Err(format!("{e}: {x} exclusive holders"));
+            }
+            if x == 1 && st.holders.len() > 1 {
+                return Err(format!("{e}: exclusive alongside shared holders"));
+            }
+            for &u in &st.upgrades {
+                if !st.holders.iter().any(|&(h, _)| h == u) {
+                    return Err(format!("{e}: upgrader is not a holder"));
+                }
+            }
+            for &(w, _) in &st.queue {
+                if st.holders.iter().any(|&(h, _)| h == w) {
+                    return Err(format!("{e}: owner both holds and waits"));
+                }
+            }
+            if st.is_empty() {
+                return Err(format!("{e}: empty state not pruned"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> LockMode {
+        LockMode::Exclusive
+    }
+    fn s() -> LockMode {
+        LockMode::Shared
+    }
+
+    #[test]
+    fn exclusive_fifo_grant_queue_release() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        assert_eq!(t.request(e, 0, x()).unwrap(), Acquire::Granted);
+        assert_eq!(t.request(e, 1, x()).unwrap(), Acquire::Queued);
+        assert_eq!(t.request(e, 2, x()).unwrap(), Acquire::Queued);
+        assert_eq!(t.holds(e, 0), Some(x()));
+        assert_eq!(t.waits_for(), vec![(1, 0), (2, 0)]);
+        assert_eq!(t.release(e, 0).unwrap(), vec![(1, x())]);
+        assert_eq!(t.release(e, 1).unwrap(), vec![(2, x())]);
+        assert_eq!(t.release(e, 2).unwrap(), vec![]);
+        assert!(t.is_idle());
+    }
+
+    #[test]
+    fn shared_holders_coexist_and_block_writers() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        assert_eq!(t.request(e, 0, s()).unwrap(), Acquire::Granted);
+        assert_eq!(t.request(e, 1, s()).unwrap(), Acquire::Granted);
+        assert_eq!(t.request(e, 2, x()).unwrap(), Acquire::Queued);
+        // FIFO: a reader arriving after the writer must not overtake it.
+        assert_eq!(t.request(e, 3, s()).unwrap(), Acquire::Queued);
+        t.check_invariants().unwrap();
+        assert_eq!(t.release(e, 0).unwrap(), vec![]);
+        // Last reader leaves: writer goes first, reader 3 still waits.
+        assert_eq!(t.release(e, 1).unwrap(), vec![(2, x())]);
+        assert_eq!(t.holds(e, 2), Some(x()));
+        assert_eq!(t.release(e, 2).unwrap(), vec![(3, s())]);
+        assert_eq!(t.release(e, 3).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn adjacent_readers_granted_together() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        t.request(e, 0, x()).unwrap();
+        t.request(e, 1, s()).unwrap();
+        t.request(e, 2, s()).unwrap();
+        t.request(e, 3, x()).unwrap();
+        assert_eq!(t.release(e, 0).unwrap(), vec![(1, s()), (2, s())]);
+        assert_eq!(t.release(e, 1).unwrap(), vec![]);
+        assert_eq!(t.release(e, 2).unwrap(), vec![(3, x())]);
+    }
+
+    #[test]
+    fn reentrant_covered_request_is_granted() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        t.request(e, 0, x()).unwrap();
+        assert_eq!(t.request(e, 0, s()).unwrap(), Acquire::Granted);
+        assert_eq!(t.request(e, 0, x()).unwrap(), Acquire::Granted);
+        assert_eq!(t.holds(e, 0), Some(x()));
+    }
+
+    #[test]
+    fn sole_holder_upgrade_is_immediate() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        t.request(e, 0, s()).unwrap();
+        assert_eq!(t.request(e, 0, x()).unwrap(), Acquire::Granted);
+        assert_eq!(t.holds(e, 0), Some(x()));
+        assert_eq!(t.exclusive_holder(e), Some(0));
+    }
+
+    #[test]
+    fn contended_upgrade_waits_for_other_readers() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        t.request(e, 0, s()).unwrap();
+        t.request(e, 1, s()).unwrap();
+        assert_eq!(t.request(e, 0, x()).unwrap(), Acquire::Queued);
+        // The upgrader waits on the other holder only.
+        assert_eq!(t.waits_for(), vec![(0, 1)]);
+        // A new reader must not sneak in past the pending upgrade.
+        assert_eq!(t.request(e, 2, s()).unwrap(), Acquire::Queued);
+        assert_eq!(t.release(e, 1).unwrap(), vec![(0, x())]);
+        assert_eq!(t.holds(e, 0), Some(x()));
+        assert_eq!(t.release(e, 0).unwrap(), vec![(2, s())]);
+    }
+
+    #[test]
+    fn release_by_non_holder_is_a_typed_error() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        assert_eq!(
+            t.release(e, 9).unwrap_err(),
+            LockError::NotHolder { entity: e }
+        );
+        t.request(e, 0, x()).unwrap();
+        assert_eq!(
+            t.release(e, 1).unwrap_err(),
+            LockError::NotHolder { entity: e }
+        );
+        // Waiters are not holders.
+        t.request(e, 1, x()).unwrap();
+        assert_eq!(
+            t.release(e, 1).unwrap_err(),
+            LockError::NotHolder { entity: e }
+        );
+    }
+
+    #[test]
+    fn duplicate_queued_request_is_an_error() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        t.request(e, 0, x()).unwrap();
+        t.request(e, 1, x()).unwrap();
+        assert_eq!(
+            t.request(e, 1, x()).unwrap_err(),
+            LockError::AlreadyQueued { entity: e }
+        );
+    }
+
+    #[test]
+    fn cancel_waits_unblocks_readers_behind_cancelled_writer() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        t.request(e, 0, s()).unwrap();
+        t.request(e, 1, x()).unwrap();
+        t.request(e, 2, s()).unwrap();
+        let out = t.cancel_waits(1);
+        assert_eq!(out.cancelled, vec![e]);
+        assert_eq!(out.granted, vec![(e, vec![(2, s())])]);
+        assert_eq!(t.holds(e, 2), Some(s()));
+    }
+
+    #[test]
+    fn abort_helpers_match_old_table_semantics() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let (a, b) = (EntityId(0), EntityId(1));
+        t.request(a, 0, x()).unwrap();
+        t.request(b, 0, x()).unwrap();
+        t.request(a, 1, x()).unwrap();
+        assert_eq!(t.held_by(0), vec![a, b]);
+        assert_eq!(t.cancel_waits(1).cancelled, vec![a]);
+        let released = t.release_all(0);
+        assert_eq!(released, vec![(a, vec![]), (b, vec![])]);
+        assert!(t.is_idle());
+    }
+}

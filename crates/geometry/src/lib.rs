@@ -9,6 +9,31 @@
 //! separation test (an independent implementation used to cross-validate the
 //! graph-theoretic method of `kplock-core`), geometric deadlock detection,
 //! and ASCII rendering of the paper's figures.
+//!
+//! # Example
+//!
+//! The classic opposed pair: each transaction locks x then y in opposite
+//! orders. Geometrically the two forbidden rectangles overlap into a
+//! region whose south-west corner is a deadlock state.
+//!
+//! ```
+//! use kplock_geometry::{has_deadlock, plane_is_safe, PlanePicture};
+//! use kplock_model::{Database, TxnBuilder, TxnId, TxnSystem};
+//!
+//! let db = Database::centralized(&["x", "y"]);
+//! let mut b1 = TxnBuilder::new(&db, "t1");
+//! b1.script("Lx Ly x y Ux Uy").unwrap();
+//! let t1 = b1.build().unwrap();
+//! let mut b2 = TxnBuilder::new(&db, "t2");
+//! b2.script("Ly Lx y x Uy Ux").unwrap();
+//! let t2 = b2.build().unwrap();
+//! let sys = TxnSystem::new(db, vec![t1, t2]);
+//!
+//! let pic = PlanePicture::new(&sys, TxnId(0), TxnId(1)).unwrap();
+//! assert_eq!(pic.rects.len(), 2);           // one rectangle per shared entity
+//! assert!(plane_is_safe(&pic));             // 2PL: no separating curve exists
+//! assert!(has_deadlock(&pic));              // but opposed orders can deadlock
+//! ```
 
 pub mod deadlock;
 pub mod error;

@@ -8,6 +8,20 @@
 //! topological sorts (the certificate construction of Theorem 2), cycle
 //! enumeration (Proposition 2) and dense bitsets/reachability (transitive
 //! closures of transaction partial orders).
+//!
+//! # Example
+//!
+//! ```
+//! use kplock_graph::{find_cycle, is_strongly_connected, tarjan_scc, DiGraph};
+//!
+//! // Two 2-cycles bridged one way: strongly connected components {0,1}
+//! // and {2,3}, reachable 0→2 but not back.
+//! let g = DiGraph::from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+//! assert!(!is_strongly_connected(&g));
+//! assert_eq!(tarjan_scc(&g).count(), 2);
+//! let cycle = find_cycle(&g).unwrap();
+//! assert!(g.has_edge(cycle[cycle.len() - 1], cycle[0])); // closes up
+//! ```
 
 pub mod bitset;
 pub mod condensation;

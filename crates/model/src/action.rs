@@ -1,16 +1,72 @@
 //! Transaction steps: lock, unlock and update actions on entities.
 
 use crate::ids::EntityId;
+use std::fmt;
 
 /// The kind of a transaction step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ActionKind {
-    /// `lock x`: obtain exclusive access to an entity.
+    /// `lock x`: obtain access to an entity (exclusive in the paper's
+    /// model; see [`LockMode`] for the shared generalization).
     Lock,
     /// `update x`: the paper's indivisible read-then-write of an entity.
     Update,
-    /// `unlock x`: give up exclusive access to an entity.
+    /// `unlock x`: give up access to an entity.
     Unlock,
+}
+
+/// Access mode of a step — the reader–writer generalization of the paper's
+/// exclusive-only locks.
+///
+/// The paper's model has a single lock mode (every update is a
+/// read-then-write, so every lock is a write lock). Production lock
+/// managers distinguish *shared* (read) from *exclusive* (write) access:
+/// any number of shared holders may coexist, an exclusive holder excludes
+/// everyone else. [`Compatibility`](LockMode::compatible_with) is the
+/// standard S/X matrix.
+///
+/// On a [`ActionKind::Lock`] step the mode is the lock mode requested; on
+/// an [`ActionKind::Update`] step `Shared` marks a pure read (no write) —
+/// two `Shared` accesses of the same entity do not conflict for
+/// serializability. `Unlock` steps carry a mode for uniformity, but it is
+/// ignored. The default everywhere is [`LockMode::Exclusive`], which makes
+/// every paper-model construction behave exactly as before the modes were
+/// introduced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockMode {
+    /// Read access: compatible with other shared holders.
+    Shared,
+    /// Read-write access: compatible with nothing.
+    #[default]
+    Exclusive,
+}
+
+impl LockMode {
+    /// The S/X compatibility matrix: two modes are compatible iff both are
+    /// [`LockMode::Shared`].
+    pub fn compatible_with(self, other: LockMode) -> bool {
+        self == LockMode::Shared && other == LockMode::Shared
+    }
+
+    /// True iff holding `self` already grants everything `req` asks for
+    /// (`X` covers `S` and `X`; `S` covers only `S`).
+    pub fn covers(self, req: LockMode) -> bool {
+        self == LockMode::Exclusive || req == LockMode::Shared
+    }
+
+    /// True for a write (exclusive) access.
+    pub fn is_write(self) -> bool {
+        self == LockMode::Exclusive
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockMode::Shared => write!(f, "S"),
+            LockMode::Exclusive => write!(f, "X"),
+        }
+    }
 }
 
 /// A single step of a transaction.
@@ -20,22 +76,45 @@ pub struct Step {
     pub kind: ActionKind,
     /// The entity it does it to (the paper's modifies function `e`).
     pub entity: EntityId,
+    /// Access mode (see [`LockMode`]; [`LockMode::Exclusive`] reproduces
+    /// the paper's model exactly).
+    pub mode: LockMode,
 }
 
 impl Step {
-    /// `lock e`.
+    /// `lock e` (exclusive, the paper's lock).
     pub fn lock(entity: EntityId) -> Step {
         Step {
             kind: ActionKind::Lock,
             entity,
+            mode: LockMode::Exclusive,
         }
     }
 
-    /// `update e`.
+    /// `slock e`: a shared (read) lock.
+    pub fn lock_shared(entity: EntityId) -> Step {
+        Step {
+            kind: ActionKind::Lock,
+            entity,
+            mode: LockMode::Shared,
+        }
+    }
+
+    /// `update e` (read-then-write, the paper's update).
     pub fn update(entity: EntityId) -> Step {
         Step {
             kind: ActionKind::Update,
             entity,
+            mode: LockMode::Exclusive,
+        }
+    }
+
+    /// `read e`: a pure read of an entity (a [`LockMode::Shared`] update).
+    pub fn read(entity: EntityId) -> Step {
+        Step {
+            kind: ActionKind::Update,
+            entity,
+            mode: LockMode::Shared,
         }
     }
 
@@ -44,15 +123,24 @@ impl Step {
         Step {
             kind: ActionKind::Unlock,
             entity,
+            mode: LockMode::Exclusive,
         }
     }
 
-    /// Paper-style label, e.g. `Lx`, `Ux` or `x`, given the entity's name.
+    /// The same step with `mode` replaced.
+    pub fn with_mode(self, mode: LockMode) -> Step {
+        Step { mode, ..self }
+    }
+
+    /// Paper-style label, e.g. `Lx`, `Ux` or `x`, given the entity's name;
+    /// shared-mode steps get an `S`/`r` marker (`SLx`, `rx`).
     pub fn label(&self, entity_name: &str) -> String {
-        match self.kind {
-            ActionKind::Lock => format!("L{entity_name}"),
-            ActionKind::Unlock => format!("U{entity_name}"),
-            ActionKind::Update => entity_name.to_string(),
+        match (self.kind, self.mode) {
+            (ActionKind::Lock, LockMode::Exclusive) => format!("L{entity_name}"),
+            (ActionKind::Lock, LockMode::Shared) => format!("SL{entity_name}"),
+            (ActionKind::Unlock, _) => format!("U{entity_name}"),
+            (ActionKind::Update, LockMode::Exclusive) => entity_name.to_string(),
+            (ActionKind::Update, LockMode::Shared) => format!("r{entity_name}"),
         }
     }
 }
@@ -70,5 +158,45 @@ mod tests {
         assert_eq!(Step::lock(e).label("x"), "Lx");
         assert_eq!(Step::unlock(e).label("x"), "Ux");
         assert_eq!(Step::update(e).label("x"), "x");
+    }
+
+    #[test]
+    fn default_mode_is_exclusive() {
+        let e = EntityId(0);
+        for s in [Step::lock(e), Step::update(e), Step::unlock(e)] {
+            assert_eq!(s.mode, LockMode::Exclusive);
+        }
+        assert_eq!(LockMode::default(), LockMode::Exclusive);
+    }
+
+    #[test]
+    fn shared_constructors_and_labels() {
+        let e = EntityId(0);
+        assert_eq!(Step::lock_shared(e).mode, LockMode::Shared);
+        assert_eq!(Step::lock_shared(e).kind, ActionKind::Lock);
+        assert_eq!(Step::read(e).mode, LockMode::Shared);
+        assert_eq!(Step::read(e).kind, ActionKind::Update);
+        assert_eq!(Step::lock_shared(e).label("x"), "SLx");
+        assert_eq!(Step::read(e).label("x"), "rx");
+        assert_eq!(
+            Step::lock(e).with_mode(LockMode::Shared),
+            Step::lock_shared(e)
+        );
+    }
+
+    #[test]
+    fn compatibility_matrix() {
+        use LockMode::*;
+        assert!(Shared.compatible_with(Shared));
+        assert!(!Shared.compatible_with(Exclusive));
+        assert!(!Exclusive.compatible_with(Shared));
+        assert!(!Exclusive.compatible_with(Exclusive));
+        assert!(Exclusive.covers(Shared));
+        assert!(Exclusive.covers(Exclusive));
+        assert!(Shared.covers(Shared));
+        assert!(!Shared.covers(Exclusive));
+        assert!(Exclusive.is_write());
+        assert!(!Shared.is_write());
+        assert_eq!(format!("{Shared}/{Exclusive}"), "S/X");
     }
 }

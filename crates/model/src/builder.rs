@@ -51,9 +51,19 @@ impl<'a> TxnBuilder<'a> {
         Ok(self.push(Step::lock(self.db.entity(name)?)))
     }
 
+    /// Appends a shared (read) `lock name`.
+    pub fn lock_shared(&mut self, name: &str) -> Result<StepId, ModelError> {
+        Ok(self.push(Step::lock_shared(self.db.entity(name)?)))
+    }
+
     /// Appends `update name`.
     pub fn update(&mut self, name: &str) -> Result<StepId, ModelError> {
         Ok(self.push(Step::update(self.db.entity(name)?)))
+    }
+
+    /// Appends a pure read of `name` (a shared-mode update).
+    pub fn read(&mut self, name: &str) -> Result<StepId, ModelError> {
+        Ok(self.push(Step::read(self.db.entity(name)?)))
     }
 
     /// Appends `unlock name`.
@@ -79,9 +89,12 @@ impl<'a> TxnBuilder<'a> {
 
     /// Appends a totally ordered run described by a script such as
     /// `"Lx Ly x y Ux Uy Lz z Uz"`: `L<e>` locks, `U<e>` unlocks and a bare
-    /// entity name updates. Entity names must exist in the database; note
-    /// that a name starting with `L` or `U` is parsed as lock/unlock first,
-    /// and as an update only if the suffix is not a known entity.
+    /// entity name updates; `SL<e>` takes a shared lock and `r<e>` reads
+    /// (shared-mode update). Entity names must exist in the database; a
+    /// name starting with `L`/`U` is parsed as that action first and as
+    /// an update only if the suffix is not a known entity, while an exact
+    /// entity name wins over the `SL` and `r` prefixes (so pre-existing
+    /// `SL…`/`r…`-named entities keep their meaning).
     pub fn script(&mut self, script: &str) -> Result<Vec<StepId>, ModelError> {
         let mut steps = Vec::new();
         for tok in script.split_whitespace() {
@@ -91,6 +104,10 @@ impl<'a> TxnBuilder<'a> {
     }
 
     fn parse_token(&self, tok: &str) -> Result<Step, ModelError> {
+        // `L`/`U` prefixes keep their original precedence over exact
+        // entity names. The `SL`/`r` prefixes are newer; an exact entity
+        // name wins over them, so pre-existing scripts whose entity names
+        // happen to start with "SL" or "r" do not change meaning.
         if let Some(rest) = tok.strip_prefix('L') {
             if let Ok(e) = self.db.entity(rest) {
                 return Ok(Step::lock(e));
@@ -101,7 +118,20 @@ impl<'a> TxnBuilder<'a> {
                 return Ok(Step::unlock(e));
             }
         }
-        Ok(Step::update(self.db.entity(tok)?))
+        if let Ok(e) = self.db.entity(tok) {
+            return Ok(Step::update(e));
+        }
+        if let Some(rest) = tok.strip_prefix("SL") {
+            if let Ok(e) = self.db.entity(rest) {
+                return Ok(Step::lock_shared(e));
+            }
+        }
+        if let Some(rest) = tok.strip_prefix('r') {
+            if let Ok(e) = self.db.entity(rest) {
+                return Ok(Step::read(e));
+            }
+        }
+        Err(self.db.entity(tok).unwrap_err())
     }
 
     /// Finishes building. Checks acyclicity (site totality holds by
@@ -163,5 +193,34 @@ mod tests {
         let db = db();
         let mut b = TxnBuilder::new(&db, "T");
         assert!(b.script("Lq").is_err());
+    }
+
+    #[test]
+    fn script_parses_shared_tokens() {
+        use crate::action::LockMode;
+        let db = db();
+        let mut b = TxnBuilder::new(&db, "T");
+        let ids = b.script("SLx rx Ux").unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.step(ids[0]).kind, ActionKind::Lock);
+        assert_eq!(t.step(ids[0]).mode, LockMode::Shared);
+        assert_eq!(t.step(ids[1]).kind, ActionKind::Update);
+        assert_eq!(t.step(ids[1]).mode, LockMode::Shared);
+        assert_eq!(t.step(ids[2]).kind, ActionKind::Unlock);
+    }
+
+    #[test]
+    fn exact_entity_name_beats_new_prefixes() {
+        use crate::action::LockMode;
+        let db = Database::from_spec(&[("ry", 0), ("y", 0), ("SLy", 0)]);
+        let mut b = TxnBuilder::new(&db, "T");
+        let ids = b.script("ry SLy").unwrap();
+        let t = b.build().unwrap();
+        // "ry" and "SLy" are entities: parsed as their (exclusive)
+        // updates, not as a shared read / shared lock of "y".
+        assert_eq!(db.name_of(t.step(ids[0]).entity), "ry");
+        assert_eq!(t.step(ids[0]).mode, LockMode::Exclusive);
+        assert_eq!(db.name_of(t.step(ids[1]).entity), "SLy");
+        assert_eq!(t.step(ids[1]).kind, ActionKind::Update);
     }
 }

@@ -6,6 +6,25 @@
 //! *safe* when all its schedules are serializable. This crate defines those
 //! objects, their well-formedness rules, and conflict-serializability of
 //! schedules; the safety algorithms themselves live in `kplock-core`.
+//!
+//! # Example
+//!
+//! Build the paper's classic non-two-phase pair from scripts and check the
+//! model-level facts directly:
+//!
+//! ```
+//! use kplock_model::{ActionKind, Database, Level, LockMode, TxnBuilder};
+//!
+//! let db = Database::from_spec(&[("x", 0), ("y", 1)]); // x at site 0, y at site 1
+//! let mut b = TxnBuilder::new(&db, "T1");
+//! let ids = b.script("Lx x Ux SLy ry Uy").unwrap(); // exclusive x, shared (read) y
+//! let t = b.build().unwrap();
+//!
+//! assert_eq!(t.step(ids[0]).kind, ActionKind::Lock);
+//! assert_eq!(t.step(ids[3]).mode, LockMode::Shared);
+//! assert!(t.precedes(ids[0], ids[2])); // Lx before Ux: scripts are chains
+//! kplock_model::validate(&db, &t, Level::Strict).unwrap(); // well-locked
+//! ```
 
 pub mod action;
 pub mod builder;
@@ -21,7 +40,7 @@ pub mod system;
 pub mod txn;
 pub mod validate;
 
-pub use action::{ActionKind, Step};
+pub use action::{ActionKind, LockMode, Step};
 pub use builder::TxnBuilder;
 pub use entity::Database;
 pub use error::ModelError;

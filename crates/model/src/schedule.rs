@@ -1,6 +1,6 @@
 //! Schedules: interleaved executions of a set of transactions.
 
-use crate::action::ActionKind;
+use crate::action::{ActionKind, LockMode};
 use crate::error::ModelError;
 use crate::ids::{StepId, TxnId};
 use crate::system::TxnSystem;
@@ -63,15 +63,17 @@ impl Schedule {
     /// Checks legality of this schedule for `sys` per the paper:
     ///
     /// (a) it does not contradict any transaction's partial order, and
-    /// (b) any two `lock x` steps are separated by an `unlock x`;
+    /// (b) lock sections on one entity overlap only when every involved
+    ///     mode is compatible (two exclusive locks — the paper's only
+    ///     mode — must be separated by an unlock; shared locks coexist);
     ///
     /// plus basic sanity (each step appears at most once, ids in range).
     /// Use [`Schedule::validate_complete`] to additionally require that every
     /// step of every transaction appears.
     pub fn validate_prefix(&self, sys: &TxnSystem) -> Result<(), ModelError> {
         let mut done: Vec<Vec<bool>> = sys.txns().iter().map(|t| vec![false; t.len()]).collect();
-        // Lock ownership: entity -> holder txn.
-        let mut lock_held: HashMap<crate::ids::EntityId, TxnId> = HashMap::new();
+        // Lock ownership: entity -> current holders with modes.
+        let mut lock_held: HashMap<crate::ids::EntityId, Vec<(TxnId, LockMode)>> = HashMap::new();
 
         for (i, ss) in self.steps.iter().enumerate() {
             let t = ss.txn.idx();
@@ -100,28 +102,34 @@ impl Schedule {
                     )));
                 }
             }
-            // (b) lock exclusion.
+            // (b) lock-mode exclusion.
             let step = txn.step(ss.step);
             match step.kind {
                 ActionKind::Lock => {
-                    if let Some(holder) = lock_held.get(&step.entity) {
+                    let holders = lock_held.entry(step.entity).or_default();
+                    if let Some(&(holder, _)) = holders
+                        .iter()
+                        .find(|&&(_, m)| !m.compatible_with(step.mode))
+                    {
                         return Err(ModelError::IllegalSchedule(format!(
                             "step {i}: {} locks {} already held by {holder}",
                             ss.txn, step.entity
                         )));
                     }
-                    lock_held.insert(step.entity, ss.txn);
+                    holders.push((ss.txn, step.mode));
                 }
                 ActionKind::Unlock => {
                     // Paper's schedules only require separation of two locks
                     // by an unlock; unlocking without holding is a model bug.
-                    if lock_held.get(&step.entity) != Some(&ss.txn) {
+                    let holders = lock_held.entry(step.entity).or_default();
+                    let before = holders.len();
+                    holders.retain(|&(t, _)| t != ss.txn);
+                    if holders.len() == before {
                         return Err(ModelError::IllegalSchedule(format!(
                             "step {i}: {} unlocks {} it does not hold",
                             ss.txn, step.entity
                         )));
                     }
-                    lock_held.remove(&step.entity);
                 }
                 ActionKind::Update => {}
             }
@@ -232,6 +240,37 @@ mod tests {
         // craft a system-level check instead via prefix: T1 lock, T1 update,
         // T2 unlock (T2's unlock is step 2 but needs its own predecessors).
         let s = Schedule::new(vec![st(0, 0), st(0, 1), st(1, 2)]);
+        assert!(s.validate_prefix(&sys).is_err());
+    }
+
+    #[test]
+    fn shared_lock_sections_may_overlap() {
+        let db = Database::from_spec(&[("x", 0)]);
+        let mut b1 = TxnBuilder::new(&db, "T1");
+        b1.script("SLx rx Ux").unwrap();
+        let t1 = b1.build().unwrap();
+        let mut b2 = TxnBuilder::new(&db, "T2");
+        b2.script("SLx rx Ux").unwrap();
+        let t2 = b2.build().unwrap();
+        let mut b3 = TxnBuilder::new(&db, "T3");
+        b3.script("Lx x Ux").unwrap();
+        let t3 = b3.build().unwrap();
+        let sys = TxnSystem::new(db, vec![t1, t2, t3]);
+        // Fully interleaved shared sections are legal...
+        let s = Schedule::new(vec![
+            st(0, 0),
+            st(1, 0),
+            st(0, 1),
+            st(1, 1),
+            st(0, 2),
+            st(1, 2),
+        ]);
+        s.validate_prefix(&sys).unwrap();
+        // ...but an exclusive lock may not join a shared section...
+        let s = Schedule::new(vec![st(0, 0), st(2, 0)]);
+        assert!(s.validate_prefix(&sys).is_err());
+        // ...and a shared lock may not join an exclusive section.
+        let s = Schedule::new(vec![st(2, 0), st(0, 0)]);
         assert!(s.validate_prefix(&sys).is_err());
     }
 

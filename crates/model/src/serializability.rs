@@ -20,16 +20,19 @@ use std::collections::HashMap;
 
 /// Builds the serialization graph of a (complete, legal) schedule: one node
 /// per transaction, an edge `Ti -> Tj` iff some access of an entity by `Ti`
-/// precedes an access of the same entity by `Tj`.
+/// precedes a *conflicting* access of the same entity by `Tj`.
 ///
 /// An *access* of entity `x` by `T` is an `update x` step; if `T` locks `x`
 /// but never updates it (figure-style transactions), the lock section itself
-/// counts as a single access placed at the `lock x` step.
+/// counts as a single access placed at the `lock x` step. Two accesses of
+/// the same entity by different transactions conflict unless **both** are
+/// reads ([`crate::action::LockMode::Shared`]); in the paper's exclusive-only
+/// model every access is a write, so every same-entity pair conflicts.
 pub fn serialization_graph(sys: &TxnSystem, schedule: &Schedule) -> DiGraph {
     let k = sys.len();
     let mut g = DiGraph::new(k);
-    // Per entity, the list of (position, txn) access events.
-    let mut accesses: HashMap<EntityId, Vec<(usize, TxnId)>> = HashMap::new();
+    // Per entity, the list of (position, txn, is_write) access events.
+    let mut accesses: HashMap<EntityId, Vec<(usize, TxnId, bool)>> = HashMap::new();
 
     for (pos, ss) in schedule.steps().iter().enumerate() {
         let txn = sys.txn(ss.txn);
@@ -40,15 +43,19 @@ pub fn serialization_graph(sys: &TxnSystem, schedule: &Schedule) -> DiGraph {
             ActionKind::Unlock => false,
         };
         if is_access {
-            accesses.entry(step.entity).or_default().push((pos, ss.txn));
+            accesses
+                .entry(step.entity)
+                .or_default()
+                .push((pos, ss.txn, step.mode.is_write()));
         }
     }
 
     for events in accesses.values() {
         for i in 0..events.len() {
             for j in (i + 1)..events.len() {
-                let (a, b) = (events[i].1, events[j].1);
-                if a != b {
+                let (a, wa) = (events[i].1, events[i].2);
+                let (b, wb) = (events[j].1, events[j].2);
+                if a != b && (wa || wb) {
                     g.add_edge(a.idx(), b.idx());
                 }
             }
@@ -156,6 +163,77 @@ mod tests {
             (1, 3), // T2 x-section
             (0, 2),
             (0, 3), // T1 y-section
+        ]);
+        s.validate_complete(&sys).unwrap();
+        assert!(!is_serializable(&sys, &s));
+    }
+
+    #[test]
+    fn concurrent_reads_do_not_conflict() {
+        // Both transactions only *read* x under shared locks, in an order
+        // that would be a conflict cycle if the accesses were writes.
+        let sys = two_txn_sys(
+            ["SLx rx Ux SLy ry Uy", "SLy ry Uy SLx rx Ux"],
+            &[("x", 0), ("y", 0)],
+        );
+        let s = sched(&[
+            (1, 0),
+            (1, 1),
+            (1, 2), // T2 reads y
+            (0, 0),
+            (0, 1),
+            (0, 2), // T1 reads x
+            (1, 3),
+            (1, 4),
+            (1, 5), // T2 reads x
+            (0, 3),
+            (0, 4),
+            (0, 5), // T1 reads y
+        ]);
+        s.validate_complete(&sys).unwrap();
+        assert!(is_serializable(&sys, &s), "read-read never conflicts");
+        // The same shape with exclusive updates is the classic cycle.
+        let sys = two_txn_sys(
+            ["Lx x Ux Ly y Uy", "Ly y Uy Lx x Ux"],
+            &[("x", 0), ("y", 0)],
+        );
+        let s = sched(&[
+            (1, 0),
+            (1, 1),
+            (1, 2),
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (1, 4),
+            (1, 5),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+        ]);
+        assert!(!is_serializable(&sys, &s));
+    }
+
+    #[test]
+    fn read_write_still_conflicts() {
+        // T1 reads x, T2 writes x: order matters.
+        let sys = two_txn_sys(
+            ["SLx rx Ux Ly y Uy", "Lx x Ux SLy ry Uy"],
+            &[("x", 0), ("y", 0)],
+        );
+        let s = sched(&[
+            (0, 0),
+            (0, 1),
+            (0, 2), // T1 reads x
+            (1, 0),
+            (1, 1),
+            (1, 2), // T2 writes x   => T1 -> T2
+            (1, 3),
+            (1, 4),
+            (1, 5), // T2 reads y
+            (0, 3),
+            (0, 4),
+            (0, 5), // T1 writes y   => T2 -> T1: cycle
         ]);
         s.validate_complete(&sys).unwrap();
         assert!(!is_serializable(&sys, &s));

@@ -74,7 +74,9 @@ pub fn validate_lock_pairs(t: &Transaction) -> Result<(), ModelError> {
 }
 
 /// Constraints 3–4: every lock section contains an update; every update is
-/// inside its entity's lock section.
+/// inside its entity's lock section, *and* the lock's mode covers the
+/// update's (a write under a merely-shared lock is unprotected — two such
+/// sections could overlap and race).
 pub fn validate_updates(t: &Transaction) -> Result<(), ModelError> {
     for e in t.locked_entities() {
         let l = t.lock_step(e).expect("locked");
@@ -96,6 +98,9 @@ pub fn validate_updates(t: &Transaction) -> Result<(), ModelError> {
             return Err(ModelError::UnprotectedUpdate(s));
         };
         if !(t.precedes(l, s) && t.precedes(s, u)) {
+            return Err(ModelError::UnprotectedUpdate(s));
+        }
+        if !t.step(l).mode.covers(st.mode) {
             return Err(ModelError::UnprotectedUpdate(s));
         }
     }
@@ -191,6 +196,26 @@ mod tests {
             validate(&db, &t, Level::Strict),
             Err(ModelError::EmptyLockSection(db.entity("x").unwrap()))
         );
+    }
+
+    #[test]
+    fn write_under_shared_lock_is_unprotected() {
+        let db = db();
+        let mut b = TxnBuilder::new(&db, "T");
+        b.script("SLx x Ux").unwrap(); // exclusive update, shared lock
+        let t = b.build().unwrap();
+        assert!(matches!(
+            validate(&db, &t, Level::Strict),
+            Err(ModelError::UnprotectedUpdate(_))
+        ));
+        // A read under a shared lock — and anything under an exclusive
+        // lock — is fine.
+        for script in ["SLx rx Ux", "Lx rx Ux", "Lx x Ux"] {
+            let mut b = TxnBuilder::new(&db, "T");
+            b.script(script).unwrap();
+            let t = b.build().unwrap();
+            validate(&db, &t, Level::Strict).unwrap_or_else(|e| panic!("{script}: {e}"));
+        }
     }
 
     #[test]

@@ -7,6 +7,25 @@
 //! as the decision baseline), the restricted-form conversion, random
 //! formula generators, and DIMACS I/O. No external SAT solver is available
 //! in the offline crate set, so everything is built from scratch.
+//!
+//! # Example
+//!
+//! ```
+//! use kplock_sat::{solve, Cnf, Lit, SatResult, Var};
+//!
+//! // (a ∨ b) ∧ (¬a) ∧ (¬b ∨ c): satisfiable only with b=c=true.
+//! let mut cnf = Cnf::new(3);
+//! let (a, b, c) = (Var(0), Var(1), Var(2));
+//! cnf.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+//! cnf.add_clause(vec![Lit::neg(a)]);
+//! cnf.add_clause(vec![Lit::neg(b), Lit::pos(c)]);
+//! match solve(&cnf) {
+//!     SatResult::Sat(assignment) => {
+//!         assert!(!assignment[0] && assignment[1] && assignment[2]);
+//!     }
+//!     SatResult::Unsat => unreachable!(),
+//! }
+//! ```
 
 pub mod cnf;
 pub mod dimacs;

@@ -28,6 +28,21 @@ pub enum VictimPolicy {
     Oldest,
 }
 
+/// How the engine detects deadlocks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DeadlockDetection {
+    /// The paper-era default: rebuild the global waits-for relation every
+    /// [`SimConfig::deadlock_scan_interval`] ticks. A cycle can sit
+    /// undetected for up to a full interval.
+    #[default]
+    Periodic,
+    /// Incremental: a wait-for graph ([`kplock_dlm::WaitForGraph`]) is
+    /// maintained per entity as requests block/grant/release, and checked
+    /// exactly when a request blocks — deadlocks are resolved the instant
+    /// they form, with no scan latency.
+    OnBlock,
+}
+
 /// Full simulator configuration.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -38,8 +53,11 @@ pub struct SimConfig {
     pub latency: LatencyModel,
     /// Ticks a site spends applying a step.
     pub local_step_time: u64,
-    /// Interval between global deadlock scans.
+    /// Interval between global deadlock scans (unused under
+    /// [`DeadlockDetection::OnBlock`]).
     pub deadlock_scan_interval: u64,
+    /// Deadlock detection scheme.
+    pub detection: DeadlockDetection,
     /// Victim selection policy.
     pub victim_policy: VictimPolicy,
     /// Backoff before an aborted instance restarts.
@@ -55,6 +73,7 @@ impl Default for SimConfig {
             latency: LatencyModel::Fixed(10),
             local_step_time: 1,
             deadlock_scan_interval: 50,
+            detection: DeadlockDetection::Periodic,
             victim_policy: VictimPolicy::Youngest,
             restart_backoff: 25,
             max_time: 10_000_000,

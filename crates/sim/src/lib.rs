@@ -11,8 +11,38 @@
 //! Two runners share the semantics:
 //!
 //! * [`engine::run`] — deterministic discrete-event simulation (seeded);
-//! * [`threaded::run_threaded`] — real OS threads with timeout-based
-//!   deadlock breaking, for demonstrations under genuine concurrency.
+//! * [`threaded::run_threaded`] — real OS threads over a sharded
+//!   `kplock-dlm` table with timeout-based deadlock breaking, for
+//!   demonstrations under genuine concurrency.
+//!
+//! Both sit on the `kplock-dlm` lock tables: reader–writer modes with
+//! FIFO grants (exclusive-only by default, matching the paper), and
+//! deadlock detection either by periodic global scan (default) or
+//! incrementally at block time ([`DeadlockDetection::OnBlock`]).
+//!
+//! # Example
+//!
+//! A guaranteed deadlock, resolved and committed serializably:
+//!
+//! ```
+//! use kplock_model::{Database, TxnBuilder, TxnSystem};
+//! use kplock_sim::{run, LatencyModel, SimConfig};
+//!
+//! let db = Database::from_spec(&[("x", 0), ("y", 0)]);
+//! let mut b1 = TxnBuilder::new(&db, "T1");
+//! b1.script("Lx Ly x y Ux Uy").unwrap(); // 2PL, x then y
+//! let t1 = b1.build().unwrap();
+//! let mut b2 = TxnBuilder::new(&db, "T2");
+//! b2.script("Ly Lx y x Uy Ux").unwrap(); // 2PL, y then x
+//! let t2 = b2.build().unwrap();
+//! let sys = TxnSystem::new(db, vec![t1, t2]);
+//!
+//! let cfg = SimConfig { latency: LatencyModel::Fixed(5), ..Default::default() };
+//! let report = run(&sys, &cfg);
+//! assert!(report.finished);
+//! assert!(report.metrics.deadlocks_resolved >= 1); // victim aborted + restarted
+//! assert!(report.audit.serializable);              // 2PL commits serializably
+//! ```
 
 pub mod config;
 pub mod driver;
@@ -23,7 +53,7 @@ pub mod lock_table;
 pub mod metrics;
 pub mod threaded;
 
-pub use config::{LatencyModel, SimConfig, VictimPolicy};
+pub use config::{DeadlockDetection, LatencyModel, SimConfig, VictimPolicy};
 pub use driver::{draw_arrivals, run_open_loop, ArrivalConfig};
 pub use engine::{run, run_with_arrivals, SimReport};
 pub use event::{EventKind, EventQueue, Instance, Payload, SimTime};

@@ -1,14 +1,25 @@
-//! Per-site lock tables with FIFO queueing.
+//! Per-site lock tables: a thin simulator-facing wrapper over
+//! [`kplock_dlm::ModeTable`].
+//!
+//! The table logic (modes, FIFO queues, grant-on-release, upgrades) lives
+//! in `kplock-dlm`, where protocol violations are typed
+//! [`kplock_dlm::LockError`]s a service caller can handle. *This* wrapper
+//! is internal to the engine, whose message protocol guarantees it never
+//! violates the locking protocol — so here violations are bugs, and the
+//! wrapper turns them back into panics (see [`LockTable::release`]).
+//!
+//! In the default exclusive-only configuration the behavior is
+//! bit-identical to the original hand-rolled FIFO table (pinned by
+//! `tests/sim_regression.rs` at the workspace root).
 
 use crate::event::Instance;
-use kplock_model::EntityId;
-use std::collections::{HashMap, VecDeque};
+use kplock_dlm::{Acquire, CancelOutcome, ModeTable};
+use kplock_model::{EntityId, LockMode};
 
-/// A site's lock table: exclusive locks, FIFO wait queues.
+/// A site's lock table: reader–writer locks, FIFO wait queues.
 #[derive(Clone, Debug, Default)]
 pub struct LockTable {
-    holder: HashMap<EntityId, Instance>,
-    queue: HashMap<EntityId, VecDeque<Instance>>,
+    inner: ModeTable<Instance>,
 }
 
 impl LockTable {
@@ -17,86 +28,79 @@ impl LockTable {
         Self::default()
     }
 
-    /// Requests the lock on `e`. Returns `true` if granted immediately;
-    /// otherwise the instance is queued.
-    pub fn request(&mut self, e: EntityId, inst: Instance) -> bool {
-        if let std::collections::hash_map::Entry::Vacant(e) = self.holder.entry(e) {
-            e.insert(inst);
-            true
-        } else {
-            self.queue.entry(e).or_default().push_back(inst);
-            false
-        }
-    }
-
-    /// Releases the lock held by `inst` on `e`; returns the next instance
-    /// to grant to, if any (the grant is performed here).
+    /// Requests the lock on `e` in `mode`. Returns `true` if granted
+    /// immediately; otherwise the instance is queued.
     ///
     /// # Panics
-    /// Panics if `inst` does not hold the lock (a protocol bug).
-    pub fn release(&mut self, e: EntityId, inst: Instance) -> Option<Instance> {
-        let holder = self.holder.remove(&e);
-        assert_eq!(holder, Some(inst), "release by non-holder");
-        let next = self.queue.get_mut(&e).and_then(|q| q.pop_front());
-        if let Some(n) = next {
-            self.holder.insert(e, n);
+    /// Panics if `inst` is already queued for `e` (a protocol bug: the
+    /// engine never re-requests before the first request resolves).
+    pub fn request(&mut self, e: EntityId, inst: Instance, mode: LockMode) -> bool {
+        match self.inner.request(e, inst, mode) {
+            Ok(Acquire::Granted) => true,
+            Ok(Acquire::Queued) => false,
+            Err(err) => panic!("{err}"),
         }
-        next
     }
 
-    /// Current holder of `e`.
+    /// Releases the lock held by `inst` on `e`; returns the instances the
+    /// release unblocked, in FIFO grant order (the grants are performed
+    /// here). Exclusive-only tables grant at most one.
+    ///
+    /// # Panics
+    /// Panics if `inst` does not hold the lock (a protocol bug). The
+    /// service-layer twin, [`kplock_dlm::ModeTable::release`], returns
+    /// [`kplock_dlm::LockError::NotHolder`] instead.
+    pub fn release(&mut self, e: EntityId, inst: Instance) -> Vec<(Instance, LockMode)> {
+        match self.inner.release(e, inst) {
+            Ok(grants) => grants,
+            Err(err) => panic!("release by non-holder: {err}"),
+        }
+    }
+
+    /// The mode `inst` holds on `e`, if any.
+    pub fn holds(&self, e: EntityId, inst: Instance) -> Option<LockMode> {
+        self.inner.holds(e, inst)
+    }
+
+    /// Current sole exclusive holder of `e` (compatibility accessor for
+    /// exclusive-only callers).
     pub fn holder(&self, e: EntityId) -> Option<Instance> {
-        self.holder.get(&e).copied()
+        self.inner.exclusive_holder(e)
     }
 
-    /// Entities currently held by `inst`.
+    /// All holders of `e` with modes.
+    pub fn holders(&self, e: EntityId) -> Vec<(Instance, LockMode)> {
+        self.inner.holders(e)
+    }
+
+    /// Entities currently held by `inst`, ascending.
     pub fn held_by(&self, inst: Instance) -> Vec<EntityId> {
-        let mut v: Vec<EntityId> = self
-            .holder
-            .iter()
-            .filter(|&(_, &h)| h == inst)
-            .map(|(&e, _)| e)
-            .collect();
-        v.sort();
-        v
+        self.inner.held_by(inst)
     }
 
-    /// Removes `inst` from all wait queues; returns entities it was
-    /// waiting on.
-    pub fn cancel_waits(&mut self, inst: Instance) -> Vec<EntityId> {
-        let mut out = Vec::new();
-        for (&e, q) in self.queue.iter_mut() {
-            let before = q.len();
-            q.retain(|&i| i != inst);
-            if q.len() != before {
-                out.push(e);
-            }
-        }
-        out.sort();
-        out
+    /// Removes `inst` from all wait queues (and pending upgrades); returns
+    /// the entities it stopped waiting on plus any grants the cancellation
+    /// unblocked (possible only with shared modes in play).
+    pub fn cancel_waits(&mut self, inst: Instance) -> CancelOutcome<Instance> {
+        self.inner.cancel_waits(inst)
     }
 
-    /// Releases everything `inst` holds; returns `(entity, next_grantee)`
-    /// pairs.
-    pub fn release_all(&mut self, inst: Instance) -> Vec<(EntityId, Option<Instance>)> {
-        let held = self.held_by(inst);
-        held.into_iter()
-            .map(|e| (e, self.release(e, inst)))
-            .collect()
+    /// Releases everything `inst` holds; returns `(entity, grants)` pairs
+    /// in ascending entity order.
+    pub fn release_all(&mut self, inst: Instance) -> Vec<(EntityId, Vec<(Instance, LockMode)>)> {
+        self.inner.release_all(inst)
     }
 
-    /// The waits-for edges at this site: `(waiter, holder)` pairs.
+    /// The waits-for edges at this site: `(waiter, holder)` pairs,
+    /// ascending.
     pub fn waits_for(&self) -> Vec<(Instance, Instance)> {
-        let mut out = Vec::new();
-        for (e, q) in &self.queue {
-            if let Some(&h) = self.holder.get(e) {
-                for &w in q {
-                    out.push((w, h));
-                }
-            }
-        }
-        out.sort();
-        out
+        self.inner.waits_for()
+    }
+
+    /// The waits-for edges contributed by `e` alone (incremental deadlock
+    /// detection reads exactly the entity that changed).
+    pub fn entity_waits_for(&self, e: EntityId) -> Vec<(Instance, Instance)> {
+        self.inner.entity_waits_for(e)
     }
 }
 
@@ -112,29 +116,31 @@ mod tests {
         }
     }
 
+    const X: LockMode = LockMode::Exclusive;
+
     #[test]
     fn grant_queue_release() {
         let mut lt = LockTable::new();
         let e = EntityId(0);
-        assert!(lt.request(e, inst(0)));
-        assert!(!lt.request(e, inst(1)));
-        assert!(!lt.request(e, inst(2)));
+        assert!(lt.request(e, inst(0), X));
+        assert!(!lt.request(e, inst(1), X));
+        assert!(!lt.request(e, inst(2), X));
         assert_eq!(lt.holder(e), Some(inst(0)));
         assert_eq!(lt.waits_for(), vec![(inst(1), inst(0)), (inst(2), inst(0))]);
         // FIFO: 1 gets it next.
-        assert_eq!(lt.release(e, inst(0)), Some(inst(1)));
+        assert_eq!(lt.release(e, inst(0)), vec![(inst(1), X)]);
         assert_eq!(lt.holder(e), Some(inst(1)));
-        assert_eq!(lt.release(e, inst(1)), Some(inst(2)));
-        assert_eq!(lt.release(e, inst(2)), None);
+        assert_eq!(lt.release(e, inst(1)), vec![(inst(2), X)]);
+        assert_eq!(lt.release(e, inst(2)), vec![]);
         assert_eq!(lt.holder(e), None);
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "release by non-holder")]
     fn release_by_non_holder_panics() {
         let mut lt = LockTable::new();
         let e = EntityId(0);
-        lt.request(e, inst(0));
+        lt.request(e, inst(0), X);
         lt.release(e, inst(1));
     }
 
@@ -142,13 +148,26 @@ mod tests {
     fn abort_helpers() {
         let mut lt = LockTable::new();
         let (x, y) = (EntityId(0), EntityId(1));
-        lt.request(x, inst(0));
-        lt.request(y, inst(0));
-        lt.request(x, inst(1));
+        lt.request(x, inst(0), X);
+        lt.request(y, inst(0), X);
+        lt.request(x, inst(1), X);
         assert_eq!(lt.held_by(inst(0)), vec![x, y]);
-        assert_eq!(lt.cancel_waits(inst(1)), vec![x]);
+        assert_eq!(lt.cancel_waits(inst(1)).cancelled, vec![x]);
         let released = lt.release_all(inst(0));
-        assert_eq!(released, vec![(x, None), (y, None)]);
+        assert_eq!(released, vec![(x, vec![]), (y, vec![])]);
         assert!(lt.holder(x).is_none());
+    }
+
+    #[test]
+    fn shared_grants_coexist() {
+        let mut lt = LockTable::new();
+        let e = EntityId(0);
+        assert!(lt.request(e, inst(0), LockMode::Shared));
+        assert!(lt.request(e, inst(1), LockMode::Shared));
+        assert!(!lt.request(e, inst(2), X));
+        assert_eq!(lt.holder(e), None, "no sole exclusive holder");
+        assert_eq!(lt.holds(e, inst(1)), Some(LockMode::Shared));
+        lt.release(e, inst(0));
+        assert_eq!(lt.release(e, inst(1)), vec![(inst(2), X)]);
     }
 }

@@ -1,22 +1,25 @@
 //! A real-thread runner: the same lock-manager semantics executed by OS
 //! threads instead of virtual time.
 //!
-//! One thread per transaction; per-site lock tables behind `parking_lot`
-//! mutexes with condvar wakeups; a global atomic sequence numbers the
-//! applied steps so the committed history can be audited exactly like the
-//! deterministic simulator's. Deadlocks are broken by lock-wait timeouts
-//! (abort, release, randomized backoff, retry).
+//! One thread per transaction; locks live in a [`kplock_dlm::ShardedTable`]
+//! (hash-partitioned, one `parking_lot` mutex per shard, so independent
+//! entities never contend on one map) with a condvar per shard for grant
+//! wakeups; a global atomic sequence numbers the applied steps so the
+//! committed history can be audited exactly like the deterministic
+//! simulator's. Deadlocks are broken by lock-wait timeouts (cancel the
+//! queued request, release, randomized backoff, retry).
 //!
 //! This runner is *non*-deterministic by nature — it exists to show the
 //! phenomena under genuine concurrency; the discrete-event engine in
 //! [`crate::engine`] is the reproducible instrument.
 
+use crate::event::Instance;
 use crate::history::History;
 use crate::history::{audit, Audit};
+use kplock_dlm::{Acquire, ShardedTable};
 use kplock_model::{ActionKind, EntityId, StepId, TxnId, TxnSystem};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Condvar;
 use rand::Rng;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -30,6 +33,8 @@ pub struct ThreadedConfig {
     pub max_attempts: u32,
     /// Upper bound of the randomized backoff after an abort.
     pub max_backoff: Duration,
+    /// Number of lock-table shards (entities hash across them).
+    pub shards: usize,
 }
 
 impl Default for ThreadedConfig {
@@ -38,6 +43,7 @@ impl Default for ThreadedConfig {
             lock_timeout: Duration::from_millis(50),
             max_attempts: 64,
             max_backoff: Duration::from_millis(5),
+            shards: 8,
         }
     }
 }
@@ -53,31 +59,32 @@ pub struct ThreadedReport {
     pub finished: bool,
 }
 
-struct SiteState {
-    holder: HashMap<EntityId, (TxnId, u32)>,
+struct Shared {
+    table: ShardedTable<Instance>,
+    /// One condvar per shard; waiters block on the shard's mutex guard.
+    wakeups: Vec<Condvar>,
+    seq: AtomicU64,
+    events: parking_lot::Mutex<Vec<(u64, TxnId, u32, StepId)>>,
 }
 
-struct Shared {
-    sites: Vec<(Mutex<SiteState>, Condvar)>,
-    seq: AtomicU64,
-    events: Mutex<Vec<(u64, TxnId, u32, StepId)>>,
+impl Shared {
+    /// Records an applied step. Call while holding the shard guard of the
+    /// step's entity so the global sequence respects per-entity
+    /// grant/release order.
+    fn record(&self, txn: TxnId, epoch: u32, step: StepId) {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        self.events.lock().push((seq, txn, epoch, step));
+    }
 }
 
 /// Executes the system on real threads.
 pub fn run_threaded(sys: &TxnSystem, cfg: &ThreadedConfig) -> ThreadedReport {
+    let shards = cfg.shards.max(1);
     let shared = Arc::new(Shared {
-        sites: (0..sys.db().site_count())
-            .map(|_| {
-                (
-                    Mutex::new(SiteState {
-                        holder: HashMap::new(),
-                    }),
-                    Condvar::new(),
-                )
-            })
-            .collect(),
+        table: ShardedTable::new(shards),
+        wakeups: (0..shards).map(|_| Condvar::new()).collect(),
         seq: AtomicU64::new(0),
-        events: Mutex::new(Vec::new()),
+        events: parking_lot::Mutex::new(Vec::new()),
     });
 
     let results: Vec<(bool, u32)> = std::thread::scope(|scope| {
@@ -98,7 +105,7 @@ pub fn run_threaded(sys: &TxnSystem, cfg: &ThreadedConfig) -> ThreadedReport {
     let mut events = shared.events.lock().clone();
     events.sort_by_key(|&(seq, ..)| seq);
     for (_, txn, epoch, step) in events {
-        history.record(0, crate::event::Instance { txn, epoch }, step);
+        history.record(0, Instance { txn, epoch }, step);
     }
     let committed_epoch: Vec<u32> = results.iter().map(|&(_, e)| e).collect();
     let finished = results.iter().all(|&(ok, _)| ok);
@@ -115,7 +122,7 @@ fn run_txn(sys: &TxnSystem, txn: TxnId, shared: &Shared, cfg: &ThreadedConfig) -
     let t = sys.txn(txn);
     let mut rng = rand::thread_rng();
     for epoch in 0..cfg.max_attempts {
-        if attempt(sys, txn, epoch, t, shared, cfg) {
+        if attempt(txn, epoch, t, shared, cfg) {
             return (true, epoch);
         }
         // Aborted: back off and retry.
@@ -127,21 +134,24 @@ fn run_txn(sys: &TxnSystem, txn: TxnId, shared: &Shared, cfg: &ThreadedConfig) -
 }
 
 fn attempt(
-    sys: &TxnSystem,
     txn: TxnId,
     epoch: u32,
     t: &kplock_model::Transaction,
     shared: &Shared,
     cfg: &ThreadedConfig,
 ) -> bool {
+    let inst = Instance { txn, epoch };
     let mut done = vec![false; t.len()];
     let mut held: Vec<EntityId> = Vec::new();
-    let release_all = |held: &mut Vec<EntityId>| {
-        for e in held.drain(..) {
-            let site = sys.db().site_of(e).idx();
-            let (m, cv) = &shared.sites[site];
-            m.lock().holder.remove(&e);
-            cv.notify_all();
+    let abort = |held: &mut Vec<EntityId>| {
+        held.clear();
+        // Wake only the shards whose waiters were actually granted
+        // something — notifying every condvar would recreate the
+        // thundering herd that sharding exists to avoid.
+        for (e, grants) in shared.table.release_all(inst) {
+            if !grants.is_empty() {
+                shared.wakeups[shared.table.shard_index(e)].notify_all();
+            }
         }
     };
 
@@ -154,49 +164,65 @@ fn attempt(
             return true; // all steps done
         };
         let step = t.step(StepId::from_idx(v));
-        let site = sys.db().site_of(step.entity).idx();
-        let (m, cv) = &shared.sites[site];
-        // Record the applied step while still holding the site mutex, so
-        // the global sequence respects per-entity grant/release order.
-        let record = |epoch: u32| {
-            let seq = shared.seq.fetch_add(1, Ordering::SeqCst);
-            shared
-                .events
-                .lock()
-                .push((seq, txn, epoch, StepId::from_idx(v)));
-        };
+        let shard = shared.table.shard_index(step.entity);
         match step.kind {
             ActionKind::Lock => {
-                let mut st = m.lock();
-                let deadline = std::time::Instant::now() + cfg.lock_timeout;
-                while st.holder.contains_key(&step.entity) {
-                    let timeout = deadline.saturating_duration_since(std::time::Instant::now());
-                    if (timeout.is_zero() || cv.wait_for(&mut st, timeout).timed_out())
-                        && st.holder.contains_key(&step.entity)
-                    {
-                        drop(st);
-                        release_all(&mut held);
-                        return false; // presumed deadlock: abort
+                let mut st = shared.table.lock_shard_index(shard);
+                match st.request(step.entity, inst, step.mode).expect("protocol") {
+                    Acquire::Granted => {}
+                    Acquire::Queued => {
+                        // FIFO: a later release grants us in-queue; wait for
+                        // it, bounded by the deadlock timeout.
+                        let deadline = std::time::Instant::now() + cfg.lock_timeout;
+                        loop {
+                            if st.holds(step.entity, inst).is_some() {
+                                break;
+                            }
+                            let left =
+                                deadline.saturating_duration_since(std::time::Instant::now());
+                            if left.is_zero()
+                                || shared.wakeups[shard].wait_for(&mut st, left).timed_out()
+                            {
+                                if st.holds(step.entity, inst).is_some() {
+                                    break; // granted in the same instant
+                                }
+                                // Presumed deadlock: cancel our queued
+                                // request (may unblock readers behind us),
+                                // then abort.
+                                let cancelled = st.cancel_waits(inst);
+                                drop(st);
+                                if !cancelled.granted.is_empty() {
+                                    shared.wakeups[shard].notify_all();
+                                }
+                                abort(&mut held);
+                                return false;
+                            }
+                        }
                     }
                 }
-                st.holder.insert(step.entity, (txn, epoch));
                 held.push(step.entity);
-                record(epoch);
+                shared.record(txn, epoch, StepId::from_idx(v));
                 drop(st);
             }
             ActionKind::Update => {
-                let st = m.lock();
-                debug_assert_eq!(st.holder.get(&step.entity), Some(&(txn, epoch)));
-                record(epoch);
+                let st = shared.table.lock_shard_index(shard);
+                debug_assert!(
+                    st.holds(step.entity, inst)
+                        .is_some_and(|held| held.covers(step.mode)),
+                    "update without a covering lock"
+                );
+                shared.record(txn, epoch, StepId::from_idx(v));
                 drop(st);
             }
             ActionKind::Unlock => {
-                let mut st = m.lock();
-                st.holder.remove(&step.entity);
+                let mut st = shared.table.lock_shard_index(shard);
+                let grants = st.release(step.entity, inst).expect("we hold it");
                 held.retain(|&e| e != step.entity);
-                record(epoch);
-                cv.notify_all();
+                shared.record(txn, epoch, StepId::from_idx(v));
                 drop(st);
+                if !grants.is_empty() {
+                    shared.wakeups[shard].notify_all();
+                }
             }
         }
         done[v] = true;
@@ -262,6 +288,32 @@ mod tests {
         let r = run_threaded(&s, &ThreadedConfig::default());
         assert!(r.finished);
         r.audit.legal.as_ref().unwrap();
+        assert!(r.audit.serializable);
+    }
+
+    #[test]
+    fn threaded_shared_readers_and_a_writer() {
+        let s = sys(&["SLx rx Ux", "SLx rx Ux", "Lx x Ux"], &[("x", 0)]);
+        for _ in 0..5 {
+            let r = run_threaded(&s, &ThreadedConfig::default());
+            assert!(r.finished);
+            r.audit.legal.as_ref().unwrap();
+            assert!(r.audit.serializable);
+        }
+    }
+
+    #[test]
+    fn threaded_single_shard_still_works() {
+        let s = sys(
+            &["Lx Ly x y Ux Uy", "Lx Ly x y Ux Uy"],
+            &[("x", 0), ("y", 1)],
+        );
+        let cfg = ThreadedConfig {
+            shards: 1,
+            ..Default::default()
+        };
+        let r = run_threaded(&s, &cfg);
+        assert!(r.finished);
         assert!(r.audit.serializable);
     }
 }

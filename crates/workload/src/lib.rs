@@ -1,5 +1,33 @@
 //! Workloads: random distributed transaction systems, the paper's figure
 //! instances, and named Theorem-3 reduction inputs.
+//!
+//! # Example
+//!
+//! ```
+//! use kplock_core::policy::LockStrategy;
+//! use kplock_model::{Level, LockMode};
+//! use kplock_workload::{random_system, WorkloadParams};
+//!
+//! // A seeded mixed read/write workload: 3 sites, 4 transactions, 60%
+//! // reads, locked with synchronized 2PL. Same seed, same system.
+//! let sys = random_system(&WorkloadParams {
+//!     seed: 42,
+//!     sites: 3,
+//!     transactions: 4,
+//!     read_percent: 60,
+//!     strategy: LockStrategy::TwoPhaseSync,
+//!     ..Default::default()
+//! });
+//! sys.validate(Level::Strict).unwrap();
+//! // Read-only entities got shared locks from the lock inserter.
+//! let shared_locks = sys
+//!     .txns()
+//!     .iter()
+//!     .flat_map(|t| t.steps())
+//!     .filter(|s| s.kind == kplock_model::ActionKind::Lock && s.mode == LockMode::Shared)
+//!     .count();
+//! assert!(shared_locks > 0);
+//! ```
 
 pub mod figures;
 pub mod reduction_instances;

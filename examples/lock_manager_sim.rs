@@ -20,6 +20,7 @@ fn main() {
             transactions: 4,
             steps_per_txn: 6,
             cross_edge_percent: 30,
+            read_percent: 0,
             strategy,
             seed: 42,
         };

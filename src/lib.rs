@@ -25,6 +25,8 @@
 //! * [`geometry`] — the coordinated-plane method for pairs of total orders;
 //! * [`core`] — the paper's decision procedures and certificates;
 //! * [`sat`] — CNF + DPLL (substrate for Theorem 3);
+//! * [`dlm`] — the sharded reader–writer lock-manager service layer with
+//!   incremental wait-for-graph deadlock detection;
 //! * [`sim`] — a discrete-event distributed lock-manager simulator;
 //! * [`workload`] — generators and the paper's figure instances.
 //!
@@ -51,6 +53,7 @@
 //! ```
 
 pub use kplock_core as core;
+pub use kplock_dlm as dlm;
 pub use kplock_geometry as geometry;
 pub use kplock_graph as graph;
 pub use kplock_model as model;

@@ -116,6 +116,7 @@ fn lock_manager_sim_core_path() {
         transactions: 4,
         steps_per_txn: 6,
         cross_edge_percent: 30,
+        read_percent: 0,
         strategy: LockStrategy::TwoPhaseSync,
         seed: 42,
     });

@@ -3,7 +3,7 @@
 //! The build environment has no registry access, so this crate provides a
 //! deterministic random-testing harness behind `proptest`'s API surface: the
 //! [`proptest!`] macro (with `#![proptest_config(..)]`), integer-range and
-//! [`any`] strategies, and the `prop_assert*` macros. Inputs for case `i` of
+//! [`any`](arbitrary::any) strategies, and the `prop_assert*` macros. Inputs for case `i` of
 //! test `t` are derived from a hash of `(t, i)`, so failures are reproducible
 //! across runs without persisted seeds. Shrinking (minimising failing inputs)
 //! is not implemented — a failing case reports the exact inputs drawn instead;
