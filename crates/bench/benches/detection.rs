@@ -1,0 +1,95 @@
+//! Experiment D1: what does *distributed* deadlock detection cost?
+//!
+//! Sweeps the three detection schemes (Periodic global scan, OnBlock
+//! incremental, Chandy–Misra–Haas probes) across network latency and site
+//! count on the same seeded workloads, timing whole simulator runs. The
+//! companion table (`cargo run --release --bin experiments`) reports the
+//! probe-message and detection-latency metrics; here the wall-clock cost
+//! of simulating each scheme is what's measured — and the bench doubles
+//! as the smoke test that every scheme still completes on every topology
+//! (`cargo bench --bench detection -- --test` runs one iteration of each).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplock_core::policy::LockStrategy;
+use kplock_sim::{run, DeadlockDetection, LatencyModel, SimConfig};
+use kplock_workload::{site_count_sweep, WorkloadParams};
+
+const SCHEMES: [(DeadlockDetection, &str); 3] = [
+    (DeadlockDetection::Periodic, "periodic"),
+    (DeadlockDetection::OnBlock, "onblock"),
+    (DeadlockDetection::Probe, "probe"),
+];
+
+fn bench_detection(c: &mut Criterion) {
+    // Latency sweep: one deadlock-prone topology, slower and slower wires.
+    let mut group = c.benchmark_group("detection_latency");
+    group.sample_size(20);
+    let sys = kplock_workload::random_system(&WorkloadParams {
+        seed: 23,
+        sites: 2,
+        entities_per_site: 2,
+        transactions: 4,
+        steps_per_txn: 6,
+        strategy: LockStrategy::TwoPhaseSync,
+        ..Default::default()
+    });
+    for latency in [2u64, 10, 40] {
+        for (detection, tag) in SCHEMES {
+            group.bench_with_input(
+                BenchmarkId::new(tag, format!("lat={latency}")),
+                &sys,
+                |b, sys| {
+                    b.iter(|| {
+                        let r = run(
+                            std::hint::black_box(sys),
+                            &SimConfig {
+                                latency: LatencyModel::Fixed(latency),
+                                detection,
+                                ..Default::default()
+                            },
+                        )
+                        .expect("valid config");
+                        assert!(r.finished(), "{tag} must resolve all deadlocks");
+                        r
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Site-count sweep: same data and offered work, spread over more
+    // sites — the "is distributed locking harder?" axis, measured.
+    let mut group = c.benchmark_group("detection_sites");
+    group.sample_size(20);
+    let base = WorkloadParams {
+        seed: 31,
+        transactions: 5,
+        steps_per_txn: 6,
+        strategy: LockStrategy::TwoPhaseSync,
+        ..Default::default()
+    };
+    for sc in site_count_sweep(&base, 6, &[1, 2, 3, 6]) {
+        for (detection, tag) in SCHEMES {
+            group.bench_with_input(BenchmarkId::new(tag, &sc.name), &sc.system, |b, sys| {
+                b.iter(|| {
+                    let r = run(
+                        std::hint::black_box(sys),
+                        &SimConfig {
+                            latency: LatencyModel::Fixed(10),
+                            detection,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("valid config");
+                    assert!(r.finished());
+                    r
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

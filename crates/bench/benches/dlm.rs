@@ -64,7 +64,8 @@ fn bench_dlm(c: &mut Criterion) {
             &sys,
             |b, sys| {
                 b.iter(|| {
-                    let r = run_threaded(std::hint::black_box(sys), &threaded_cfg(shards));
+                    let r = run_threaded(std::hint::black_box(sys), &threaded_cfg(shards))
+                        .expect("valid config");
                     assert!(r.finished);
                     r
                 })
@@ -83,7 +84,8 @@ fn bench_dlm(c: &mut Criterion) {
             &sys,
             |b, sys| {
                 b.iter(|| {
-                    let r = run_threaded(std::hint::black_box(sys), &threaded_cfg(shards));
+                    let r = run_threaded(std::hint::black_box(sys), &threaded_cfg(shards))
+                        .expect("valid config");
                     assert!(r.finished);
                     r
                 })

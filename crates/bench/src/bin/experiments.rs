@@ -13,10 +13,10 @@ use kplock_core::{
 use kplock_geometry::{plane_is_safe, PlanePicture};
 use kplock_model::{EntityId, TxnId};
 use kplock_sat::{solve, SatResult};
-use kplock_sim::{run, LatencyModel, SimConfig, VictimPolicy};
+use kplock_sim::{run, DeadlockDetection, LatencyModel, SimConfig, VictimPolicy};
 use kplock_workload::{
-    fig1, fig2, fig3, fig5, fig8_formula, random_instance, random_system, unsat_restricted,
-    WorkloadParams,
+    fig1, fig2, fig3, fig5, fig8_formula, random_instance, random_system, site_count_sweep,
+    unsat_restricted, WorkloadParams,
 };
 use std::time::Instant;
 
@@ -266,8 +266,9 @@ fn exp_s1_sim() {
                         latency: LatencyModel::Uniform(1, 20),
                         ..Default::default()
                     },
-                );
-                if !r.finished {
+                )
+                .expect("valid config");
+                if !r.finished() {
                     continue;
                 }
                 commits += r.metrics.committed;
@@ -311,7 +312,8 @@ fn exp_s2_victim_ablation() {
                     victim_policy: policy,
                     ..Default::default()
                 },
-            );
+            )
+            .expect("valid config");
             deadlocks += r.metrics.deadlocks_resolved;
             aborts += r.metrics.aborts;
             makespan += r.metrics.makespan;
@@ -322,6 +324,66 @@ fn exp_s2_victim_ablation() {
             aborts as f64 / runs as f64,
             makespan / runs
         );
+    }
+    println!();
+}
+
+fn exp_d1_detection() {
+    println!("## D1: deadlock detection — centralized scans vs distributed probes\n");
+    println!(
+        "Distributed (Probe) detection sees only site-local wait-edges; its\n\
+         costs below are *simulated* messages and ticks, the units the paper\n\
+         argues in. The scan schemes consult a global graph for free.\n"
+    );
+    println!("| sites | scheme | deadlocks/run | msgs/run | probe msgs/run | detect lat/deadlock | makespan avg |");
+    println!("|---|---|---|---|---|---|---|");
+    let base = WorkloadParams {
+        seed: 31,
+        transactions: 5,
+        steps_per_txn: 6,
+        strategy: LockStrategy::TwoPhaseSync,
+        ..Default::default()
+    };
+    for sc in site_count_sweep(&base, 6, &[1, 2, 3, 6]) {
+        for (detection, tag) in [
+            (DeadlockDetection::Periodic, "periodic"),
+            (DeadlockDetection::OnBlock, "onblock"),
+            (DeadlockDetection::Probe, "probe"),
+        ] {
+            let runs = 60u64;
+            let (mut deadlocks, mut msgs, mut probes, mut lat, mut makespan) = (0, 0, 0, 0, 0u64);
+            for seed in 0..runs {
+                let r = run(
+                    &sc.system,
+                    &SimConfig {
+                        seed,
+                        latency: LatencyModel::Fixed(10),
+                        detection,
+                        ..Default::default()
+                    },
+                )
+                .expect("valid config");
+                assert!(r.finished(), "{} under {tag}", sc.name);
+                deadlocks += r.metrics.deadlocks_resolved;
+                msgs += r.metrics.messages;
+                probes += r.metrics.probe_messages;
+                lat += r.metrics.detection_latency_ticks;
+                makespan += r.metrics.makespan;
+            }
+            println!(
+                "| {} | {tag} | {:.2} | {} | {} | {} | {} |",
+                sc.value,
+                deadlocks as f64 / runs as f64,
+                msgs / runs,
+                probes / runs,
+                if deadlocks > 0 {
+                    lat / deadlocks as u64
+                } else {
+                    0
+                },
+                makespan / runs
+            );
+        }
     }
     println!();
 }
@@ -465,8 +527,9 @@ fn exp_s3_load_sweep() {
                     mean_gap: gap,
                     seed,
                 },
-            );
-            if !r.finished {
+            )
+            .expect("valid config");
+            if !r.finished() {
                 continue;
             }
             wait += r.metrics.lock_wait_ticks;
@@ -498,6 +561,7 @@ fn main() {
     exp_s1_sim();
     exp_s2_victim_ablation();
     exp_s3_load_sweep();
+    exp_d1_detection();
     exp_oracle_deadlock();
     // Exercise OracleOutcome import.
     let _ = |o: OracleOutcome| matches!(o, OracleOutcome::Safe);

@@ -321,6 +321,25 @@ impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
         out
     }
 
+    /// The holders `o` waits on at *this* table — `o`'s outgoing wait-for
+    /// edges in the site-local view, ascending and deduplicated. This is
+    /// what a distributed edge-chasing detector asks a site when a probe
+    /// arrives: "is this owner blocked here, and on whom?" — answerable
+    /// from local state alone, with no global wait-for graph.
+    pub fn waits_of(&self, o: O) -> Vec<O> {
+        let mut out = Vec::new();
+        for st in self.states.values() {
+            if st.queue.iter().any(|&(w, _)| w == o) {
+                out.extend(st.holders.iter().map(|&(h, _)| h));
+            } else if st.upgrades.contains(&o) {
+                out.extend(st.holders.iter().filter(|&&(h, _)| h != o).map(|&(h, _)| h));
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
     /// Entities with any lock state (held or queued), ascending.
     pub fn active_entities(&self) -> Vec<EntityId> {
         let mut v: Vec<EntityId> = self.states.keys().copied().collect();
@@ -504,6 +523,34 @@ mod tests {
         assert_eq!(out.cancelled, vec![e]);
         assert_eq!(out.granted, vec![(e, vec![(2, s())])]);
         assert_eq!(t.holds(e, 2), Some(s()));
+    }
+
+    #[test]
+    fn waits_of_is_the_per_owner_local_view() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let (a, b, c) = (EntityId(0), EntityId(1), EntityId(2));
+        t.request(a, 0, x()).unwrap();
+        t.request(b, 1, x()).unwrap();
+        t.request(a, 2, x()).unwrap(); // 2 waits on 0
+        t.request(b, 2, x()).unwrap(); // 2 waits on 1
+        t.request(c, 2, x()).unwrap(); // granted, no wait
+        assert_eq!(t.waits_of(2), vec![0, 1]);
+        assert_eq!(t.waits_of(0), vec![]);
+        // Shared holders: a waiter waits on all of them, deduplicated
+        // against other entities.
+        let mut t: ModeTable<u32> = ModeTable::new();
+        t.request(a, 0, s()).unwrap();
+        t.request(a, 1, s()).unwrap();
+        t.request(a, 2, x()).unwrap();
+        t.request(b, 1, x()).unwrap();
+        t.request(b, 2, x()).unwrap();
+        assert_eq!(t.waits_of(2), vec![0, 1]);
+        // An upgrader waits on the other holders only.
+        let mut t: ModeTable<u32> = ModeTable::new();
+        t.request(a, 0, s()).unwrap();
+        t.request(a, 1, s()).unwrap();
+        t.request(a, 0, x()).unwrap(); // pending upgrade
+        assert_eq!(t.waits_of(0), vec![1]);
     }
 
     #[test]

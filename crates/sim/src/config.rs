@@ -1,5 +1,7 @@
 //! Simulation configuration.
 
+use std::fmt;
+
 /// Network latency model for coordinator ↔ site messages.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LatencyModel {
@@ -11,6 +13,9 @@ pub enum LatencyModel {
 
 impl LatencyModel {
     /// Draws a latency.
+    ///
+    /// Callers must validate the model first ([`SimConfig::validate`]):
+    /// an empty `Uniform` range panics inside the RNG.
     pub fn sample(&self, rng: &mut impl rand::Rng) -> u64 {
         match *self {
             LatencyModel::Fixed(t) => t,
@@ -40,8 +45,61 @@ pub enum DeadlockDetection {
     /// maintained per entity as requests block/grant/release, and checked
     /// exactly when a request blocks — deadlocks are resolved the instant
     /// they form, with no scan latency.
+    ///
+    /// Like `Periodic`, this consults a *global* view no real site could
+    /// see; it models an idealized centralized detector.
     OnBlock,
+    /// Distributed edge-chasing (Chandy–Misra–Haas): each site knows only
+    /// its own wait-for edges, and deadlocks are found by probe messages
+    /// forwarded site-to-site over the latency-modelled network (see
+    /// [`crate::probe`]). No global wait-for graph exists anywhere on this
+    /// path, so detection itself pays the distribution cost the paper asks
+    /// about: probe messages, and a detection latency of one network hop
+    /// per cycle edge.
+    Probe,
 }
+
+/// A [`SimConfig`] (or [`crate::ThreadedConfig`]) that cannot be run.
+///
+/// Returned by [`SimConfig::validate`] and the `run*` entry points, so a
+/// bad configuration fails up front with a typed error instead of
+/// panicking mid-run deep inside the RNG or livelocking the event loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `LatencyModel::Uniform(lo, hi)` with `lo > hi`: the range is empty,
+    /// and sampling it would panic mid-run.
+    EmptyLatencyRange {
+        /// The (invalid) lower bound.
+        lo: u64,
+        /// The (invalid, smaller) upper bound.
+        hi: u64,
+    },
+    /// `deadlock_scan_interval == 0` under [`DeadlockDetection::Periodic`]:
+    /// the scan would reschedule itself at the current tick forever and
+    /// the event loop would never advance.
+    ZeroScanInterval,
+    /// A sharded table with zero shards has nowhere to put any entity.
+    ZeroShards,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::EmptyLatencyRange { lo, hi } => {
+                write!(f, "empty latency range: Uniform({lo}, {hi}) with lo > hi")
+            }
+            ConfigError::ZeroScanInterval => {
+                write!(
+                    f,
+                    "deadlock_scan_interval must be > 0 under periodic detection"
+                )
+            }
+            ConfigError::ZeroShards => write!(f, "shard count must be > 0"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Full simulator configuration.
 #[derive(Clone, Debug)]
@@ -54,16 +112,37 @@ pub struct SimConfig {
     /// Ticks a site spends applying a step.
     pub local_step_time: u64,
     /// Interval between global deadlock scans (unused under
-    /// [`DeadlockDetection::OnBlock`]).
+    /// [`DeadlockDetection::OnBlock`] and [`DeadlockDetection::Probe`]).
     pub deadlock_scan_interval: u64,
     /// Deadlock detection scheme.
     pub detection: DeadlockDetection,
     /// Victim selection policy.
     pub victim_policy: VictimPolicy,
+    /// Measurement-only (default `false`): cross-check every probe-ordered
+    /// abort against the instantaneous union of site tables and count the
+    /// misses in [`crate::Metrics::phantom_probe_aborts`]. The check is a
+    /// god's-eye verification instrument for the test suite — the probe
+    /// protocol itself never reads global state, audited or not.
+    pub probe_audit: bool,
     /// Backoff before an aborted instance restarts.
     pub restart_backoff: u64,
     /// Hard cap on simulated time (guards against livelock).
     pub max_time: u64,
+}
+
+impl SimConfig {
+    /// Checks the configuration for values that would panic or hang a run.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let LatencyModel::Uniform(lo, hi) = self.latency {
+            if lo > hi {
+                return Err(ConfigError::EmptyLatencyRange { lo, hi });
+            }
+        }
+        if self.detection == DeadlockDetection::Periodic && self.deadlock_scan_interval == 0 {
+            return Err(ConfigError::ZeroScanInterval);
+        }
+        Ok(())
+    }
 }
 
 impl Default for SimConfig {
@@ -75,8 +154,62 @@ impl Default for SimConfig {
             deadlock_scan_interval: 50,
             detection: DeadlockDetection::Periodic,
             victim_policy: VictimPolicy::Youngest,
+            probe_audit: false,
             restart_backoff: 25,
             max_time: 10_000_000,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        SimConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn empty_uniform_range_is_rejected() {
+        let cfg = SimConfig {
+            latency: LatencyModel::Uniform(20, 1),
+            ..Default::default()
+        };
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            ConfigError::EmptyLatencyRange { lo: 20, hi: 1 }
+        );
+        // Degenerate-but-nonempty ranges are fine.
+        let cfg = SimConfig {
+            latency: LatencyModel::Uniform(5, 5),
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_scan_interval_only_matters_for_periodic() {
+        let cfg = SimConfig {
+            deadlock_scan_interval: 0,
+            ..Default::default()
+        };
+        assert_eq!(cfg.validate().unwrap_err(), ConfigError::ZeroScanInterval);
+        for detection in [DeadlockDetection::OnBlock, DeadlockDetection::Probe] {
+            let cfg = SimConfig {
+                deadlock_scan_interval: 0,
+                detection,
+                ..Default::default()
+            };
+            cfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn config_error_displays() {
+        let e = ConfigError::EmptyLatencyRange { lo: 3, hi: 1 };
+        assert!(e.to_string().contains("Uniform(3, 1)"));
+        assert!(ConfigError::ZeroScanInterval.to_string().contains("scan"));
+        assert!(ConfigError::ZeroShards.to_string().contains("shard"));
     }
 }

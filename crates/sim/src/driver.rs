@@ -6,7 +6,7 @@
 //! contention becomes a function of offered load rather than an artifact of
 //! simultaneous starts.
 
-use crate::config::SimConfig;
+use crate::config::{ConfigError, SimConfig};
 use crate::engine::{run_with_arrivals, SimReport};
 use crate::event::SimTime;
 use kplock_model::TxnSystem;
@@ -41,8 +41,13 @@ pub fn draw_arrivals(n: usize, cfg: &ArrivalConfig) -> Vec<SimTime> {
         .collect()
 }
 
-/// Runs the system under the arrival process.
-pub fn run_open_loop(sys: &TxnSystem, sim: &SimConfig, arrivals: &ArrivalConfig) -> SimReport {
+/// Runs the system under the arrival process. Validates `sim` up front
+/// like [`crate::run`].
+pub fn run_open_loop(
+    sys: &TxnSystem,
+    sim: &SimConfig,
+    arrivals: &ArrivalConfig,
+) -> Result<SimReport, ConfigError> {
     let times = draw_arrivals(sys.len(), arrivals);
     run_with_arrivals(sys, sim, &times)
 }
@@ -101,8 +106,9 @@ mod tests {
                 mean_gap: 40,
                 seed: 5,
             },
-        );
-        assert!(r.finished);
+        )
+        .unwrap();
+        assert!(r.finished());
         assert_eq!(r.metrics.committed, 4);
         r.audit.legal.as_ref().unwrap();
         assert!(r.audit.serializable);
@@ -122,7 +128,8 @@ mod tests {
                 mean_gap: 0,
                 seed: 5,
             },
-        );
+        )
+        .unwrap();
         let spread = run_open_loop(
             &sys,
             &sim,
@@ -130,8 +137,9 @@ mod tests {
                 mean_gap: 500,
                 seed: 5,
             },
-        );
-        assert!(burst.finished && spread.finished);
+        )
+        .unwrap();
+        assert!(burst.finished() && spread.finished());
         assert!(
             spread.metrics.lock_wait_ticks <= burst.metrics.lock_wait_ticks,
             "spread {} vs burst {}",

@@ -3,23 +3,40 @@
 //! Coordinators (one per transaction) exchange messages with sites over a
 //! latency-modelled network; sites run reader–writer FIFO lock tables
 //! (`kplock-dlm` under a thin wrapper); deadlocks are resolved by aborting
-//! a victim — found either by the periodic global scan (default, the
-//! paper-era scheme) or incrementally at block time
-//! ([`crate::config::DeadlockDetection::OnBlock`]) — which releases its
-//! locks and restarts after a backoff. All randomness comes from one
-//! seeded RNG, so runs are reproducible.
+//! a victim — found by the periodic global scan (default, the paper-era
+//! scheme), incrementally at block time
+//! ([`crate::config::DeadlockDetection::OnBlock`]), or by distributed
+//! Chandy–Misra–Haas probes travelling site-to-site
+//! ([`crate::config::DeadlockDetection::Probe`], see [`crate::probe`]) —
+//! which releases its locks and restarts after a backoff. All randomness
+//! comes from one seeded RNG, so runs are reproducible.
 
-use crate::config::{DeadlockDetection, SimConfig, VictimPolicy};
+use crate::config::{ConfigError, DeadlockDetection, SimConfig};
 use crate::event::{EventKind, EventQueue, Instance, Payload, SimTime};
 use crate::history::{audit, Audit, History};
 use crate::lock_table::LockTable;
 use crate::metrics::Metrics;
+use crate::probe::{self, ProbeMsg, SiteProbeState, Stamp};
 use kplock_dlm::WaitForGraph;
 use kplock_graph::DiGraph;
-use kplock_model::{ActionKind, EntityId, StepId, TxnId, TxnSystem};
+use kplock_model::{ActionKind, EntityId, SiteId, StepId, TxnId, TxnSystem};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+
+/// How a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every transaction committed.
+    Completed,
+    /// Simulated time hit [`SimConfig::max_time`] with work still pending
+    /// (livelock, or simply too little time). Previously this was
+    /// indistinguishable from a clean completion in the report.
+    TimedOut,
+    /// The event queue drained with uncommitted transactions and time to
+    /// spare — an undetected deadlock, i.e. a detection-scheme bug.
+    Stalled,
+}
 
 /// Final report of a run.
 #[derive(Clone, Debug)]
@@ -30,8 +47,23 @@ pub struct SimReport {
     pub audit: Audit,
     /// Epoch that committed, per transaction.
     pub committed_epoch: Vec<u32>,
-    /// Whether every transaction committed before `max_time`.
-    pub finished: bool,
+    /// How the run ended — distinguishes a clean completion from a
+    /// [`SimConfig::max_time`] timeout or a stall. The single source of
+    /// truth; [`SimReport::finished`] and [`SimReport::timed_out`] derive
+    /// from it.
+    pub outcome: RunOutcome,
+}
+
+impl SimReport {
+    /// True when every transaction committed before `max_time`.
+    pub fn finished(&self) -> bool {
+        self.outcome == RunOutcome::Completed
+    }
+
+    /// True when the run was cut off by [`SimConfig::max_time`].
+    pub fn timed_out(&self) -> bool {
+        self.outcome == RunOutcome::TimedOut
+    }
 }
 
 struct Coordinator {
@@ -60,10 +92,20 @@ struct Engine<'a> {
     /// When an instance started waiting for a lock.
     waiting_since: HashMap<(Instance, EntityId), SimTime>,
     /// Incrementally maintained wait-for graph (only under
-    /// [`DeadlockDetection::OnBlock`]; stays empty in periodic mode).
+    /// [`DeadlockDetection::OnBlock`]; stays empty in periodic and probe
+    /// modes).
     wfg: WaitForGraph<Instance>,
     /// Whether `wfg` changed since the last cycle check.
     wfg_dirty: bool,
+    /// Per-site probe bookkeeping ([`DeadlockDetection::Probe`] only):
+    /// each site remembers the wait-edges of *its own* entities to spot
+    /// new ones. There is no cross-site state here by design.
+    probe_state: Vec<SiteProbeState>,
+    /// Static catalog knowledge, per transaction: the sites hosting any
+    /// entity it locks — where a probe chasing that transaction might find
+    /// it blocked. Derived from the schema via `Database::site_of`, not
+    /// from runtime state.
+    lock_sites: Vec<Vec<SiteId>>,
     history: History,
     metrics: Metrics,
     now: SimTime,
@@ -71,18 +113,46 @@ struct Engine<'a> {
 
 /// Runs the system to completion (or `max_time`), all transactions
 /// arriving at time 0.
-pub fn run(sys: &TxnSystem, cfg: &SimConfig) -> SimReport {
+///
+/// Returns [`ConfigError`] if `cfg` fails [`SimConfig::validate`] —
+/// checked up front, so a bad latency range is a typed error instead of a
+/// panic deep inside the RNG mid-run.
+pub fn run(sys: &TxnSystem, cfg: &SimConfig) -> Result<SimReport, ConfigError> {
     run_with_arrivals(sys, cfg, &vec![0; sys.len()])
 }
 
 /// Runs the system with per-transaction arrival times (an open-loop
 /// workload): transaction `t` issues its first steps at `arrivals[t]`.
-pub fn run_with_arrivals(sys: &TxnSystem, cfg: &SimConfig, arrivals: &[SimTime]) -> SimReport {
+///
+/// Validates `cfg` up front; see [`run`].
+pub fn run_with_arrivals(
+    sys: &TxnSystem,
+    cfg: &SimConfig,
+    arrivals: &[SimTime],
+) -> Result<SimReport, ConfigError> {
+    cfg.validate()?;
     assert_eq!(
         arrivals.len(),
         sys.len(),
         "one arrival time per transaction"
     );
+    let lock_sites = if cfg.detection == DeadlockDetection::Probe {
+        sys.txns()
+            .iter()
+            .map(|t| {
+                let mut v: Vec<SiteId> = t
+                    .locked_entities()
+                    .iter()
+                    .map(|&e| sys.db().site_of(e))
+                    .collect();
+                v.sort_by_key(|s| s.idx());
+                v.dedup();
+                v
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     let mut eng = Engine {
         sys,
         cfg,
@@ -106,6 +176,8 @@ pub fn run_with_arrivals(sys: &TxnSystem, cfg: &SimConfig, arrivals: &[SimTime])
         waiting_since: HashMap::new(),
         wfg: WaitForGraph::new(),
         wfg_dirty: false,
+        probe_state: vec![SiteProbeState::new(); sys.db().site_count()],
+        lock_sites,
         history: History::default(),
         metrics: Metrics::default(),
         now: 0,
@@ -124,9 +196,11 @@ pub fn run_with_arrivals(sys: &TxnSystem, cfg: &SimConfig, arrivals: &[SimTime])
             .push(cfg.deadlock_scan_interval, EventKind::DeadlockScan);
     }
 
+    let mut timed_out = false;
     while let Some((t, ev)) = eng.queue.pop() {
         eng.now = t;
         if eng.now > cfg.max_time {
+            timed_out = true;
             break;
         }
         if eng.all_committed() {
@@ -163,14 +237,21 @@ pub fn run_with_arrivals(sys: &TxnSystem, cfg: &SimConfig, arrivals: &[SimTime])
     }
 
     let finished = eng.all_committed();
+    let outcome = if finished {
+        RunOutcome::Completed
+    } else if timed_out {
+        RunOutcome::TimedOut
+    } else {
+        RunOutcome::Stalled
+    };
     let committed_epoch: Vec<u32> = eng.coords.iter().map(|c| c.epoch).collect();
     let audit = audit(sys, &eng.history, &committed_epoch);
-    SimReport {
+    Ok(SimReport {
         metrics: eng.metrics,
         audit,
         committed_epoch,
-        finished,
-    }
+        outcome,
+    })
 }
 
 impl Engine<'_> {
@@ -182,7 +263,7 @@ impl Engine<'_> {
         self.cfg.latency.sample(&mut self.rng)
     }
 
-    fn send_to_site(&mut self, site: kplock_model::SiteId, payload: Payload) {
+    fn send_to_site(&mut self, site: SiteId, payload: Payload) {
         self.metrics.messages += 1;
         let at = self.now + self.latency();
         self.queue.push(at, EventKind::ToSite(site, payload));
@@ -192,6 +273,18 @@ impl Engine<'_> {
         self.metrics.messages += 1;
         let at = self.now + self.latency();
         self.queue.push(at, EventKind::ToCoordinator(txn, payload));
+    }
+
+    /// Site → site wire (probe mode): until probes existed every message
+    /// had a coordinator on one end; detection traffic is the first to
+    /// flow between sites directly, and is metered separately so its
+    /// overhead is visible.
+    fn send_site_to_site(&mut self, to: SiteId, msg: ProbeMsg) {
+        self.metrics.messages += 1;
+        self.metrics.probe_messages += 1;
+        let at = self.now + self.latency();
+        self.queue
+            .push(at, EventKind::ToSite(to, Payload::Probe(msg)));
     }
 
     /// Issues every step whose predecessors are done and that has not been
@@ -231,20 +324,105 @@ impl Engine<'_> {
         }
     }
 
+    /// True when `inst` belongs to an epoch that has been aborted: its
+    /// coordinator has already moved on. Every message handler checks this
+    /// first — messages from dead epochs (a release still in flight when
+    /// its sender was chosen as a deadlock victim, a probe chasing an
+    /// aborted instance) must be ignored, or they would corrupt state the
+    /// abort already cleaned up (see the
+    /// `stale_unlock_after_abort_is_ignored` test for the race).
     fn stale(&self, inst: Instance) -> bool {
         self.coords[inst.txn.idx()].epoch != inst.epoch
     }
 
-    /// Refreshes `entity`'s contribution to the incremental wait-for graph
-    /// (no-op under periodic detection, keeping that path untouched).
-    fn wfg_refresh(&mut self, site: kplock_model::SiteId, entity: EntityId) {
-        if self.cfg.detection == DeadlockDetection::OnBlock {
-            let edges = self.sites[site.idx()].entity_waits_for(entity);
-            self.wfg_dirty |= self.wfg.update_entity(entity, edges);
+    /// The victim-policy timestamps of `inst`, as piggybacked on probes.
+    fn stamp_of(&self, inst: Instance) -> Stamp {
+        let c = &self.coords[inst.txn.idx()];
+        Stamp {
+            started_at: c.started_at,
+            birth: c.birth,
         }
     }
 
-    fn on_site(&mut self, site: kplock_model::SiteId, payload: Payload) {
+    /// Reacts to a change of `entity`'s contribution to the wait-for
+    /// relation (no-op under periodic detection, keeping that path
+    /// untouched): OnBlock refreshes the incremental global graph; Probe
+    /// diffs the site-local view and launches a probe per new edge.
+    fn edges_changed(&mut self, site: SiteId, entity: EntityId) {
+        match self.cfg.detection {
+            DeadlockDetection::Periodic => {}
+            DeadlockDetection::OnBlock => {
+                let edges = self.sites[site.idx()].entity_waits_for(entity);
+                self.wfg_dirty |= self.wfg.update_entity(entity, edges);
+            }
+            DeadlockDetection::Probe => {
+                let edges = self.sites[site.idx()].entity_waits_for(entity);
+                let fresh = self.probe_state[site.idx()].observe(entity, edges);
+                for (w, h) in fresh {
+                    // Holders and waiters in a live table are never stale
+                    // (aborts scrub them synchronously), and the table
+                    // never records an owner waiting on itself.
+                    let msg = ProbeMsg {
+                        path: vec![w, h],
+                        stamps: vec![self.stamp_of(w), self.stamp_of(h)],
+                        initiated_at: self.now,
+                    };
+                    self.route_probe(site, msg);
+                }
+            }
+        }
+    }
+
+    /// Delivers a probe to every site where its target might be blocked:
+    /// the sites hosting the target's lock set (static catalog knowledge).
+    /// The local site examines it for free; remote sites cost a message.
+    fn route_probe(&mut self, from: SiteId, msg: ProbeMsg) {
+        let targets = self.lock_sites[msg.target().txn.idx()].clone();
+        for to in targets {
+            if to == from {
+                self.on_probe(to, msg.clone());
+            } else {
+                self.send_site_to_site(to, msg.clone());
+            }
+        }
+    }
+
+    /// A probe arrived at `site`: examine the target's local wait-edges,
+    /// closing the cycle if one points back at the initiator, extending
+    /// the chase otherwise. Reads nothing but this site's table.
+    fn on_probe(&mut self, site: SiteId, msg: ProbeMsg) {
+        if self.stale(msg.initiator()) || self.stale(msg.target()) {
+            return;
+        }
+        let successors = self.sites[site.idx()].waits_of(msg.target());
+        for h in successors {
+            if h == msg.initiator() {
+                // The path is a wait-for cycle assembled hop by hop from
+                // site-local views. Every site closing the same cycle
+                // picks the same victim (rotation-invariant policy), so
+                // duplicate detections collapse at the abort.
+                let victim = probe::choose_victim(self.cfg.victim_policy, &msg.path, &msg.stamps);
+                self.send_to_coordinator(
+                    victim.txn,
+                    Payload::Abort {
+                        victim,
+                        members: msg.path.clone(),
+                        initiated_at: msg.initiated_at,
+                    },
+                );
+            } else if msg.path.contains(&h) {
+                // A cycle not through our initiator: whichever member's
+                // edge completed it launched its own probe; dropping this
+                // branch (rather than looping forever) is what bounds
+                // every chase to `#transactions` hops.
+            } else {
+                let next = msg.extend(h, self.stamp_of(h));
+                self.route_probe(site, next);
+            }
+        }
+    }
+
+    fn on_site(&mut self, site: SiteId, payload: Payload) {
         match payload {
             Payload::LockRequest { inst, entity, step } => {
                 if self.stale(inst) {
@@ -257,9 +435,10 @@ impl Engine<'_> {
                 } else {
                     self.pending_lock_step.insert((inst, entity), step);
                     self.waiting_since.insert((inst, entity), self.now);
-                    // The cycle check runs in the event loop right after
-                    // this handler returns.
-                    self.wfg_refresh(site, entity);
+                    // OnBlock's cycle check runs in the event loop right
+                    // after this handler returns; Probe launches its
+                    // chase from inside `edges_changed`.
+                    self.edges_changed(site, entity);
                 }
             }
             Payload::UpdateRequest { inst, entity, step } => {
@@ -280,16 +459,21 @@ impl Engine<'_> {
             }
             Payload::UnlockRequest { inst, entity, step } => {
                 if self.stale(inst) {
+                    // The sender was aborted while this release was in
+                    // flight; the abort already freed its locks, and `inst`
+                    // may no longer hold `entity` (or someone else may).
+                    // Processing it would panic in the lock table.
                     return;
                 }
                 self.history.record(self.now, inst, step);
                 let grants = self.sites[site.idx()].release(entity, inst);
-                self.wfg_refresh(site, entity);
+                self.edges_changed(site, entity);
                 self.send_to_coordinator(inst.txn, Payload::UnlockDone { inst, step });
                 for (n, _) in grants {
                     self.grant_queued(n, entity);
                 }
             }
+            Payload::Probe(msg) => self.on_probe(site, msg),
             _ => unreachable!("coordinator payload at site"),
         }
     }
@@ -309,7 +493,7 @@ impl Engine<'_> {
         if self.stale(inst) {
             let site = self.sys.db().site_of(entity);
             let grants = self.sites[site.idx()].release(entity, inst);
-            self.wfg_refresh(site, entity);
+            self.edges_changed(site, entity);
             for (n, _) in grants {
                 self.grant_queued(n, entity);
             }
@@ -320,6 +504,15 @@ impl Engine<'_> {
     }
 
     fn on_coordinator(&mut self, txn: TxnId, payload: Payload) {
+        if let Payload::Abort {
+            victim,
+            members,
+            initiated_at,
+        } = payload
+        {
+            self.on_abort_message(victim, &members, initiated_at);
+            return;
+        }
         let (inst, step) = match payload {
             Payload::LockGranted { inst, step, .. }
             | Payload::UpdateDone { inst, step }
@@ -338,6 +531,48 @@ impl Engine<'_> {
             return;
         }
         self.issue_ready(txn);
+    }
+
+    /// A probe-detected abort order reached the victim's coordinator. The
+    /// cycle travelled the network, so it may have dissolved meanwhile: if
+    /// any member was already aborted or committed, that cycle is broken
+    /// and the order is dropped — the validation that keeps duplicate and
+    /// outdated detections from over-killing.
+    fn on_abort_message(&mut self, victim: Instance, members: &[Instance], initiated_at: SimTime) {
+        if members
+            .iter()
+            .any(|&m| self.stale(m) || self.coords[m.txn.idx()].committed)
+        {
+            return;
+        }
+        if self.cfg.probe_audit {
+            self.audit_probe_abort(victim);
+        }
+        self.metrics.deadlocks_resolved += 1;
+        self.metrics.detection_latency_ticks += self.now - initiated_at;
+        self.abort(victim.txn);
+    }
+
+    /// Measurement-only cross-check, enabled by [`SimConfig::probe_audit`]
+    /// (off by default): was the victim really on a wait-for cycle at the
+    /// instant its abort executed? This consults the union of the site
+    /// tables — a god's-eye view the protocol itself never has — purely to
+    /// *count* phantom kills in [`Metrics::phantom_probe_aborts`]; the
+    /// detection decision was already made by the probes alone.
+    fn audit_probe_abort(&mut self, victim: Instance) {
+        let mut wfg: WaitForGraph<Instance> = WaitForGraph::new();
+        for (s, table) in self.sites.iter().enumerate() {
+            for e in self.sys.db().entities_at(SiteId::from_idx(s)) {
+                wfg.update_entity(e, table.entity_waits_for(e));
+            }
+        }
+        let on_cycle = wfg
+            .deadlocked_groups()
+            .iter()
+            .any(|grp| grp.contains(&victim));
+        if !on_cycle {
+            self.metrics.phantom_probe_aborts += 1;
+        }
     }
 
     /// Global deadlock scan (periodic mode): waits-for cycle detection +
@@ -384,20 +619,29 @@ impl Engine<'_> {
         let Some(cycle) = kplock_graph::find_cycle(&g) else {
             return false;
         };
-        let victim_txn = match self.cfg.victim_policy {
-            VictimPolicy::Youngest => cycle
-                .iter()
-                .max_by_key(|&&t| (self.coords[t].started_at, self.coords[t].birth))
-                .copied()
-                .expect("cycle nonempty"),
-            VictimPolicy::Oldest => cycle
-                .iter()
-                .min_by_key(|&&t| self.coords[t].birth)
-                .copied()
-                .expect("cycle nonempty"),
-        };
+        let members: Vec<Instance> = cycle
+            .iter()
+            .map(|&t| Instance {
+                txn: TxnId::from_idx(t),
+                epoch: self.coords[t].epoch,
+            })
+            .collect();
+        let stamps: Vec<Stamp> = members.iter().map(|&m| self.stamp_of(m)).collect();
+        let victim = probe::choose_victim(self.cfg.victim_policy, &members, &stamps);
+        // Detection latency, approximated by the youngest wait among the
+        // cycle's members (the cycle cannot predate its youngest edge):
+        // ~0 for OnBlock, up to a scan interval here.
+        let formation = self
+            .waiting_since
+            .iter()
+            .filter(|&(&(inst, _), _)| !self.stale(inst) && cycle.contains(&inst.txn.idx()))
+            .map(|(_, &t)| t)
+            .max();
+        if let Some(t0) = formation {
+            self.metrics.detection_latency_ticks += self.now - t0;
+        }
         self.metrics.deadlocks_resolved += 1;
-        self.abort(TxnId::from_idx(victim_txn));
+        self.abort(victim.txn);
         true
     }
 
@@ -409,19 +653,19 @@ impl Engine<'_> {
         self.metrics.aborts += 1;
         // Drop waits and release locks at every site.
         for s in 0..self.sites.len() {
-            let site_id = kplock_model::SiteId::from_idx(s);
+            let site_id = SiteId::from_idx(s);
             let cancelled = self.sites[s].cancel_waits(old);
             for &e in &cancelled.cancelled {
                 self.pending_lock_step.remove(&(old, e));
                 self.waiting_since.remove(&(old, e));
-                self.wfg_refresh(site_id, e);
+                self.edges_changed(site_id, e);
             }
             for (entity, grants) in cancelled
                 .granted
                 .into_iter()
                 .chain(self.sites[s].release_all(old))
             {
-                self.wfg_refresh(site_id, entity);
+                self.edges_changed(site_id, entity);
                 for (n, _) in grants {
                     self.grant_queued(n, entity);
                 }
@@ -464,8 +708,10 @@ mod tests {
     #[test]
     fn runs_non_conflicting_pair() {
         let sys = pair("Lx x Ux", "Ly y Uy", &[("x", 0), ("y", 1)]);
-        let r = run(&sys, &SimConfig::default());
-        assert!(r.finished);
+        let r = run(&sys, &SimConfig::default()).unwrap();
+        assert!(r.finished());
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert!(!r.timed_out());
         assert_eq!(r.metrics.committed, 2);
         assert_eq!(r.metrics.aborts, 0);
         r.audit.legal.as_ref().unwrap();
@@ -475,8 +721,8 @@ mod tests {
     #[test]
     fn serializes_conflicting_pair_via_locks() {
         let sys = pair("Lx x Ux", "Lx x Ux", &[("x", 0)]);
-        let r = run(&sys, &SimConfig::default());
-        assert!(r.finished);
+        let r = run(&sys, &SimConfig::default()).unwrap();
+        assert!(r.finished());
         assert!(r.audit.serializable);
         assert!(r.metrics.lock_wait_ticks > 0 || r.metrics.committed == 2);
     }
@@ -489,8 +735,8 @@ mod tests {
             latency: LatencyModel::Fixed(5),
             ..Default::default()
         };
-        let r = run(&sys, &cfg);
-        assert!(r.finished, "deadlock resolution must unblock the run");
+        let r = run(&sys, &cfg).unwrap();
+        assert!(r.finished(), "deadlock resolution must unblock the run");
         assert!(r.metrics.deadlocks_resolved >= 1);
         assert!(r.metrics.aborts >= 1);
         r.audit.legal.as_ref().unwrap();
@@ -505,10 +751,88 @@ mod tests {
             seed: 7,
             ..Default::default()
         };
-        let a = run(&sys, &cfg);
-        let b = run(&sys, &cfg);
+        let a = run(&sys, &cfg).unwrap();
+        let b = run(&sys, &cfg).unwrap();
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.committed_epoch, b.committed_epoch);
+    }
+
+    #[test]
+    fn invalid_latency_range_is_a_typed_error_not_a_panic() {
+        let sys = pair("Lx x Ux", "Ly y Uy", &[("x", 0), ("y", 1)]);
+        let cfg = SimConfig {
+            latency: LatencyModel::Uniform(30, 3),
+            ..Default::default()
+        };
+        // Before validation existed this panicked mid-run inside
+        // `rand::gen_range` on the first message send.
+        assert_eq!(
+            run(&sys, &cfg).unwrap_err(),
+            ConfigError::EmptyLatencyRange { lo: 30, hi: 3 }
+        );
+    }
+
+    #[test]
+    fn max_time_exhaustion_is_reported_as_timeout() {
+        // A run that cannot finish in the budget: latency alone exceeds
+        // max_time, and the periodic scan keeps the queue alive, so the
+        // old report would have quietly said "not finished" with no cause.
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 0)]);
+        let cfg = SimConfig {
+            latency: LatencyModel::Fixed(40),
+            max_time: 60,
+            deadlock_scan_interval: 25,
+            ..Default::default()
+        };
+        let r = run(&sys, &cfg).unwrap();
+        assert!(!r.finished());
+        assert_eq!(r.outcome, RunOutcome::TimedOut);
+        assert!(r.timed_out());
+        assert_eq!(r.metrics.committed, 0);
+        // The same system with the default budget completes.
+        let r = run(
+            &sys,
+            &SimConfig {
+                latency: LatencyModel::Fixed(40),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.outcome, RunOutcome::Completed);
+    }
+
+    #[test]
+    fn livelock_shaped_run_times_out_rather_than_lying() {
+        // Opposite-order deadlock with zero backoff and a budget that ends
+        // mid-churn: the victim has aborted and one transaction even
+        // committed, but the run is *not* done — the old report was
+        // indistinguishable from a clean completion here (committed count
+        // aside), the outcome now says TimedOut explicitly.
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 0)]);
+        let cfg = SimConfig {
+            latency: LatencyModel::Fixed(5),
+            restart_backoff: 0,
+            max_time: 100,
+            deadlock_scan_interval: 10,
+            ..Default::default()
+        };
+        let r = run(&sys, &cfg).unwrap();
+        assert!(!r.finished());
+        assert_eq!(r.outcome, RunOutcome::TimedOut);
+        assert!(r.timed_out());
+        assert_eq!(r.metrics.committed, 1, "cut off with work in flight");
+        assert!(r.metrics.aborts >= 1, "the deadlock did churn first");
+        // Ten more ticks of budget and the same run completes cleanly.
+        let r = run(
+            &sys,
+            &SimConfig {
+                max_time: 120,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert_eq!(r.metrics.committed, 2);
     }
 
     #[test]
@@ -522,9 +846,9 @@ mod tests {
             detection: crate::config::DeadlockDetection::OnBlock,
             ..periodic.clone()
         };
-        let rp = run(&sys, &periodic);
-        let rb = run(&sys, &onblock);
-        assert!(rp.finished && rb.finished);
+        let rp = run(&sys, &periodic).unwrap();
+        let rb = run(&sys, &onblock).unwrap();
+        assert!(rp.finished() && rb.finished());
         assert!(rb.metrics.deadlocks_resolved >= 1);
         assert!(rb.audit.serializable);
         // The periodic scan waits out the scan interval before resolving;
@@ -536,18 +860,82 @@ mod tests {
             rp.metrics.makespan
         );
         // Determinism holds in OnBlock mode too.
-        let rb2 = run(&sys, &onblock);
+        let rb2 = run(&sys, &onblock).unwrap();
         assert_eq!(rb.metrics, rb2.metrics);
     }
 
     #[test]
-    fn on_block_catches_cycles_formed_by_grant_retargeting() {
-        // A cycle can form at a *release*: granting e to the queue front
-        // retargets the remaining waiters onto the new holder. T1 runs two
-        // parallel per-site chains (so it can wait on x and y at once);
-        // T2 and T3 create the opposing holds. Sweep arrival offsets so
-        // some timing realizes the retargeting order; OnBlock must finish
-        // (and agree with Periodic) for every timing.
+    fn probe_detection_resolves_the_guaranteed_deadlock() {
+        // Same guaranteed cycle, but x and y on different sites so the
+        // probe must actually cross the network. No global wait-for graph
+        // is consulted anywhere on this path.
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 1)]);
+        let base = SimConfig {
+            latency: LatencyModel::Fixed(5),
+            probe_audit: true,
+            ..Default::default()
+        };
+        let probe = SimConfig {
+            detection: DeadlockDetection::Probe,
+            ..base.clone()
+        };
+        let periodic = SimConfig {
+            detection: DeadlockDetection::Periodic,
+            ..base.clone()
+        };
+        let rp = run(&sys, &probe).unwrap();
+        let rs = run(&sys, &periodic).unwrap();
+        assert_eq!(rp.outcome, RunOutcome::Completed);
+        assert!(rp.metrics.deadlocks_resolved >= 1);
+        assert!(rp.metrics.aborts >= 1);
+        assert!(rp.audit.serializable);
+        assert_eq!(rp.metrics.phantom_probe_aborts, 0);
+        // Distributed detection pays in messages and latency the
+        // centralized scan never sees.
+        assert!(rp.metrics.probe_messages > 0, "probes must cross sites");
+        assert!(rp.metrics.detection_latency_ticks > 0);
+        // Same victim as the global scan (same policy, same cycle): the
+        // committed/aborted sets agree even though ticks differ.
+        assert_eq!(rp.metrics.committed, rs.metrics.committed);
+        let aborted = |r: &SimReport| -> Vec<usize> {
+            r.committed_epoch
+                .iter()
+                .enumerate()
+                .filter(|&(_, &e)| e > 0)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        assert_eq!(aborted(&rp), aborted(&rs));
+        // Determinism.
+        let rp2 = run(&sys, &probe).unwrap();
+        assert_eq!(rp.metrics, rp2.metrics);
+    }
+
+    #[test]
+    fn probe_detection_handles_single_site_cycles_locally() {
+        // Both entities at one site: the chase closes without leaving the
+        // site, so detection costs no probe messages — only the abort
+        // order crosses the network.
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 0)]);
+        let cfg = SimConfig {
+            latency: LatencyModel::Fixed(5),
+            detection: DeadlockDetection::Probe,
+            probe_audit: true,
+            ..Default::default()
+        };
+        let r = run(&sys, &cfg).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert!(r.metrics.deadlocks_resolved >= 1);
+        assert_eq!(r.metrics.probe_messages, 0, "local cycles need no wire");
+        assert_eq!(r.metrics.phantom_probe_aborts, 0);
+        assert!(r.audit.serializable);
+    }
+
+    #[test]
+    fn probe_detection_survives_grant_retargeting_sweep() {
+        // The cycle-at-release scenario that once only OnBlock was tested
+        // against: every arrival timing must finish under probes too, and
+        // agree with the periodic scan on what committed.
         let db = Database::from_spec(&[("x", 0), ("y", 1)]);
         let mut b1 = TxnBuilder::new(&db, "T1");
         b1.script("Lx x Ux").unwrap();
@@ -569,20 +957,74 @@ mod tests {
                         latency: LatencyModel::Fixed(5),
                         ..Default::default()
                     };
-                    let onblock = SimConfig {
-                        detection: crate::config::DeadlockDetection::OnBlock,
+                    let probe = SimConfig {
+                        detection: DeadlockDetection::Probe,
                         ..periodic.clone()
                     };
-                    let rp = run_with_arrivals(&sys, &periodic, &arrivals);
-                    let rb = run_with_arrivals(&sys, &onblock, &arrivals);
-                    assert!(rp.finished, "periodic hung at {arrivals:?}");
-                    assert!(rb.finished, "on-block hung at {arrivals:?}");
+                    let rp = run_with_arrivals(&sys, &periodic, &arrivals).unwrap();
+                    let rb = run_with_arrivals(&sys, &probe, &arrivals).unwrap();
+                    assert!(rp.finished(), "periodic hung at {arrivals:?}");
+                    assert!(
+                        rb.finished(),
+                        "probe hung at {arrivals:?}: {:?}",
+                        rb.outcome
+                    );
                     assert!(rb.audit.serializable);
                     deadlocks += rb.metrics.deadlocks_resolved;
                 }
             }
         }
         assert!(deadlocks > 0, "sweep never provoked a deadlock");
+    }
+
+    #[test]
+    fn stale_unlock_after_abort_is_ignored() {
+        // The race the epoch check at `on_site` exists for. T2 runs two
+        // parallel chains: it holds b and has its *release of b in
+        // flight* while blocked on x; T1 holds x and queues for b. For
+        // ten ticks the site tables show the cycle T1→T2→T1 (the scan
+        // cannot know b's release is already on the wire), the scan fires
+        // inside that window and aborts T2 — freeing b a second time,
+        // handing it to T1 — and then T2's stale UnlockRequest lands at a
+        // table where T2 holds nothing. Without the epoch check the table
+        // panics "release by non-holder"; with it the message is ignored
+        // and the run completes. (A *phantom* deadlock: distributed
+        // detection killing a transaction that was already getting out of
+        // the way.)
+        let db = Database::from_spec(&[("x", 0), ("b", 1)]);
+        let mut b1 = TxnBuilder::new(&db, "T1");
+        b1.script("Lx x Lb b Ub Ux").unwrap();
+        let t1 = b1.build().unwrap();
+        let mut b2 = TxnBuilder::new(&db, "T2");
+        b2.script("Lb b b Ub").unwrap(); // extra update delays the unlock
+        b2.script("Lx x Ux").unwrap(); // parallel chain blocks on x
+        let t2 = b2.build().unwrap();
+        let sys = TxnSystem::new(db, vec![t1, t2]);
+        let cfg = SimConfig {
+            latency: LatencyModel::Fixed(5),
+            deadlock_scan_interval: 7,
+            ..Default::default()
+        };
+        let r = run(&sys, &cfg).unwrap();
+        assert!(r.finished(), "stale release must not wedge the run");
+        // The window really opened: the scan saw the transient cycle and
+        // aborted, so a dead-epoch unlock was in flight at that moment.
+        assert!(
+            r.metrics.deadlocks_resolved >= 1,
+            "scenario must trigger the phantom-deadlock window"
+        );
+        assert!(r.metrics.aborts >= 1);
+        r.audit.legal.as_ref().unwrap();
+        assert!(r.audit.serializable);
+        // Same race under probe detection, where abort orders also travel
+        // the network and widen the window.
+        let probe = SimConfig {
+            detection: DeadlockDetection::Probe,
+            ..cfg
+        };
+        let r = run(&sys, &probe).unwrap();
+        assert!(r.finished());
+        assert!(r.audit.serializable);
     }
 
     #[test]
@@ -593,14 +1035,14 @@ mod tests {
             latency: LatencyModel::Fixed(5),
             ..Default::default()
         };
-        let r = run(&sys, &cfg);
-        assert!(r.finished);
+        let r = run(&sys, &cfg).unwrap();
+        assert!(r.finished());
         assert_eq!(r.metrics.lock_wait_ticks, 0, "S+S never queues");
         r.audit.legal.as_ref().unwrap(); // overlapping S sections are legal
         assert!(r.audit.serializable);
         // The same pair with exclusive locks serializes by waiting.
         let sys = pair("Lx x Ux", "Lx x Ux", &[("x", 0)]);
-        let r = run(&sys, &cfg);
+        let r = run(&sys, &cfg).unwrap();
         assert!(r.metrics.lock_wait_ticks > 0, "X+X must queue");
     }
 
@@ -618,8 +1060,8 @@ mod tests {
                 seed,
                 ..Default::default()
             };
-            let r = run(&sys, &cfg);
-            assert!(r.finished);
+            let r = run(&sys, &cfg).unwrap();
+            assert!(r.finished());
             r.audit.legal.as_ref().unwrap();
             assert!(r.audit.serializable);
         }
@@ -637,8 +1079,8 @@ mod tests {
                 seed,
                 ..Default::default()
             };
-            let r = run(&sys, &cfg);
-            assert!(r.finished);
+            let r = run(&sys, &cfg).unwrap();
+            assert!(r.finished());
             r.audit.legal.as_ref().unwrap();
             if !r.audit.serializable {
                 saw_anomaly = true;

@@ -1,5 +1,6 @@
 //! The deterministic event queue.
 
+use crate::probe::ProbeMsg;
 use kplock_model::{EntityId, SiteId, StepId, TxnId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -68,6 +69,23 @@ pub enum Payload {
         inst: Instance,
         /// Step id.
         step: StepId,
+    },
+    /// Site → site: a Chandy–Misra–Haas deadlock probe
+    /// ([`crate::DeadlockDetection::Probe`] only) — the one message class
+    /// that never involves a coordinator.
+    Probe(ProbeMsg),
+    /// Site → coordinator: a probe closed a wait-for cycle; the victim's
+    /// coordinator must abort it.
+    Abort {
+        /// The chosen victim.
+        victim: Instance,
+        /// The full cycle the closing site assembled; the coordinator
+        /// drops the abort if any member has already been aborted (its
+        /// epoch moved on), since that cycle is broken.
+        members: Vec<Instance>,
+        /// When the cycle-closing edge appeared (for detection-latency
+        /// accounting).
+        initiated_at: SimTime,
     },
 }
 

@@ -17,18 +17,23 @@
 //!
 //! Both sit on the `kplock-dlm` lock tables: reader–writer modes with
 //! FIFO grants (exclusive-only by default, matching the paper), and
-//! deadlock detection either by periodic global scan (default) or
-//! incrementally at block time ([`DeadlockDetection::OnBlock`]).
+//! deadlock detection by periodic global scan (default), incrementally at
+//! block time ([`DeadlockDetection::OnBlock`]), or fully distributed via
+//! Chandy–Misra–Haas probe messages ([`DeadlockDetection::Probe`], see
+//! [`probe`]) — the only scheme where detection itself pays network costs,
+//! metered in [`Metrics::probe_messages`] and
+//! [`Metrics::detection_latency_ticks`].
 //!
 //! # Example
 //!
-//! A guaranteed deadlock, resolved and committed serializably:
+//! A guaranteed deadlock, resolved and committed serializably — then
+//! resolved again with no global wait-for graph anywhere, by probes:
 //!
 //! ```
 //! use kplock_model::{Database, TxnBuilder, TxnSystem};
-//! use kplock_sim::{run, LatencyModel, SimConfig};
+//! use kplock_sim::{run, DeadlockDetection, LatencyModel, SimConfig};
 //!
-//! let db = Database::from_spec(&[("x", 0), ("y", 0)]);
+//! let db = Database::from_spec(&[("x", 0), ("y", 1)]); // two sites
 //! let mut b1 = TxnBuilder::new(&db, "T1");
 //! b1.script("Lx Ly x y Ux Uy").unwrap(); // 2PL, x then y
 //! let t1 = b1.build().unwrap();
@@ -38,10 +43,15 @@
 //! let sys = TxnSystem::new(db, vec![t1, t2]);
 //!
 //! let cfg = SimConfig { latency: LatencyModel::Fixed(5), ..Default::default() };
-//! let report = run(&sys, &cfg);
-//! assert!(report.finished);
+//! let report = run(&sys, &cfg).unwrap(); // bad configs are typed errors
+//! assert!(report.finished());
 //! assert!(report.metrics.deadlocks_resolved >= 1); // victim aborted + restarted
 //! assert!(report.audit.serializable);              // 2PL commits serializably
+//!
+//! let probes = SimConfig { detection: DeadlockDetection::Probe, ..cfg };
+//! let report = run(&sys, &probes).unwrap();
+//! assert!(report.finished());
+//! assert!(report.metrics.probe_messages > 0); // detection crossed the wire
 //! ```
 
 pub mod config;
@@ -51,13 +61,15 @@ pub mod event;
 pub mod history;
 pub mod lock_table;
 pub mod metrics;
+pub mod probe;
 pub mod threaded;
 
-pub use config::{DeadlockDetection, LatencyModel, SimConfig, VictimPolicy};
+pub use config::{ConfigError, DeadlockDetection, LatencyModel, SimConfig, VictimPolicy};
 pub use driver::{draw_arrivals, run_open_loop, ArrivalConfig};
-pub use engine::{run, run_with_arrivals, SimReport};
+pub use engine::{run, run_with_arrivals, RunOutcome, SimReport};
 pub use event::{EventKind, EventQueue, Instance, Payload, SimTime};
 pub use history::{audit, Audit, History, HistoryEvent};
 pub use lock_table::LockTable;
 pub use metrics::Metrics;
+pub use probe::{choose_victim, ProbeMsg, SiteProbeState, Stamp};
 pub use threaded::{run_threaded, ThreadedConfig, ThreadedReport};

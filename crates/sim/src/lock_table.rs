@@ -102,6 +102,14 @@ impl LockTable {
     pub fn entity_waits_for(&self, e: EntityId) -> Vec<(Instance, Instance)> {
         self.inner.entity_waits_for(e)
     }
+
+    /// The holders `inst` waits on at this site, ascending and
+    /// deduplicated — the site-local answer a Chandy–Misra–Haas probe
+    /// needs ("is this instance blocked here, and on whom?"); see
+    /// [`crate::probe`].
+    pub fn waits_of(&self, inst: Instance) -> Vec<Instance> {
+        self.inner.waits_of(inst)
+    }
 }
 
 #[cfg(test)]

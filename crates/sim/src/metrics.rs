@@ -15,6 +15,32 @@ pub struct Metrics {
     pub lock_wait_ticks: u64,
     /// Deadlock cycles resolved.
     pub deadlocks_resolved: usize,
+    /// Probe messages sent site-to-site ([`crate::DeadlockDetection::Probe`]
+    /// only) — the network cost of *distributed* detection. These are
+    /// **included** in [`Metrics::messages`] (every wire message is), so
+    /// this counter isolates the detection share: coordinator↔site data
+    /// traffic is `messages - probe_messages`; do not sum the two.
+    pub probe_messages: u64,
+    /// Total ticks between a cycle forming and the victim's abort
+    /// executing, summed over resolved deadlocks — an approximation under
+    /// every scheme. Under [`crate::DeadlockDetection::Probe`] it is
+    /// measured from the closing probe's launch tick: usually the cycle's
+    /// final edge, but an earlier-launched probe that closes the cycle
+    /// in flight attributes the cycle to its own (earlier) launch and
+    /// overcounts. Under `Periodic` and `OnBlock` formation is
+    /// approximated by the youngest wait among the cycle's members — so
+    /// `OnBlock` reads ~0 for block-formed cycles (resolved in their
+    /// formation tick) but can overcount cycles formed by grant
+    /// retargeting, whose members began waiting earlier. Expected
+    /// magnitudes: ~0 for `OnBlock`, up to a scan interval for
+    /// `Periodic`, roughly one network hop per cycle edge plus the abort
+    /// order's hop for `Probe`.
+    pub detection_latency_ticks: u64,
+    /// Probe-ordered aborts whose victim was no longer on any wait-for
+    /// cycle when the abort executed. Only populated when
+    /// [`crate::SimConfig::probe_audit`] is on; see that flag for why this
+    /// is measurement, not protocol.
+    pub phantom_probe_aborts: usize,
     /// Completion time of the last commit.
     pub makespan: SimTime,
 }

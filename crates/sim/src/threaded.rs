@@ -13,6 +13,7 @@
 //! phenomena under genuine concurrency; the discrete-event engine in
 //! [`crate::engine`] is the reproducible instrument.
 
+use crate::config::ConfigError;
 use crate::event::Instance;
 use crate::history::History;
 use crate::history::{audit, Audit};
@@ -35,6 +36,16 @@ pub struct ThreadedConfig {
     pub max_backoff: Duration,
     /// Number of lock-table shards (entities hash across them).
     pub shards: usize,
+}
+
+impl ThreadedConfig {
+    /// Checks the configuration for values that cannot run.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        Ok(())
+    }
 }
 
 impl Default for ThreadedConfig {
@@ -78,8 +89,12 @@ impl Shared {
 }
 
 /// Executes the system on real threads.
-pub fn run_threaded(sys: &TxnSystem, cfg: &ThreadedConfig) -> ThreadedReport {
-    let shards = cfg.shards.max(1);
+///
+/// Returns [`ConfigError`] if `cfg` fails [`ThreadedConfig::validate`]
+/// (e.g. zero shards), checked up front like [`crate::run`].
+pub fn run_threaded(sys: &TxnSystem, cfg: &ThreadedConfig) -> Result<ThreadedReport, ConfigError> {
+    cfg.validate()?;
+    let shards = cfg.shards;
     let shared = Arc::new(Shared {
         table: ShardedTable::new(shards),
         wakeups: (0..shards).map(|_| Condvar::new()).collect(),
@@ -110,11 +125,11 @@ pub fn run_threaded(sys: &TxnSystem, cfg: &ThreadedConfig) -> ThreadedReport {
     let committed_epoch: Vec<u32> = results.iter().map(|&(_, e)| e).collect();
     let finished = results.iter().all(|&(ok, _)| ok);
     let aborts: usize = results.iter().map(|&(_, e)| e as usize).sum();
-    ThreadedReport {
+    Ok(ThreadedReport {
         audit: audit(sys, &history, &committed_epoch),
         aborts,
         finished,
-    }
+    })
 }
 
 /// Runs one transaction to commit; returns `(committed, final_epoch)`.
@@ -255,7 +270,7 @@ mod tests {
             &[("x", 0), ("y", 0)],
         );
         for _ in 0..5 {
-            let r = run_threaded(&s, &ThreadedConfig::default());
+            let r = run_threaded(&s, &ThreadedConfig::default()).unwrap();
             assert!(r.finished);
             r.audit.legal.as_ref().unwrap();
             assert!(r.audit.serializable, "2PL history must be serializable");
@@ -268,7 +283,7 @@ mod tests {
             &["Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux"],
             &[("x", 0), ("y", 0)],
         );
-        let r = run_threaded(&s, &ThreadedConfig::default());
+        let r = run_threaded(&s, &ThreadedConfig::default()).unwrap();
         assert!(r.finished, "timeout-abort must break deadlocks");
         r.audit.legal.as_ref().unwrap();
         assert!(r.audit.serializable);
@@ -285,7 +300,7 @@ mod tests {
             ],
             &[("x", 0), ("y", 1), ("z", 2)],
         );
-        let r = run_threaded(&s, &ThreadedConfig::default());
+        let r = run_threaded(&s, &ThreadedConfig::default()).unwrap();
         assert!(r.finished);
         r.audit.legal.as_ref().unwrap();
         assert!(r.audit.serializable);
@@ -295,7 +310,7 @@ mod tests {
     fn threaded_shared_readers_and_a_writer() {
         let s = sys(&["SLx rx Ux", "SLx rx Ux", "Lx x Ux"], &[("x", 0)]);
         for _ in 0..5 {
-            let r = run_threaded(&s, &ThreadedConfig::default());
+            let r = run_threaded(&s, &ThreadedConfig::default()).unwrap();
             assert!(r.finished);
             r.audit.legal.as_ref().unwrap();
             assert!(r.audit.serializable);
@@ -312,7 +327,7 @@ mod tests {
             shards: 1,
             ..Default::default()
         };
-        let r = run_threaded(&s, &cfg);
+        let r = run_threaded(&s, &cfg).unwrap();
         assert!(r.finished);
         assert!(r.audit.serializable);
     }

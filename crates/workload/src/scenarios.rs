@@ -1,0 +1,190 @@
+//! Multi-site scenario generators for detection-scheme experiments.
+//!
+//! Distributed deadlock detection only shows its cost when cycles span
+//! sites; these generators sweep the two axes that control that:
+//!
+//! * [`site_count_sweep`] — the same offered load spread over 1, 2, 4, …
+//!   sites, so detection traffic can be read as a function of how
+//!   *distributed* the system is (the paper's title question, measured);
+//! * [`hot_site_sweep`] — a fixed topology with an increasingly skewed
+//!   access pattern toward one hot site, the adversarial case where a
+//!   central scan sees everything cheaply but probe chases all funnel
+//!   through one table.
+//!
+//! Every scenario is seeded and deterministic, sized for simulator runs
+//! (not statistical benchmarks), and locked with synchronized 2PL so
+//! deadlocks are guaranteed resolvable and commits audit serializable.
+
+use crate::txn_gen::{random_system, WorkloadParams};
+use kplock_model::TxnSystem;
+
+/// One generated scenario, tagged with the swept parameter value.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Human-readable tag, e.g. `sites=4` or `hot=80`.
+    pub name: String,
+    /// The swept value (site count or hot-site percentage).
+    pub value: usize,
+    /// The generated, locked transaction system.
+    pub system: TxnSystem,
+}
+
+/// Sweeps the site count while holding the total entity count and the
+/// per-transaction work fixed: `entities_total` is distributed evenly, so
+/// more sites means the *same* data spread thinner — contention per
+/// entity is constant and only the distribution cost varies.
+///
+/// `site_counts` entries must divide `entities_total`.
+pub fn site_count_sweep(
+    base: &WorkloadParams,
+    entities_total: usize,
+    site_counts: &[usize],
+) -> Vec<Scenario> {
+    site_counts
+        .iter()
+        .map(|&sites| {
+            assert!(
+                sites > 0 && entities_total.is_multiple_of(sites),
+                "site count {sites} must divide {entities_total} entities"
+            );
+            let p = WorkloadParams {
+                sites,
+                entities_per_site: entities_total / sites,
+                ..base.clone()
+            };
+            Scenario {
+                name: format!("sites={sites}"),
+                value: sites,
+                system: random_system(&p),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps access skew toward site 0 on a fixed topology:
+/// `hot_percents` are [`WorkloadParams::hot_site_percent`] values
+/// (0 = uniform, 100 = every access hits the hot site).
+pub fn hot_site_sweep(base: &WorkloadParams, hot_percents: &[u32]) -> Vec<Scenario> {
+    hot_percents
+        .iter()
+        .map(|&hot| {
+            assert!(hot <= 100, "hot_site_percent is a percentage");
+            let p = WorkloadParams {
+                hot_site_percent: hot,
+                ..base.clone()
+            };
+            Scenario {
+                name: format!("hot={hot}"),
+                value: hot as usize,
+                system: random_system(&p),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kplock_core::policy::LockStrategy;
+    use kplock_model::Level;
+
+    fn base() -> WorkloadParams {
+        WorkloadParams {
+            seed: 11,
+            transactions: 4,
+            steps_per_txn: 6,
+            strategy: LockStrategy::TwoPhaseSync,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn site_sweep_holds_data_constant() {
+        let sweep = site_count_sweep(&base(), 12, &[1, 2, 4, 6]);
+        assert_eq!(sweep.len(), 4);
+        for sc in &sweep {
+            sc.system.validate(Level::Strict).unwrap();
+            assert_eq!(sc.system.db().entity_count(), 12);
+            assert_eq!(sc.system.db().site_count(), sc.value);
+            assert_eq!(sc.name, format!("sites={}", sc.value));
+        }
+        // Deterministic.
+        let again = site_count_sweep(&base(), 12, &[1, 2, 4, 6]);
+        for (a, b) in sweep.iter().zip(&again) {
+            for (ta, tb) in a.system.txns().iter().zip(b.system.txns()) {
+                assert_eq!(ta.steps(), tb.steps());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn site_sweep_rejects_uneven_splits() {
+        site_count_sweep(&base(), 10, &[3]);
+    }
+
+    #[test]
+    fn hot_sweep_concentrates_accesses() {
+        let p = WorkloadParams {
+            sites: 4,
+            entities_per_site: 3,
+            transactions: 6,
+            steps_per_txn: 8,
+            ..base()
+        };
+        let sweep = hot_site_sweep(&p, &[0, 50, 100]);
+        let hot_share = |sc: &Scenario| -> f64 {
+            let db = sc.system.db();
+            let accesses: Vec<_> = sc
+                .system
+                .txns()
+                .iter()
+                .flat_map(|t| t.steps())
+                .filter(|s| s.kind == kplock_model::ActionKind::Update)
+                .map(|s| db.site_of(s.entity).idx())
+                .collect();
+            let hot = accesses.iter().filter(|&&s| s == 0).count();
+            hot as f64 / accesses.len() as f64
+        };
+        let shares: Vec<f64> = sweep.iter().map(hot_share).collect();
+        assert!(shares[0] < shares[1] && shares[1] < shares[2], "{shares:?}");
+        assert_eq!(shares[2], 1.0, "hot=100 puts every access on site 0");
+        for sc in &sweep {
+            sc.system.validate(Level::Strict).unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_hot_percent_is_seed_identical_to_base() {
+        let p = base();
+        let plain = random_system(&p);
+        let sweep = hot_site_sweep(&p, &[0]);
+        for (a, b) in plain.txns().iter().zip(sweep[0].system.txns()) {
+            assert_eq!(a.steps(), b.steps());
+        }
+    }
+
+    #[test]
+    fn scenarios_run_under_every_detection_scheme() {
+        use kplock_sim::{run, DeadlockDetection, LatencyModel, SimConfig};
+        let sweep = site_count_sweep(&base(), 6, &[2, 3]);
+        for sc in &sweep {
+            for detection in [
+                DeadlockDetection::Periodic,
+                DeadlockDetection::OnBlock,
+                DeadlockDetection::Probe,
+            ] {
+                let cfg = SimConfig {
+                    latency: LatencyModel::Fixed(5),
+                    detection,
+                    probe_audit: true,
+                    ..Default::default()
+                };
+                let r = run(&sc.system, &cfg).unwrap();
+                assert!(r.finished(), "{} under {detection:?}", sc.name);
+                assert!(r.audit.serializable, "{} under {detection:?}", sc.name);
+                assert_eq!(r.metrics.phantom_probe_aborts, 0);
+            }
+        }
+    }
+}

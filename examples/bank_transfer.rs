@@ -82,8 +82,8 @@ fn main() {
                 latency: LatencyModel::Uniform(1, 40),
                 ..Default::default()
             };
-            let report = run(&sys, &cfg);
-            assert!(report.finished);
+            let report = run(&sys, &cfg).expect("valid config");
+            assert!(report.finished());
             report.audit.legal.as_ref().expect("legal history");
             if !report.audit.serializable {
                 anomalies += 1;

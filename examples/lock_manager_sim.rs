@@ -21,6 +21,7 @@ fn main() {
             steps_per_txn: 6,
             cross_edge_percent: 30,
             read_percent: 0,
+            hot_site_percent: 0,
             strategy,
             seed: 42,
         };
@@ -41,8 +42,8 @@ fn main() {
                 victim_policy: VictimPolicy::Youngest,
                 ..Default::default()
             };
-            let r = run(&sys, &cfg);
-            assert!(r.finished, "run must finish");
+            let r = run(&sys, &cfg).expect("valid config");
+            assert!(r.finished(), "run must finish");
             r.audit.legal.as_ref().expect("history must be legal");
             if !r.audit.serializable {
                 anomalies += 1;
@@ -61,7 +62,7 @@ fn main() {
         );
 
         // The same system under genuine concurrency.
-        let threaded = run_threaded(&sys, &ThreadedConfig::default());
+        let threaded = run_threaded(&sys, &ThreadedConfig::default()).expect("valid config");
         println!(
             "  threaded run: finished={} aborts={} serializable={}",
             threaded.finished, threaded.aborts, threaded.audit.serializable

@@ -93,8 +93,9 @@ fn bank_transfer_core_path() {
                     latency: LatencyModel::Uniform(1, 40),
                     ..Default::default()
                 },
-            );
-            assert!(r.finished);
+            )
+            .expect("valid config");
+            assert!(r.finished());
             r.audit.legal.as_ref().expect("history must be legal");
             if !r.audit.serializable {
                 anomalies += 1;
@@ -117,6 +118,7 @@ fn lock_manager_sim_core_path() {
         steps_per_txn: 6,
         cross_edge_percent: 30,
         read_percent: 0,
+        hot_site_percent: 0,
         strategy: LockStrategy::TwoPhaseSync,
         seed: 42,
     });
@@ -130,8 +132,9 @@ fn lock_manager_sim_core_path() {
                 victim_policy: VictimPolicy::Youngest,
                 ..Default::default()
             },
-        );
-        assert!(r.finished, "run must finish");
+        )
+        .expect("valid config");
+        assert!(r.finished(), "run must finish");
         r.audit.legal.as_ref().expect("history must be legal");
         assert!(r.audit.serializable, "2PL-sync histories are serializable");
         commits += r.metrics.committed;
@@ -143,7 +146,7 @@ fn lock_manager_sim_core_path() {
     // that a failure. Legality/serializability must hold on every run.
     let mut finished = false;
     for _ in 0..3 {
-        let threaded = run_threaded(&sys, &ThreadedConfig::default());
+        let threaded = run_threaded(&sys, &ThreadedConfig::default()).expect("valid config");
         threaded.audit.legal.as_ref().expect("legal history");
         assert!(threaded.audit.serializable);
         if threaded.finished {

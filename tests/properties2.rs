@@ -99,8 +99,8 @@ proptest! {
                 latency: LatencyModel::Uniform(1, 15),
                 ..Default::default()
             },
-        );
-        prop_assert!(r.finished, "runs must finish");
+        ).expect("valid config");
+        prop_assert!(r.finished(), "runs must finish");
         prop_assert!(r.audit.legal.is_ok(), "{:?}", r.audit.legal);
         prop_assert!(projection_respects_site_orders(&sys, &r.audit.schedule));
     }
@@ -121,8 +121,8 @@ proptest! {
             latency: LatencyModel::Uniform(1, 30),
             ..Default::default()
         };
-        let a = run(&sys, &cfg);
-        let b = run(&sys, &cfg);
+        let a = run(&sys, &cfg).expect("valid config");
+        let b = run(&sys, &cfg).expect("valid config");
         prop_assert_eq!(a.audit.schedule, b.audit.schedule);
         prop_assert_eq!(a.metrics, b.metrics);
     }

@@ -38,8 +38,8 @@ fn fixed_seed_random_system_is_pinned() {
         seed: 7,
         ..Default::default()
     };
-    let r = run(&sys, &cfg);
-    assert!(r.finished);
+    let r = run(&sys, &cfg).expect("valid config");
+    assert!(r.finished());
     assert_eq!(
         metrics(&r.metrics),
         PIN_RANDOM,
@@ -64,8 +64,8 @@ fn fixed_seed_deadlock_prone_run_is_pinned() {
         victim_policy: VictimPolicy::Oldest,
         ..Default::default()
     };
-    let r = run(&sys, &cfg);
-    assert!(r.finished);
+    let r = run(&sys, &cfg).expect("valid config");
+    assert!(r.finished());
     assert_eq!(
         metrics(&r.metrics),
         PIN_DEADLOCK,
@@ -81,8 +81,8 @@ fn fixed_seed_fig5_run_is_pinned() {
         seed: 3,
         ..Default::default()
     };
-    let r = run(&fig5(), &cfg);
-    assert!(r.finished);
+    let r = run(&fig5(), &cfg).expect("valid config");
+    assert!(r.finished());
     assert!(r.audit.serializable, "fig5 is safe");
     assert_eq!(
         metrics(&r.metrics),

@@ -33,8 +33,8 @@ fn safe_systems_never_commit_anomalies() {
                     victim_policy: policy,
                     ..Default::default()
                 };
-                let r = run(&sys, &cfg);
-                assert!(r.finished, "workload seed {seed}, sim seed {sim_seed}");
+                let r = run(&sys, &cfg).expect("valid config");
+                assert!(r.finished(), "workload seed {seed}, sim seed {sim_seed}");
                 r.audit.legal.as_ref().unwrap();
                 assert!(
                     r.audit.serializable,
@@ -55,8 +55,8 @@ fn fig1_exhibits_anomaly_for_some_timing() {
             latency: LatencyModel::Uniform(1, 60),
             ..Default::default()
         };
-        let r = run(&sys, &cfg);
-        r.finished && !r.audit.serializable
+        let r = run(&sys, &cfg).expect("valid config");
+        r.finished() && !r.audit.serializable
     });
     assert!(
         found,
@@ -73,8 +73,8 @@ fn fig3_exhibits_anomaly_for_some_timing() {
             latency: LatencyModel::Uniform(1, 60),
             ..Default::default()
         };
-        let r = run(&sys, &cfg);
-        r.finished && !r.audit.serializable
+        let r = run(&sys, &cfg).expect("valid config");
+        r.finished() && !r.audit.serializable
     });
     assert!(
         found,
@@ -91,8 +91,8 @@ fn runs_are_reproducible() {
             latency: LatencyModel::Uniform(1, 50),
             ..Default::default()
         };
-        let a = run(&sys, &cfg);
-        let b = run(&sys, &cfg);
+        let a = run(&sys, &cfg).expect("valid config");
+        let b = run(&sys, &cfg).expect("valid config");
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.audit.serializable, b.audit.serializable);
         assert_eq!(a.audit.schedule, b.audit.schedule);
@@ -118,8 +118,8 @@ fn victim_policy_ablation_both_terminate() {
                 victim_policy: policy,
                 ..Default::default()
             };
-            let r = run(&sys, &cfg);
-            assert!(r.finished, "{policy:?} seed {seed}");
+            let r = run(&sys, &cfg).expect("valid config");
+            assert!(r.finished(), "{policy:?} seed {seed}");
             assert!(r.audit.serializable);
         }
     }

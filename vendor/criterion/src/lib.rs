@@ -50,11 +50,20 @@ pub struct Bencher {
     total: Duration,
     iters: u64,
     measurement_time: Duration,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Run `routine` repeatedly, recording mean wall-clock time per call.
+    /// In `--test` mode ([`Criterion::test_mode`]) the routine runs exactly
+    /// once, untimed — the benchmark is smoke-checked, not measured.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters = 1;
+            self.total = Duration::ZERO;
+            return;
+        }
         // Warm-up and calibration: find an iteration count that fills the
         // measurement window without timing each call individually.
         let mut n: u64 = 1;
@@ -85,6 +94,10 @@ impl Bencher {
     }
 
     fn report(&self, name: &str) {
+        if self.test_mode {
+            println!("{name:<40} ok (test mode, 1 iteration)");
+            return;
+        }
         if self.iters == 0 {
             println!("{name:<40} (no measurement)");
             return;
@@ -169,6 +182,7 @@ impl BenchmarkGroup<'_> {
 /// Top-level benchmark driver, mirroring `criterion::Criterion`.
 pub struct Criterion {
     measurement_time: Duration,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -177,11 +191,21 @@ impl Default for Criterion {
             // Short window: these benches run in CI smoke mode, not for
             // statistically rigorous comparisons.
             measurement_time: Duration::from_millis(200),
+            // Mirror of real criterion's `--test` flag (as in
+            // `cargo bench --bench foo -- --test`): run each benchmark
+            // body exactly once so CI can prove benches still compile and
+            // execute without paying for measurements.
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
 
 impl Criterion {
+    /// Whether `--test` was passed: benchmarks run once, untimed.
+    pub fn test_mode(&self) -> bool {
+        self.test_mode
+    }
+
     pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
@@ -204,6 +228,7 @@ impl Criterion {
             total: Duration::ZERO,
             iters: 0,
             measurement_time: window,
+            test_mode: self.test_mode,
         };
         f(&mut bencher);
         bencher.report(name);
@@ -239,6 +264,7 @@ mod tests {
     fn bencher_measures_cheap_closures() {
         let mut c = Criterion {
             measurement_time: Duration::from_millis(5),
+            test_mode: false,
         };
         let mut ran = 0u64;
         c.bench_function("noop", |b| b.iter(|| ran += 1));
@@ -249,6 +275,7 @@ mod tests {
     fn group_measurement_time_does_not_leak() {
         let mut c = Criterion {
             measurement_time: Duration::from_millis(5),
+            test_mode: false,
         };
         let mut group = c.benchmark_group("g");
         group.measurement_time(Duration::from_millis(40));
@@ -258,9 +285,22 @@ mod tests {
     }
 
     #[test]
+    fn test_mode_runs_exactly_once() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+            test_mode: true,
+        };
+        let mut ran = 0u64;
+        c.bench_function("once", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1, "--test mode must run the body exactly once");
+        assert!(c.test_mode());
+    }
+
+    #[test]
     fn groups_and_ids_compose() {
         let mut c = Criterion {
             measurement_time: Duration::from_millis(5),
+            test_mode: false,
         };
         let mut group = c.benchmark_group("g");
         group.sample_size(10);
