@@ -44,7 +44,7 @@ fn bench_detection(c: &mut Criterion) {
                             std::hint::black_box(sys),
                             &SimConfig {
                                 latency: LatencyModel::Fixed(latency),
-                                detection,
+                                resolution: detection.into(),
                                 ..Default::default()
                             },
                         )
@@ -77,7 +77,7 @@ fn bench_detection(c: &mut Criterion) {
                         std::hint::black_box(sys),
                         &SimConfig {
                             latency: LatencyModel::Fixed(10),
-                            detection,
+                            resolution: detection.into(),
                             ..Default::default()
                         },
                     )

@@ -1,0 +1,81 @@
+//! Experiment D2's wall-clock companion: what does deadlock *prevention*
+//! cost to simulate, against detection, on the same rotated-lock-order
+//! workloads?
+//!
+//! Sweeps the full [`kplock_sim::DeadlockResolution`] axis — the Periodic
+//! scan and Chandy–Misra–Haas probes on the detection side, Wound-Wait /
+//! Wait-Die / No-Wait on the prevention side — across the
+//! `resolution_sweep` site counts and two network latencies. The
+//! companion table (`cargo run --release --bin experiments`, table D2)
+//! reports the *simulated* units (prevention restarts vs probe messages);
+//! here the host cost of whole runs is timed — and, like the `detection`
+//! bench, `cargo bench --bench prevention -- --test` doubles as CI's
+//! smoke proof that every scheme still completes on every topology with
+//! zero detected deadlocks on the prevention side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplock_sim::{run, DeadlockDetection, DeadlockResolution, PreventionScheme, SimConfig};
+use kplock_workload::resolution_sweep;
+
+const RESOLUTIONS: [(DeadlockResolution, &str); 5] = [
+    (
+        DeadlockResolution::Detect(DeadlockDetection::Periodic),
+        "periodic",
+    ),
+    (
+        DeadlockResolution::Detect(DeadlockDetection::Probe),
+        "probe",
+    ),
+    (
+        DeadlockResolution::Prevent(PreventionScheme::WoundWait),
+        "wound-wait",
+    ),
+    (
+        DeadlockResolution::Prevent(PreventionScheme::WaitDie),
+        "wait-die",
+    ),
+    (
+        DeadlockResolution::Prevent(PreventionScheme::NoWait),
+        "no-wait",
+    ),
+];
+
+fn bench_prevention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resolution_sites");
+    group.sample_size(20);
+    for sc in resolution_sweep(6, 4, &[1, 2, 3, 6]) {
+        for (resolution, tag) in RESOLUTIONS {
+            for latency in [5u64, 20] {
+                group.bench_with_input(
+                    BenchmarkId::new(tag, format!("{}/lat={latency}", sc.name)),
+                    &sc.system,
+                    |b, sys| {
+                        b.iter(|| {
+                            let r = run(
+                                std::hint::black_box(sys),
+                                &SimConfig {
+                                    latency: kplock_sim::LatencyModel::Fixed(latency),
+                                    resolution,
+                                    ..Default::default()
+                                },
+                            )
+                            .expect("valid config");
+                            assert!(r.finished(), "{tag} must complete every run");
+                            if matches!(resolution, DeadlockResolution::Prevent(_)) {
+                                assert_eq!(
+                                    r.metrics.deadlocks_resolved, 0,
+                                    "prevention must never let a cycle form"
+                                );
+                            }
+                            r
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prevention);
+criterion_main!(benches);

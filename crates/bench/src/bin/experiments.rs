@@ -13,10 +13,13 @@ use kplock_core::{
 use kplock_geometry::{plane_is_safe, PlanePicture};
 use kplock_model::{EntityId, TxnId};
 use kplock_sat::{solve, SatResult};
-use kplock_sim::{run, DeadlockDetection, LatencyModel, SimConfig, VictimPolicy};
+use kplock_sim::{
+    run, DeadlockDetection, DeadlockResolution, LatencyModel, PreventionScheme, SimConfig,
+    VictimPolicy,
+};
 use kplock_workload::{
-    fig1, fig2, fig3, fig5, fig8_formula, random_instance, random_system, site_count_sweep,
-    unsat_restricted, WorkloadParams,
+    fig1, fig2, fig3, fig5, fig8_formula, random_instance, random_system, resolution_sweep,
+    site_count_sweep, unsat_restricted, WorkloadParams,
 };
 use std::time::Instant;
 
@@ -358,7 +361,7 @@ fn exp_d1_detection() {
                     &SimConfig {
                         seed,
                         latency: LatencyModel::Fixed(10),
-                        detection,
+                        resolution: detection.into(),
                         ..Default::default()
                     },
                 )
@@ -384,6 +387,117 @@ fn exp_d1_detection() {
                 makespan / runs
             );
         }
+    }
+    println!();
+}
+
+/// The five arms of the resolution axis compared in D2.
+const D2_ARMS: [(DeadlockResolution, &str); 5] = [
+    (
+        DeadlockResolution::Detect(DeadlockDetection::Periodic),
+        "periodic",
+    ),
+    (
+        DeadlockResolution::Detect(DeadlockDetection::Probe),
+        "probe",
+    ),
+    (
+        DeadlockResolution::Prevent(PreventionScheme::WoundWait),
+        "wound-wait",
+    ),
+    (
+        DeadlockResolution::Prevent(PreventionScheme::WaitDie),
+        "wait-die",
+    ),
+    (
+        DeadlockResolution::Prevent(PreventionScheme::NoWait),
+        "no-wait",
+    ),
+];
+
+/// Runs `sys` under every D2 arm and prints one row per arm with the
+/// given leading cells. Restarts-vs-messages is the trade the table
+/// exists to show: detection pays probe messages and detection latency,
+/// prevention pays restarts.
+fn d2_rows(lead: &str, sys: &kplock_model::TxnSystem, latency: u64) {
+    for (resolution, tag) in D2_ARMS {
+        let runs = 40u64;
+        let (mut deadlocks, mut restarts, mut aborts, mut msgs, mut probes, mut makespan) =
+            (0usize, 0usize, 0usize, 0u64, 0u64, 0u64);
+        for seed in 0..runs {
+            let r = run(
+                sys,
+                &SimConfig {
+                    seed,
+                    latency: LatencyModel::Fixed(latency),
+                    resolution,
+                    ..Default::default()
+                },
+            )
+            .expect("valid config");
+            assert!(r.finished(), "{lead} under {tag}");
+            if matches!(resolution, DeadlockResolution::Prevent(_)) {
+                assert_eq!(r.metrics.deadlocks_resolved, 0, "{lead} under {tag}");
+            }
+            deadlocks += r.metrics.deadlocks_resolved;
+            restarts += r.metrics.prevention_restarts;
+            aborts += r.metrics.aborts;
+            msgs += r.metrics.messages;
+            probes += r.metrics.probe_messages;
+            makespan += r.metrics.makespan;
+        }
+        println!(
+            "| {lead} | {tag} | {:.2} | {:.2} | {:.2} | {} | {} | {} |",
+            deadlocks as f64 / runs as f64,
+            restarts as f64 / runs as f64,
+            aborts as f64 / runs as f64,
+            msgs / runs,
+            probes / runs,
+            makespan / runs
+        );
+    }
+}
+
+fn exp_d2_prevention() {
+    println!("## D2: deadlock resolution — detection vs prevention\n");
+    println!(
+        "Prevention (wound-wait / wait-die / no-wait) never lets a cycle\n\
+         form: it answers from the requester's and holders' birth stamps,\n\
+         locally at the table, and pays in *restarts* what detection pays\n\
+         in probe messages and detection latency. Same rotated-lock-order\n\
+         workload everywhere (6 entities, 4 sync-2PL transactions); only\n\
+         the swept axis changes.\n"
+    );
+    println!("### Site count (latency 10)\n");
+    println!("| sites | scheme | deadlocks/run | prevention restarts/run | aborts/run | msgs/run | probe msgs/run | makespan avg |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for sc in resolution_sweep(6, 4, &[1, 2, 3, 6]) {
+        d2_rows(&sc.value.to_string(), &sc.system, 10);
+    }
+    println!();
+    println!("### Network latency (3 sites)\n");
+    println!("| latency | scheme | deadlocks/run | prevention restarts/run | aborts/run | msgs/run | probe msgs/run | makespan avg |");
+    println!("|---|---|---|---|---|---|---|---|");
+    let three_sites = &resolution_sweep(6, 4, &[3])[0];
+    for latency in [2u64, 10, 40] {
+        d2_rows(&latency.to_string(), &three_sites.system, latency);
+    }
+    println!();
+    println!("### Hot-site skew (3 sites, latency 10, random sync-2PL load)\n");
+    println!("| hot % | scheme | deadlocks/run | prevention restarts/run | aborts/run | msgs/run | probe msgs/run | makespan avg |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for hot in [0u32, 50, 90] {
+        let sys = random_system(&WorkloadParams {
+            seed: 31,
+            sites: 3,
+            entities_per_site: 2,
+            transactions: 5,
+            steps_per_txn: 6,
+            hot_site_percent: hot,
+            strategy: LockStrategy::TwoPhaseSync,
+            ..Default::default()
+        });
+        d2_rows(&hot.to_string(), &sys, 10);
     }
     println!();
 }
@@ -562,6 +676,7 @@ fn main() {
     exp_s2_victim_ablation();
     exp_s3_load_sweep();
     exp_d1_detection();
+    exp_d2_prevention();
     exp_oracle_deadlock();
     // Exercise OracleOutcome import.
     let _ = |o: OracleOutcome| matches!(o, OracleOutcome::Safe);

@@ -16,6 +16,12 @@
 //! graph is updated per entity as requests block and checked exactly when
 //! a block occurs, so a deadlock is reported the moment it forms.
 //!
+//! Detection's counterpart is timestamp-ordering **prevention**
+//! ([`prevent`], [`ModeTable::request_with_priority`]): wound-wait,
+//! wait-die and no-wait decide at request time — from birth-stamp
+//! priorities, with no graph at all — whether a wait may exist, so no
+//! cycle can ever form and there is nothing left to detect.
+//!
 //! Exclusive-only, single-shard use reproduces the simulator's original
 //! semantics bit-for-bit — `kplock-sim`'s table is now a thin wrapper over
 //! [`ModeTable`] — while protocol violations surface as typed
@@ -58,11 +64,13 @@
 pub mod deadlock;
 pub mod error;
 pub mod manager;
+pub mod prevent;
 pub mod sharded;
 pub mod table;
 
 pub use deadlock::WaitForGraph;
 pub use error::LockError;
 pub use manager::{Aborted, BatchReleased, LockManager, ManagedAcquire, Released};
+pub use prevent::{PreventionOutcome, PreventionScheme, Priority};
 pub use sharded::ShardedTable;
 pub use table::{Acquire, CancelOutcome, EntityGrants, Grants, ModeTable};

@@ -15,6 +15,7 @@
 //! entity.
 
 use crate::error::LockError;
+use crate::prevent::{PreventionOutcome, PreventionScheme, Priority};
 use crate::table::{Acquire, CancelOutcome, EntityGrants, Grants, ModeTable};
 use kplock_model::{EntityId, LockMode};
 use parking_lot::{Mutex, MutexGuard};
@@ -64,6 +65,21 @@ impl<O: Copy + Eq + Ord + Hash> ShardedTable<O> {
     /// Requests `mode` on `e` for `o`. See [`ModeTable::request`].
     pub fn acquire(&self, e: EntityId, o: O, mode: LockMode) -> Result<Acquire, LockError> {
         self.lock_shard(e).request(e, o, mode)
+    }
+
+    /// Requests `mode` on `e` for `o` under a timestamp-ordering deadlock
+    /// prevention scheme. See [`ModeTable::request_with_priority`]; only
+    /// `e`'s shard is locked — prevention needs no cross-shard state.
+    pub fn acquire_with_priority(
+        &self,
+        e: EntityId,
+        o: O,
+        mode: LockMode,
+        scheme: PreventionScheme,
+        prio: impl Fn(O) -> Priority,
+    ) -> Result<PreventionOutcome<O>, LockError> {
+        self.lock_shard(e)
+            .request_with_priority(e, o, mode, scheme, prio)
     }
 
     /// Releases `o`'s lock on `e`; returns the grants this unblocked.

@@ -20,6 +20,7 @@
 //! * Protocol violations return [`LockError`]; nothing panics.
 
 use crate::error::LockError;
+use crate::prevent::{PreventionOutcome, PreventionScheme, Priority};
 use kplock_model::{EntityId, LockMode};
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
@@ -106,35 +107,50 @@ impl<O> Default for ModeTable<O> {
     }
 }
 
+/// What the shared admission step decided about a request: granted on the
+/// spot (including re-entrant and sole-holder-upgrade grants, already
+/// applied to the state), or forced to wait — as a fresh queued request or
+/// as a pending upgrade by an existing holder.
+enum Admission {
+    Granted,
+    MustWait {
+        /// True when `o` already holds the lock and is upgrading: it would
+        /// join `upgrades`, not the queue, and is served ahead of it.
+        upgrade: bool,
+    },
+}
+
 impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
     /// Creates an empty table.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Requests `mode` on `e` for `o`.
-    ///
-    /// Re-requesting a mode already covered by the held one returns
-    /// [`Acquire::Granted`] without changing state. A shared holder
-    /// requesting exclusive starts an *upgrade*: granted immediately if it
-    /// is the sole holder, otherwise pending until the other holders
-    /// release (reported as `Queued`).
-    pub fn request(&mut self, e: EntityId, o: O, mode: LockMode) -> Result<Acquire, LockError> {
-        let st = self.states.entry(e).or_insert_with(LockState::new);
+    /// The admission step shared by [`ModeTable::request`] and
+    /// [`ModeTable::request_with_priority`], so the two paths can never
+    /// diverge on what is grantable: rejects duplicates, grants covered
+    /// re-requests, sole-holder upgrades and compatible fresh requests in
+    /// place, and otherwise reports that the request must wait (without
+    /// enqueueing it — whether and where it waits is the caller's policy).
+    fn try_admit(
+        st: &mut LockState<O>,
+        e: EntityId,
+        o: O,
+        mode: LockMode,
+    ) -> Result<Admission, LockError> {
         if st.queue.iter().any(|&(w, _)| w == o) || st.upgrades.contains(&o) {
             return Err(LockError::AlreadyQueued { entity: e });
         }
         if let Some(held) = st.holders.iter().find(|&&(h, _)| h == o).map(|&(_, m)| m) {
             if held.covers(mode) {
-                return Ok(Acquire::Granted);
+                return Ok(Admission::Granted);
             }
-            // Upgrade S -> X.
+            // Upgrade S -> X, in place when sole holder.
             if st.holders.len() == 1 {
                 st.holders[0].1 = LockMode::Exclusive;
-                return Ok(Acquire::Granted);
+                return Ok(Admission::Granted);
             }
-            st.upgrades.push(o);
-            return Ok(Acquire::Queued);
+            return Ok(Admission::MustWait { upgrade: true });
         }
         let grantable = if st.holders.is_empty() {
             st.queue.is_empty()
@@ -146,11 +162,124 @@ impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
         };
         if grantable {
             st.holders.push((o, mode));
-            Ok(Acquire::Granted)
+            Ok(Admission::Granted)
         } else {
-            st.queue.push_back((o, mode));
-            Ok(Acquire::Queued)
+            Ok(Admission::MustWait { upgrade: false })
         }
+    }
+
+    /// Requests `mode` on `e` for `o`.
+    ///
+    /// Re-requesting a mode already covered by the held one returns
+    /// [`Acquire::Granted`] without changing state. A shared holder
+    /// requesting exclusive starts an *upgrade*: granted immediately if it
+    /// is the sole holder, otherwise pending until the other holders
+    /// release (reported as `Queued`).
+    pub fn request(&mut self, e: EntityId, o: O, mode: LockMode) -> Result<Acquire, LockError> {
+        let st = self.states.entry(e).or_insert_with(LockState::new);
+        match Self::try_admit(st, e, o, mode)? {
+            Admission::Granted => Ok(Acquire::Granted),
+            Admission::MustWait { upgrade: true } => {
+                st.upgrades.push(o);
+                Ok(Acquire::Queued)
+            }
+            Admission::MustWait { upgrade: false } => {
+                st.queue.push_back((o, mode));
+                Ok(Acquire::Queued)
+            }
+        }
+    }
+
+    /// Requests `mode` on `e` for `o` under a timestamp-ordering deadlock
+    /// *prevention* scheme (see [`crate::prevent`]). Behaves exactly like
+    /// [`ModeTable::request`] when the lock is grantable; when the request
+    /// would have to wait, the scheme decides from priorities alone:
+    ///
+    /// * [`PreventionScheme::NoWait`] — [`PreventionOutcome::Rejected`].
+    /// * [`PreventionScheme::WaitDie`] — queued iff `o` is older than
+    ///   every conflicting owner; otherwise rejected.
+    /// * [`PreventionScheme::WoundWait`] — always queued; every younger
+    ///   conflicting owner is returned as a wound victim the caller must
+    ///   abort ([`PreventionOutcome::Wounded`]).
+    ///
+    /// The conflicting owners a fresh request is tested against are the
+    /// current holders **and** the queued waiters and pending upgraders —
+    /// the waiters are tomorrow's holders under FIFO retargeting, and
+    /// admitting against all of them is what keeps the scheme's no-cycle
+    /// invariant stable for the lifetime of the wait. A contended
+    /// *upgrade* is tested against the other holders and upgraders only:
+    /// [`ModeTable::release`]'s grant step serves a pending upgrade before
+    /// any queue entry, so queued waiters can never become holders ahead
+    /// of it and are not obstacles (treating them as such inflates
+    /// restarts for waits that cannot exist).
+    ///
+    /// `prio` maps any owner at this entity to its [`Priority`] (smaller =
+    /// older); priorities must be distinct per owner and stable across
+    /// restarts. The table stores none of this — prevention is stateless
+    /// local arithmetic, which is the entire point of the schemes.
+    ///
+    /// A sole-holder upgrade is granted in place as usual.
+    pub fn request_with_priority(
+        &mut self,
+        e: EntityId,
+        o: O,
+        mode: LockMode,
+        scheme: PreventionScheme,
+        prio: impl Fn(O) -> Priority,
+    ) -> Result<PreventionOutcome<O>, LockError> {
+        let st = self.states.entry(e).or_insert_with(LockState::new);
+        let upgrade = match Self::try_admit(st, e, o, mode)? {
+            Admission::Granted => return Ok(PreventionOutcome::Granted),
+            Admission::MustWait { upgrade } => upgrade,
+        };
+        let mut obstacles: Vec<O> = st
+            .holders
+            .iter()
+            .map(|&(h, _)| h)
+            .chain(st.upgrades.iter().copied())
+            .collect();
+        if !upgrade {
+            // An upgrader only ever waits on the other holders (and
+            // competing upgraders — a genuine upgrade-vs-upgrade cycle);
+            // the queue is served after it, so queued waiters are
+            // obstacles for fresh requests only.
+            obstacles.extend(st.queue.iter().map(|&(w, _)| w));
+        }
+        obstacles.retain(|&x| x != o);
+        obstacles.sort();
+        obstacles.dedup();
+        let mine = prio(o);
+        let admit = |st: &mut LockState<O>| {
+            if upgrade {
+                st.upgrades.push(o);
+            } else {
+                st.queue.push_back((o, mode));
+            }
+        };
+        let outcome = match scheme {
+            PreventionScheme::NoWait => PreventionOutcome::Rejected,
+            PreventionScheme::WaitDie => {
+                if obstacles.iter().all(|&x| mine < prio(x)) {
+                    admit(st);
+                    PreventionOutcome::Queued
+                } else {
+                    PreventionOutcome::Rejected
+                }
+            }
+            PreventionScheme::WoundWait => {
+                let victims: Vec<O> = obstacles.into_iter().filter(|&x| prio(x) > mine).collect();
+                admit(st);
+                if victims.is_empty() {
+                    PreventionOutcome::Queued
+                } else {
+                    PreventionOutcome::Wounded(victims)
+                }
+            }
+        };
+        if st.is_empty() {
+            self.states.remove(&e);
+        }
+        Ok(outcome)
     }
 
     /// Grants whatever the state now admits: a sole-holder upgrade first,
@@ -551,6 +680,242 @@ mod tests {
         t.request(a, 1, s()).unwrap();
         t.request(a, 0, x()).unwrap(); // pending upgrade
         assert_eq!(t.waits_of(0), vec![1]);
+    }
+
+    /// Owner id doubles as age: smaller id = older transaction.
+    fn by_id(o: u32) -> Priority {
+        (o as u64, 0)
+    }
+
+    #[test]
+    fn no_wait_rejects_any_conflict_without_queueing() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        assert_eq!(
+            t.request_with_priority(e, 5, x(), PreventionScheme::NoWait, by_id)
+                .unwrap(),
+            PreventionOutcome::Granted
+        );
+        assert_eq!(
+            t.request_with_priority(e, 1, x(), PreventionScheme::NoWait, by_id)
+                .unwrap(),
+            PreventionOutcome::Rejected,
+            "older or not, nobody waits"
+        );
+        assert!(t.waits_for().is_empty(), "rejected requests leave no state");
+        // Shared readers still coexist: no conflict, no rejection.
+        let mut t: ModeTable<u32> = ModeTable::new();
+        t.request_with_priority(e, 1, s(), PreventionScheme::NoWait, by_id)
+            .unwrap();
+        assert_eq!(
+            t.request_with_priority(e, 2, s(), PreventionScheme::NoWait, by_id)
+                .unwrap(),
+            PreventionOutcome::Granted
+        );
+    }
+
+    #[test]
+    fn wait_die_admits_older_rejects_younger() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        t.request_with_priority(e, 5, x(), PreventionScheme::WaitDie, by_id)
+            .unwrap();
+        // Older than the holder: may wait.
+        assert_eq!(
+            t.request_with_priority(e, 3, x(), PreventionScheme::WaitDie, by_id)
+                .unwrap(),
+            PreventionOutcome::Queued
+        );
+        // Younger than the holder: dies.
+        assert_eq!(
+            t.request_with_priority(e, 9, x(), PreventionScheme::WaitDie, by_id)
+                .unwrap(),
+            PreventionOutcome::Rejected
+        );
+        // Younger than the holder but older than the queued waiter is
+        // still a death: the waiter is a future holder under FIFO.
+        assert_eq!(
+            t.request_with_priority(e, 4, x(), PreventionScheme::WaitDie, by_id)
+                .unwrap(),
+            PreventionOutcome::Rejected
+        );
+        // Older than holder *and* every waiter: admitted.
+        assert_eq!(
+            t.request_with_priority(e, 1, x(), PreventionScheme::WaitDie, by_id)
+                .unwrap(),
+            PreventionOutcome::Queued
+        );
+        assert_eq!(t.waits_for(), vec![(1, 5), (3, 5)]);
+        // FIFO retargeting keeps the invariant: 5 releases, 3 holds, and
+        // the remaining waiter 1 is older than the new holder.
+        assert_eq!(t.release(e, 5).unwrap(), vec![(3, x())]);
+        assert_eq!(t.waits_for(), vec![(1, 3)]);
+    }
+
+    #[test]
+    fn wound_wait_wounds_younger_holders_and_waiters() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        t.request_with_priority(e, 2, s(), PreventionScheme::WoundWait, by_id)
+            .unwrap();
+        t.request_with_priority(e, 8, s(), PreventionScheme::WoundWait, by_id)
+            .unwrap();
+        // Younger requester waits without wounding anybody.
+        assert_eq!(
+            t.request_with_priority(e, 9, x(), PreventionScheme::WoundWait, by_id)
+                .unwrap(),
+            PreventionOutcome::Queued
+        );
+        // Older requester wounds every younger owner — the shared holder 8
+        // and the queued writer 9 — and waits behind the older holder 2.
+        assert_eq!(
+            t.request_with_priority(e, 5, x(), PreventionScheme::WoundWait, by_id)
+                .unwrap(),
+            PreventionOutcome::Wounded(vec![8, 9])
+        );
+        // Victims keep their state until the caller aborts them.
+        assert_eq!(t.holds(e, 8), Some(s()));
+        let co = t.cancel_waits(9);
+        assert_eq!(co.cancelled, vec![e]);
+        t.release(e, 8).unwrap();
+        // Only the old holder is left ahead of the admitted waiter.
+        assert_eq!(t.waits_for(), vec![(5, 2)]);
+        assert_eq!(t.release(e, 2).unwrap(), vec![(5, x())]);
+    }
+
+    #[test]
+    fn prevention_grants_without_conflict_never_consult_priorities() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        let panic_prio = |_: u32| -> Priority { panic!("no conflict, no timestamp") };
+        for scheme in [
+            PreventionScheme::WoundWait,
+            PreventionScheme::WaitDie,
+            PreventionScheme::NoWait,
+        ] {
+            let mut fresh: ModeTable<u32> = ModeTable::new();
+            assert_eq!(
+                fresh
+                    .request_with_priority(e, 7, x(), scheme, panic_prio)
+                    .unwrap(),
+                PreventionOutcome::Granted
+            );
+        }
+        // Re-entrant covered requests are also free.
+        t.request_with_priority(e, 7, x(), PreventionScheme::WaitDie, by_id)
+            .unwrap();
+        assert_eq!(
+            t.request_with_priority(e, 7, s(), PreventionScheme::WaitDie, panic_prio)
+                .unwrap(),
+            PreventionOutcome::Granted
+        );
+    }
+
+    #[test]
+    fn prevention_contended_upgrade_applies_the_scheme() {
+        // Two shared holders; the older one upgrades: wound-wait wounds
+        // the younger co-holder, wait-die admits the pending upgrade.
+        for (scheme, expect) in [
+            (
+                PreventionScheme::WoundWait,
+                PreventionOutcome::Wounded(vec![6]),
+            ),
+            (PreventionScheme::WaitDie, PreventionOutcome::Queued),
+        ] {
+            let mut t: ModeTable<u32> = ModeTable::new();
+            let e = EntityId(0);
+            t.request_with_priority(e, 2, s(), scheme, by_id).unwrap();
+            t.request_with_priority(e, 6, s(), scheme, by_id).unwrap();
+            assert_eq!(
+                t.request_with_priority(e, 2, x(), scheme, by_id).unwrap(),
+                expect
+            );
+            assert_eq!(
+                t.waits_for(),
+                vec![(2, 6)],
+                "upgrade pending on the other holder"
+            );
+        }
+        // The younger co-holder upgrading under wait-die dies instead.
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        t.request_with_priority(e, 2, s(), PreventionScheme::WaitDie, by_id)
+            .unwrap();
+        t.request_with_priority(e, 6, s(), PreventionScheme::WaitDie, by_id)
+            .unwrap();
+        assert_eq!(
+            t.request_with_priority(e, 6, x(), PreventionScheme::WaitDie, by_id)
+                .unwrap(),
+            PreventionOutcome::Rejected
+        );
+        // A sole holder upgrades in place under any scheme.
+        let mut t: ModeTable<u32> = ModeTable::new();
+        t.request_with_priority(e, 6, s(), PreventionScheme::NoWait, by_id)
+            .unwrap();
+        assert_eq!(
+            t.request_with_priority(e, 6, x(), PreventionScheme::NoWait, by_id)
+                .unwrap(),
+            PreventionOutcome::Granted
+        );
+    }
+
+    #[test]
+    fn contended_upgrade_ignores_queued_waiters_it_outranks() {
+        // Holders {2(S), 6(S)}, queue [1(X)] — the queued writer is older
+        // than everyone. An upgrade by holder 2 only ever waits on the
+        // *other holder* 6 (promote serves upgrades before the queue), so
+        // under wait-die the older queued writer must not count as an
+        // obstacle and the upgrade is admitted.
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        t.request_with_priority(e, 2, s(), PreventionScheme::WaitDie, by_id)
+            .unwrap();
+        t.request_with_priority(e, 6, s(), PreventionScheme::WaitDie, by_id)
+            .unwrap();
+        assert_eq!(
+            t.request_with_priority(e, 1, x(), PreventionScheme::WaitDie, by_id)
+                .unwrap(),
+            PreventionOutcome::Queued
+        );
+        assert_eq!(
+            t.request_with_priority(e, 2, x(), PreventionScheme::WaitDie, by_id)
+                .unwrap(),
+            PreventionOutcome::Queued,
+            "queued waiters are not upgrade obstacles"
+        );
+        // The upgrade is indeed served before the older queued writer.
+        assert_eq!(t.release(e, 6).unwrap(), vec![(2, x())]);
+        assert_eq!(t.release(e, 2).unwrap(), vec![(1, x())]);
+        // Same shape under wound-wait: the upgrader wounds nobody in the
+        // queue (it will never wait on them), only younger co-holders.
+        let mut t: ModeTable<u32> = ModeTable::new();
+        t.request_with_priority(e, 2, s(), PreventionScheme::WoundWait, by_id)
+            .unwrap();
+        t.request_with_priority(e, 6, s(), PreventionScheme::WoundWait, by_id)
+            .unwrap();
+        t.request_with_priority(e, 9, x(), PreventionScheme::WoundWait, by_id)
+            .unwrap();
+        assert_eq!(
+            t.request_with_priority(e, 2, x(), PreventionScheme::WoundWait, by_id)
+                .unwrap(),
+            PreventionOutcome::Wounded(vec![6]),
+            "only the younger co-holder is wounded, not the queued writer"
+        );
+    }
+
+    #[test]
+    fn prevention_duplicate_queued_request_is_an_error() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        t.request_with_priority(e, 5, x(), PreventionScheme::WaitDie, by_id)
+            .unwrap();
+        t.request_with_priority(e, 3, x(), PreventionScheme::WaitDie, by_id)
+            .unwrap();
+        assert_eq!(
+            t.request_with_priority(e, 3, x(), PreventionScheme::WaitDie, by_id)
+                .unwrap_err(),
+            LockError::AlreadyQueued { entity: e }
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+pub use kplock_dlm::PreventionScheme;
 use std::fmt;
 
 /// Network latency model for coordinator ↔ site messages.
@@ -59,6 +60,46 @@ pub enum DeadlockDetection {
     Probe,
 }
 
+/// How the engine deals with deadlocks — the resolution axis.
+///
+/// Every scheme so far *detected* cycles after the fact; the classic
+/// alternative is timestamp-ordering *prevention* (Rosenkrantz, Stearns &
+/// Lewis — see [`kplock_dlm::prevent`]), which refuses to let a cycle form
+/// in the first place using only knowledge local to the lock table: no
+/// wait-for graph, no scan, no probe traffic. The price is paid in
+/// restarts instead of detection messages
+/// ([`crate::Metrics::prevention_restarts`] vs
+/// [`crate::Metrics::probe_messages`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeadlockResolution {
+    /// Let wait-for cycles form and break them with the given detection
+    /// scheme. `Detect(DeadlockDetection::Periodic)` is the default and
+    /// reproduces the original engine bit for bit.
+    Detect(DeadlockDetection),
+    /// Never let a cycle form: decide at request time, from the
+    /// coordinator's birth timestamp carried on the lock request, whether
+    /// to wait, wound, or die.
+    Prevent(PreventionScheme),
+}
+
+impl Default for DeadlockResolution {
+    fn default() -> Self {
+        DeadlockResolution::Detect(DeadlockDetection::Periodic)
+    }
+}
+
+impl From<DeadlockDetection> for DeadlockResolution {
+    fn from(d: DeadlockDetection) -> Self {
+        DeadlockResolution::Detect(d)
+    }
+}
+
+impl From<PreventionScheme> for DeadlockResolution {
+    fn from(p: PreventionScheme) -> Self {
+        DeadlockResolution::Prevent(p)
+    }
+}
+
 /// A [`SimConfig`] (or [`crate::ThreadedConfig`]) that cannot be run.
 ///
 /// Returned by [`SimConfig::validate`] and the `run*` entry points, so a
@@ -112,10 +153,12 @@ pub struct SimConfig {
     /// Ticks a site spends applying a step.
     pub local_step_time: u64,
     /// Interval between global deadlock scans (unused under
-    /// [`DeadlockDetection::OnBlock`] and [`DeadlockDetection::Probe`]).
+    /// [`DeadlockDetection::OnBlock`], [`DeadlockDetection::Probe`] and
+    /// every prevention scheme).
     pub deadlock_scan_interval: u64,
-    /// Deadlock detection scheme.
-    pub detection: DeadlockDetection,
+    /// How deadlocks are resolved: detected after the fact (with which
+    /// scheme), or prevented by timestamp ordering.
+    pub resolution: DeadlockResolution,
     /// Victim selection policy.
     pub victim_policy: VictimPolicy,
     /// Measurement-only (default `false`): cross-check every probe-ordered
@@ -131,6 +174,23 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
+    /// The detection scheme in force, if deadlocks are detected at all
+    /// (`None` under prevention — there is nothing to detect).
+    pub fn detection(&self) -> Option<DeadlockDetection> {
+        match self.resolution {
+            DeadlockResolution::Detect(d) => Some(d),
+            DeadlockResolution::Prevent(_) => None,
+        }
+    }
+
+    /// The prevention scheme in force, if any.
+    pub fn prevention(&self) -> Option<PreventionScheme> {
+        match self.resolution {
+            DeadlockResolution::Detect(_) => None,
+            DeadlockResolution::Prevent(p) => Some(p),
+        }
+    }
+
     /// Checks the configuration for values that would panic or hang a run.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if let LatencyModel::Uniform(lo, hi) = self.latency {
@@ -138,7 +198,8 @@ impl SimConfig {
                 return Err(ConfigError::EmptyLatencyRange { lo, hi });
             }
         }
-        if self.detection == DeadlockDetection::Periodic && self.deadlock_scan_interval == 0 {
+        if self.detection() == Some(DeadlockDetection::Periodic) && self.deadlock_scan_interval == 0
+        {
             return Err(ConfigError::ZeroScanInterval);
         }
         Ok(())
@@ -152,7 +213,7 @@ impl Default for SimConfig {
             latency: LatencyModel::Fixed(10),
             local_step_time: 1,
             deadlock_scan_interval: 50,
-            detection: DeadlockDetection::Periodic,
+            resolution: DeadlockResolution::default(),
             victim_policy: VictimPolicy::Youngest,
             probe_audit: false,
             restart_backoff: 25,
@@ -195,14 +256,39 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(cfg.validate().unwrap_err(), ConfigError::ZeroScanInterval);
-        for detection in [DeadlockDetection::OnBlock, DeadlockDetection::Probe] {
+        let no_scan: [DeadlockResolution; 5] = [
+            DeadlockDetection::OnBlock.into(),
+            DeadlockDetection::Probe.into(),
+            PreventionScheme::WoundWait.into(),
+            PreventionScheme::WaitDie.into(),
+            PreventionScheme::NoWait.into(),
+        ];
+        for resolution in no_scan {
             let cfg = SimConfig {
                 deadlock_scan_interval: 0,
-                detection,
+                resolution,
                 ..Default::default()
             };
             cfg.validate().unwrap();
         }
+    }
+
+    #[test]
+    fn resolution_axis_projects_to_exactly_one_side() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.resolution, DeadlockResolution::default());
+        assert_eq!(cfg.detection(), Some(DeadlockDetection::Periodic));
+        assert_eq!(cfg.prevention(), None);
+        let cfg = SimConfig {
+            resolution: PreventionScheme::WoundWait.into(),
+            ..Default::default()
+        };
+        assert_eq!(cfg.detection(), None);
+        assert_eq!(cfg.prevention(), Some(PreventionScheme::WoundWait));
+        assert_eq!(
+            DeadlockResolution::from(DeadlockDetection::Probe),
+            DeadlockResolution::Detect(DeadlockDetection::Probe)
+        );
     }
 
     #[test]

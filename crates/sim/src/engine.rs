@@ -2,14 +2,21 @@
 //!
 //! Coordinators (one per transaction) exchange messages with sites over a
 //! latency-modelled network; sites run reader–writer FIFO lock tables
-//! (`kplock-dlm` under a thin wrapper); deadlocks are resolved by aborting
-//! a victim — found by the periodic global scan (default, the paper-era
-//! scheme), incrementally at block time
+//! (`kplock-dlm` under a thin wrapper). Deadlocks are either *detected* —
+//! by the periodic global scan (default, the paper-era scheme),
+//! incrementally at block time
 //! ([`crate::config::DeadlockDetection::OnBlock`]), or by distributed
 //! Chandy–Misra–Haas probes travelling site-to-site
 //! ([`crate::config::DeadlockDetection::Probe`], see [`crate::probe`]) —
-//! which releases its locks and restarts after a backoff. All randomness
-//! comes from one seeded RNG, so runs are reproducible.
+//! and a victim aborted, or *prevented* outright
+//! ([`crate::config::DeadlockResolution::Prevent`]): the coordinator's
+//! birth timestamp rides on every lock request and the site answers from
+//! table-local arithmetic alone — wait, wound the younger holders, or
+//! reject — so no wait-for cycle ever forms and no detection protocol
+//! runs (see [`kplock_dlm::prevent`]). Either way the aborted instance
+//! releases its locks and restarts after a backoff, keeping its birth
+//! stamp. All randomness comes from one seeded RNG, so runs are
+//! reproducible.
 
 use crate::config::{ConfigError, DeadlockDetection, SimConfig};
 use crate::event::{EventKind, EventQueue, Instance, Payload, SimTime};
@@ -17,7 +24,7 @@ use crate::history::{audit, Audit, History};
 use crate::lock_table::LockTable;
 use crate::metrics::Metrics;
 use crate::probe::{self, ProbeMsg, SiteProbeState, Stamp};
-use kplock_dlm::WaitForGraph;
+use kplock_dlm::{PreventionOutcome, WaitForGraph};
 use kplock_graph::DiGraph;
 use kplock_model::{ActionKind, EntityId, SiteId, StepId, TxnId, TxnSystem};
 use rand::rngs::StdRng;
@@ -45,8 +52,12 @@ pub struct SimReport {
     pub metrics: Metrics,
     /// Serializability audit of the committed schedule.
     pub audit: Audit,
-    /// Epoch that committed, per transaction.
-    pub committed_epoch: Vec<u32>,
+    /// Epoch at which each transaction committed, `None` for transactions
+    /// still in flight when the run ended (timeout/stall) — exactly what
+    /// the audit consumed, so an unfinished transaction's in-flight epoch
+    /// can never be mistaken for a commit claim (the threaded runner's
+    /// report follows the same shape).
+    pub committed_epoch: Vec<Option<u32>>,
     /// How the run ended — distinguishes a clean completion from a
     /// [`SimConfig::max_time`] timeout or a stall. The single source of
     /// truth; [`SimReport::finished`] and [`SimReport::timed_out`] derive
@@ -136,7 +147,7 @@ pub fn run_with_arrivals(
         sys.len(),
         "one arrival time per transaction"
     );
-    let lock_sites = if cfg.detection == DeadlockDetection::Probe {
+    let lock_sites = if cfg.detection() == Some(DeadlockDetection::Probe) {
         sys.txns()
             .iter()
             .map(|t| {
@@ -191,7 +202,7 @@ pub fn run_with_arrivals(
                 .push(arrival, EventKind::Restart(TxnId::from_idx(t)));
         }
     }
-    if cfg.detection == DeadlockDetection::Periodic {
+    if cfg.detection() == Some(DeadlockDetection::Periodic) {
         eng.queue
             .push(cfg.deadlock_scan_interval, EventKind::DeadlockScan);
     }
@@ -215,7 +226,7 @@ pub fn run_with_arrivals(
                 // holder. Check after any site event that changed the
                 // graph, so no formation path is missed (and update-only
                 // events stay O(1)).
-                if eng.cfg.detection == DeadlockDetection::OnBlock && eng.wfg_dirty {
+                if eng.cfg.detection() == Some(DeadlockDetection::OnBlock) && eng.wfg_dirty {
                     eng.resolve_incremental();
                 }
             }
@@ -244,7 +255,21 @@ pub fn run_with_arrivals(
     } else {
         RunOutcome::Stalled
     };
-    let committed_epoch: Vec<u32> = eng.coords.iter().map(|c| c.epoch).collect();
+    // Elapsed simulated time: the honest throughput denominator. Equal to
+    // the makespan for clean completions; a timed-out run used its whole
+    // budget, a stalled one its drain tick.
+    eng.metrics.elapsed_ticks = match outcome {
+        RunOutcome::Completed => eng.metrics.makespan,
+        RunOutcome::TimedOut => cfg.max_time,
+        RunOutcome::Stalled => eng.now,
+    };
+    // Only actually-committed epochs participate in the audit; an
+    // unfinished transaction's in-flight epoch is skipped explicitly.
+    let committed_epoch: Vec<Option<u32>> = eng
+        .coords
+        .iter()
+        .map(|c| c.committed.then_some(c.epoch))
+        .collect();
     let audit = audit(sys, &eng.history, &committed_epoch);
     Ok(SimReport {
         metrics: eng.metrics,
@@ -345,19 +370,20 @@ impl Engine<'_> {
     }
 
     /// Reacts to a change of `entity`'s contribution to the wait-for
-    /// relation (no-op under periodic detection, keeping that path
-    /// untouched): OnBlock refreshes the incremental global graph; Probe
-    /// diffs the site-local view and launches a probe per new edge.
+    /// relation (no-op under periodic detection and under prevention,
+    /// which admits no cycle to ever look for): OnBlock refreshes the
+    /// incremental global graph; Probe diffs the site-local view and
+    /// launches a probe per new edge.
     fn edges_changed(&mut self, site: SiteId, entity: EntityId) {
-        match self.cfg.detection {
-            DeadlockDetection::Periodic => {}
-            DeadlockDetection::OnBlock => {
+        match self.cfg.detection() {
+            None | Some(DeadlockDetection::Periodic) => {}
+            Some(DeadlockDetection::OnBlock) => {
                 let edges = self.sites[site.idx()].entity_waits_for(entity);
                 self.wfg_dirty |= self.wfg.update_entity(entity, edges);
             }
-            DeadlockDetection::Probe => {
+            Some(DeadlockDetection::Probe) => {
                 let edges = self.sites[site.idx()].entity_waits_for(entity);
-                let fresh = self.probe_state[site.idx()].observe(entity, edges);
+                let fresh = self.probe_state[site.idx()].observe(entity, edges, self.now);
                 for (w, h) in fresh {
                     // Holders and waiters in a live table are never stale
                     // (aborts scrub them synchronously), and the table
@@ -365,7 +391,7 @@ impl Engine<'_> {
                     let msg = ProbeMsg {
                         path: vec![w, h],
                         stamps: vec![self.stamp_of(w), self.stamp_of(h)],
-                        initiated_at: self.now,
+                        formed_at: self.now,
                     };
                     self.route_probe(site, msg);
                 }
@@ -396,6 +422,15 @@ impl Engine<'_> {
         }
         let successors = self.sites[site.idx()].waits_of(msg.target());
         for h in successors {
+            // When this site's edge `target → h` appeared, from its own
+            // bookkeeping: the cycle is attributed to its *last-formed*
+            // edge, so the formation tick carried onward is the maximum
+            // over the path. (The edge is always on record here — it was
+            // observed the moment it changed — but a probe racing an edge
+            // re-formation falls back to now, the conservative choice.)
+            let appeared = self.probe_state[site.idx()]
+                .appeared_at(msg.target(), h)
+                .unwrap_or(self.now);
             if h == msg.initiator() {
                 // The path is a wait-for cycle assembled hop by hop from
                 // site-local views. Every site closing the same cycle
@@ -407,7 +442,7 @@ impl Engine<'_> {
                     Payload::Abort {
                         victim,
                         members: msg.path.clone(),
-                        initiated_at: msg.initiated_at,
+                        formed_at: msg.formed_at.max(appeared),
                     },
                 );
             } else if msg.path.contains(&h) {
@@ -416,7 +451,7 @@ impl Engine<'_> {
                 // branch (rather than looping forever) is what bounds
                 // every chase to `#transactions` hops.
             } else {
-                let next = msg.extend(h, self.stamp_of(h));
+                let next = msg.extend(h, self.stamp_of(h), appeared);
                 self.route_probe(site, next);
             }
         }
@@ -429,6 +464,10 @@ impl Engine<'_> {
                     return;
                 }
                 let mode = self.sys.txn(inst.txn).step(step).mode;
+                if let Some(scheme) = self.cfg.prevention() {
+                    self.on_prevented_lock_request(site, inst, entity, step, mode, scheme);
+                    return;
+                }
                 if self.sites[site.idx()].request(entity, inst, mode) {
                     self.history.record(self.now, inst, step);
                     self.send_to_coordinator(inst.txn, Payload::LockGranted { inst, entity, step });
@@ -478,6 +517,59 @@ impl Engine<'_> {
         }
     }
 
+    /// A lock request under a prevention scheme: the site decides wait /
+    /// wound / die from the requester's and the conflicting owners' birth
+    /// stamps — knowledge carried on the request and already present in
+    /// the table's ownership records. Nothing global is consulted and no
+    /// detection state exists in this mode.
+    fn on_prevented_lock_request(
+        &mut self,
+        site: SiteId,
+        inst: Instance,
+        entity: EntityId,
+        step: StepId,
+        mode: kplock_model::LockMode,
+        scheme: kplock_dlm::PreventionScheme,
+    ) {
+        // Split borrows: the table mutates while the priority closure
+        // reads coordinator birth stamps. Owners in a live table are never
+        // stale (aborts scrub synchronously), and birth survives restarts,
+        // so the lookup is always current.
+        let coords = &self.coords;
+        let table = &mut self.sites[site.idx()];
+        let outcome = table.request_with_priority(entity, inst, mode, scheme, |o: Instance| {
+            let (t, idx) = coords[o.txn.idx()].birth;
+            (t, idx as u64)
+        });
+        match outcome {
+            PreventionOutcome::Granted => {
+                self.history.record(self.now, inst, step);
+                self.send_to_coordinator(inst.txn, Payload::LockGranted { inst, entity, step });
+            }
+            PreventionOutcome::Queued => {
+                self.pending_lock_step.insert((inst, entity), step);
+                self.waiting_since.insert((inst, entity), self.now);
+            }
+            PreventionOutcome::Wounded(victims) => {
+                // The elder waits in the queue like any blocked request;
+                // the wound orders travel the network to the younger
+                // owners' coordinators, whose aborts will release the
+                // entity and grant the queue.
+                self.pending_lock_step.insert((inst, entity), step);
+                self.waiting_since.insert((inst, entity), self.now);
+                for victim in victims {
+                    self.send_to_coordinator(victim.txn, Payload::Wound { victim });
+                }
+            }
+            PreventionOutcome::Rejected => {
+                // Wait-die / no-wait: the requester was not queued; tell
+                // its coordinator to restart it (with its original birth
+                // stamp, so it ages toward invulnerability).
+                self.send_to_coordinator(inst.txn, Payload::LockRejected { inst, entity, step });
+            }
+        }
+    }
+
     /// A queued instance just received the lock on `entity`.
     fn grant_queued(&mut self, inst: Instance, entity: EntityId) {
         let step = self
@@ -504,14 +596,38 @@ impl Engine<'_> {
     }
 
     fn on_coordinator(&mut self, txn: TxnId, payload: Payload) {
-        if let Payload::Abort {
-            victim,
-            members,
-            initiated_at,
-        } = payload
-        {
-            self.on_abort_message(victim, &members, initiated_at);
-            return;
+        match payload {
+            Payload::Abort {
+                victim,
+                members,
+                formed_at,
+            } => {
+                self.on_abort_message(victim, &members, formed_at);
+                return;
+            }
+            Payload::Wound { victim } => {
+                // A wound order for an instance that already moved on is
+                // dropped: an earlier wound bumped its epoch (`stale`), or
+                // it *committed* while the order was in flight — a commit
+                // does not bump the epoch, so it needs its own check, like
+                // the probe path's member validation. Either way the wait
+                // the wound protected has dissolved (the victim's unlocks
+                // grant the elder), and aborting here would re-run a
+                // finished transaction.
+                if !self.stale(victim) && !self.coords[victim.txn.idx()].committed {
+                    self.metrics.prevention_restarts += 1;
+                    self.abort(victim.txn);
+                }
+                return;
+            }
+            Payload::LockRejected { inst, .. } => {
+                if !self.stale(inst) {
+                    self.metrics.prevention_restarts += 1;
+                    self.abort(inst.txn);
+                }
+                return;
+            }
+            _ => {}
         }
         let (inst, step) = match payload {
             Payload::LockGranted { inst, step, .. }
@@ -538,7 +654,7 @@ impl Engine<'_> {
     /// any member was already aborted or committed, that cycle is broken
     /// and the order is dropped — the validation that keeps duplicate and
     /// outdated detections from over-killing.
-    fn on_abort_message(&mut self, victim: Instance, members: &[Instance], initiated_at: SimTime) {
+    fn on_abort_message(&mut self, victim: Instance, members: &[Instance], formed_at: SimTime) {
         if members
             .iter()
             .any(|&m| self.stale(m) || self.coords[m.txn.idx()].committed)
@@ -549,7 +665,7 @@ impl Engine<'_> {
             self.audit_probe_abort(victim);
         }
         self.metrics.deadlocks_resolved += 1;
-        self.metrics.detection_latency_ticks += self.now - initiated_at;
+        self.metrics.detection_latency_ticks += self.now - formed_at;
         self.abort(victim.txn);
     }
 
@@ -789,6 +905,9 @@ mod tests {
         assert_eq!(r.outcome, RunOutcome::TimedOut);
         assert!(r.timed_out());
         assert_eq!(r.metrics.committed, 0);
+        // In-flight transactions publish no commit epoch — the report
+        // cannot be misread as "committed at its current epoch".
+        assert_eq!(r.committed_epoch, vec![None, None]);
         // The same system with the default budget completes.
         let r = run(
             &sys,
@@ -843,7 +962,7 @@ mod tests {
             ..Default::default()
         };
         let onblock = SimConfig {
-            detection: crate::config::DeadlockDetection::OnBlock,
+            resolution: crate::config::DeadlockDetection::OnBlock.into(),
             ..periodic.clone()
         };
         let rp = run(&sys, &periodic).unwrap();
@@ -876,11 +995,11 @@ mod tests {
             ..Default::default()
         };
         let probe = SimConfig {
-            detection: DeadlockDetection::Probe,
+            resolution: DeadlockDetection::Probe.into(),
             ..base.clone()
         };
         let periodic = SimConfig {
-            detection: DeadlockDetection::Periodic,
+            resolution: DeadlockDetection::Periodic.into(),
             ..base.clone()
         };
         let rp = run(&sys, &probe).unwrap();
@@ -901,7 +1020,7 @@ mod tests {
             r.committed_epoch
                 .iter()
                 .enumerate()
-                .filter(|&(_, &e)| e > 0)
+                .filter(|&(_, &e)| e.is_some_and(|ep| ep > 0))
                 .map(|(i, _)| i)
                 .collect()
         };
@@ -919,7 +1038,7 @@ mod tests {
         let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 0)]);
         let cfg = SimConfig {
             latency: LatencyModel::Fixed(5),
-            detection: DeadlockDetection::Probe,
+            resolution: DeadlockDetection::Probe.into(),
             probe_audit: true,
             ..Default::default()
         };
@@ -958,7 +1077,7 @@ mod tests {
                         ..Default::default()
                     };
                     let probe = SimConfig {
-                        detection: DeadlockDetection::Probe,
+                        resolution: DeadlockDetection::Probe.into(),
                         ..periodic.clone()
                     };
                     let rp = run_with_arrivals(&sys, &periodic, &arrivals).unwrap();
@@ -1019,12 +1138,138 @@ mod tests {
         // Same race under probe detection, where abort orders also travel
         // the network and widen the window.
         let probe = SimConfig {
-            detection: DeadlockDetection::Probe,
+            resolution: DeadlockDetection::Probe.into(),
             ..cfg
         };
         let r = run(&sys, &probe).unwrap();
         assert!(r.finished());
         assert!(r.audit.serializable);
+    }
+
+    #[test]
+    fn prevention_schemes_resolve_the_guaranteed_deadlock_without_detection() {
+        use crate::config::PreventionScheme;
+        // The opposite-order pair that deadlocks under every detection
+        // scheme. Prevention must complete it with *zero* detected
+        // deadlocks, zero probe traffic, and at least one prevention
+        // restart — the whole resolution cost moved to the restart side.
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 1)]);
+        for scheme in [
+            PreventionScheme::WoundWait,
+            PreventionScheme::WaitDie,
+            PreventionScheme::NoWait,
+        ] {
+            let cfg = SimConfig {
+                latency: LatencyModel::Fixed(5),
+                resolution: scheme.into(),
+                ..Default::default()
+            };
+            let r = run(&sys, &cfg).unwrap();
+            assert_eq!(r.outcome, RunOutcome::Completed, "{scheme:?}");
+            assert_eq!(r.metrics.committed, 2);
+            assert_eq!(
+                r.metrics.deadlocks_resolved, 0,
+                "{scheme:?} detects nothing"
+            );
+            assert_eq!(r.metrics.probe_messages, 0);
+            assert_eq!(r.metrics.detection_latency_ticks, 0);
+            assert!(r.metrics.prevention_restarts >= 1, "{scheme:?}");
+            assert_eq!(
+                r.metrics.aborts, r.metrics.prevention_restarts,
+                "every abort under prevention is a prevention restart"
+            );
+            r.audit.legal.as_ref().unwrap();
+            assert!(r.audit.serializable, "{scheme:?}");
+            // Deterministic like every other scheme.
+            let r2 = run(&sys, &cfg).unwrap();
+            assert_eq!(r.metrics, r2.metrics);
+            assert_eq!(r.committed_epoch, r2.committed_epoch);
+        }
+    }
+
+    #[test]
+    fn prevention_victims_follow_the_timestamp_order() {
+        use crate::config::PreventionScheme;
+        // Births are (arrival, index) = (0,0) and (0,1): T1 is older. In
+        // wound-wait T1 wounds T2 on conflict; in wait-die T2 dies when it
+        // requests against T1. Either way the *younger* transaction is the
+        // one that restarts, and the elder commits at epoch 0.
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 0)]);
+        for scheme in [PreventionScheme::WoundWait, PreventionScheme::WaitDie] {
+            let cfg = SimConfig {
+                latency: LatencyModel::Fixed(5),
+                resolution: scheme.into(),
+                ..Default::default()
+            };
+            let r = run(&sys, &cfg).unwrap();
+            assert!(r.finished(), "{scheme:?}");
+            assert_eq!(
+                r.committed_epoch[0],
+                Some(0),
+                "the elder is never restarted"
+            );
+            assert!(
+                r.committed_epoch[1].unwrap() >= 1,
+                "the younger pays the restart"
+            );
+        }
+    }
+
+    #[test]
+    fn prevention_handles_shared_modes() {
+        use crate::config::PreventionScheme;
+        // Two shared readers coexist without consulting timestamps; an
+        // exclusive writer conflicts and the scheme decides.
+        let sys = pair("SLx rx Ux", "SLx rx Ux", &[("x", 0)]);
+        for scheme in [
+            PreventionScheme::WoundWait,
+            PreventionScheme::WaitDie,
+            PreventionScheme::NoWait,
+        ] {
+            let cfg = SimConfig {
+                latency: LatencyModel::Fixed(5),
+                resolution: scheme.into(),
+                ..Default::default()
+            };
+            let r = run(&sys, &cfg).unwrap();
+            assert!(r.finished());
+            assert_eq!(r.metrics.prevention_restarts, 0, "S+S never conflicts");
+            assert_eq!(r.metrics.lock_wait_ticks, 0);
+            assert!(r.audit.serializable);
+        }
+    }
+
+    #[test]
+    fn timed_out_run_reports_elapsed_budget_not_last_commit() {
+        // Same cutoff scenario as above: one commit early, then churn
+        // until max_time. Throughput must be charged the full budget.
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 0)]);
+        let cfg = SimConfig {
+            latency: LatencyModel::Fixed(5),
+            restart_backoff: 0,
+            max_time: 100,
+            deadlock_scan_interval: 10,
+            ..Default::default()
+        };
+        let r = run(&sys, &cfg).unwrap();
+        assert_eq!(r.outcome, RunOutcome::TimedOut);
+        assert_eq!(r.metrics.elapsed_ticks, cfg.max_time);
+        assert!(r.metrics.makespan < r.metrics.elapsed_ticks);
+        let honest = r.metrics.throughput_per_kilotick();
+        let inflated = r.metrics.committed as f64 * 1000.0 / r.metrics.makespan as f64;
+        assert!(honest < inflated, "the unproductive tail must count");
+        // A completed run's elapsed time *is* its makespan — the old
+        // reading, unchanged.
+        let r = run(
+            &sys,
+            &SimConfig {
+                max_time: 10_000,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert_eq!(r.metrics.elapsed_ticks, r.metrics.makespan);
     }
 
     #[test]

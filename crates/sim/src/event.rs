@@ -83,9 +83,31 @@ pub enum Payload {
         /// drops the abort if any member has already been aborted (its
         /// epoch moved on), since that cycle is broken.
         members: Vec<Instance>,
-        /// When the cycle-closing edge appeared (for detection-latency
-        /// accounting).
-        initiated_at: SimTime,
+        /// When the cycle formed: the latest appearance tick among its
+        /// traversed wait-edges (for detection-latency accounting).
+        formed_at: SimTime,
+    },
+    /// Site → coordinator ([`crate::DeadlockResolution::Prevent`] only):
+    /// the prevention scheme refused the wait (wait-die saw a younger
+    /// requester, no-wait saw any conflict). The requester was not queued;
+    /// its coordinator must abort it and retry after a backoff — a restart
+    /// decided from purely table-local knowledge, with no detection
+    /// protocol anywhere.
+    LockRejected {
+        /// The refused instance.
+        inst: Instance,
+        /// The entity whose lock was refused.
+        entity: EntityId,
+        /// The lock step id (for diagnostics; the whole instance restarts).
+        step: StepId,
+    },
+    /// Site → coordinator (wound-wait only): an older requester wounded
+    /// this younger lock owner; its coordinator must abort it so the
+    /// elder's wait cannot become a cycle. Dropped if the victim's epoch
+    /// has already moved on (it committed or was wounded twice).
+    Wound {
+        /// The wounded instance.
+        victim: Instance,
     },
 }
 

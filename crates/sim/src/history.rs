@@ -43,13 +43,17 @@ impl History {
 
     /// Projects the history onto the committed epochs: only events of
     /// `(txn, committed_epoch[txn])` are kept (aborted attempts are undone
-    /// by the lock manager and carry no data flow). Returns a [`Schedule`]
-    /// in application order.
-    pub fn committed_schedule(&self, committed_epoch: &[u32]) -> Schedule {
+    /// by the lock manager and carry no data flow). A transaction that
+    /// never committed is `None` and contributes *nothing* — previously
+    /// callers passed a sentinel epoch for unfinished transactions, and a
+    /// phantom epoch that happened to match recorded events would have
+    /// participated in the audit. Returns a [`Schedule`] in application
+    /// order.
+    pub fn committed_schedule(&self, committed_epoch: &[Option<u32>]) -> Schedule {
         let mut evs: Vec<&HistoryEvent> = self
             .events
             .iter()
-            .filter(|e| committed_epoch[e.inst.txn.idx()] == e.inst.epoch)
+            .filter(|e| committed_epoch[e.inst.txn.idx()] == Some(e.inst.epoch))
             .collect();
         evs.sort_by_key(|e| (e.time, e.seq));
         Schedule::new(
@@ -74,8 +78,11 @@ pub struct Audit {
     pub serializable: bool,
 }
 
-/// Audits the committed schedule of a run.
-pub fn audit(sys: &TxnSystem, history: &History, committed_epoch: &[u32]) -> Audit {
+/// Audits the committed schedule of a run. `committed_epoch[t]` is the
+/// epoch at which transaction `t` committed, or `None` if it never did —
+/// unfinished transactions are skipped explicitly rather than smuggled in
+/// under a sentinel epoch.
+pub fn audit(sys: &TxnSystem, history: &History, committed_epoch: &[Option<u32>]) -> Audit {
     let schedule = history.committed_schedule(committed_epoch);
     let legal = schedule.validate_complete(sys);
     let serializable = is_serializable(sys, &schedule);
@@ -118,10 +125,15 @@ mod tests {
             },
             StepId(0),
         );
-        let s = h.committed_schedule(&[1, 0]);
+        let s = h.committed_schedule(&[Some(1), Some(0)]);
         assert_eq!(s.len(), 2);
         assert_eq!(s.steps()[0].txn, TxnId(0));
         assert_eq!(s.steps()[1].txn, TxnId(1));
+        // An unfinished transaction contributes nothing — even though it
+        // recorded events at epochs 0 and 1, no phantom epoch matches.
+        let s = h.committed_schedule(&[None, Some(0)]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.steps()[0].txn, TxnId(1));
     }
 
     impl History {

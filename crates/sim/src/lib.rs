@@ -16,22 +16,32 @@
 //!   demonstrations under genuine concurrency.
 //!
 //! Both sit on the `kplock-dlm` lock tables: reader–writer modes with
-//! FIFO grants (exclusive-only by default, matching the paper), and
-//! deadlock detection by periodic global scan (default), incrementally at
-//! block time ([`DeadlockDetection::OnBlock`]), or fully distributed via
-//! Chandy–Misra–Haas probe messages ([`DeadlockDetection::Probe`], see
-//! [`probe`]) — the only scheme where detection itself pays network costs,
-//! metered in [`Metrics::probe_messages`] and
-//! [`Metrics::detection_latency_ticks`].
+//! FIFO grants (exclusive-only by default, matching the paper). Deadlocks
+//! are resolved along a two-sided axis ([`DeadlockResolution`]):
+//!
+//! * **detect** — periodic global scan (default), incrementally at block
+//!   time ([`DeadlockDetection::OnBlock`]), or fully distributed via
+//!   Chandy–Misra–Haas probe messages ([`DeadlockDetection::Probe`], see
+//!   [`probe`]) — the only scheme where detection itself pays network
+//!   costs, metered in [`Metrics::probe_messages`] and
+//!   [`Metrics::detection_latency_ticks`];
+//! * **prevent** — timestamp-ordering schemes
+//!   ([`PreventionScheme::WoundWait`] / [`PreventionScheme::WaitDie`] /
+//!   [`PreventionScheme::NoWait`], see [`kplock_dlm::prevent`]) that never
+//!   let a cycle form, trading the detector's messages for restarts
+//!   ([`Metrics::prevention_restarts`]).
 //!
 //! # Example
 //!
 //! A guaranteed deadlock, resolved and committed serializably — then
-//! resolved again with no global wait-for graph anywhere, by probes:
+//! resolved with no global wait-for graph anywhere (probes), then never
+//! allowed to form at all (wound-wait):
 //!
 //! ```
 //! use kplock_model::{Database, TxnBuilder, TxnSystem};
-//! use kplock_sim::{run, DeadlockDetection, LatencyModel, SimConfig};
+//! use kplock_sim::{
+//!     run, DeadlockDetection, DeadlockResolution, LatencyModel, PreventionScheme, SimConfig,
+//! };
 //!
 //! let db = Database::from_spec(&[("x", 0), ("y", 1)]); // two sites
 //! let mut b1 = TxnBuilder::new(&db, "T1");
@@ -48,10 +58,22 @@
 //! assert!(report.metrics.deadlocks_resolved >= 1); // victim aborted + restarted
 //! assert!(report.audit.serializable);              // 2PL commits serializably
 //!
-//! let probes = SimConfig { detection: DeadlockDetection::Probe, ..cfg };
+//! let probes = SimConfig {
+//!     resolution: DeadlockResolution::Detect(DeadlockDetection::Probe),
+//!     ..cfg.clone()
+//! };
 //! let report = run(&sys, &probes).unwrap();
 //! assert!(report.finished());
 //! assert!(report.metrics.probe_messages > 0); // detection crossed the wire
+//!
+//! let prevent = SimConfig {
+//!     resolution: DeadlockResolution::Prevent(PreventionScheme::WoundWait),
+//!     ..cfg
+//! };
+//! let report = run(&sys, &prevent).unwrap();
+//! assert!(report.finished());
+//! assert_eq!(report.metrics.deadlocks_resolved, 0); // no cycle ever formed
+//! assert!(report.metrics.prevention_restarts >= 1); // the young were wounded
 //! ```
 
 pub mod config;
@@ -64,7 +86,10 @@ pub mod metrics;
 pub mod probe;
 pub mod threaded;
 
-pub use config::{ConfigError, DeadlockDetection, LatencyModel, SimConfig, VictimPolicy};
+pub use config::{
+    ConfigError, DeadlockDetection, DeadlockResolution, LatencyModel, PreventionScheme, SimConfig,
+    VictimPolicy,
+};
 pub use driver::{draw_arrivals, run_open_loop, ArrivalConfig};
 pub use engine::{run, run_with_arrivals, RunOutcome, SimReport};
 pub use event::{EventKind, EventQueue, Instance, Payload, SimTime};
@@ -72,4 +97,4 @@ pub use history::{audit, Audit, History, HistoryEvent};
 pub use lock_table::LockTable;
 pub use metrics::Metrics;
 pub use probe::{choose_victim, ProbeMsg, SiteProbeState, Stamp};
-pub use threaded::{run_threaded, ThreadedConfig, ThreadedReport};
+pub use threaded::{run_threaded, ThreadedConfig, ThreadedReport, ThreadedResolution};

@@ -13,7 +13,9 @@
 //! `tests/sim_regression.rs` at the workspace root).
 
 use crate::event::Instance;
-use kplock_dlm::{Acquire, CancelOutcome, ModeTable};
+use kplock_dlm::{
+    Acquire, CancelOutcome, ModeTable, PreventionOutcome, PreventionScheme, Priority,
+};
 use kplock_model::{EntityId, LockMode};
 
 /// A site's lock table: reader–writer locks, FIFO wait queues.
@@ -38,6 +40,31 @@ impl LockTable {
         match self.inner.request(e, inst, mode) {
             Ok(Acquire::Granted) => true,
             Ok(Acquire::Queued) => false,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Requests the lock on `e` in `mode` under a timestamp-ordering
+    /// prevention scheme; `prio` maps any involved instance to its
+    /// priority (the coordinator's birth stamp). See
+    /// [`kplock_dlm::ModeTable::request_with_priority`].
+    ///
+    /// # Panics
+    /// Panics if `inst` is already queued for `e` (a protocol bug, as in
+    /// [`LockTable::request`]).
+    pub fn request_with_priority(
+        &mut self,
+        e: EntityId,
+        inst: Instance,
+        mode: LockMode,
+        scheme: PreventionScheme,
+        prio: impl Fn(Instance) -> Priority,
+    ) -> PreventionOutcome<Instance> {
+        match self
+            .inner
+            .request_with_priority(e, inst, mode, scheme, prio)
+        {
+            Ok(outcome) => outcome,
             Err(err) => panic!("{err}"),
         }
     }

@@ -22,20 +22,27 @@ pub struct Metrics {
     /// traffic is `messages - probe_messages`; do not sum the two.
     pub probe_messages: u64,
     /// Total ticks between a cycle forming and the victim's abort
-    /// executing, summed over resolved deadlocks — an approximation under
-    /// every scheme. Under [`crate::DeadlockDetection::Probe`] it is
-    /// measured from the closing probe's launch tick: usually the cycle's
-    /// final edge, but an earlier-launched probe that closes the cycle
-    /// in flight attributes the cycle to its own (earlier) launch and
-    /// overcounts. Under `Periodic` and `OnBlock` formation is
-    /// approximated by the youngest wait among the cycle's members — so
-    /// `OnBlock` reads ~0 for block-formed cycles (resolved in their
-    /// formation tick) but can overcount cycles formed by grant
-    /// retargeting, whose members began waiting earlier. Expected
-    /// magnitudes: ~0 for `OnBlock`, up to a scan interval for
-    /// `Periodic`, roughly one network hop per cycle edge plus the abort
-    /// order's hop for `Probe`.
+    /// executing, summed over resolved deadlocks. Under
+    /// [`crate::DeadlockDetection::Probe`] the cycle is attributed to the
+    /// *latest* appearance tick among its traversed wait-edges (each site
+    /// timestamps its own edges; probes carry the running maximum), so an
+    /// earlier-launched probe that closes a cycle in flight no longer
+    /// charges the cycle for ticks before its last edge existed. Under
+    /// `Periodic` and `OnBlock` formation is approximated by the youngest
+    /// wait among the cycle's members — so `OnBlock` reads ~0 for
+    /// block-formed cycles (resolved in their formation tick) but can
+    /// overcount cycles formed by grant retargeting, whose members began
+    /// waiting earlier. Expected magnitudes: ~0 for `OnBlock`, up to a
+    /// scan interval for `Periodic`, roughly one network hop per cycle
+    /// edge plus the abort order's hop for `Probe`.
     pub detection_latency_ticks: u64,
+    /// Restarts ordered by a *prevention* scheme
+    /// ([`crate::DeadlockResolution::Prevent`]): wait-die/no-wait
+    /// rejections plus wound-wait wounds. Counted separately from
+    /// deadlock-detection aborts — prevention trades exactly these
+    /// restarts for the detector's probe messages and scan latency; both
+    /// are included in [`Metrics::aborts`].
+    pub prevention_restarts: usize,
     /// Probe-ordered aborts whose victim was no longer on any wait-for
     /// cycle when the abort executed. Only populated when
     /// [`crate::SimConfig::probe_audit`] is on; see that flag for why this
@@ -43,15 +50,33 @@ pub struct Metrics {
     pub phantom_probe_aborts: usize,
     /// Completion time of the last commit.
     pub makespan: SimTime,
+    /// Total simulated time the run observed: equal to `makespan` for
+    /// [`crate::RunOutcome::Completed`] runs, the `max_time` budget for
+    /// timeouts, and the drain tick for stalls. This is the honest
+    /// throughput denominator — a timed-out run whose tail committed
+    /// nothing used all its time, not just the slice up to its last
+    /// commit.
+    pub elapsed_ticks: SimTime,
 }
 
 impl Metrics {
-    /// Throughput in commits per kilotick.
+    /// Throughput in commits per kilotick of *elapsed* simulated time.
+    ///
+    /// Dividing by `makespan` (the last commit tick) inflated throughput
+    /// for `TimedOut` runs, whose unproductive tail vanished from the
+    /// denominator; `elapsed_ticks` charges the whole observed time. For
+    /// completed runs the two are equal. Falls back to `makespan` when
+    /// `elapsed_ticks` is zero (hand-built metrics).
     pub fn throughput_per_kilotick(&self) -> f64 {
-        if self.makespan == 0 {
+        let denom = if self.elapsed_ticks > 0 {
+            self.elapsed_ticks
+        } else {
+            self.makespan
+        };
+        if denom == 0 {
             0.0
         } else {
-            self.committed as f64 * 1000.0 / self.makespan as f64
+            self.committed as f64 * 1000.0 / denom as f64
         }
     }
 }
@@ -69,5 +94,28 @@ mod tests {
         };
         assert!((m.throughput_per_kilotick() - 5.0).abs() < 1e-9);
         assert_eq!(Metrics::default().throughput_per_kilotick(), 0.0);
+    }
+
+    #[test]
+    fn throughput_charges_elapsed_time_not_last_commit() {
+        // A timed-out run: last commit at tick 2000, but the run burned
+        // 10_000 ticks. The old makespan denominator said 5 commits per
+        // kilotick; the elapsed denominator says 1.
+        let m = Metrics {
+            committed: 10,
+            makespan: 2000,
+            elapsed_ticks: 10_000,
+            ..Default::default()
+        };
+        assert!((m.throughput_per_kilotick() - 1.0).abs() < 1e-9);
+        // Completed runs set elapsed == makespan, preserving the old
+        // reading exactly.
+        let m = Metrics {
+            committed: 10,
+            makespan: 2000,
+            elapsed_ticks: 2000,
+            ..Default::default()
+        };
+        assert!((m.throughput_per_kilotick() - 5.0).abs() < 1e-9);
     }
 }

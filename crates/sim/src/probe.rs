@@ -77,10 +77,15 @@ pub struct ProbeMsg {
     pub path: Vec<Instance>,
     /// One [`Stamp`] per path member, for victim selection at the close.
     pub stamps: Vec<Stamp>,
-    /// When the edge that launched this probe appeared — the cycle's
-    /// formation time if this probe closes, from which detection latency
-    /// is measured.
-    pub initiated_at: SimTime,
+    /// The latest appearance tick among the wait-edges traversed so far
+    /// (each site timestamps its own edges in [`SiteProbeState`]; every
+    /// hop maxes the traversed edge's tick in). A cycle cannot predate
+    /// its last-formed edge, so if this probe closes, this is the cycle's
+    /// formation time — detection latency is measured from here. Without
+    /// the running maximum, an earlier-launched probe that closed a cycle
+    /// in flight attributed the whole cycle to its own (earlier) launch
+    /// tick and overcounted.
+    pub formed_at: SimTime,
 }
 
 impl ProbeMsg {
@@ -94,8 +99,10 @@ impl ProbeMsg {
         *self.path.last().expect("probe path is never empty")
     }
 
-    /// Extends the chase by one hop.
-    pub fn extend(&self, next: Instance, stamp: Stamp) -> ProbeMsg {
+    /// Extends the chase by one hop over an edge that appeared at
+    /// `edge_appeared`, keeping [`ProbeMsg::formed_at`] the maximum over
+    /// the path's edges.
+    pub fn extend(&self, next: Instance, stamp: Stamp, edge_appeared: SimTime) -> ProbeMsg {
         let mut path = self.path.clone();
         path.push(next);
         let mut stamps = self.stamps.clone();
@@ -103,7 +110,7 @@ impl ProbeMsg {
         ProbeMsg {
             path,
             stamps,
-            initiated_at: self.initiated_at,
+            formed_at: self.formed_at.max(edge_appeared),
         }
     }
 }
@@ -136,11 +143,16 @@ pub fn choose_victim(policy: VictimPolicy, members: &[Instance], stamps: &[Stamp
 }
 
 /// Per-site probe bookkeeping: the wait-edge sets this site last observed
-/// for its own entities, so edge *appearances* (the probe triggers) can be
-/// computed by local diffing — never from any global view.
+/// for its own entities — each edge tagged with the tick it appeared — so
+/// edge *appearances* (the probe triggers) and their timestamps (the
+/// detection-latency anchors) come from local diffing, never from any
+/// global view.
+/// A live wait-edge `(waiter, holder)` with the tick it appeared.
+type StampedEdge = ((Instance, Instance), SimTime);
+
 #[derive(Clone, Debug, Default)]
 pub struct SiteProbeState {
-    known: HashMap<EntityId, Vec<(Instance, Instance)>>,
+    known: HashMap<EntityId, Vec<StampedEdge>>,
 }
 
 impl SiteProbeState {
@@ -150,23 +162,50 @@ impl SiteProbeState {
     }
 
     /// Replaces the recorded edge set for `e` with `edges` (the site's
-    /// current `entity_waits_for(e)`) and returns the edges that are new —
-    /// each one launches a probe. Removals need no probes: a vanished edge
-    /// can only shrink the wait-for graph.
+    /// current `entity_waits_for(e)`, observed at tick `now`) and returns
+    /// the edges that are new — each one launches a probe. Surviving edges
+    /// keep their original appearance tick; new ones are stamped `now`.
+    /// Removals need no probes: a vanished edge can only shrink the
+    /// wait-for graph.
     pub fn observe(
         &mut self,
         e: EntityId,
         edges: Vec<(Instance, Instance)>,
+        now: SimTime,
     ) -> Vec<(Instance, Instance)> {
-        let old = if edges.is_empty() {
-            self.known.remove(&e).unwrap_or_default()
-        } else {
-            self.known.insert(e, edges.clone()).unwrap_or_default()
-        };
-        edges
-            .into_iter()
-            .filter(|edge| !old.contains(edge))
-            .collect()
+        let old = self.known.remove(&e).unwrap_or_default();
+        let fresh: Vec<(Instance, Instance)> = edges
+            .iter()
+            .copied()
+            .filter(|edge| !old.iter().any(|&(oe, _)| oe == *edge))
+            .collect();
+        if !edges.is_empty() {
+            let stamped = edges
+                .into_iter()
+                .map(|edge| {
+                    let at = old
+                        .iter()
+                        .find(|&&(oe, _)| oe == edge)
+                        .map_or(now, |&(_, t)| t);
+                    (edge, at)
+                })
+                .collect();
+            self.known.insert(e, stamped);
+        }
+        fresh
+    }
+
+    /// When the wait-edge `(w, h)` appeared at this site, if it is live:
+    /// the earliest appearance tick over the entities inducing it (the
+    /// wait has existed since the first of them). This is the site-local
+    /// answer a probe needs to attribute a cycle to its last-formed edge.
+    pub fn appeared_at(&self, w: Instance, h: Instance) -> Option<SimTime> {
+        self.known
+            .values()
+            .flatten()
+            .filter(|&&(edge, _)| edge == (w, h))
+            .map(|&(_, t)| t)
+            .min()
     }
 
     /// Forgets everything (a fresh run).
@@ -199,15 +238,20 @@ mod tests {
         let p = ProbeMsg {
             path: vec![inst(0), inst(1)],
             stamps: vec![stamp(0, 0), stamp(5, 1)],
-            initiated_at: 42,
+            formed_at: 42,
         };
         assert_eq!(p.initiator(), inst(0));
         assert_eq!(p.target(), inst(1));
-        let q = p.extend(inst(2), stamp(9, 2));
+        // Extending over an *older* edge keeps the later formation tick…
+        let q = p.extend(inst(2), stamp(9, 2), 10);
         assert_eq!(q.target(), inst(2));
         assert_eq!(q.initiator(), inst(0));
-        assert_eq!(q.initiated_at, 42);
+        assert_eq!(q.formed_at, 42);
         assert_eq!(q.stamps.len(), 3);
+        // …and a *younger* edge advances it: the cycle cannot predate its
+        // last-formed edge.
+        let r = p.extend(inst(2), stamp(9, 2), 55);
+        assert_eq!(r.formed_at, 55);
         // The original is untouched (probes fan out).
         assert_eq!(p.path.len(), 2);
     }
@@ -259,29 +303,60 @@ mod tests {
     fn observe_reports_only_new_edges() {
         let e = EntityId(0);
         let mut st = SiteProbeState::new();
-        let new = st.observe(e, vec![(inst(1), inst(0))]);
+        let new = st.observe(e, vec![(inst(1), inst(0))], 5);
         assert_eq!(new, vec![(inst(1), inst(0))]);
         // Same set again: nothing new.
-        assert!(st.observe(e, vec![(inst(1), inst(0))]).is_empty());
+        assert!(st.observe(e, vec![(inst(1), inst(0))], 7).is_empty());
         // One surviving edge, one new one: only the new one reported.
-        let new = st.observe(e, vec![(inst(1), inst(0)), (inst(2), inst(0))]);
+        let new = st.observe(e, vec![(inst(1), inst(0)), (inst(2), inst(0))], 9);
         assert_eq!(new, vec![(inst(2), inst(0))]);
         // Clearing an entity, then re-adding an old edge: it is new again
         // (the wait was re-established and must be re-chased).
-        assert!(st.observe(e, vec![]).is_empty());
-        let new = st.observe(e, vec![(inst(1), inst(0))]);
+        assert!(st.observe(e, vec![], 11).is_empty());
+        let new = st.observe(e, vec![(inst(1), inst(0))], 13);
         assert_eq!(new, vec![(inst(1), inst(0))]);
+    }
+
+    #[test]
+    fn observe_timestamps_survive_and_reset_with_their_edges() {
+        let e = EntityId(0);
+        let mut st = SiteProbeState::new();
+        st.observe(e, vec![(inst(1), inst(0))], 5);
+        assert_eq!(st.appeared_at(inst(1), inst(0)), Some(5));
+        // A surviving edge keeps its original appearance tick across
+        // re-observations…
+        st.observe(e, vec![(inst(1), inst(0)), (inst(2), inst(0))], 9);
+        assert_eq!(st.appeared_at(inst(1), inst(0)), Some(5));
+        assert_eq!(st.appeared_at(inst(2), inst(0)), Some(9));
+        // …a vanished edge forgets it…
+        st.observe(e, vec![(inst(2), inst(0))], 11);
+        assert_eq!(st.appeared_at(inst(1), inst(0)), None);
+        // …and a re-established wait is a fresh edge with a fresh tick.
+        st.observe(e, vec![(inst(1), inst(0)), (inst(2), inst(0))], 13);
+        assert_eq!(st.appeared_at(inst(1), inst(0)), Some(13));
+    }
+
+    #[test]
+    fn appeared_at_takes_the_earliest_inducing_entity() {
+        // The same (waiter, holder) pair induced by two entities at
+        // different ticks: the wait has existed since the first.
+        let mut st = SiteProbeState::new();
+        let (a, b) = (EntityId(0), EntityId(1));
+        st.observe(a, vec![(inst(1), inst(0))], 20);
+        st.observe(b, vec![(inst(1), inst(0))], 10);
+        assert_eq!(st.appeared_at(inst(1), inst(0)), Some(10));
     }
 
     #[test]
     fn observe_tracks_entities_independently() {
         let mut st = SiteProbeState::new();
         let (a, b) = (EntityId(0), EntityId(1));
-        st.observe(a, vec![(inst(1), inst(0))]);
+        st.observe(a, vec![(inst(1), inst(0))], 1);
         // The same owner pair on another entity is a distinct local edge.
-        let new = st.observe(b, vec![(inst(1), inst(0))]);
+        let new = st.observe(b, vec![(inst(1), inst(0))], 2);
         assert_eq!(new, vec![(inst(1), inst(0))]);
         st.clear();
-        assert_eq!(st.observe(a, vec![(inst(1), inst(0))]).len(), 1);
+        assert_eq!(st.observe(a, vec![(inst(1), inst(0))], 3).len(), 1);
+        assert_eq!(st.appeared_at(inst(1), inst(0)), Some(3));
     }
 }

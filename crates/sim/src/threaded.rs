@@ -6,8 +6,12 @@
 //! entities never contend on one map) with a condvar per shard for grant
 //! wakeups; a global atomic sequence numbers the applied steps so the
 //! committed history can be audited exactly like the deterministic
-//! simulator's. Deadlocks are broken by lock-wait timeouts (cancel the
-//! queued request, release, randomized backoff, retry).
+//! simulator's. Deadlocks are broken by lock-wait timeouts by default
+//! (cancel the queued request, release, randomized backoff, retry), or —
+//! under [`ThreadedResolution::Prevent`] — never allowed to form:
+//! timestamp-ordering prevention decides wait/wound/die inside the shard,
+//! wounds are delivered as per-transaction flags plus condvar broadcasts
+//! so blocked victims wake and abort, and no timeout heuristic is needed.
 //!
 //! This runner is *non*-deterministic by nature — it exists to show the
 //! phenomena under genuine concurrency; the discrete-event engine in
@@ -17,7 +21,7 @@ use crate::config::ConfigError;
 use crate::event::Instance;
 use crate::history::History;
 use crate::history::{audit, Audit};
-use kplock_dlm::{Acquire, ShardedTable};
+use kplock_dlm::{Acquire, PreventionOutcome, PreventionScheme, Priority, ShardedTable};
 use kplock_model::{ActionKind, EntityId, StepId, TxnId, TxnSystem};
 use parking_lot::Condvar;
 use rand::Rng;
@@ -25,10 +29,28 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// How the threaded runner keeps deadlocks from wedging the threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ThreadedResolution {
+    /// The original heuristic: presume deadlock after
+    /// [`ThreadedConfig::lock_timeout`] and abort the waiter. Can
+    /// false-positive under load (a slow grant looks like a cycle).
+    #[default]
+    TimeoutAbort,
+    /// Timestamp-ordering prevention (see [`kplock_dlm::prevent`]): waits
+    /// are admitted only in priority order, so no cycle can form and no
+    /// wait is ever mistaken for one. Transaction index plays the birth
+    /// stamp (a fixed total order that survives retries). Wounds are
+    /// delivered through per-transaction flags and the shard condvars.
+    Prevent(PreventionScheme),
+}
+
 /// Configuration for the threaded runner.
 #[derive(Clone, Debug)]
 pub struct ThreadedConfig {
-    /// How long to wait on a lock before assuming deadlock and aborting.
+    /// How long to wait on a lock before assuming deadlock and aborting
+    /// (under [`ThreadedResolution::Prevent`] the same duration is only a
+    /// wound-flag polling interval — timeouts never abort there).
     pub lock_timeout: Duration,
     /// Maximum abort/retry attempts per transaction.
     pub max_attempts: u32,
@@ -36,6 +58,8 @@ pub struct ThreadedConfig {
     pub max_backoff: Duration,
     /// Number of lock-table shards (entities hash across them).
     pub shards: usize,
+    /// Deadlock resolution: timeout heuristic (default) or prevention.
+    pub resolution: ThreadedResolution,
 }
 
 impl ThreadedConfig {
@@ -55,6 +79,7 @@ impl Default for ThreadedConfig {
             max_attempts: 64,
             max_backoff: Duration::from_millis(5),
             shards: 8,
+            resolution: ThreadedResolution::default(),
         }
     }
 }
@@ -68,12 +93,23 @@ pub struct ThreadedReport {
     pub aborts: usize,
     /// Whether every transaction committed within its attempt budget.
     pub finished: bool,
+    /// Epoch at which each transaction committed, `None` for transactions
+    /// that exhausted their attempt budget. This is exactly what the
+    /// audit consumed — an unfinished transaction contributes no phantom
+    /// epoch (the old report fed `max_attempts` in as if it were a
+    /// committed epoch).
+    pub committed_epoch: Vec<Option<u32>>,
 }
 
 struct Shared {
     table: ShardedTable<Instance>,
     /// One condvar per shard; waiters block on the shard's mutex guard.
     wakeups: Vec<Condvar>,
+    /// Wound markers, one per transaction (prevention only): `epoch + 1`
+    /// of the wounded instance, `0` for none. Epoch-tagged so a stale
+    /// wound (the victim already committed or restarted) is ignored for
+    /// free, exactly like the simulator's epoch validation.
+    wounded: Vec<AtomicU64>,
     seq: AtomicU64,
     events: parking_lot::Mutex<Vec<(u64, TxnId, u32, StepId)>>,
 }
@@ -86,6 +122,28 @@ impl Shared {
         let seq = self.seq.fetch_add(1, Ordering::SeqCst);
         self.events.lock().push((seq, txn, epoch, step));
     }
+
+    /// Delivers a wound to `victim`: set its flag, then wake every shard's
+    /// waiters — the victim may be parked on any condvar (or none), and
+    /// wounds are rare enough that the broadcast is cheaper than tracking
+    /// where each transaction blocks.
+    fn wound(&self, victim: Instance) {
+        self.wounded[victim.txn.idx()].store(u64::from(victim.epoch) + 1, Ordering::SeqCst);
+        for c in &self.wakeups {
+            c.notify_all();
+        }
+    }
+
+    /// Whether a wound targeting exactly this instance's epoch is pending.
+    fn is_wounded(&self, inst: Instance) -> bool {
+        self.wounded[inst.txn.idx()].load(Ordering::SeqCst) == u64::from(inst.epoch) + 1
+    }
+}
+
+/// The fixed prevention priority of an owner: its transaction index
+/// (stable across retries — the threaded analogue of a birth stamp).
+fn prio_of(o: Instance) -> Priority {
+    (o.txn.idx() as u64, 0)
 }
 
 /// Executes the system on real threads.
@@ -98,6 +156,7 @@ pub fn run_threaded(sys: &TxnSystem, cfg: &ThreadedConfig) -> Result<ThreadedRep
     let shared = Arc::new(Shared {
         table: ShardedTable::new(shards),
         wakeups: (0..shards).map(|_| Condvar::new()).collect(),
+        wounded: (0..sys.len()).map(|_| AtomicU64::new(0)).collect(),
         seq: AtomicU64::new(0),
         events: parking_lot::Mutex::new(Vec::new()),
     });
@@ -122,13 +181,19 @@ pub fn run_threaded(sys: &TxnSystem, cfg: &ThreadedConfig) -> Result<ThreadedRep
     for (_, txn, epoch, step) in events {
         history.record(0, Instance { txn, epoch }, step);
     }
-    let committed_epoch: Vec<u32> = results.iter().map(|&(_, e)| e).collect();
+    // Unfinished transactions commit at no epoch; the audit skips them
+    // explicitly instead of receiving `max_attempts` as a phantom epoch.
+    let committed_epoch: Vec<Option<u32>> = results
+        .iter()
+        .map(|&(ok, e)| if ok { Some(e) } else { None })
+        .collect();
     let finished = results.iter().all(|&(ok, _)| ok);
     let aborts: usize = results.iter().map(|&(_, e)| e as usize).sum();
     Ok(ThreadedReport {
         audit: audit(sys, &history, &committed_epoch),
         aborts,
         finished,
+        committed_epoch,
     })
 }
 
@@ -173,6 +238,12 @@ fn attempt(
     // Execute steps as they become ready (single-threaded within a
     // transaction; parallel across transactions).
     loop {
+        // A running victim notices its wound at step boundaries; a blocked
+        // one is woken by the wounder's condvar broadcast below.
+        if matches!(cfg.resolution, ThreadedResolution::Prevent(_)) && shared.is_wounded(inst) {
+            abort(&mut held);
+            return false;
+        }
         let Some(v) = (0..t.len())
             .find(|&v| !done[v] && t.edge_graph().predecessors(v).iter().all(|&p| done[p]))
         else {
@@ -183,34 +254,84 @@ fn attempt(
         match step.kind {
             ActionKind::Lock => {
                 let mut st = shared.table.lock_shard_index(shard);
-                match st.request(step.entity, inst, step.mode).expect("protocol") {
-                    Acquire::Granted => {}
-                    Acquire::Queued => {
-                        // FIFO: a later release grants us in-queue; wait for
-                        // it, bounded by the deadlock timeout.
-                        let deadline = std::time::Instant::now() + cfg.lock_timeout;
-                        loop {
-                            if st.holds(step.entity, inst).is_some() {
-                                break;
+                let queued = match cfg.resolution {
+                    ThreadedResolution::TimeoutAbort => matches!(
+                        st.request(step.entity, inst, step.mode).expect("protocol"),
+                        Acquire::Queued
+                    ),
+                    ThreadedResolution::Prevent(scheme) => {
+                        match st
+                            .request_with_priority(step.entity, inst, step.mode, scheme, prio_of)
+                            .expect("protocol")
+                        {
+                            PreventionOutcome::Granted => false,
+                            PreventionOutcome::Queued => true,
+                            PreventionOutcome::Wounded(victims) => {
+                                // Wound the younger owners (flag + condvar
+                                // broadcast — real delivery, they abort
+                                // themselves) and wait like anyone else.
+                                for v in victims {
+                                    shared.wound(v);
+                                }
+                                true
                             }
-                            let left =
-                                deadline.saturating_duration_since(std::time::Instant::now());
-                            if left.is_zero()
-                                || shared.wakeups[shard].wait_for(&mut st, left).timed_out()
-                            {
-                                if st.holds(step.entity, inst).is_some() {
-                                    break; // granted in the same instant
-                                }
-                                // Presumed deadlock: cancel our queued
-                                // request (may unblock readers behind us),
-                                // then abort.
-                                let cancelled = st.cancel_waits(inst);
+                            PreventionOutcome::Rejected => {
+                                // Wait-die / no-wait: we die, keeping our
+                                // priority for the retry.
                                 drop(st);
-                                if !cancelled.granted.is_empty() {
-                                    shared.wakeups[shard].notify_all();
-                                }
                                 abort(&mut held);
                                 return false;
+                            }
+                        }
+                    }
+                };
+                if queued {
+                    // FIFO: a later release grants us in-queue; wait for
+                    // it. Under the timeout heuristic the wait is bounded
+                    // and presumed deadlocked at the deadline; under
+                    // prevention waits are cycle-free, and the same
+                    // duration only paces wound-flag polling (covering a
+                    // wound that fired before we parked).
+                    let deadline = std::time::Instant::now() + cfg.lock_timeout;
+                    loop {
+                        if matches!(cfg.resolution, ThreadedResolution::Prevent(_))
+                            && shared.is_wounded(inst)
+                        {
+                            let cancelled = st.cancel_waits(inst);
+                            drop(st);
+                            if !cancelled.granted.is_empty() {
+                                shared.wakeups[shard].notify_all();
+                            }
+                            abort(&mut held);
+                            return false;
+                        }
+                        if st.holds(step.entity, inst).is_some() {
+                            break;
+                        }
+                        match cfg.resolution {
+                            ThreadedResolution::TimeoutAbort => {
+                                let left =
+                                    deadline.saturating_duration_since(std::time::Instant::now());
+                                if left.is_zero()
+                                    || shared.wakeups[shard].wait_for(&mut st, left).timed_out()
+                                {
+                                    if st.holds(step.entity, inst).is_some() {
+                                        break; // granted in the same instant
+                                    }
+                                    // Presumed deadlock: cancel our queued
+                                    // request (may unblock readers behind
+                                    // us), then abort.
+                                    let cancelled = st.cancel_waits(inst);
+                                    drop(st);
+                                    if !cancelled.granted.is_empty() {
+                                        shared.wakeups[shard].notify_all();
+                                    }
+                                    abort(&mut held);
+                                    return false;
+                                }
+                            }
+                            ThreadedResolution::Prevent(_) => {
+                                let _ = shared.wakeups[shard].wait_for(&mut st, cfg.lock_timeout);
                             }
                         }
                     }
@@ -314,6 +435,114 @@ mod tests {
             assert!(r.finished);
             r.audit.legal.as_ref().unwrap();
             assert!(r.audit.serializable);
+        }
+    }
+
+    #[test]
+    fn threaded_prevention_schemes_finish_without_timeout_heuristic() {
+        // The deadlock-prone pair again, but with a lock timeout far
+        // beyond the test budget: only prevention (not the timeout
+        // heuristic) can be breaking the deadlocks here.
+        let s = sys(
+            &["Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux"],
+            &[("x", 0), ("y", 0)],
+        );
+        for scheme in [
+            PreventionScheme::WoundWait,
+            PreventionScheme::WaitDie,
+            PreventionScheme::NoWait,
+        ] {
+            let cfg = ThreadedConfig {
+                resolution: ThreadedResolution::Prevent(scheme),
+                lock_timeout: Duration::from_millis(2),
+                max_attempts: 1000,
+                ..Default::default()
+            };
+            for _ in 0..5 {
+                let r = run_threaded(&s, &cfg).unwrap();
+                assert!(r.finished, "{scheme:?} must not wedge");
+                r.audit.legal.as_ref().unwrap();
+                assert!(r.audit.serializable, "{scheme:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_wound_wait_delivers_wounds_to_blocked_victims() {
+        // Rotated lock orders force conflicts both ways; T1 (index 0,
+        // highest priority) must always win under wound-wait — it is
+        // never wounded and never rejected, so it commits at epoch 0
+        // whenever no older transaction exists.
+        let s = sys(
+            &["Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", "Lx Ly x y Ux Uy"],
+            &[("x", 0), ("y", 0)],
+        );
+        let cfg = ThreadedConfig {
+            resolution: ThreadedResolution::Prevent(PreventionScheme::WoundWait),
+            lock_timeout: Duration::from_millis(2),
+            max_attempts: 1000,
+            ..Default::default()
+        };
+        for _ in 0..10 {
+            let r = run_threaded(&s, &cfg).unwrap();
+            assert!(r.finished);
+            assert_eq!(
+                r.committed_epoch[0],
+                Some(0),
+                "the oldest transaction is invulnerable under wound-wait"
+            );
+            assert!(r.audit.serializable);
+        }
+    }
+
+    #[test]
+    fn unfinished_txn_contributes_no_phantom_epoch_to_the_audit() {
+        // Zero attempts: every transaction is unfinished by construction.
+        // The old report published `committed_epoch = max_attempts` (here
+        // 0 — a *valid-looking* epoch) for them; the audit must instead
+        // see `None` and an empty schedule.
+        let s = sys(
+            &["Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux"],
+            &[("x", 0), ("y", 0)],
+        );
+        let cfg = ThreadedConfig {
+            max_attempts: 0,
+            ..Default::default()
+        };
+        let r = run_threaded(&s, &cfg).unwrap();
+        assert!(!r.finished);
+        assert_eq!(r.committed_epoch, vec![None, None]);
+        assert_eq!(r.audit.schedule.len(), 0, "no phantom steps audited");
+
+        // One attempt on a deadlock-prone pair with a tiny timeout: any
+        // run where a transaction exhausts its budget must keep its
+        // partial epoch-0 history out of the audited schedule, and a
+        // committed claim must never point at an epoch that cannot have
+        // run (the old code reported `max_attempts` — a forged epoch —
+        // for every unfinished transaction). Thread scheduling decides
+        // whether the collision happens; the property must hold either
+        // way, so assert it on every run.
+        let cfg = ThreadedConfig {
+            max_attempts: 1,
+            lock_timeout: Duration::from_millis(1),
+            ..Default::default()
+        };
+        for _ in 0..25 {
+            let r = run_threaded(&s, &cfg).unwrap();
+            for (t, ep) in r.committed_epoch.iter().enumerate() {
+                match ep {
+                    Some(e) => assert!(
+                        *e < cfg.max_attempts,
+                        "T{} claims an epoch that never ran",
+                        t + 1
+                    ),
+                    None => assert!(
+                        r.audit.schedule.steps().iter().all(|s| s.txn.idx() != t),
+                        "unfinished T{} leaked steps into the audit",
+                        t + 1
+                    ),
+                }
+            }
         }
     }
 

@@ -37,6 +37,6 @@ pub mod txn_gen;
 
 pub use figures::{fig1, fig2, fig3, fig5};
 pub use reduction_instances::{fig8_formula, fig8_reduction, random_instance, unsat_restricted};
-pub use scenarios::{hot_site_sweep, site_count_sweep, Scenario};
+pub use scenarios::{hot_site_sweep, resolution_sweep, site_count_sweep, Scenario};
 pub use suite::{figure_corpus, regression_corpus, NamedSystem};
 pub use txn_gen::{make_database, random_pair, random_system, random_unlocked_txn, WorkloadParams};

@@ -9,14 +9,19 @@
 //! * [`hot_site_sweep`] — a fixed topology with an increasingly skewed
 //!   access pattern toward one hot site, the adversarial case where a
 //!   central scan sees everything cheaply but probe chases all funnel
-//!   through one table.
+//!   through one table;
+//! * [`resolution_sweep`] — rotated-lock-order systems (the canonical
+//!   deadlock-prone-but-safe shape) across site counts, built for the
+//!   detection-vs-prevention axis: under detection they exercise cycles
+//!   and probe chases, under prevention the same conflicts become wounds
+//!   and deaths, so restart-vs-message trade-offs read off directly.
 //!
 //! Every scenario is seeded and deterministic, sized for simulator runs
 //! (not statistical benchmarks), and locked with synchronized 2PL so
 //! deadlocks are guaranteed resolvable and commits audit serializable.
 
 use crate::txn_gen::{random_system, WorkloadParams};
-use kplock_model::TxnSystem;
+use kplock_model::{Database, TxnBuilder, TxnSystem};
 
 /// One generated scenario, tagged with the swept parameter value.
 #[derive(Clone, Debug)]
@@ -77,6 +82,63 @@ pub fn hot_site_sweep(base: &WorkloadParams, hot_percents: &[u32]) -> Vec<Scenar
                 name: format!("hot={hot}"),
                 value: hot as usize,
                 system: random_system(&p),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps site count on a fixed *rotated-lock-order* contention structure:
+/// `txns` synchronized-2PL transactions each lock the same `entities`
+/// entities, transaction `t` starting its lock order at entity `t` — every
+/// pair conflicts in both orders, so wait-for cycles (under detection) and
+/// timestamp inversions (under prevention) are guaranteed wherever timing
+/// allows. Entities are placed round-robin over `sites` sites, so across
+/// the sweep the *conflict structure is identical* and only its
+/// distribution varies: any change in restarts, messages or makespan is
+/// pure distribution cost — the right instrument for comparing the
+/// simulator's `DeadlockResolution` arms (`kplock-sim` is a dev-dependency
+/// here, so no intra-doc link).
+///
+/// Deterministic by construction (no RNG anywhere). Each `site_counts`
+/// entry must be between 1 and `entities`.
+pub fn resolution_sweep(entities: usize, txns: usize, site_counts: &[usize]) -> Vec<Scenario> {
+    assert!(entities >= 2 && txns >= 2, "need a conflict to sweep");
+    site_counts
+        .iter()
+        .map(|&sites| {
+            assert!(
+                sites > 0 && sites <= entities,
+                "site count {sites} needs at least one entity each (have {entities})"
+            );
+            let names: Vec<String> = (0..entities).map(|i| format!("e{i}")).collect();
+            let spec: Vec<(&str, usize)> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.as_str(), i % sites))
+                .collect();
+            let db = Database::from_spec(&spec);
+            let built = (0..txns)
+                .map(|t| {
+                    let order: Vec<&str> = (0..entities)
+                        .map(|i| names[(i + t) % entities].as_str())
+                        .collect();
+                    // Synchronized 2PL: all locks (rotated order), all
+                    // updates, all unlocks — totally ordered.
+                    let script: Vec<String> = order
+                        .iter()
+                        .map(|e| format!("L{e}"))
+                        .chain(order.iter().map(|e| e.to_string()))
+                        .chain(order.iter().map(|e| format!("U{e}")))
+                        .collect();
+                    let mut b = TxnBuilder::new(&db, format!("T{}", t + 1));
+                    b.script(&script.join(" ")).expect("generated names");
+                    b.build().expect("totally ordered scripts are acyclic")
+                })
+                .collect();
+            Scenario {
+                name: format!("sites={sites}"),
+                value: sites,
+                system: TxnSystem::new(db, built),
             }
         })
         .collect()
@@ -165,6 +227,67 @@ mod tests {
     }
 
     #[test]
+    fn resolution_sweep_is_deadlock_prone_safe_and_distribution_invariant() {
+        use kplock_sim::{run, DeadlockDetection, LatencyModel, SimConfig};
+        let sweep = resolution_sweep(6, 4, &[1, 2, 3, 6]);
+        assert_eq!(sweep.len(), 4);
+        for sc in &sweep {
+            sc.system.validate(Level::Strict).unwrap();
+            assert_eq!(sc.system.db().entity_count(), 6);
+            assert_eq!(sc.system.db().site_count(), sc.value);
+            // Same conflict structure at every site count: every pair of
+            // transactions locks the same entity set.
+            for t in sc.system.txns() {
+                assert_eq!(t.locked_entities().len(), 6);
+            }
+        }
+        // The structure actually deadlocks under detection (that is its
+        // job), and 2PL keeps the commits serializable.
+        let cfg = SimConfig {
+            latency: LatencyModel::Fixed(5),
+            resolution: DeadlockDetection::Periodic.into(),
+            ..Default::default()
+        };
+        let mut deadlocks = 0;
+        for sc in &sweep {
+            let r = run(&sc.system, &cfg).unwrap();
+            assert!(r.finished(), "{}", sc.name);
+            assert!(r.audit.serializable, "{}", sc.name);
+            deadlocks += r.metrics.deadlocks_resolved;
+        }
+        assert!(deadlocks > 0, "rotated orders must provoke deadlock");
+    }
+
+    #[test]
+    fn resolution_sweep_prevention_never_detects_anything() {
+        use kplock_sim::{run, PreventionScheme, SimConfig};
+        for sc in resolution_sweep(4, 3, &[2, 4]) {
+            for scheme in [
+                PreventionScheme::WoundWait,
+                PreventionScheme::WaitDie,
+                PreventionScheme::NoWait,
+            ] {
+                let cfg = SimConfig {
+                    latency: kplock_sim::LatencyModel::Fixed(5),
+                    resolution: scheme.into(),
+                    ..Default::default()
+                };
+                let r = run(&sc.system, &cfg).unwrap();
+                assert!(r.finished(), "{} under {scheme:?}", sc.name);
+                assert_eq!(r.metrics.deadlocks_resolved, 0);
+                assert_eq!(r.metrics.probe_messages, 0);
+                assert!(r.audit.serializable);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least one entity each")]
+    fn resolution_sweep_rejects_more_sites_than_entities() {
+        resolution_sweep(3, 2, &[4]);
+    }
+
+    #[test]
     fn scenarios_run_under_every_detection_scheme() {
         use kplock_sim::{run, DeadlockDetection, LatencyModel, SimConfig};
         let sweep = site_count_sweep(&base(), 6, &[2, 3]);
@@ -176,7 +299,7 @@ mod tests {
             ] {
                 let cfg = SimConfig {
                     latency: LatencyModel::Fixed(5),
-                    detection,
+                    resolution: detection.into(),
                     probe_audit: true,
                     ..Default::default()
                 };

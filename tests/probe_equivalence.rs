@@ -15,18 +15,19 @@ use kplock::workload::{fig5, random_system, site_count_sweep, WorkloadParams};
 
 fn with_detection(cfg: &SimConfig, detection: DeadlockDetection) -> SimConfig {
     SimConfig {
-        detection,
+        resolution: detection.into(),
         probe_audit: true,
         ..cfg.clone()
     }
 }
 
-/// The transactions that were ever aborted (restarted at least once).
+/// The transactions that were ever aborted (committed after at least one
+/// restart).
 fn aborted_set(r: &SimReport) -> Vec<usize> {
     r.committed_epoch
         .iter()
         .enumerate()
-        .filter(|&(_, &e)| e > 0)
+        .filter(|&(_, &e)| e.is_some_and(|ep| ep > 0))
         .map(|(i, _)| i)
         .collect()
 }
@@ -185,7 +186,7 @@ fn probe_runs_are_deterministic() {
     let cfg = SimConfig {
         latency: LatencyModel::Uniform(1, 20),
         seed: 9,
-        detection: DeadlockDetection::Probe,
+        resolution: DeadlockDetection::Probe.into(),
         ..Default::default()
     };
     let a = run(&sys, &cfg).unwrap();

@@ -49,7 +49,7 @@ proptest! {
             return Ok(()); // scan livelocks are not the probe's bug
         }
         let probe_cfg = SimConfig {
-            detection: DeadlockDetection::Probe,
+            resolution: DeadlockDetection::Probe.into(),
             probe_audit: true,
             ..base
         };
@@ -93,7 +93,7 @@ proptest! {
         });
         let cfg = SimConfig {
             latency: LatencyModel::Fixed(5),
-            detection: DeadlockDetection::Probe,
+            resolution: DeadlockDetection::Probe.into(),
             probe_audit: true,
             ..Default::default()
         };

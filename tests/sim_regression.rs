@@ -8,7 +8,7 @@
 //! printed actual values and justify the change in the PR.
 
 use kplock_core::policy::LockStrategy;
-use kplock_sim::{run, LatencyModel, Metrics, SimConfig, VictimPolicy};
+use kplock_sim::{run, LatencyModel, Metrics, PreventionScheme, SimConfig, VictimPolicy};
 use kplock_workload::{fig5, random_system, WorkloadParams};
 
 fn metrics(m: &Metrics) -> (usize, usize, u64, u64, usize, u64) {
@@ -92,8 +92,54 @@ fn fixed_seed_fig5_run_is_pinned() {
     );
 }
 
+#[test]
+fn fixed_seed_prevention_runs_are_pinned() {
+    // The same seed-23 workload as PIN_DEADLOCK, run under each
+    // prevention scheme. Wound-wait lands bit-identical to the detection
+    // pin — on this workload every admitted wait already points young →
+    // old, so nothing is ever wounded — while wait-die and no-wait trade
+    // waiting (fewer lock-wait ticks) for restarts. Pinning all three
+    // keeps the prevention path as replay-stable as the default one.
+    let sys = random_system(&WorkloadParams {
+        seed: 23,
+        sites: 2,
+        entities_per_site: 2,
+        transactions: 4,
+        steps_per_txn: 6,
+        strategy: LockStrategy::TwoPhaseSync,
+        ..Default::default()
+    });
+    for (scheme, pin) in [
+        (PreventionScheme::WoundWait, PIN_WOUND_WAIT),
+        (PreventionScheme::WaitDie, PIN_WAIT_DIE),
+        (PreventionScheme::NoWait, PIN_NO_WAIT),
+    ] {
+        let cfg = SimConfig {
+            latency: LatencyModel::Fixed(5),
+            resolution: scheme.into(),
+            ..Default::default()
+        };
+        let r = run(&sys, &cfg).expect("valid config");
+        assert!(r.finished(), "{scheme:?}");
+        assert_eq!(r.metrics.deadlocks_resolved, 0, "{scheme:?}");
+        assert_eq!(r.metrics.prevention_restarts, r.metrics.aborts);
+        assert_eq!(
+            metrics(&r.metrics),
+            pin,
+            "{scheme:?} actual: {:?}",
+            metrics(&r.metrics)
+        );
+    }
+}
+
 // Pinned values, captured from the seed engine before the kplock-dlm
 // lock-table refactor (PR 2) and required to survive it unchanged.
 const PIN_RANDOM: (usize, usize, u64, u64, usize, u64) = (4, 1, 122, 875, 1, 402);
 const PIN_DEADLOCK: (usize, usize, u64, u64, usize, u64) = (4, 0, 100, 660, 0, 250);
 const PIN_FIG5: (usize, usize, u64, u64, usize, u64) = (2, 0, 48, 54, 0, 53);
+
+// Prevention pins (PR 4): (committed, aborts, messages, lock_wait_ticks,
+// deadlocks_resolved, makespan) on the seed-23 workload at Fixed(5).
+const PIN_WOUND_WAIT: (usize, usize, u64, u64, usize, u64) = (4, 0, 100, 660, 0, 250);
+const PIN_WAIT_DIE: (usize, usize, u64, u64, usize, u64) = (4, 9, 136, 80, 0, 287);
+const PIN_NO_WAIT: (usize, usize, u64, u64, usize, u64) = (4, 10, 140, 0, 0, 293);
