@@ -1,0 +1,61 @@
+//! Experiment D3's wall-clock companion and CI's fault-matrix smoke: the
+//! fault axis crossed with the resolution arms it stresses hardest.
+//!
+//! Three rungs of the [`kplock_workload::fault_plan_ladder`] — `clean`
+//! (the bit-identical baseline), `mixed` (loss + duplication + reorder
+//! with retransmission), and `crash` (two scheduled outages with lease
+//! recovery) — each run under distributed probes and wound-wait
+//! prevention on the rotated-lock-order workload. The companion table
+//! (`cargo run --release --bin experiments`, table D3) reports the
+//! simulated units (drops, duplicates, recoveries, detection latency,
+//! restarts); here the host cost of whole faulty runs is timed — and
+//! `cargo bench --bench fault -- --test` is CI's one-iteration proof
+//! that every (plan, arm) pair still reaches a sane outcome: clean and
+//! crash rungs complete, nothing ever stalls, and completed runs audit
+//! serializable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplock_sim::{run, RunOutcome, SimConfig};
+use kplock_workload::{fault_sweep, FAULT_ARMS};
+
+fn bench_fault(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_matrix");
+    group.sample_size(20);
+    let smoke_plans = ["clean", "mixed=0.10", "crash"];
+    for sc in fault_sweep(6, 4, 3, &[0.10], &FAULT_ARMS) {
+        if !smoke_plans.contains(&sc.plan_name.as_str()) {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::new(sc.resolution_name.clone(), sc.plan_name.clone()),
+            &sc,
+            |b, sc| {
+                b.iter(|| {
+                    let cfg = SimConfig {
+                        invariant_audit: true,
+                        max_time: 500_000,
+                        ..sc.config(5)
+                    };
+                    let r = run(std::hint::black_box(&sc.system), &cfg).expect("valid config");
+                    assert_ne!(r.outcome, RunOutcome::Stalled, "{} must not stall", sc.name);
+                    if sc.plan_name == "clean" || sc.plan_name == "crash" {
+                        assert_eq!(
+                            r.outcome,
+                            RunOutcome::Completed,
+                            "{} must complete",
+                            sc.name
+                        );
+                    }
+                    if r.outcome == RunOutcome::Completed {
+                        assert!(r.audit.serializable, "{} must audit clean", sc.name);
+                    }
+                    r
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault);
+criterion_main!(benches);

@@ -502,6 +502,80 @@ fn exp_d2_prevention() {
     println!();
 }
 
+fn exp_d3_faults() {
+    use kplock_sim::{FaultPlan, RunOutcome};
+    println!("## D3: fault injection — detection latency and restarts vs loss rate\n");
+    println!(
+        "Same rotated-lock-order workload as D2 (6 entities, 4 sync-2PL\n\
+         transactions, 3 sites, latency 10), now over lossy channels with\n\
+         coordinator retransmission. Probes must survive the same faulty\n\
+         network as the data — lost probes are re-chased on retransmit —\n\
+         while wound-wait's restarts come from local arithmetic and only\n\
+         suffer the data traffic's retries. 30 fault seeds per row.\n"
+    );
+    println!("| loss | scheme | completed | drops/run | msgs/run | deadlocks/run | detect lat/deadlock | restarts/run | makespan avg |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    let sys = &resolution_sweep(6, 4, &[3])[0].system;
+    for &loss in &[0.0f64, 0.05, 0.1, 0.2, 0.3] {
+        for (resolution, tag) in [
+            (
+                DeadlockResolution::Detect(DeadlockDetection::Probe),
+                "probe",
+            ),
+            (
+                DeadlockResolution::Prevent(PreventionScheme::WoundWait),
+                "wound-wait",
+            ),
+        ] {
+            let runs = 30u64;
+            let (mut completed, mut drops, mut msgs, mut deadlocks, mut lat, mut restarts) =
+                (0u64, 0u64, 0u64, 0usize, 0u64, 0usize);
+            let mut makespan = 0u64;
+            for seed in 0..runs {
+                let faults = if loss > 0.0 {
+                    FaultPlan::lossy(seed, loss, 0.0, 0.0)
+                } else {
+                    FaultPlan::none()
+                };
+                let r = run(
+                    sys,
+                    &SimConfig {
+                        latency: LatencyModel::Fixed(10),
+                        resolution,
+                        faults,
+                        max_time: 2_000_000,
+                        ..Default::default()
+                    },
+                )
+                .expect("valid config");
+                if r.outcome == RunOutcome::Completed {
+                    completed += 1;
+                    makespan += r.metrics.makespan;
+                }
+                drops += r.metrics.messages_dropped;
+                msgs += r.metrics.messages;
+                deadlocks += r.metrics.deadlocks_resolved;
+                lat += r.metrics.detection_latency_ticks;
+                restarts += r.metrics.prevention_restarts;
+            }
+            println!(
+                "| {loss:.2} | {tag} | {completed}/{runs} | {:.1} | {} | {:.2} | {} | {:.2} | {} |",
+                drops as f64 / runs as f64,
+                msgs / runs,
+                deadlocks as f64 / runs as f64,
+                if deadlocks > 0 {
+                    lat / deadlocks as u64
+                } else {
+                    0
+                },
+                restarts as f64 / runs as f64,
+                makespan.checked_div(completed).unwrap_or(0),
+            );
+        }
+    }
+    println!();
+}
+
 fn exp_safety_rates() {
     println!("## Strategy safety rates (static analysis, 40 random two-site pairs)\n");
     println!("| strategy | safe | unsafe | D strongly connected |");
@@ -677,6 +751,7 @@ fn main() {
     exp_s3_load_sweep();
     exp_d1_detection();
     exp_d2_prevention();
+    exp_d3_faults();
     exp_oracle_deadlock();
     // Exercise OracleOutcome import.
     let _ = |o: OracleOutcome| matches!(o, OracleOutcome::Safe);

@@ -1,0 +1,181 @@
+//! Lock leases: the crash-recovery contract between a lock service and
+//! its clients.
+//!
+//! A sharded lock manager that can *crash* needs an answer to the
+//! question "who still holds what when the shard comes back?". The
+//! classic answer (Gray's leases, and every production DLM since) is to
+//! stamp each grant with a **lease**: the holder owns the lock for `ttl`
+//! ticks past its last renewal, renewals are implicit while the service
+//! is healthy, and a crash freezes renewal — so after an outage a grant
+//! has survived exactly when the outage was shorter than its ttl. Holders
+//! whose leases expired during the outage must be treated as having lost
+//! the lock (the recovering shard will not re-grant it to them), and it
+//! is the *caller's* job to abort or fence them.
+//!
+//! This module is deliberately mechanism-only: a [`Lease`] is arithmetic
+//! over ticks, and a [`LeaseTable`] is the per-shard mirror of
+//! grants — inserted on grant, removed on release, queried at recovery.
+//! Policy (what to do with an expired holder) stays with the caller,
+//! exactly like [`crate::prevent`] keeps wound delivery with the caller.
+
+use kplock_model::{EntityId, LockMode};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A lock lease: granted at a tick, valid for `ttl` ticks past the last
+/// renewal. `ttl == 0` means *unbounded* — the lease never expires and
+/// every outage is survivable (the right default for simulations that
+/// model crashes but not lease economics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lease {
+    /// Tick the lock was granted (diagnostics; survival depends on the
+    /// renewal clock, not the grant tick).
+    pub granted_at: u64,
+    /// Validity window past the last renewal; `0` = never expires.
+    pub ttl: u64,
+}
+
+impl Lease {
+    /// A lease granted at `granted_at` with validity `ttl`.
+    pub fn new(granted_at: u64, ttl: u64) -> Self {
+        Lease { granted_at, ttl }
+    }
+
+    /// Did this lease survive an outage that started at `crash_at` and
+    /// ended at `recovery_at`? Renewal is implicit while the service is
+    /// up, so the last renewal is the crash tick itself (but never before
+    /// the grant): the lease survives iff the outage it actually sat
+    /// through is no longer than its ttl.
+    pub fn survives_outage(&self, crash_at: u64, recovery_at: u64) -> bool {
+        if self.ttl == 0 {
+            return true;
+        }
+        let last_renewal = crash_at.max(self.granted_at);
+        recovery_at.saturating_sub(last_renewal) <= self.ttl
+    }
+}
+
+/// The per-shard lease ledger: one entry per live grant, keyed by
+/// `(owner, entity)`. Mirrors the shard's holder set — insert on grant,
+/// remove on release, drop an owner wholesale on abort — so at recovery
+/// the surviving holder state can be read back out without consulting the
+/// (lost) lock table.
+#[derive(Clone, Debug)]
+pub struct LeaseTable<O> {
+    grants: HashMap<(O, EntityId), (LockMode, Lease)>,
+}
+
+impl<O> Default for LeaseTable<O> {
+    fn default() -> Self {
+        LeaseTable {
+            grants: HashMap::new(),
+        }
+    }
+}
+
+impl<O: Copy + Eq + Ord + Hash> LeaseTable<O> {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records (or re-stamps — duplicated grant messages are idempotent
+    /// here) the lease backing `o`'s grant on `e`. An upgrade overwrites
+    /// the shared-mode entry with the exclusive one.
+    pub fn grant(&mut self, o: O, e: EntityId, mode: LockMode, lease: Lease) {
+        self.grants.insert((o, e), (mode, lease));
+    }
+
+    /// Removes the lease backing `o`'s grant on `e` (a release). Missing
+    /// entries are fine — duplicated release messages are idempotent.
+    pub fn release(&mut self, o: O, e: EntityId) {
+        self.grants.remove(&(o, e));
+    }
+
+    /// Drops every lease `o` holds (an abort scrubbing a dead owner).
+    pub fn drop_owner(&mut self, o: O) {
+        self.grants.retain(|&(h, _), _| h != o);
+    }
+
+    /// The full ledger in deterministic `(entity, owner)` order — what a
+    /// recovering shard replays to rebuild its holder set. Each entry is
+    /// `(owner, entity, mode, lease)`; the caller partitions by
+    /// [`Lease::survives_outage`].
+    pub fn entries(&self) -> Vec<(O, EntityId, LockMode, Lease)> {
+        let mut v: Vec<(O, EntityId, LockMode, Lease)> = self
+            .grants
+            .iter()
+            .map(|(&(o, e), &(m, l))| (o, e, m, l))
+            .collect();
+        v.sort_by_key(|&(o, e, _, _)| (e, o));
+        v
+    }
+
+    /// Number of live leases.
+    pub fn len(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// True when no lease is live.
+    pub fn is_empty(&self) -> bool {
+        self.grants.is_empty()
+    }
+
+    /// Forgets everything (a fresh run).
+    pub fn clear(&mut self) {
+        self.grants.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: LockMode = LockMode::Exclusive;
+    const S: LockMode = LockMode::Shared;
+
+    #[test]
+    fn unbounded_leases_survive_any_outage() {
+        let l = Lease::new(5, 0);
+        assert!(l.survives_outage(10, u64::MAX));
+    }
+
+    #[test]
+    fn survival_is_outage_length_vs_ttl() {
+        let l = Lease::new(5, 100);
+        // Outage of exactly ttl ticks: survives.
+        assert!(l.survives_outage(50, 150));
+        // One tick longer: expired.
+        assert!(!l.survives_outage(50, 151));
+        // Renewal never predates the grant: a lock granted just before
+        // the crash is charged only the time it actually sat through.
+        let late = Lease::new(49, 100);
+        assert!(late.survives_outage(40, 149));
+        assert!(!late.survives_outage(40, 150));
+    }
+
+    #[test]
+    fn ledger_mirrors_grant_release_abort() {
+        let mut t: LeaseTable<u32> = LeaseTable::new();
+        let (a, b) = (EntityId(0), EntityId(1));
+        t.grant(1, a, X, Lease::new(0, 10));
+        t.grant(1, b, S, Lease::new(2, 10));
+        t.grant(2, b, S, Lease::new(3, 10));
+        assert_eq!(t.len(), 3);
+        // Deterministic (entity, owner) order.
+        let owners: Vec<(u32, EntityId)> = t.entries().iter().map(|&(o, e, _, _)| (o, e)).collect();
+        assert_eq!(owners, vec![(1, a), (1, b), (2, b)]);
+        // Release is per (owner, entity); duplicates are no-ops.
+        t.release(1, b);
+        t.release(1, b);
+        assert_eq!(t.len(), 2);
+        // An upgrade re-stamps in place.
+        t.grant(2, b, X, Lease::new(9, 10));
+        assert_eq!(t.entries()[1], (2, b, X, Lease::new(9, 10)));
+        // Abort scrubs the owner everywhere.
+        t.drop_owner(1);
+        assert_eq!(t.entries(), vec![(2, b, X, Lease::new(9, 10))]);
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -22,6 +22,15 @@
 //! priorities, with no graph at all — whether a wait may exist, so no
 //! cycle can ever form and there is nothing left to detect.
 //!
+//! A service that can *crash* also needs a recovery contract: [`lease`]
+//! stamps every grant with a [`Lease`] and mirrors the holder set in a
+//! [`LeaseTable`], so a recovering shard can rebuild exactly the grants
+//! whose leases survived the outage — and the caller knows which holders
+//! to fence or abort. [`ModeTable::is_waiting`] and
+//! [`ModeTable::release_idempotent`] make duplicated or retransmitted
+//! request/release messages safe, the table-side half of running over an
+//! unreliable network.
+//!
 //! Exclusive-only, single-shard use reproduces the simulator's original
 //! semantics bit-for-bit — `kplock-sim`'s table is now a thin wrapper over
 //! [`ModeTable`] — while protocol violations surface as typed
@@ -63,6 +72,7 @@
 
 pub mod deadlock;
 pub mod error;
+pub mod lease;
 pub mod manager;
 pub mod prevent;
 pub mod sharded;
@@ -70,6 +80,7 @@ pub mod table;
 
 pub use deadlock::WaitForGraph;
 pub use error::LockError;
+pub use lease::{Lease, LeaseTable};
 pub use manager::{Aborted, BatchReleased, LockManager, ManagedAcquire, Released};
 pub use prevent::{PreventionOutcome, PreventionScheme, Priority};
 pub use sharded::ShardedTable;

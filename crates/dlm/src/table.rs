@@ -469,6 +469,57 @@ impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
         out
     }
 
+    /// True when `o` is waiting at `e` — queued, or a holder with a
+    /// pending upgrade. The duplicate-detection primitive a caller facing
+    /// an unreliable network needs: a *retransmitted* lock request whose
+    /// original is already queued must be recognized and dropped (the
+    /// grant will come through the queue), where [`ModeTable::request`]
+    /// would report it as a protocol error.
+    pub fn is_waiting(&self, e: EntityId, o: O) -> bool {
+        self.states
+            .get(&e)
+            .is_some_and(|st| st.queue.iter().any(|&(w, _)| w == o) || st.upgrades.contains(&o))
+    }
+
+    /// Releases `o`'s lock on `e` if it holds one; a no-op (empty grant
+    /// list) otherwise. The idempotent twin of [`ModeTable::release`] for
+    /// callers whose release messages can be duplicated or retransmitted:
+    /// the first copy releases, every later copy finds no hold and does
+    /// nothing — in particular it can never release a *subsequent*
+    /// holder's lock, because release is keyed by owner.
+    pub fn release_idempotent(&mut self, e: EntityId, o: O) -> Grants<O> {
+        self.release(e, o).unwrap_or_default()
+    }
+
+    /// The owners a re-submitted request by `o` on `e` would be admitted
+    /// against under [`ModeTable::request_with_priority`], ascending and
+    /// deduplicated: holders and pending upgraders always; queued waiters
+    /// only when `o` is *not* itself a pending upgrader — an upgrade is
+    /// served ahead of the queue, so queued waiters are never its
+    /// obstacles (mirroring the admission path's obstacle set exactly).
+    /// A caller re-delivering a wound-wait request whose original wound
+    /// orders may have been lost re-derives its victim set from exactly
+    /// this list — the table stays policy-free, the caller re-applies the
+    /// priority filter.
+    pub fn conflicts_of(&self, e: EntityId, o: O) -> Vec<O> {
+        let Some(st) = self.states.get(&e) else {
+            return Vec::new();
+        };
+        let mut out: Vec<O> = st
+            .holders
+            .iter()
+            .map(|&(h, _)| h)
+            .chain(st.upgrades.iter().copied())
+            .collect();
+        if !st.upgrades.contains(&o) {
+            out.extend(st.queue.iter().map(|&(w, _)| w));
+        }
+        out.retain(|&x| x != o);
+        out.sort();
+        out.dedup();
+        out
+    }
+
     /// Entities with any lock state (held or queued), ascending.
     pub fn active_entities(&self) -> Vec<EntityId> {
         let mut v: Vec<EntityId> = self.states.keys().copied().collect();
@@ -916,6 +967,143 @@ mod tests {
                 .unwrap_err(),
             LockError::AlreadyQueued { entity: e }
         );
+    }
+
+    #[test]
+    fn wound_wait_wounds_a_pending_upgrader() {
+        // Holders {2(S), 6(S)}; the younger co-holder 6 starts an upgrade
+        // and goes pending on 2. Requester 3 — older than the upgrader,
+        // younger than the other holder — arrives for X: its obstacle set
+        // is both holders *and* the upgrader entry, so 6 is wounded
+        // exactly once (obstacles are deduplicated, not once per role), 2
+        // is spared, and 3 waits. Aborting 6 — cancel its upgrade,
+        // release its hold — must leave 2 then 3 as the FIFO future.
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        t.request_with_priority(e, 2, s(), PreventionScheme::WoundWait, by_id)
+            .unwrap();
+        t.request_with_priority(e, 6, s(), PreventionScheme::WoundWait, by_id)
+            .unwrap();
+        assert_eq!(
+            t.request_with_priority(e, 6, x(), PreventionScheme::WoundWait, by_id)
+                .unwrap(),
+            PreventionOutcome::Queued,
+            "younger upgrader waits on the older co-holder without wounding"
+        );
+        assert_eq!(
+            t.request_with_priority(e, 3, x(), PreventionScheme::WoundWait, by_id)
+                .unwrap(),
+            PreventionOutcome::Wounded(vec![6]),
+            "only the younger upgrader is wounded, and only once"
+        );
+        // Execute the wound: 6 loses its pending upgrade and its hold.
+        let co = t.cancel_waits(6);
+        assert_eq!(co.cancelled, vec![e]);
+        assert_eq!(t.release(e, 6).unwrap(), vec![]);
+        // 2 is sole holder; releasing it grants the admitted requester.
+        assert_eq!(t.release(e, 2).unwrap(), vec![(3, x())]);
+    }
+
+    #[test]
+    fn upgrader_dies_against_an_older_upgrader_under_wait_die() {
+        // Two co-holders both upgrading is a genuine upgrade-vs-upgrade
+        // cycle; prevention must refuse the one that would wait on an
+        // older pending upgrader. 2 upgrades first (pending on 6); then 6
+        // tries: its obstacles are the other holder 2 *and* upgrader 2 —
+        // younger 6 dies rather than completing the cycle.
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        t.request_with_priority(e, 2, s(), PreventionScheme::WaitDie, by_id)
+            .unwrap();
+        t.request_with_priority(e, 6, s(), PreventionScheme::WaitDie, by_id)
+            .unwrap();
+        assert_eq!(
+            t.request_with_priority(e, 2, x(), PreventionScheme::WaitDie, by_id)
+                .unwrap(),
+            PreventionOutcome::Queued
+        );
+        assert_eq!(
+            t.request_with_priority(e, 6, x(), PreventionScheme::WaitDie, by_id)
+                .unwrap(),
+            PreventionOutcome::Rejected,
+            "the younger upgrader must die, or the upgrade cycle deadlocks"
+        );
+        // The dead upgrader aborts: its hold releases, 2 upgrades in place.
+        assert_eq!(t.release(e, 6).unwrap(), vec![(2, x())]);
+        assert_eq!(t.holds(e, 2), Some(x()));
+    }
+
+    #[test]
+    fn co_holder_upgrade_conflicts_with_queued_waiter_it_cannot_outrank() {
+        // Wound-wait upgrade by the *younger* co-holder: it waits on the
+        // older co-holder (young → old, admissible) and wounds nobody —
+        // in particular not the queued writer it will be served before.
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        t.request_with_priority(e, 2, s(), PreventionScheme::WoundWait, by_id)
+            .unwrap();
+        t.request_with_priority(e, 6, s(), PreventionScheme::WoundWait, by_id)
+            .unwrap();
+        t.request_with_priority(e, 9, x(), PreventionScheme::WoundWait, by_id)
+            .unwrap();
+        assert_eq!(
+            t.request_with_priority(e, 6, x(), PreventionScheme::WoundWait, by_id)
+                .unwrap(),
+            PreventionOutcome::Queued,
+            "younger upgrader: waits on 2, wounds neither 2 nor the queue"
+        );
+        assert_eq!(t.waits_for(), vec![(6, 2), (9, 2), (9, 6)]);
+        // FIFO future: 2 releases → 6 upgrades; 6 releases → 9 gets X.
+        assert_eq!(t.release(e, 2).unwrap(), vec![(6, x())]);
+        assert_eq!(t.release(e, 6).unwrap(), vec![(9, x())]);
+    }
+
+    #[test]
+    fn is_waiting_sees_queued_and_upgrading_owners() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        t.request(e, 0, s()).unwrap();
+        t.request(e, 1, s()).unwrap();
+        t.request(e, 0, x()).unwrap(); // pending upgrade
+        t.request(e, 2, x()).unwrap(); // queued
+        assert!(t.is_waiting(e, 0), "pending upgraders are waiting");
+        assert!(t.is_waiting(e, 2), "queued requests are waiting");
+        assert!(!t.is_waiting(e, 1), "plain holders are not");
+        assert!(!t.is_waiting(EntityId(9), 0), "unknown entity: nobody");
+    }
+
+    #[test]
+    fn release_idempotent_tolerates_duplicates_and_spares_new_holders() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        t.request(e, 0, x()).unwrap();
+        t.request(e, 1, x()).unwrap();
+        // First copy releases and grants the waiter.
+        assert_eq!(t.release_idempotent(e, 0), vec![(1, x())]);
+        // The duplicate finds no hold by 0 — and must not evict 1.
+        assert_eq!(t.release_idempotent(e, 0), vec![]);
+        assert_eq!(t.holds(e, 1), Some(x()));
+        // Releasing something never held is equally a no-op.
+        assert_eq!(t.release_idempotent(EntityId(7), 0), vec![]);
+    }
+
+    #[test]
+    fn conflicts_of_lists_the_admission_obstacle_set() {
+        let mut t: ModeTable<u32> = ModeTable::new();
+        let e = EntityId(0);
+        assert_eq!(t.conflicts_of(e, 9), Vec::<u32>::new());
+        t.request(e, 2, s()).unwrap();
+        t.request(e, 6, s()).unwrap();
+        t.request(e, 6, x()).unwrap(); // 6 also pending upgrade: deduped
+        t.request(e, 9, x()).unwrap(); // queued
+                                       // A fresh (or queued) requester is admitted against everyone.
+        assert_eq!(t.conflicts_of(e, 5), vec![2, 6, 9]);
+        assert_eq!(t.conflicts_of(e, 9), vec![2, 6]);
+        // A pending *upgrader*'s obstacle set excludes the queue (the
+        // upgrade is served first), exactly as the admission path does —
+        // a re-derived wound-wait victim set must not wound the queued
+        // writer 9, which was never an obstacle.
+        assert_eq!(t.conflicts_of(e, 6), vec![2]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::fault::{FaultPlan, FaultPlanError};
 pub use kplock_dlm::PreventionScheme;
 use std::fmt;
 
@@ -121,6 +122,9 @@ pub enum ConfigError {
     ZeroScanInterval,
     /// A sharded table with zero shards has nowhere to put any entity.
     ZeroShards,
+    /// The fault plan is invalid (a rate outside `[0, 1]`, or a crash
+    /// scheduled for a site the system does not have).
+    BadFaultPlan(FaultPlanError),
 }
 
 impl fmt::Display for ConfigError {
@@ -136,6 +140,7 @@ impl fmt::Display for ConfigError {
                 )
             }
             ConfigError::ZeroShards => write!(f, "shard count must be > 0"),
+            ConfigError::BadFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
         }
     }
 }
@@ -171,6 +176,20 @@ pub struct SimConfig {
     pub restart_backoff: u64,
     /// Hard cap on simulated time (guards against livelock).
     pub max_time: u64,
+    /// Fault injection: seeded message loss/duplication/reordering and
+    /// scheduled site crashes with lease-based recovery (see
+    /// [`crate::fault`]). The default [`FaultPlan::none`] injects nothing
+    /// and keeps the engine bit-identical to the fault-free path.
+    pub faults: FaultPlan,
+    /// Measurement-only (default `false`): after every event that can
+    /// mutate a lock table (site events, coordinator events whose aborts
+    /// release locks everywhere, deadlock scans, recoveries), assert
+    /// every site table's structural invariants (S/X exclusion, single
+    /// exclusive holder, upgraders hold, no holder-and-waiter owners) —
+    /// the safety harness the fault-injection property tests run under.
+    /// A violation is an engine bug and panics with the offending site
+    /// and tick.
+    pub invariant_audit: bool,
 }
 
 impl SimConfig {
@@ -202,6 +221,7 @@ impl SimConfig {
         {
             return Err(ConfigError::ZeroScanInterval);
         }
+        self.faults.validate().map_err(ConfigError::BadFaultPlan)?;
         Ok(())
     }
 }
@@ -218,6 +238,8 @@ impl Default for SimConfig {
             probe_audit: false,
             restart_backoff: 25,
             max_time: 10_000_000,
+            faults: FaultPlan::none(),
+            invariant_audit: false,
         }
     }
 }
@@ -297,5 +319,28 @@ mod tests {
         assert!(e.to_string().contains("Uniform(3, 1)"));
         assert!(ConfigError::ZeroScanInterval.to_string().contains("scan"));
         assert!(ConfigError::ZeroShards.to_string().contains("shard"));
+        let e = ConfigError::BadFaultPlan(FaultPlanError::RateOutOfRange { which: "loss" });
+        assert!(e.to_string().contains("fault"));
+    }
+
+    #[test]
+    fn invalid_fault_rates_fail_validation() {
+        let cfg = SimConfig {
+            faults: FaultPlan {
+                loss: 2.0,
+                ..FaultPlan::none()
+            },
+            ..Default::default()
+        };
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            ConfigError::BadFaultPlan(FaultPlanError::RateOutOfRange { which: "loss" })
+        );
+        // A full-strength but in-range plan validates.
+        let cfg = SimConfig {
+            faults: FaultPlan::lossy(1, 1.0, 1.0, 1.0),
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
     }
 }

@@ -15,21 +15,35 @@
 //! reject — so no wait-for cycle ever forms and no detection protocol
 //! runs (see [`kplock_dlm::prevent`]). Either way the aborted instance
 //! releases its locks and restarts after a backoff, keeping its birth
-//! stamp. All randomness comes from one seeded RNG, so runs are
-//! reproducible.
+//! stamp.
+//!
+//! Every wire message additionally crosses the fault-injection chokepoint
+//! ([`crate::fault::FaultPlan`]): seeded loss, duplication and reordering
+//! apply uniformly to data traffic, probes, abort orders, wounds and
+//! rejections, and scheduled site crashes wipe volatile lock tables that
+//! recovery rebuilds from surviving leases. Duplicated and retransmitted
+//! messages are safe because every site- and coordinator-side handler is
+//! idempotent (each handler documents its argument; the table side lives
+//! in [`kplock_dlm::ModeTable::is_waiting`] /
+//! [`kplock_dlm::ModeTable::release_idempotent`]). The default
+//! [`crate::fault::FaultPlan::none`] never touches any of it, so clean
+//! runs stay bit-identical to the fault-free engine. All randomness comes
+//! from two seeded RNGs (latency and faults), so runs are reproducible
+//! either way.
 
 use crate::config::{ConfigError, DeadlockDetection, SimConfig};
 use crate::event::{EventKind, EventQueue, Instance, Payload, SimTime};
+use crate::fault::FaultPlanError;
 use crate::history::{audit, Audit, History};
 use crate::lock_table::LockTable;
 use crate::metrics::Metrics;
 use crate::probe::{self, ProbeMsg, SiteProbeState, Stamp};
-use kplock_dlm::{PreventionOutcome, WaitForGraph};
+use kplock_dlm::{Lease, LeaseTable, PreventionOutcome, WaitForGraph};
 use kplock_graph::DiGraph;
 use kplock_model::{ActionKind, EntityId, SiteId, StepId, TxnId, TxnSystem};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::HashMap;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
 
 /// How a run ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -117,6 +131,25 @@ struct Engine<'a> {
     /// it blocked. Derived from the schema via `Database::site_of`, not
     /// from runtime state.
     lock_sites: Vec<Vec<SiteId>>,
+    /// Dedicated fault RNG ([`crate::fault::FaultPlan::seed`]): loss,
+    /// duplication and reorder draws never touch the latency RNG, so
+    /// `FaultPlan::none()` leaves the main stream — and every fixed-seed
+    /// pin — bit-identical.
+    fault_rng: StdRng,
+    /// Per-site outage flag: deliveries to a down site are dropped.
+    down: Vec<bool>,
+    /// Tick each site last crashed (lease-survival anchor).
+    crash_at: Vec<SimTime>,
+    /// Per-site lease ledgers mirroring grants — the surviving holder
+    /// state a recovery rebuilds from. Maintained only when the plan
+    /// schedules crashes (`track_leases`).
+    leases: Vec<LeaseTable<Instance>>,
+    /// Whether leases are being tracked (the plan has crashes).
+    track_leases: bool,
+    /// Steps already recorded in the history, so a duplicated or
+    /// retransmitted request re-acknowledges without re-recording.
+    /// Consulted only on fault-injected runs.
+    recorded: HashSet<(Instance, StepId)>,
     history: History,
     metrics: Metrics,
     now: SimTime,
@@ -147,6 +180,18 @@ pub fn run_with_arrivals(
         sys.len(),
         "one arrival time per transaction"
     );
+    // The plan alone cannot know the site count; finish its validation
+    // here, where the system is in hand.
+    for c in &cfg.faults.crashes {
+        if c.site >= sys.db().site_count() {
+            return Err(ConfigError::BadFaultPlan(
+                FaultPlanError::CrashSiteOutOfRange {
+                    site: c.site,
+                    sites: sys.db().site_count(),
+                },
+            ));
+        }
+    }
     let lock_sites = if cfg.detection() == Some(DeadlockDetection::Probe) {
         sys.txns()
             .iter()
@@ -189,22 +234,46 @@ pub fn run_with_arrivals(
         wfg_dirty: false,
         probe_state: vec![SiteProbeState::new(); sys.db().site_count()],
         lock_sites,
+        fault_rng: StdRng::seed_from_u64(cfg.faults.seed),
+        down: vec![false; sys.db().site_count()],
+        crash_at: vec![0; sys.db().site_count()],
+        leases: vec![LeaseTable::new(); sys.db().site_count()],
+        track_leases: !cfg.faults.crashes.is_empty(),
+        recorded: HashSet::new(),
         history: History::default(),
         metrics: Metrics::default(),
         now: 0,
     };
 
     for (t, &arrival) in arrivals.iter().enumerate() {
+        let txn = TxnId::from_idx(t);
         if arrival == 0 {
-            eng.issue_ready(TxnId::from_idx(t));
+            eng.issue_ready(txn);
+            // Late arrivals get their timer from the Restart handler.
+            if cfg.faults.retransmit_after > 0 {
+                eng.queue.push(
+                    cfg.faults.retransmit_after,
+                    EventKind::RetransmitCheck(txn, 0),
+                );
+            }
         } else {
-            eng.queue
-                .push(arrival, EventKind::Restart(TxnId::from_idx(t)));
+            eng.queue.push(arrival, EventKind::Restart(txn));
         }
     }
     if cfg.detection() == Some(DeadlockDetection::Periodic) {
         eng.queue
             .push(cfg.deadlock_scan_interval, EventKind::DeadlockScan);
+    }
+    for c in &cfg.faults.crashes {
+        let site = SiteId::from_idx(c.site);
+        eng.queue.push(c.at, EventKind::SiteCrash(site));
+        // A zero-length outage recovers in the same tick, after the crash
+        // (insertion order breaks the tie): a crash-restart the network
+        // never sees, but the volatile table is gone all the same.
+        eng.queue.push(
+            c.at.saturating_add(c.down_for),
+            EventKind::SiteRecover(site),
+        );
     }
 
     let mut timed_out = false;
@@ -219,20 +288,42 @@ pub fn run_with_arrivals(
         }
         match ev {
             EventKind::ToSite(site, payload) => {
+                if eng.down[site.idx()] {
+                    // The site is mid-outage: everything landing on it is
+                    // lost with the crash (retransmission and the
+                    // recovery re-delivery make up for it).
+                    eng.metrics.messages_dropped += 1;
+                    continue;
+                }
                 eng.on_site(site, payload);
-                // Table state only changes inside site events. A cycle can
-                // form not just when a request blocks but also when a
-                // release *grants*: remaining waiters retarget onto the new
-                // holder. Check after any site event that changed the
-                // graph, so no formation path is missed (and update-only
-                // events stay O(1)).
+                // Table state changes inside site events — and inside the
+                // resolution below, whose aborts release locks at *every*
+                // site. A cycle can form not just when a request blocks
+                // but also when a release *grants*: remaining waiters
+                // retarget onto the new holder. Check after any site event
+                // that changed the graph, so no formation path is missed
+                // (and update-only events stay O(1)).
                 if eng.cfg.detection() == Some(DeadlockDetection::OnBlock) && eng.wfg_dirty {
                     eng.resolve_incremental();
                 }
+                if eng.cfg.invariant_audit {
+                    eng.audit_tables();
+                }
             }
-            EventKind::ToCoordinator(txn, payload) => eng.on_coordinator(txn, payload),
+            EventKind::ToCoordinator(txn, payload) => {
+                // Coordinator events mutate tables too: a Wound, Abort or
+                // LockRejected triggers an abort whose releases and
+                // cancellations touch every site.
+                eng.on_coordinator(txn, payload);
+                if eng.cfg.invariant_audit {
+                    eng.audit_tables();
+                }
+            }
             EventKind::DeadlockScan => {
                 eng.deadlock_scan();
+                if eng.cfg.invariant_audit {
+                    eng.audit_tables();
+                }
                 if !eng.all_committed() {
                     eng.queue.push(
                         eng.now + cfg.deadlock_scan_interval,
@@ -243,7 +334,24 @@ pub fn run_with_arrivals(
             EventKind::Restart(txn) => {
                 eng.coords[txn.idx()].started_at = eng.now;
                 eng.issue_ready(txn);
+                // Arm the retransmission timer for this (possibly fresh)
+                // epoch; the previous epoch's timer dies on its mismatch.
+                if cfg.faults.retransmit_after > 0 {
+                    let epoch = eng.coords[txn.idx()].epoch;
+                    eng.queue.push(
+                        eng.now + cfg.faults.retransmit_after,
+                        EventKind::RetransmitCheck(txn, epoch),
+                    );
+                }
             }
+            EventKind::SiteCrash(site) => eng.on_crash(site),
+            EventKind::SiteRecover(site) => {
+                eng.on_recover(site);
+                if eng.cfg.invariant_audit {
+                    eng.audit_tables();
+                }
+            }
+            EventKind::RetransmitCheck(txn, epoch) => eng.on_retransmit(txn, epoch),
         }
     }
 
@@ -289,15 +397,11 @@ impl Engine<'_> {
     }
 
     fn send_to_site(&mut self, site: SiteId, payload: Payload) {
-        self.metrics.messages += 1;
-        let at = self.now + self.latency();
-        self.queue.push(at, EventKind::ToSite(site, payload));
+        self.transmit(EventKind::ToSite(site, payload));
     }
 
     fn send_to_coordinator(&mut self, txn: TxnId, payload: Payload) {
-        self.metrics.messages += 1;
-        let at = self.now + self.latency();
-        self.queue.push(at, EventKind::ToCoordinator(txn, payload));
+        self.transmit(EventKind::ToCoordinator(txn, payload));
     }
 
     /// Site → site wire (probe mode): until probes existed every message
@@ -305,19 +409,50 @@ impl Engine<'_> {
     /// flow between sites directly, and is metered separately so its
     /// overhead is visible.
     fn send_site_to_site(&mut self, to: SiteId, msg: ProbeMsg) {
-        self.metrics.messages += 1;
         self.metrics.probe_messages += 1;
+        self.transmit(EventKind::ToSite(to, Payload::Probe(msg)));
+    }
+
+    /// The single wire chokepoint: every message — data traffic, probes,
+    /// abort orders, wounds, rejections — is counted, latency-stamped from
+    /// the main RNG, and then run through the fault plan's channel model.
+    /// Loss swallows the delivery; reorder delays it by an extra jitter so
+    /// later sends can overtake it; duplication schedules a second copy
+    /// strictly after the first. All fault draws come from the dedicated
+    /// fault RNG, so a plan with no channel faults never perturbs the
+    /// latency stream and the clean path is bit-identical to the
+    /// fault-free engine.
+    fn transmit(&mut self, ev: EventKind) {
+        self.metrics.messages += 1;
         let at = self.now + self.latency();
-        self.queue
-            .push(at, EventKind::ToSite(to, Payload::Probe(msg)));
+        let f = &self.cfg.faults;
+        if !f.channel_faults() {
+            self.queue.push(at, ev);
+            return;
+        }
+        let (loss, dup, reorder) = (f.loss, f.duplication, f.reorder);
+        let window = f.reorder_window.max(1);
+        if loss > 0.0 && self.fault_rng.gen_bool(loss) {
+            self.metrics.messages_dropped += 1;
+            return;
+        }
+        let at = if reorder > 0.0 && self.fault_rng.gen_bool(reorder) {
+            at + self.fault_rng.gen_range(1..=window)
+        } else {
+            at
+        };
+        if dup > 0.0 && self.fault_rng.gen_bool(dup) {
+            self.metrics.messages_duplicated += 1;
+            let lag = 1 + self.fault_rng.gen_range(0..=window);
+            self.queue.push(at + lag, ev.clone());
+        }
+        self.queue.push(at, ev);
     }
 
     /// Issues every step whose predecessors are done and that has not been
     /// issued yet.
     fn issue_ready(&mut self, txn: TxnId) {
         let t = self.sys.txn(txn);
-        let epoch = self.coords[txn.idx()].epoch;
-        let inst = Instance { txn, epoch };
         let ready: Vec<usize> = (0..t.len())
             .filter(|&v| {
                 let c = &self.coords[txn.idx()];
@@ -326,27 +461,37 @@ impl Engine<'_> {
             .collect();
         for v in ready {
             self.coords[txn.idx()].issued[v] = true;
-            let step = t.step(StepId::from_idx(v));
-            let site = self.sys.db().site_of(step.entity);
-            let payload = match step.kind {
-                ActionKind::Lock => Payload::LockRequest {
-                    inst,
-                    entity: step.entity,
-                    step: StepId::from_idx(v),
-                },
-                ActionKind::Update => Payload::UpdateRequest {
-                    inst,
-                    entity: step.entity,
-                    step: StepId::from_idx(v),
-                },
-                ActionKind::Unlock => Payload::UnlockRequest {
-                    inst,
-                    entity: step.entity,
-                    step: StepId::from_idx(v),
-                },
-            };
-            self.send_to_site(site, payload);
+            self.send_step(txn, v);
         }
+    }
+
+    /// Sends (or re-sends — retransmission and recovery re-delivery both
+    /// land here) the request for step `v` of `txn`'s current epoch.
+    fn send_step(&mut self, txn: TxnId, v: usize) {
+        let inst = Instance {
+            txn,
+            epoch: self.coords[txn.idx()].epoch,
+        };
+        let step = self.sys.txn(txn).step(StepId::from_idx(v));
+        let site = self.sys.db().site_of(step.entity);
+        let payload = match step.kind {
+            ActionKind::Lock => Payload::LockRequest {
+                inst,
+                entity: step.entity,
+                step: StepId::from_idx(v),
+            },
+            ActionKind::Update => Payload::UpdateRequest {
+                inst,
+                entity: step.entity,
+                step: StepId::from_idx(v),
+            },
+            ActionKind::Unlock => Payload::UnlockRequest {
+                inst,
+                entity: step.entity,
+                step: StepId::from_idx(v),
+            },
+        };
+        self.send_to_site(site, payload);
     }
 
     /// True when `inst` belongs to an epoch that has been aborted: its
@@ -457,10 +602,54 @@ impl Engine<'_> {
         }
     }
 
+    /// True when this step request is a duplicate of one the coordinator
+    /// has already seen acknowledged (`done[step]`): the first copy was
+    /// serviced *and* its ack consumed, so nothing remains to do and the
+    /// message is dropped whole — modelling per-request sequence numbers.
+    /// Without this, a late duplicate `LockRequest` for an entity its
+    /// sender already used and released would be a *fresh* request and
+    /// ghost-grant a lock nobody will ever release. Consulted only on
+    /// fault-injected runs (the clean protocol delivers exactly once);
+    /// callers check `stale` first, so `done` is the current epoch's.
+    fn already_serviced(&self, inst: Instance, step: StepId) -> bool {
+        self.cfg.faults.any() && self.coords[inst.txn.idx()].done[step.idx()]
+    }
+
+    /// Records a step in the history exactly once per `(instance, step)`:
+    /// a retransmitted or duplicated request whose original was already
+    /// recorded re-acknowledges without re-recording (a double record
+    /// would corrupt the audit's schedule). The dedup set is consulted
+    /// only on fault-injected runs.
+    fn record_step(&mut self, inst: Instance, step: StepId) {
+        if self.cfg.faults.any() && !self.recorded.insert((inst, step)) {
+            return;
+        }
+        self.history.record(self.now, inst, step);
+    }
+
+    /// Mirrors a grant into the site's lease ledger (crash plans only):
+    /// the lease is stamped now with the plan's ttl, and the *held* mode
+    /// is recorded (a covered re-request must not downgrade an exclusive
+    /// lease to shared).
+    fn note_grant(&mut self, site: SiteId, inst: Instance, e: EntityId) {
+        if !self.track_leases {
+            return;
+        }
+        let mode = self.sites[site.idx()]
+            .holds(e, inst)
+            .expect("a granted lock is held");
+        self.leases[site.idx()].grant(
+            inst,
+            e,
+            mode,
+            Lease::new(self.now, self.cfg.faults.lease_ttl),
+        );
+    }
+
     fn on_site(&mut self, site: SiteId, payload: Payload) {
         match payload {
             Payload::LockRequest { inst, entity, step } => {
-                if self.stale(inst) {
+                if self.stale(inst) || self.already_serviced(inst, step) {
                     return;
                 }
                 let mode = self.sys.txn(inst.txn).step(step).mode;
@@ -468,12 +657,30 @@ impl Engine<'_> {
                     self.on_prevented_lock_request(site, inst, entity, step, mode, scheme);
                     return;
                 }
+                if self.cfg.faults.any() && self.sites[site.idx()].is_waiting(entity, inst) {
+                    // Retransmitted while queued: the grant will come
+                    // through the queue, so the request itself is a no-op —
+                    // but the retry is evidence the waiter is still stuck,
+                    // and any probe its edge launched may have been lost.
+                    // Forget and re-observe the entity so its live edges
+                    // are chased again (idempotent at the abort: duplicate
+                    // cycle closes collapse on the epoch check).
+                    if self.cfg.detection() == Some(DeadlockDetection::Probe) {
+                        self.probe_state[site.idx()].forget(entity);
+                        self.edges_changed(site, entity);
+                    }
+                    return;
+                }
                 if self.sites[site.idx()].request(entity, inst, mode) {
-                    self.history.record(self.now, inst, step);
+                    self.note_grant(site, inst, entity);
+                    self.record_step(inst, step);
                     self.send_to_coordinator(inst.txn, Payload::LockGranted { inst, entity, step });
                 } else {
                     self.pending_lock_step.insert((inst, entity), step);
-                    self.waiting_since.insert((inst, entity), self.now);
+                    // `or_insert`: on clean runs the key is never live
+                    // twice; under faults a crash-and-re-request must not
+                    // reset the wait clock.
+                    self.waiting_since.entry((inst, entity)).or_insert(self.now);
                     // OnBlock's cycle check runs in the event loop right
                     // after this handler returns; Probe launches its
                     // chase from inside `edges_changed`.
@@ -481,7 +688,7 @@ impl Engine<'_> {
                 }
             }
             Payload::UpdateRequest { inst, entity, step } => {
-                if self.stale(inst) {
+                if self.stale(inst) || self.already_serviced(inst, step) {
                     return;
                 }
                 debug_assert!(
@@ -493,19 +700,30 @@ impl Engine<'_> {
                     },
                     "update without a covering lock"
                 );
-                self.history.record(self.now, inst, step);
+                self.record_step(inst, step);
                 self.send_to_coordinator(inst.txn, Payload::UpdateDone { inst, step });
             }
             Payload::UnlockRequest { inst, entity, step } => {
-                if self.stale(inst) {
-                    // The sender was aborted while this release was in
-                    // flight; the abort already freed its locks, and `inst`
-                    // may no longer hold `entity` (or someone else may).
-                    // Processing it would panic in the lock table.
+                if self.stale(inst) || self.already_serviced(inst, step) {
+                    // Stale: the sender was aborted while this release was
+                    // in flight; the abort already freed its locks, and
+                    // `inst` may no longer hold `entity` (or someone else
+                    // may). Processing it would panic in the lock table.
                     return;
                 }
-                self.history.record(self.now, inst, step);
-                let grants = self.sites[site.idx()].release(entity, inst);
+                self.record_step(inst, step);
+                // A retransmitted unlock whose original was processed (but
+                // whose ack was lost) finds no hold: release idempotently
+                // — keyed by owner, it can never free a later holder's
+                // lock — and just re-acknowledge.
+                let grants = if self.cfg.faults.any() {
+                    self.sites[site.idx()].release_idempotent(entity, inst)
+                } else {
+                    self.sites[site.idx()].release(entity, inst)
+                };
+                if self.track_leases {
+                    self.leases[site.idx()].release(inst, entity);
+                }
                 self.edges_changed(site, entity);
                 self.send_to_coordinator(inst.txn, Payload::UnlockDone { inst, step });
                 for (n, _) in grants {
@@ -531,6 +749,26 @@ impl Engine<'_> {
         mode: kplock_model::LockMode,
         scheme: kplock_dlm::PreventionScheme,
     ) {
+        if self.cfg.faults.any() && self.sites[site.idx()].is_waiting(entity, inst) {
+            // Retransmitted while queued. Re-admitting would be a protocol
+            // error, but under wound-wait the original's wound orders may
+            // have been lost on the wire — so re-derive the victim set
+            // (every *currently* conflicting owner younger than us) and
+            // re-send the wounds. Idempotent at the coordinator: wounds
+            // for moved-on or committed victims are dropped there.
+            if scheme == kplock_dlm::PreventionScheme::WoundWait {
+                let mine = self.coords[inst.txn.idx()].birth;
+                let victims: Vec<Instance> = self.sites[site.idx()]
+                    .conflicts_of(entity, inst)
+                    .into_iter()
+                    .filter(|&o| self.coords[o.txn.idx()].birth > mine)
+                    .collect();
+                for victim in victims {
+                    self.send_to_coordinator(victim.txn, Payload::Wound { victim });
+                }
+            }
+            return;
+        }
         // Split borrows: the table mutates while the priority closure
         // reads coordinator birth stamps. Owners in a live table are never
         // stale (aborts scrub synchronously), and birth survives restarts,
@@ -543,12 +781,13 @@ impl Engine<'_> {
         });
         match outcome {
             PreventionOutcome::Granted => {
-                self.history.record(self.now, inst, step);
+                self.note_grant(site, inst, entity);
+                self.record_step(inst, step);
                 self.send_to_coordinator(inst.txn, Payload::LockGranted { inst, entity, step });
             }
             PreventionOutcome::Queued => {
                 self.pending_lock_step.insert((inst, entity), step);
-                self.waiting_since.insert((inst, entity), self.now);
+                self.waiting_since.entry((inst, entity)).or_insert(self.now);
             }
             PreventionOutcome::Wounded(victims) => {
                 // The elder waits in the queue like any blocked request;
@@ -556,7 +795,7 @@ impl Engine<'_> {
                 // owners' coordinators, whose aborts will release the
                 // entity and grant the queue.
                 self.pending_lock_step.insert((inst, entity), step);
-                self.waiting_since.insert((inst, entity), self.now);
+                self.waiting_since.entry((inst, entity)).or_insert(self.now);
                 for victim in victims {
                     self.send_to_coordinator(victim.txn, Payload::Wound { victim });
                 }
@@ -579,11 +818,11 @@ impl Engine<'_> {
         if let Some(since) = self.waiting_since.remove(&(inst, entity)) {
             self.metrics.lock_wait_ticks += self.now - since;
         }
+        let site = self.sys.db().site_of(entity);
         // The grant happens at the site; the wait in the queue means the
         // instance may have been aborted meanwhile — stale grants release
         // immediately.
         if self.stale(inst) {
-            let site = self.sys.db().site_of(entity);
             let grants = self.sites[site.idx()].release(entity, inst);
             self.edges_changed(site, entity);
             for (n, _) in grants {
@@ -591,7 +830,8 @@ impl Engine<'_> {
             }
             return;
         }
-        self.history.record(self.now, inst, step);
+        self.note_grant(site, inst, entity);
+        self.record_step(inst, step);
         self.send_to_coordinator(inst.txn, Payload::LockGranted { inst, entity, step });
     }
 
@@ -639,6 +879,13 @@ impl Engine<'_> {
             return;
         }
         let c = &mut self.coords[txn.idx()];
+        if c.done[step.idx()] {
+            // A duplicated acknowledgement: the first copy's effects are
+            // in. In particular a duplicated *final* ack must not commit
+            // (and count) the transaction twice. Unreachable on clean
+            // runs, where every ack is delivered exactly once.
+            return;
+        }
         c.done[step.idx()] = true;
         if c.done.iter().all(|&d| d) {
             c.committed = true;
@@ -762,11 +1009,26 @@ impl Engine<'_> {
     }
 
     fn abort(&mut self, txn: TxnId) {
+        // The safety net every resolution path already guards (epoch
+        // checks, member validation, commit checks): a committed
+        // transaction must never be aborted — not by a probe, a wound, a
+        // rejection, a scan, or a lease expiry. Violations are engine
+        // bugs; the fault-injection property tests run straight into this.
+        assert!(
+            !self.coords[txn.idx()].committed,
+            "aborting committed transaction {txn:?} at tick {}",
+            self.now
+        );
         let old = Instance {
             txn,
             epoch: self.coords[txn.idx()].epoch,
         };
         self.metrics.aborts += 1;
+        if self.track_leases {
+            for leases in &mut self.leases {
+                leases.drop_owner(old);
+            }
+        }
         // Drop waits and release locks at every site.
         for s in 0..self.sites.len() {
             let site_id = SiteId::from_idx(s);
@@ -801,6 +1063,137 @@ impl Engine<'_> {
             self.now + self.cfg.restart_backoff + jitter,
             EventKind::Restart(txn),
         );
+    }
+
+    /// A scheduled outage begins: the site's volatile state — lock table
+    /// and probe memory — is wiped, and until recovery every delivery to
+    /// it is dropped by the event loop. The lease ledger survives (it
+    /// models durable grant records / client-held leases), anchoring
+    /// recovery.
+    fn on_crash(&mut self, site: SiteId) {
+        let s = site.idx();
+        self.down[s] = true;
+        self.crash_at[s] = self.now;
+        self.sites[s] = LockTable::new();
+        self.probe_state[s].clear();
+        // Sync the detectors to the wiped table: every wait edge this
+        // site induced is gone until the waits re-form. Removals cannot
+        // create a cycle, so no resolution pass is needed here.
+        let entities: Vec<EntityId> = self.sys.db().entities_at(site).collect();
+        for e in entities {
+            self.edges_changed(site, e);
+        }
+    }
+
+    /// The outage ends. Recovery is three steps, in order:
+    ///
+    /// 1. **Rebuild** the lock table from the lease ledger: every live,
+    ///    current-epoch holder whose [`Lease`] survived the outage is
+    ///    re-granted its lock (conflict-free by construction — the ledger
+    ///    mirrors a consistent holder set).
+    /// 2. **Expire** the rest: a holder whose lease lapsed has lost a
+    ///    lock it thinks it holds; running it further would update
+    ///    without a covering lock, so it is aborted (counted in
+    ///    [`Metrics::leases_expired`]) and restarts with its birth stamp.
+    /// 3. **Re-deliver**: every coordinator re-sends its
+    ///    issued-but-unacknowledged requests targeting this site — the
+    ///    retransmission a real client performs when its server comes
+    ///    back, compressed into the recovery tick. Blocked requests
+    ///    re-queue, wait edges re-form, and (under Probe) the re-formed
+    ///    edges launch fresh probes from the site's cleared edge memory.
+    fn on_recover(&mut self, site: SiteId) {
+        let s = site.idx();
+        if !self.down[s] {
+            // Defensive only: validation rejects overlapping outages, so
+            // every recovery should find its site down.
+            return;
+        }
+        self.down[s] = false;
+        self.metrics.recoveries += 1;
+        let crash_at = self.crash_at[s];
+        let ledger = self.leases[s].entries();
+        self.leases[s].clear();
+        let mut expired: Vec<Instance> = Vec::new();
+        for (inst, e, mode, lease) in ledger {
+            if self.stale(inst) || self.coords[inst.txn.idx()].committed {
+                // The owner moved on while the site was down (aborted
+                // elsewhere, or committed after its release was already
+                // processed here pre-crash); its lease is garbage.
+                continue;
+            }
+            if lease.survives_outage(crash_at, self.now) {
+                let granted = self.sites[s].request(e, inst, mode);
+                debug_assert!(granted, "surviving holders rebuild conflict-free");
+                let _ = granted;
+                self.note_grant(site, inst, e);
+            } else {
+                self.metrics.leases_expired += 1;
+                expired.push(inst);
+            }
+        }
+        expired.sort();
+        expired.dedup();
+        for inst in expired {
+            if !self.stale(inst) {
+                self.abort(inst.txn);
+            }
+        }
+        for t in 0..self.sys.len() {
+            let txn = TxnId::from_idx(t);
+            if self.coords[t].committed {
+                continue;
+            }
+            let pending: Vec<usize> = (0..self.coords[t].done.len())
+                .filter(|&v| self.coords[t].issued[v] && !self.coords[t].done[v])
+                .filter(|&v| {
+                    let e = self.sys.txn(txn).step(StepId::from_idx(v)).entity;
+                    self.sys.db().site_of(e) == site
+                })
+                .collect();
+            for v in pending {
+                self.send_step(txn, v);
+            }
+        }
+    }
+
+    /// The coordinator retransmission timer fired: if the tagged epoch is
+    /// still current and uncommitted, re-send every
+    /// issued-but-unacknowledged step request (sites handle the
+    /// duplicates idempotently) and re-arm. A stale epoch's timer dies
+    /// here; the Restart handler armed a new one for the successor.
+    fn on_retransmit(&mut self, txn: TxnId, epoch: u32) {
+        let c = &self.coords[txn.idx()];
+        if c.epoch != epoch || c.committed {
+            return;
+        }
+        let pending: Vec<usize> = (0..c.done.len())
+            .filter(|&v| c.issued[v] && !c.done[v])
+            .collect();
+        for v in pending {
+            self.send_step(txn, v);
+        }
+        self.queue.push(
+            self.now + self.cfg.faults.retransmit_after,
+            EventKind::RetransmitCheck(txn, epoch),
+        );
+    }
+
+    /// The [`SimConfig::invariant_audit`] harness: panics if any site's
+    /// table violates its structural invariants (S+X co-held, multiple
+    /// exclusive holders, a non-holder upgrader, an owner both holding
+    /// and waiting). Run after every event that can mutate a table —
+    /// site events, coordinator events (whose aborts release locks at
+    /// every site), deadlock scans and recoveries — so a violation names
+    /// the exact tick it first became observable.
+    fn audit_tables(&self) {
+        for (s, table) in self.sites.iter().enumerate() {
+            if let Err(e) = table.check_invariants() {
+                panic!(
+                    "lock-table invariant violated at site {s} tick {}: {e}",
+                    self.now
+                );
+            }
+        }
     }
 }
 
@@ -1308,6 +1701,215 @@ mod tests {
             let r = run(&sys, &cfg).unwrap();
             assert!(r.finished());
             r.audit.legal.as_ref().unwrap();
+            assert!(r.audit.serializable);
+        }
+    }
+
+    #[test]
+    fn crash_scheduled_for_unknown_site_is_a_typed_error() {
+        use crate::fault::{FaultPlan, FaultPlanError, SiteCrash};
+        let sys = pair("Lx x Ux", "Ly y Uy", &[("x", 0), ("y", 1)]);
+        let cfg = SimConfig {
+            faults: FaultPlan {
+                crashes: vec![SiteCrash {
+                    site: 5,
+                    at: 10,
+                    down_for: 10,
+                }],
+                ..FaultPlan::none()
+            },
+            ..Default::default()
+        };
+        assert_eq!(
+            run(&sys, &cfg).unwrap_err(),
+            ConfigError::BadFaultPlan(FaultPlanError::CrashSiteOutOfRange { site: 5, sites: 2 })
+        );
+    }
+
+    #[test]
+    fn lossy_channels_with_retransmission_still_commit_everything() {
+        use crate::fault::FaultPlan;
+        // Heavy loss on every channel; retransmission recovers each lost
+        // request or acknowledgement. The committed set must equal the
+        // fault-free run's, and the audit must stay clean.
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 1)]);
+        for seed in 0..10 {
+            let cfg = SimConfig {
+                latency: LatencyModel::Fixed(5),
+                invariant_audit: true,
+                faults: FaultPlan::lossy(seed, 0.3, 0.1, 0.1),
+                max_time: 500_000,
+                ..Default::default()
+            };
+            let r = run(&sys, &cfg).unwrap();
+            assert_eq!(r.outcome, RunOutcome::Completed, "fault seed {seed}");
+            assert_eq!(r.metrics.committed, 2);
+            assert!(r.metrics.messages_dropped > 0, "loss must actually bite");
+            r.audit.legal.as_ref().unwrap();
+            assert!(r.audit.serializable);
+            // Faulty runs replay bit-identically too (two seeded RNGs).
+            let r2 = run(&sys, &cfg).unwrap();
+            assert_eq!(r.metrics, r2.metrics);
+            assert_eq!(r.committed_epoch, r2.committed_epoch);
+        }
+    }
+
+    #[test]
+    fn duplication_only_plans_are_absorbed_idempotently() {
+        use crate::fault::FaultPlan;
+        // Every message duplicated, nothing lost: each handler sees each
+        // payload twice and must absorb the second copy — the committed
+        // set, legality and serializability all match the fault-free run.
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 1)]);
+        let clean = run(
+            &sys,
+            &SimConfig {
+                latency: LatencyModel::Fixed(5),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let cfg = SimConfig {
+            latency: LatencyModel::Fixed(5),
+            invariant_audit: true,
+            faults: FaultPlan {
+                duplication: 1.0,
+                reorder_window: 6,
+                ..FaultPlan::none()
+            },
+            ..Default::default()
+        };
+        let r = run(&sys, &cfg).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert_eq!(r.metrics.committed, clean.metrics.committed);
+        assert!(r.metrics.messages_duplicated > 0);
+        assert_eq!(r.metrics.messages_dropped, 0);
+        r.audit.legal.as_ref().unwrap();
+        assert!(r.audit.serializable);
+    }
+
+    #[test]
+    fn crash_recovery_rebuilds_surviving_holders_and_completes() {
+        use crate::fault::{FaultPlan, SiteCrash};
+        // Site 0 crashes mid-run and comes back 30 ticks later with
+        // unbounded leases: every holder is rebuilt, every in-flight
+        // request re-delivered, and the run completes without a single
+        // lease expiry. Retransmission is ON so requests dropped during
+        // the outage are retried even when the recovery re-delivery's
+        // own messages are unlucky.
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 1)]);
+        let cfg = SimConfig {
+            latency: LatencyModel::Fixed(5),
+            invariant_audit: true,
+            faults: FaultPlan {
+                retransmit_after: 100,
+                crashes: vec![SiteCrash {
+                    site: 0,
+                    at: 12,
+                    down_for: 30,
+                }],
+                ..FaultPlan::none()
+            },
+            max_time: 500_000,
+            ..Default::default()
+        };
+        let r = run(&sys, &cfg).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert_eq!(r.metrics.committed, 2);
+        assert_eq!(r.metrics.recoveries, 1);
+        assert_eq!(r.metrics.leases_expired, 0, "unbounded leases all survive");
+        r.audit.legal.as_ref().unwrap();
+        assert!(r.audit.serializable);
+        // Deterministic replay.
+        let r2 = run(&sys, &cfg).unwrap();
+        assert_eq!(r.metrics, r2.metrics);
+    }
+
+    #[test]
+    fn expired_leases_abort_their_holders_at_recovery() {
+        use crate::fault::{FaultPlan, SiteCrash};
+        // A long outage against a short lease ttl: whoever held a lock at
+        // the crashed site when it went down loses it, is aborted at
+        // recovery (leases_expired counts the lost grants), and restarts
+        // with its birth stamp — the run still completes and audits clean.
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 1)]);
+        let cfg = SimConfig {
+            latency: LatencyModel::Fixed(5),
+            invariant_audit: true,
+            faults: FaultPlan {
+                retransmit_after: 100,
+                lease_ttl: 10,
+                crashes: vec![SiteCrash {
+                    site: 0,
+                    at: 12,
+                    down_for: 60,
+                }],
+                ..FaultPlan::none()
+            },
+            max_time: 500_000,
+            ..Default::default()
+        };
+        let r = run(&sys, &cfg).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert_eq!(r.metrics.committed, 2);
+        assert_eq!(r.metrics.recoveries, 1);
+        assert!(
+            r.metrics.leases_expired >= 1,
+            "a 60-tick outage must outlive a 10-tick lease"
+        );
+        assert!(r.metrics.aborts >= 1, "the expired holder restarts");
+        r.audit.legal.as_ref().unwrap();
+        assert!(r.audit.serializable);
+    }
+
+    #[test]
+    fn probe_detection_survives_lossy_channels() {
+        use crate::fault::FaultPlan;
+        // The cross-site guaranteed deadlock under probes with loss: a
+        // dropped probe or abort order may lose the first chase, but the
+        // retransmitted blocked request re-triggers probes for the live
+        // edges, so the cycle is eventually found and the run completes.
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 1)]);
+        let mut deadlocks = 0;
+        for seed in 0..10 {
+            let cfg = SimConfig {
+                latency: LatencyModel::Fixed(5),
+                resolution: DeadlockDetection::Probe.into(),
+                invariant_audit: true,
+                faults: FaultPlan::lossy(seed, 0.25, 0.0, 0.0),
+                max_time: 500_000,
+                ..Default::default()
+            };
+            let r = run(&sys, &cfg).unwrap();
+            assert_eq!(r.outcome, RunOutcome::Completed, "fault seed {seed}");
+            assert!(r.audit.serializable);
+            deadlocks += r.metrics.deadlocks_resolved;
+        }
+        // Loss can defuse individual timings (a dropped request breaks
+        // the symmetry), but across the sweep the cycle must both form
+        // and be resolved — through lost probes, thanks to re-chasing.
+        assert!(deadlocks >= 1, "no seed ever formed the cycle");
+    }
+
+    #[test]
+    fn wound_wait_survives_lost_wound_orders() {
+        use crate::fault::FaultPlan;
+        // Under wound-wait a lost Wound message would strand the elder in
+        // the queue forever; the retransmitted elder request re-derives
+        // and re-sends the wounds, so every seed completes.
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 1)]);
+        for seed in 0..10 {
+            let cfg = SimConfig {
+                latency: LatencyModel::Fixed(5),
+                resolution: crate::config::PreventionScheme::WoundWait.into(),
+                invariant_audit: true,
+                faults: FaultPlan::lossy(seed, 0.3, 0.1, 0.1),
+                max_time: 500_000,
+                ..Default::default()
+            };
+            let r = run(&sys, &cfg).unwrap();
+            assert_eq!(r.outcome, RunOutcome::Completed, "fault seed {seed}");
+            assert_eq!(r.metrics.deadlocks_resolved, 0);
             assert!(r.audit.serializable);
         }
     }

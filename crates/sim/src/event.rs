@@ -122,6 +122,19 @@ pub enum EventKind {
     DeadlockScan,
     /// An aborted transaction restarts.
     Restart(TxnId),
+    /// A scheduled site outage begins ([`crate::fault::FaultPlan`]): the
+    /// site's volatile lock table is wiped and deliveries to it are
+    /// dropped until the matching [`EventKind::SiteRecover`].
+    SiteCrash(SiteId),
+    /// A crashed site comes back: its table is rebuilt from the holders
+    /// whose leases survived the outage, expired holders are aborted, and
+    /// coordinators re-deliver their un-acknowledged requests.
+    SiteRecover(SiteId),
+    /// Coordinator retransmission timer (fault plans with
+    /// [`crate::fault::FaultPlan::retransmit_after`] > 0): re-send every
+    /// issued-but-unacknowledged step request of the tagged epoch. Fires
+    /// only while the epoch is current and the transaction uncommitted.
+    RetransmitCheck(TxnId, u32),
 }
 
 /// The queue: events ordered by `(time, seq)`, `seq` assigned at insertion

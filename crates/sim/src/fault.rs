@@ -1,0 +1,331 @@
+//! The fault-injection axis: unreliable channels and mortal sites.
+//!
+//! Every run so far assumed a lossless network and immortal sites — the
+//! one regime where distributed locking is *easy*. A [`FaultPlan`] makes
+//! the conditions the paper actually argues about injectable and
+//! seed-deterministic:
+//!
+//! * **message loss / duplication / reordering** — applied at one
+//!   chokepoint to *every* wire message (data traffic, probes, abort
+//!   orders, wounds, rejections alike), from a dedicated fault RNG so
+//!   [`FaultPlan::none`] leaves the main RNG stream — and therefore every
+//!   fixed-seed regression pin — bit-identical;
+//! * **site crashes** — scheduled [`SiteCrash`] outages wipe the site's
+//!   lock table (volatile state) and drop everything delivered while
+//!   down; recovery rebuilds the table from the holders whose
+//!   [`kplock_dlm::Lease`]s survived the outage, aborts the holders whose
+//!   leases expired, and re-delivers the coordinators' un-acknowledged
+//!   requests so wait edges re-form (and re-launch probes);
+//! * **retransmission** — with lossy channels somebody must retry:
+//!   coordinators re-send every issued-but-unacknowledged step request
+//!   every [`FaultPlan::retransmit_after`] ticks. Sites treat the
+//!   duplicates idempotently (see the idempotency table in
+//!   ARCHITECTURE.md §7), and a retransmitted *blocked* request doubles
+//!   as a probe re-trigger, so lost probes are eventually re-chased.
+//!
+//! All decisions draw from a fault RNG seeded by [`FaultPlan::seed`],
+//! never from the engine's latency RNG: a faulty run is exactly as
+//! reproducible as a clean one, and the clean path never consults the
+//! fault RNG at all.
+
+use std::fmt;
+
+/// One scheduled site outage: the site crashes at `at` (losing its
+/// volatile lock table and every message delivered while down) and
+/// recovers at `at + down_for`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteCrash {
+    /// The site that crashes (index into the database's site space).
+    pub site: usize,
+    /// Crash tick.
+    pub at: u64,
+    /// Outage length; recovery fires at `at + down_for`. A zero-length
+    /// outage still wipes the table (a crash-restart faster than the
+    /// network can notice).
+    pub down_for: u64,
+}
+
+/// A seed-deterministic fault plan for one run.
+///
+/// Rates are probabilities in `[0, 1]` applied independently per message.
+/// [`FaultPlan::none`] (the [`Default`]) injects nothing and keeps the
+/// engine's default path bit-identical to the fault-free engine — pinned
+/// by `tests/fault_equivalence.rs`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the dedicated fault RNG (independent of
+    /// [`crate::SimConfig::seed`], which keeps driving latency).
+    pub seed: u64,
+    /// Per-message drop probability.
+    pub loss: f64,
+    /// Per-message duplication probability: a second copy is delivered
+    /// after the original (never before — a duplicate of a message that
+    /// was never delivered is a retransmission, not a duplication).
+    pub duplication: f64,
+    /// Per-message reorder probability: the delivery is delayed by an
+    /// extra `1..=reorder_window` ticks, letting later sends overtake it.
+    pub reorder: f64,
+    /// Maximum extra delay (ticks) for reordered deliveries and the lag
+    /// of duplicated copies. Ignored when both rates are zero.
+    pub reorder_window: u64,
+    /// Coordinator retransmission interval: every this many ticks, each
+    /// live coordinator re-sends its issued-but-unacknowledged step
+    /// requests. `0` disables retransmission (loss then strands work, and
+    /// the run honestly reports `TimedOut`/`Stalled`).
+    pub retransmit_after: u64,
+    /// Lease validity window stamped on every grant (see
+    /// [`kplock_dlm::Lease`]); decides which holders survive an outage.
+    /// `0` = unbounded leases: every holder survives every outage.
+    pub lease_ttl: u64,
+    /// Scheduled site outages.
+    pub crashes: Vec<SiteCrash>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no loss, no duplication, no reordering, no
+    /// crashes, no retransmission. Runs are bit-identical to the
+    /// fault-free engine.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            loss: 0.0,
+            duplication: 0.0,
+            reorder: 0.0,
+            reorder_window: 0,
+            retransmit_after: 0,
+            lease_ttl: 0,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// A lossy-channel plan (loss/dup/reorder at the given rates, jitter
+    /// window 8) with retransmission every `retransmit_after` ticks and
+    /// no crashes — the common sweep shape.
+    pub fn lossy(seed: u64, loss: f64, duplication: f64, reorder: f64) -> Self {
+        FaultPlan {
+            seed,
+            loss,
+            duplication,
+            reorder,
+            reorder_window: 8,
+            retransmit_after: 120,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// True when the plan injects anything at all — the engine's gate for
+    /// every fault code path, so `none()` stays off the clean path
+    /// entirely.
+    pub fn any(&self) -> bool {
+        self.loss > 0.0
+            || self.duplication > 0.0
+            || self.reorder > 0.0
+            || self.retransmit_after > 0
+            || !self.crashes.is_empty()
+    }
+
+    /// True when any channel fault (loss/dup/reorder) is configured.
+    pub fn channel_faults(&self) -> bool {
+        self.loss > 0.0 || self.duplication > 0.0 || self.reorder > 0.0
+    }
+
+    /// Checks rates are valid probabilities and that no site's scheduled
+    /// outages overlap (an outage may begin exactly when the previous one
+    /// ends, but two concurrent outages of one site have no coherent
+    /// crash anchor for lease survival). Crash site indices are validated
+    /// against the actual site count by the run entry points (the plan
+    /// alone cannot know it).
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        for (which, rate) in [
+            ("loss", self.loss),
+            ("duplication", self.duplication),
+            ("reorder", self.reorder),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(FaultPlanError::RateOutOfRange { which });
+            }
+        }
+        let mut outages: Vec<(usize, u64, u64)> = self
+            .crashes
+            .iter()
+            .map(|c| (c.site, c.at, c.at.saturating_add(c.down_for)))
+            .collect();
+        outages.sort();
+        for w in outages.windows(2) {
+            let ((s1, _, end1), (s2, at2, _)) = (w[0], w[1]);
+            if s1 == s2 && at2 < end1 {
+                return Err(FaultPlanError::OverlappingCrashes { site: s1 });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// A [`FaultPlan`] that cannot be run (surfaced through
+/// [`crate::ConfigError::BadFaultPlan`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A loss/duplication/reorder rate outside `[0, 1]` (or NaN).
+    RateOutOfRange {
+        /// Which rate field is invalid.
+        which: &'static str,
+    },
+    /// A scheduled crash names a site the database does not have.
+    CrashSiteOutOfRange {
+        /// The offending site index.
+        site: usize,
+        /// How many sites the system actually has.
+        sites: usize,
+    },
+    /// Two outages of the same site overlap in time: the second crash
+    /// would overwrite the first's crash anchor and its recovery would
+    /// revive the site early, silently under-charging lease expiry.
+    OverlappingCrashes {
+        /// The site with concurrent outages.
+        site: usize,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultPlanError::RateOutOfRange { which } => {
+                write!(f, "fault rate `{which}` must be a probability in [0, 1]")
+            }
+            FaultPlanError::CrashSiteOutOfRange { site, sites } => {
+                write!(
+                    f,
+                    "crash schedules site {site}, but only {sites} sites exist"
+                )
+            }
+            FaultPlanError::OverlappingCrashes { site } => {
+                write!(f, "site {site} has overlapping scheduled outages")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(!p.any());
+        assert!(!p.channel_faults());
+        p.validate().unwrap();
+        assert_eq!(p, FaultPlan::default());
+    }
+
+    #[test]
+    fn any_is_true_for_each_axis_alone() {
+        for p in [
+            FaultPlan {
+                loss: 0.1,
+                ..FaultPlan::none()
+            },
+            FaultPlan {
+                duplication: 0.1,
+                ..FaultPlan::none()
+            },
+            FaultPlan {
+                reorder: 0.1,
+                ..FaultPlan::none()
+            },
+            FaultPlan {
+                retransmit_after: 50,
+                ..FaultPlan::none()
+            },
+            FaultPlan {
+                crashes: vec![SiteCrash {
+                    site: 0,
+                    at: 10,
+                    down_for: 5,
+                }],
+                ..FaultPlan::none()
+            },
+        ] {
+            assert!(p.any(), "{p:?}");
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn rates_outside_unit_interval_are_rejected() {
+        let p = FaultPlan {
+            loss: 1.5,
+            ..FaultPlan::none()
+        };
+        assert_eq!(
+            p.validate().unwrap_err(),
+            FaultPlanError::RateOutOfRange { which: "loss" }
+        );
+        let p = FaultPlan {
+            duplication: -0.1,
+            ..FaultPlan::none()
+        };
+        assert_eq!(
+            p.validate().unwrap_err(),
+            FaultPlanError::RateOutOfRange {
+                which: "duplication"
+            }
+        );
+        let p = FaultPlan {
+            reorder: f64::NAN,
+            ..FaultPlan::none()
+        };
+        assert_eq!(
+            p.validate().unwrap_err(),
+            FaultPlanError::RateOutOfRange { which: "reorder" }
+        );
+    }
+
+    #[test]
+    fn overlapping_outages_of_one_site_are_rejected() {
+        let outage = |site, at, down_for| SiteCrash { site, at, down_for };
+        // Overlap on the same site: rejected.
+        let p = FaultPlan {
+            crashes: vec![outage(0, 10, 100), outage(0, 50, 20)],
+            ..FaultPlan::none()
+        };
+        assert_eq!(
+            p.validate().unwrap_err(),
+            FaultPlanError::OverlappingCrashes { site: 0 }
+        );
+        // Back-to-back (recovery tick == next crash tick) is fine, and so
+        // are concurrent outages of *different* sites.
+        let p = FaultPlan {
+            crashes: vec![outage(0, 10, 40), outage(1, 20, 100), outage(0, 50, 20)],
+            ..FaultPlan::none()
+        };
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(FaultPlanError::RateOutOfRange { which: "loss" }
+            .to_string()
+            .contains("loss"));
+        assert!(FaultPlanError::CrashSiteOutOfRange { site: 7, sites: 3 }
+            .to_string()
+            .contains("site 7"));
+    }
+
+    #[test]
+    fn lossy_builder_sets_retransmission() {
+        let p = FaultPlan::lossy(9, 0.2, 0.1, 0.05);
+        assert!(p.any() && p.channel_faults());
+        assert!(p.retransmit_after > 0, "lossy plans must retry");
+        assert!(p.crashes.is_empty());
+        p.validate().unwrap();
+    }
+}

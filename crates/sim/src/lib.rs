@@ -31,6 +31,13 @@
 //!   let a cycle form, trading the detector's messages for restarts
 //!   ([`Metrics::prevention_restarts`]).
 //!
+//! Orthogonal to both sits the **fault axis** ([`SimConfig::faults`],
+//! [`fault::FaultPlan`]): seeded message loss, duplication and
+//! reordering on every channel, plus scheduled site crashes whose
+//! recovery rebuilds the lock table from surviving
+//! [`kplock_dlm::Lease`]s. [`FaultPlan::none`] (the default) injects
+//! nothing and keeps every run bit-identical to the fault-free engine.
+//!
 //! # Example
 //!
 //! A guaranteed deadlock, resolved and committed serializably — then
@@ -80,6 +87,7 @@ pub mod config;
 pub mod driver;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod history;
 pub mod lock_table;
 pub mod metrics;
@@ -93,6 +101,7 @@ pub use config::{
 pub use driver::{draw_arrivals, run_open_loop, ArrivalConfig};
 pub use engine::{run, run_with_arrivals, RunOutcome, SimReport};
 pub use event::{EventKind, EventQueue, Instance, Payload, SimTime};
+pub use fault::{FaultPlan, FaultPlanError, SiteCrash};
 pub use history::{audit, Audit, History, HistoryEvent};
 pub use lock_table::LockTable;
 pub use metrics::Metrics;

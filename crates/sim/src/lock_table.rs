@@ -137,6 +137,39 @@ impl LockTable {
     pub fn waits_of(&self, inst: Instance) -> Vec<Instance> {
         self.inner.waits_of(inst)
     }
+
+    /// True when `inst` is queued (or upgrade-pending) on `e` — how the
+    /// fault-injection engine recognizes a *retransmitted* request whose
+    /// original is already waiting, where [`LockTable::request`] would
+    /// panic on the duplicate.
+    pub fn is_waiting(&self, e: EntityId, inst: Instance) -> bool {
+        self.inner.is_waiting(e, inst)
+    }
+
+    /// Releases `inst`'s lock on `e` if it holds one, a no-op otherwise —
+    /// the duplicated-release-safe twin of [`LockTable::release`], used
+    /// only on fault-injected runs where a release message can legally
+    /// arrive twice (see [`kplock_dlm::ModeTable::release_idempotent`]).
+    pub fn release_idempotent(&mut self, e: EntityId, inst: Instance) -> Vec<(Instance, LockMode)> {
+        self.inner.release_idempotent(e, inst)
+    }
+
+    /// The owners a re-submitted request on `e` by `inst` would be
+    /// admitted against (holders and upgraders; queued waiters only when
+    /// `inst` is not itself a pending upgrader), ascending — what a
+    /// retransmitted wound-wait request re-derives its wound victims
+    /// from (see [`kplock_dlm::ModeTable::conflicts_of`]).
+    pub fn conflicts_of(&self, e: EntityId, inst: Instance) -> Vec<Instance> {
+        self.inner.conflicts_of(e, inst)
+    }
+
+    /// Structural invariant check (S/X exclusion, single exclusive
+    /// holder, upgraders hold, no holder-and-waiter owners), forwarded
+    /// from [`kplock_dlm::ModeTable::check_invariants`] for the
+    /// [`crate::SimConfig::invariant_audit`] harness.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.inner.check_invariants()
+    }
 }
 
 #[cfg(test)]

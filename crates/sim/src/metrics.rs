@@ -48,6 +48,23 @@ pub struct Metrics {
     /// [`crate::SimConfig::probe_audit`] is on; see that flag for why this
     /// is measurement, not protocol.
     pub phantom_probe_aborts: usize,
+    /// Wire messages that never arrived: dropped by seeded loss
+    /// ([`crate::fault::FaultPlan::loss`]) or addressed to a site that
+    /// was down when they landed. A dropped message was still *sent* —
+    /// it is included in [`Metrics::messages`], like every wire message.
+    pub messages_dropped: u64,
+    /// Extra copies injected by seeded duplication
+    /// ([`crate::fault::FaultPlan::duplication`]). The copies are not
+    /// separately counted in [`Metrics::messages`] (the sender paid for
+    /// one send); this counter is the duplication overhead itself.
+    pub messages_duplicated: u64,
+    /// Holders that lost a lock to an outage: their lease
+    /// ([`kplock_dlm::Lease`]) expired before the site recovered, so the
+    /// rebuilt table excludes them and their instances are aborted.
+    pub leases_expired: usize,
+    /// Completed site recoveries (one per [`crate::fault::SiteCrash`]
+    /// whose outage ended within the run).
+    pub recoveries: usize,
     /// Completion time of the last commit.
     pub makespan: SimTime,
     /// Total simulated time the run observed: equal to `makespan` for

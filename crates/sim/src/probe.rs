@@ -208,7 +208,19 @@ impl SiteProbeState {
             .min()
     }
 
-    /// Forgets everything (a fresh run).
+    /// Forgets the recorded edge set for `e` alone, so the next
+    /// [`SiteProbeState::observe`] reports every live edge as new again —
+    /// re-launching their probes. The fault-injection engine calls this
+    /// when a *retransmitted* blocked request arrives: the retry is
+    /// evidence the waiter is still stuck, and any probe its edge
+    /// launched may have been lost on the wire, so the edge must be
+    /// re-chased (see ARCHITECTURE.md §7).
+    pub fn forget(&mut self, e: EntityId) {
+        self.known.remove(&e);
+    }
+
+    /// Forgets everything (a fresh run — or a site crash wiping the
+    /// site's volatile state alongside its lock table).
     pub fn clear(&mut self) {
         self.known.clear();
     }
@@ -345,6 +357,23 @@ mod tests {
         st.observe(a, vec![(inst(1), inst(0))], 20);
         st.observe(b, vec![(inst(1), inst(0))], 10);
         assert_eq!(st.appeared_at(inst(1), inst(0)), Some(10));
+    }
+
+    #[test]
+    fn forget_makes_live_edges_new_again() {
+        let (a, b) = (EntityId(0), EntityId(1));
+        let mut st = SiteProbeState::new();
+        st.observe(a, vec![(inst(1), inst(0))], 5);
+        st.observe(b, vec![(inst(2), inst(0))], 6);
+        // Re-observing the same edge is quiet…
+        assert!(st.observe(a, vec![(inst(1), inst(0))], 7).is_empty());
+        // …until the entity is forgotten: the edge re-chases with a fresh
+        // appearance tick, and other entities are untouched.
+        st.forget(a);
+        let fresh = st.observe(a, vec![(inst(1), inst(0))], 9);
+        assert_eq!(fresh, vec![(inst(1), inst(0))]);
+        assert_eq!(st.appeared_at(inst(1), inst(0)), Some(9));
+        assert!(st.observe(b, vec![(inst(2), inst(0))], 9).is_empty());
     }
 
     #[test]

@@ -29,12 +29,14 @@
 //! assert!(shared_locks > 0);
 //! ```
 
+pub mod fault;
 pub mod figures;
 pub mod reduction_instances;
 pub mod scenarios;
 pub mod suite;
 pub mod txn_gen;
 
+pub use fault::{fault_plan_ladder, fault_sweep, FaultScenario, FAULT_ARMS};
 pub use figures::{fig1, fig2, fig3, fig5};
 pub use reduction_instances::{fig8_formula, fig8_reduction, random_instance, unsat_restricted};
 pub use scenarios::{hot_site_sweep, resolution_sweep, site_count_sweep, Scenario};

@@ -107,10 +107,12 @@ fn bank_transfer_core_path() {
     }
 }
 
-/// Core path of `examples/lock_manager_sim.rs`: seeded simulator sweeps and
-/// a threaded run on the same random workload.
+/// Core path of `examples/lock_manager_sim.rs`: seeded simulator sweeps
+/// (explicit resolution/faults builders, outcome asserted on the enum), a
+/// threaded run, and the faulty-network section with crash recovery.
 #[test]
 fn lock_manager_sim_core_path() {
+    use kplock::sim::{DeadlockResolution, FaultPlan, RunOutcome, SiteCrash};
     let sys = random_system(&WorkloadParams {
         sites: 3,
         entities_per_site: 2,
@@ -129,17 +131,50 @@ fn lock_manager_sim_core_path() {
             &SimConfig {
                 seed,
                 latency: LatencyModel::Uniform(1, 30),
+                resolution: DeadlockResolution::default(),
+                faults: FaultPlan::none(),
                 victim_policy: VictimPolicy::Youngest,
                 ..Default::default()
             },
         )
         .expect("valid config");
-        assert!(r.finished(), "run must finish");
+        assert_eq!(r.outcome, RunOutcome::Completed, "run must finish");
         r.audit.legal.as_ref().expect("history must be legal");
         assert!(r.audit.serializable, "2PL-sync histories are serializable");
         commits += r.metrics.committed;
     }
     assert_eq!(commits, 40, "4 transactions x 10 runs all commit");
+
+    // The faulty-network section: lossy channels plus a crash whose
+    // outage outlives the lease ttl, exactly as the example runs it.
+    let mut faults = FaultPlan::lossy(7, 0.15, 0.10, 0.10);
+    faults.lease_ttl = 150;
+    faults.crashes = vec![SiteCrash {
+        site: 0,
+        at: 100,
+        down_for: 200,
+    }];
+    let r = run(
+        &sys,
+        &SimConfig {
+            latency: LatencyModel::Uniform(1, 30),
+            invariant_audit: true,
+            faults,
+            max_time: 1_000_000,
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    assert_ne!(
+        r.outcome,
+        RunOutcome::Stalled,
+        "retransmission keeps it live"
+    );
+    r.audit.legal.as_ref().expect("history must be legal");
+    assert_eq!(r.metrics.recoveries, 1, "the outage ends inside the run");
+    if r.outcome == RunOutcome::Completed {
+        assert!(r.audit.serializable);
+    }
 
     // The real-thread runner is timeout-based and can legitimately exhaust
     // its attempt budget on an oversubscribed machine; retry before calling

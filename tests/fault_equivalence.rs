@@ -1,0 +1,237 @@
+//! Differential pins for the fault axis.
+//!
+//! Two contracts keep fault injection honest:
+//!
+//! * **`FaultPlan::none()` is invisible.** The fault chokepoint, the
+//!   idempotency guards and the lease plumbing all gate on the plan, so a
+//!   run with the explicit empty plan must produce a `SimReport`
+//!   byte-identical to the fault-free engine's — pinned here against the
+//!   same fixed-seed constants `tests/sim_regression.rs` has carried
+//!   since PR 2/PR 4 (re-derived there, restated here so a drift in
+//!   either file fails both).
+//! * **Duplication alone changes nothing observable.** A plan that only
+//!   duplicates (no loss, no crash) stresses every idempotency argument —
+//!   re-grants, re-releases, re-acks, duplicate wounds and abort orders —
+//!   but a correct engine absorbs all of it: the run completes, commits
+//!   exactly the fault-free committed set, and audits serializable.
+
+use kplock::core::policy::LockStrategy;
+use kplock::sim::{
+    run, FaultPlan, LatencyModel, Metrics, PreventionScheme, RunOutcome, SimConfig, VictimPolicy,
+};
+use kplock::workload::{fig5, random_system, WorkloadParams};
+
+fn metrics(m: &Metrics) -> (usize, usize, u64, u64, usize, u64) {
+    (
+        m.committed,
+        m.aborts,
+        m.messages,
+        m.lock_wait_ticks,
+        m.deadlocks_resolved,
+        m.makespan,
+    )
+}
+
+// The same pinned constants as tests/sim_regression.rs (PR 2 defaults,
+// PR 4 prevention arms). If an intentional semantic change re-derives
+// them there, re-derive them here too.
+const PIN_RANDOM: (usize, usize, u64, u64, usize, u64) = (4, 1, 122, 875, 1, 402);
+const PIN_FIG5: (usize, usize, u64, u64, usize, u64) = (2, 0, 48, 54, 0, 53);
+const PIN_WAIT_DIE: (usize, usize, u64, u64, usize, u64) = (4, 9, 136, 80, 0, 287);
+
+fn seed21() -> kplock::model::TxnSystem {
+    random_system(&WorkloadParams {
+        seed: 21,
+        sites: 3,
+        entities_per_site: 2,
+        transactions: 4,
+        steps_per_txn: 6,
+        strategy: LockStrategy::TwoPhaseSync,
+        ..Default::default()
+    })
+}
+
+fn seed23() -> kplock::model::TxnSystem {
+    random_system(&WorkloadParams {
+        seed: 23,
+        sites: 2,
+        entities_per_site: 2,
+        transactions: 4,
+        steps_per_txn: 6,
+        strategy: LockStrategy::TwoPhaseSync,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn explicit_none_plan_reproduces_the_regression_pins_bit_for_bit() {
+    // Default-detection pin, seed-21 workload.
+    let cfg = SimConfig {
+        latency: LatencyModel::Uniform(1, 20),
+        seed: 7,
+        faults: FaultPlan::none(),
+        ..Default::default()
+    };
+    let r = run(&seed21(), &cfg).unwrap();
+    assert_eq!(
+        metrics(&r.metrics),
+        PIN_RANDOM,
+        "actual: {:?}",
+        metrics(&r.metrics)
+    );
+    // Fig. 5 pin.
+    let cfg = SimConfig {
+        latency: LatencyModel::Uniform(1, 9),
+        seed: 3,
+        faults: FaultPlan::none(),
+        ..Default::default()
+    };
+    let r = run(&fig5(), &cfg).unwrap();
+    assert_eq!(
+        metrics(&r.metrics),
+        PIN_FIG5,
+        "actual: {:?}",
+        metrics(&r.metrics)
+    );
+    // A prevention arm pin (wait-die restarts, seed-23 workload).
+    let cfg = SimConfig {
+        latency: LatencyModel::Fixed(5),
+        resolution: PreventionScheme::WaitDie.into(),
+        faults: FaultPlan::none(),
+        ..Default::default()
+    };
+    let r = run(&seed23(), &cfg).unwrap();
+    assert_eq!(
+        metrics(&r.metrics),
+        PIN_WAIT_DIE,
+        "actual: {:?}",
+        metrics(&r.metrics)
+    );
+    // The fault counters exist but read zero on the clean path.
+    assert_eq!(r.metrics.messages_dropped, 0);
+    assert_eq!(r.metrics.messages_duplicated, 0);
+    assert_eq!(r.metrics.leases_expired, 0);
+    assert_eq!(r.metrics.recoveries, 0);
+}
+
+#[test]
+fn none_plan_is_field_identical_to_the_default_config_run() {
+    // Belt and braces for the pin above: the whole Metrics struct (not
+    // just the pinned projection) and the committed epochs must match
+    // between a default config and one with the explicit empty plan, on
+    // both a detection and a prevention arm.
+    for resolution in [
+        kplock::sim::DeadlockResolution::default(),
+        PreventionScheme::WoundWait.into(),
+    ] {
+        let base = SimConfig {
+            latency: LatencyModel::Uniform(1, 20),
+            seed: 11,
+            resolution,
+            victim_policy: VictimPolicy::Oldest,
+            ..Default::default()
+        };
+        let explicit = SimConfig {
+            faults: FaultPlan::none(),
+            ..base.clone()
+        };
+        let a = run(&seed23(), &base).unwrap();
+        let b = run(&seed23(), &explicit).unwrap();
+        assert_eq!(a.metrics, b.metrics, "{resolution:?}");
+        assert_eq!(a.committed_epoch, b.committed_epoch);
+        assert_eq!(a.outcome, b.outcome);
+    }
+}
+
+#[test]
+fn duplication_only_plans_commit_the_fault_free_transaction_set() {
+    // Every message duplicated with reorder jitter on the copies, across
+    // all six resolution arms and both pinned workloads: the committed
+    // set must equal the fault-free run's, epoch-for-epoch irrelevant but
+    // membership exact, and the audit clean. This is the idempotency
+    // argument of every handler, exercised at full strength (dup rate 1.0
+    // doubles literally every wire message).
+    use kplock::sim::{DeadlockDetection, DeadlockResolution};
+    let arms: [DeadlockResolution; 6] = [
+        DeadlockDetection::Periodic.into(),
+        DeadlockDetection::OnBlock.into(),
+        DeadlockDetection::Probe.into(),
+        PreventionScheme::WoundWait.into(),
+        PreventionScheme::WaitDie.into(),
+        PreventionScheme::NoWait.into(),
+    ];
+    for (name, sys) in [("seed21", seed21()), ("seed23", seed23())] {
+        for resolution in arms {
+            let base = SimConfig {
+                latency: LatencyModel::Fixed(5),
+                resolution,
+                invariant_audit: true,
+                ..Default::default()
+            };
+            let clean = run(&sys, &base).unwrap();
+            assert_eq!(
+                clean.outcome,
+                RunOutcome::Completed,
+                "{name} {resolution:?}"
+            );
+            let dup = SimConfig {
+                faults: FaultPlan {
+                    duplication: 1.0,
+                    reorder: 0.3,
+                    reorder_window: 6,
+                    seed: 5,
+                    ..FaultPlan::none()
+                },
+                ..base
+            };
+            let r = run(&sys, &dup).unwrap();
+            assert_eq!(r.outcome, RunOutcome::Completed, "{name} {resolution:?}");
+            assert_eq!(
+                r.metrics.committed, clean.metrics.committed,
+                "{name} {resolution:?}: same committed transaction set"
+            );
+            assert!(r.metrics.messages_duplicated > 0);
+            assert_eq!(r.metrics.messages_dropped, 0, "dup-only plans lose nothing");
+            r.audit.legal.as_ref().unwrap();
+            assert!(r.audit.serializable, "{name} {resolution:?}");
+        }
+    }
+}
+
+#[test]
+fn faulty_runs_replay_bit_identically() {
+    // Determinism is the axis's measurement contract: same plan, same
+    // report — including the fault counters — for a plan exercising all
+    // three channel faults plus a crash.
+    use kplock::sim::SiteCrash;
+    let cfg = SimConfig {
+        latency: LatencyModel::Uniform(1, 20),
+        seed: 9,
+        invariant_audit: true,
+        faults: FaultPlan {
+            seed: 17,
+            loss: 0.15,
+            duplication: 0.15,
+            reorder: 0.15,
+            reorder_window: 8,
+            retransmit_after: 90,
+            lease_ttl: 50,
+            crashes: vec![SiteCrash {
+                site: 1,
+                at: 60,
+                down_for: 120,
+            }],
+        },
+        max_time: 500_000,
+        ..Default::default()
+    };
+    let a = run(&seed23(), &cfg).unwrap();
+    let b = run(&seed23(), &cfg).unwrap();
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.committed_epoch, b.committed_epoch);
+    assert_eq!(a.outcome, b.outcome);
+    assert!(
+        a.metrics.messages_dropped > 0 || a.metrics.messages_duplicated > 0,
+        "the plan must actually have injected faults"
+    );
+}
