@@ -16,6 +16,8 @@
 //! assert_eq!(centralized_pair(7, 6).db().site_count(), 1);
 //! ```
 
+pub mod record;
+
 use kplock_core::policy::LockStrategy;
 use kplock_model::TxnSystem;
 use kplock_workload::{random_pair, WorkloadParams};

@@ -73,15 +73,19 @@
 pub mod deadlock;
 pub mod error;
 pub mod lease;
+pub mod lock_table;
 pub mod manager;
 pub mod prevent;
+pub mod queue_table;
 pub mod sharded;
 pub mod table;
 
 pub use deadlock::WaitForGraph;
 pub use error::LockError;
 pub use lease::{Lease, LeaseTable};
+pub use lock_table::{Bias, LockTable, TableSpec};
 pub use manager::{Aborted, BatchReleased, LockManager, ManagedAcquire, Released};
 pub use prevent::{PreventionOutcome, PreventionScheme, Priority};
+pub use queue_table::QueueTable;
 pub use sharded::ShardedTable;
-pub use table::{Acquire, CancelOutcome, EntityGrants, Grants, ModeTable};
+pub use table::{Acquire, CancelOutcome, EntityGrants, FifoTable, Grants, ModeTable};

@@ -1,0 +1,1354 @@
+//! [`QueueTable`]: the arena-allocated, zero-steady-state-allocation
+//! lock-table engine.
+//!
+//! The reference [`FifoTable`](crate::FifoTable) keeps per-entity
+//! `Vec`/`VecDeque` holder and waiter lists: simple, but every contended
+//! acquire/release churns heap allocations (queue buffers, holder vectors,
+//! hash-map states created and dropped per entity lifetime). This engine
+//! follows the MCS/CLH queue-lock design from *High-Performance
+//! Distributed RMA Locks*: each request is an **intrusive queue node** in
+//! a single arena, addressed by `u32` slot id and threaded through
+//! doubly-linked `prev`/`next` ids, with freed nodes recycled through a
+//! free list — so once the arenas are warm, the acquire → release → grant
+//! hot path performs **zero heap allocations** (verified by the
+//! counting-allocator test in `crates/dlm/tests/zero_alloc.rs`).
+//!
+//! Layout (one arena for nodes, one for entity states):
+//!
+//! ```text
+//!  nodes: [ n0 | n1 | n2 | n3 | n4 | ... ]      free ──▶ n4 ──▶ ...
+//!            ▲         ▲    │
+//!            │prev/next│    │ (owner, mode, prev, next)
+//!            ╰────═────╯    ▼
+//!  estates: [ holders ⇄ … | queue ⇄ … | upgrades ⇄ … | streak ]
+//!               ▲ per-entity state, slot id recycled via efree
+//!  slots:  EntityId ─▶ estate id      owned: O ─▶ [EntityId] (held)
+//! ```
+//!
+//! Protocol semantics (admission, prevention obstacle sets, upgrades,
+//! errors) are **identical** to [`FifoTable`](crate::FifoTable) — the
+//! workspace proptest `tests/table_equivalence.rs` drives both engines
+//! with the same operation streams and requires identical outputs. The
+//! engine adds two *promotion-order* knobs the reference table lacks:
+//!
+//! * a reader/writer [`Bias`] (see [`crate::lock_table::Bias`]), and
+//! * **topology-aware cohort handoff** ([`QueueTable::with_topology`]):
+//!   owners are grouped into cohorts (e.g. by home site), and when a
+//!   release frees the lock, the grant prefers a waiter from the
+//!   *releasing owner's* cohort — bounded by a handoff cap so remote
+//!   cohorts cannot starve — amortizing cross-site lock migration the way
+//!   cohort locks amortize cross-NUMA-node handoff.
+//!
+//! Both knobs are off by default; a default-constructed `QueueTable` is
+//! FIFO-equivalent by construction.
+
+use crate::error::LockError;
+use crate::lock_table::{Bias, LockTable};
+use crate::prevent::{PreventionOutcome, PreventionScheme, Priority};
+use crate::table::{Acquire, CancelOutcome, EntityGrants, Grants};
+use kplock_model::{EntityId, LockMode};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel "null" slot id for intrusive links.
+const NIL: u32 = u32::MAX;
+
+/// Cohort topology: how many cohorts exist and how many consecutive
+/// in-cohort handoffs are allowed before the grant must fall back to
+/// strict FIFO (the anti-starvation bound).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Topology {
+    cohorts: u32,
+    handoff_cap: u32,
+}
+
+/// Default consecutive in-cohort handoffs before forced FIFO fallback.
+const DEFAULT_HANDOFF_CAP: u32 = 8;
+
+/// One arena-allocated request node: an (owner, mode) pair threaded into
+/// exactly one of its entity's intrusive lists (holders, queue, or
+/// upgrades) — or into the global free list via `next`.
+#[derive(Clone, Copy, Debug)]
+struct Node<O> {
+    owner: O,
+    mode: LockMode,
+    prev: u32,
+    next: u32,
+}
+
+/// An intrusive doubly-linked list: head/tail slot ids plus a length so
+/// emptiness and count checks never walk the chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct List {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl List {
+    const EMPTY: List = List {
+        head: NIL,
+        tail: NIL,
+        len: 0,
+    };
+}
+
+/// Which of an entity's three lists an operation targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Part {
+    Holders,
+    Queue,
+    Upgrades,
+}
+
+/// Per-entity state: three intrusive lists into the node arena plus the
+/// cohort-handoff streak counter.
+#[derive(Clone, Copy, Debug)]
+struct EState {
+    holders: List,
+    queue: List,
+    upgrades: List,
+    /// Consecutive in-cohort handoffs performed at this entity.
+    streak: u32,
+}
+
+impl EState {
+    const EMPTY: EState = EState {
+        holders: List::EMPTY,
+        queue: List::EMPTY,
+        upgrades: List::EMPTY,
+        streak: 0,
+    };
+
+    fn is_empty(&self) -> bool {
+        self.holders.len == 0 && self.queue.len == 0 && self.upgrades.len == 0
+    }
+}
+
+/// Arena-backed reader–writer FIFO lock table with free-list node reuse:
+/// zero heap allocation on the steady-state acquire/release path.
+///
+/// See the module docs for layout and semantics; construct via
+/// [`QueueTable::new`], then optionally [`QueueTable::with_bias`] /
+/// [`QueueTable::with_topology`].
+#[derive(Clone, Debug)]
+pub struct QueueTable<O> {
+    /// Request-node arena; freed nodes are chained through `next`.
+    nodes: Vec<Node<O>>,
+    /// Head of the node free list (`NIL` when empty).
+    free: u32,
+    /// Entity → estate slot.
+    slots: HashMap<EntityId, u32>,
+    /// Entity-state arena.
+    estates: Vec<EState>,
+    /// Recycled estate slots.
+    efree: Vec<u32>,
+    /// Per-owner reverse index: held entities, ascending. Entries are
+    /// kept (emptied, not removed) so steady-state churn never drops and
+    /// reallocates their buffers.
+    owned: HashMap<O, Vec<EntityId>>,
+    bias: Bias,
+    topology: Option<Topology>,
+    /// Maps an owner to its cohort in `0..cohorts`; meaningful only when
+    /// `topology` is set. A plain `fn` pointer keeps the table `Copy`-ish
+    /// cheap to clone and free of boxed closures.
+    cohort_of: fn(O, u32) -> u32,
+    /// Reusable obstacle buffer for the prevention admission path.
+    scratch: Vec<O>,
+}
+
+fn cohort_unused<O>(_o: O, _n: u32) -> u32 {
+    0
+}
+
+impl<O> Default for QueueTable<O> {
+    fn default() -> Self {
+        QueueTable {
+            nodes: Vec::new(),
+            free: NIL,
+            slots: HashMap::new(),
+            estates: Vec::new(),
+            efree: Vec::new(),
+            owned: HashMap::new(),
+            bias: Bias::Neutral,
+            topology: None,
+            cohort_of: cohort_unused::<O>,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl<O: Copy + Eq + Ord + Hash> QueueTable<O> {
+    /// Creates an empty, neutral-bias, topology-free table — the
+    /// FIFO-equivalent configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the reader/writer promotion bias (builder-style).
+    pub fn with_bias(mut self, bias: Bias) -> Self {
+        self.bias = bias;
+        self
+    }
+
+    /// Enables cohort handoff: owners map to cohorts `0..cohorts` via
+    /// `cohort_of`, and a release prefers granting a queued waiter from
+    /// the releasing owner's cohort (up to a consecutive-handoff cap,
+    /// after which strict FIFO resumes so no cohort starves). `cohorts ==
+    /// 0` disables the feature.
+    pub fn with_topology(mut self, cohorts: u32, cohort_of: fn(O, u32) -> u32) -> Self {
+        self.topology = (cohorts > 0).then_some(Topology {
+            cohorts,
+            handoff_cap: DEFAULT_HANDOFF_CAP,
+        });
+        self.cohort_of = cohort_of;
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Arena plumbing.
+    // ------------------------------------------------------------------
+
+    fn alloc_node(&mut self, owner: O, mode: LockMode) -> u32 {
+        if self.free != NIL {
+            let id = self.free;
+            let n = &mut self.nodes[id as usize];
+            self.free = n.next;
+            n.owner = owner;
+            n.mode = mode;
+            n.prev = NIL;
+            n.next = NIL;
+            id
+        } else {
+            self.nodes.push(Node {
+                owner,
+                mode,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn free_node(&mut self, id: u32) {
+        let n = &mut self.nodes[id as usize];
+        n.prev = NIL;
+        n.next = self.free;
+        self.free = id;
+    }
+
+    fn list(&self, si: u32, part: Part) -> List {
+        let st = &self.estates[si as usize];
+        match part {
+            Part::Holders => st.holders,
+            Part::Queue => st.queue,
+            Part::Upgrades => st.upgrades,
+        }
+    }
+
+    fn list_mut(&mut self, si: u32, part: Part) -> &mut List {
+        let st = &mut self.estates[si as usize];
+        match part {
+            Part::Holders => &mut st.holders,
+            Part::Queue => &mut st.queue,
+            Part::Upgrades => &mut st.upgrades,
+        }
+    }
+
+    fn push_back(&mut self, si: u32, part: Part, id: u32) {
+        let tail = self.list(si, part).tail;
+        {
+            let n = &mut self.nodes[id as usize];
+            n.prev = tail;
+            n.next = NIL;
+        }
+        if tail != NIL {
+            self.nodes[tail as usize].next = id;
+        }
+        let list = self.list_mut(si, part);
+        if list.head == NIL {
+            list.head = id;
+        }
+        list.tail = id;
+        list.len += 1;
+    }
+
+    fn unlink(&mut self, si: u32, part: Part, id: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[id as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        }
+        let list = self.list_mut(si, part);
+        if list.head == id {
+            list.head = next;
+        }
+        if list.tail == id {
+            list.tail = prev;
+        }
+        list.len -= 1;
+        let n = &mut self.nodes[id as usize];
+        n.prev = NIL;
+        n.next = NIL;
+    }
+
+    /// Finds the node in `list` owned by `o`, walking the chain.
+    fn find_in(&self, list: List, o: O) -> Option<u32> {
+        let mut id = list.head;
+        while id != NIL {
+            let n = &self.nodes[id as usize];
+            if n.owner == o {
+                return Some(id);
+            }
+            id = n.next;
+        }
+        None
+    }
+
+    fn slot_of(&self, e: EntityId) -> Option<u32> {
+        self.slots.get(&e).copied()
+    }
+
+    fn slot_for(&mut self, e: EntityId) -> u32 {
+        if let Some(&si) = self.slots.get(&e) {
+            return si;
+        }
+        let si = if let Some(si) = self.efree.pop() {
+            self.estates[si as usize] = EState::EMPTY;
+            si
+        } else {
+            self.estates.push(EState::EMPTY);
+            (self.estates.len() - 1) as u32
+        };
+        self.slots.insert(e, si);
+        si
+    }
+
+    fn prune_if_empty(&mut self, e: EntityId, si: u32) {
+        if self.estates[si as usize].is_empty() {
+            self.slots.remove(&e);
+            self.efree.push(si);
+        }
+    }
+
+    fn owned_insert(&mut self, o: O, e: EntityId) {
+        let v = self.owned.entry(o).or_default();
+        if let Err(i) = v.binary_search(&e) {
+            v.insert(i, e);
+        }
+    }
+
+    fn owned_remove(&mut self, o: O, e: EntityId) {
+        // Keep the (now possibly empty) entry: dropping it would free its
+        // buffer and force a reallocation on the owner's next grant.
+        if let Some(v) = self.owned.get_mut(&o) {
+            if let Ok(i) = v.binary_search(&e) {
+                v.remove(i);
+            }
+        }
+    }
+
+    fn all_holders_shared(&self, si: u32) -> bool {
+        let mut id = self.estates[si as usize].holders.head;
+        while id != NIL {
+            let n = &self.nodes[id as usize];
+            if n.mode != LockMode::Shared {
+                return false;
+            }
+            id = n.next;
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Admission (mirrors `FifoTable::try_admit` exactly).
+    // ------------------------------------------------------------------
+
+    /// `Ok(None)` = granted; `Ok(Some(upgrade))` = must wait.
+    fn try_admit(
+        &mut self,
+        si: u32,
+        e: EntityId,
+        o: O,
+        mode: LockMode,
+    ) -> Result<Option<bool>, LockError> {
+        let st = self.estates[si as usize];
+        if self.find_in(st.queue, o).is_some() || self.find_in(st.upgrades, o).is_some() {
+            return Err(LockError::AlreadyQueued { entity: e });
+        }
+        if let Some(hid) = self.find_in(st.holders, o) {
+            let held = self.nodes[hid as usize].mode;
+            if held.covers(mode) {
+                return Ok(None);
+            }
+            // Upgrade S -> X, in place when sole holder.
+            if st.holders.len == 1 {
+                self.nodes[hid as usize].mode = LockMode::Exclusive;
+                return Ok(None);
+            }
+            return Ok(Some(true));
+        }
+        let grantable = if st.holders.len == 0 {
+            st.queue.len == 0
+        } else {
+            mode == LockMode::Shared
+                && st.upgrades.len == 0
+                && st.queue.len == 0
+                && self.all_holders_shared(si)
+        };
+        if grantable {
+            let id = self.alloc_node(o, mode);
+            self.push_back(si, Part::Holders, id);
+            self.owned_insert(o, e);
+            Ok(None)
+        } else {
+            Ok(Some(false))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Promotion.
+    // ------------------------------------------------------------------
+
+    /// Whether the queue node `id` could be granted *now* if it were at
+    /// the front (the FIFO compatibility rule).
+    fn compatible_now(&self, si: u32, id: u32) -> bool {
+        let st = self.estates[si as usize];
+        if st.holders.len == 0 {
+            true
+        } else {
+            self.nodes[id as usize].mode == LockMode::Shared
+                && st.upgrades.len == 0
+                && self.all_holders_shared(si)
+        }
+    }
+
+    /// Picks the next queue node to grant, or `None` to stop promoting.
+    /// Neutral bias + no topology reduces to "the front, iff compatible"
+    /// — exactly [`FifoTable`](crate::FifoTable)'s rule.
+    fn pick_candidate(&mut self, si: u32, from_cohort: Option<u32>) -> Option<u32> {
+        let st = self.estates[si as usize];
+        let front = (st.queue.head != NIL).then_some(st.queue.head)?;
+
+        // Cohort handoff: only when the lock is free (so any mode can be
+        // granted) and the consecutive-handoff cap is not exhausted.
+        if let (Some(topo), Some(from)) = (self.topology, from_cohort) {
+            if st.holders.len == 0 {
+                if st.streak < topo.handoff_cap {
+                    let mut id = st.queue.head;
+                    while id != NIL {
+                        let n = &self.nodes[id as usize];
+                        if (self.cohort_of)(n.owner, topo.cohorts) == from {
+                            // Granting the front is a plain FIFO grant,
+                            // not a handoff: only skips spend the budget.
+                            if id == front {
+                                self.estates[si as usize].streak = 0;
+                            } else {
+                                self.estates[si as usize].streak += 1;
+                            }
+                            return Some(id);
+                        }
+                        id = n.next;
+                    }
+                }
+                // No local candidate (or cap exhausted): the FIFO grant
+                // below crosses cohorts, so the streak restarts.
+                self.estates[si as usize].streak = 0;
+            }
+        }
+
+        match self.bias {
+            Bias::Neutral => self.compatible_now(si, front).then_some(front),
+            Bias::WriterPreference => {
+                // When the lock falls free, serve the first queued writer
+                // even past earlier readers; otherwise strict FIFO.
+                if st.holders.len == 0 && self.nodes[front as usize].mode == LockMode::Shared {
+                    let mut id = st.queue.head;
+                    while id != NIL {
+                        let n = &self.nodes[id as usize];
+                        if n.mode == LockMode::Exclusive {
+                            return Some(id);
+                        }
+                        id = n.next;
+                    }
+                    Some(front) // no writer queued: FIFO
+                } else {
+                    self.compatible_now(si, front).then_some(front)
+                }
+            }
+            Bias::ReaderBatch => {
+                if self.compatible_now(si, front) {
+                    return Some(front);
+                }
+                // Front is blocked (a writer, typically): pull any later
+                // reader forward while the holder set stays all-shared.
+                if st.upgrades.len == 0 && st.holders.len > 0 && self.all_holders_shared(si) {
+                    let mut id = st.queue.head;
+                    while id != NIL {
+                        let n = &self.nodes[id as usize];
+                        if n.mode == LockMode::Shared {
+                            return Some(id);
+                        }
+                        id = n.next;
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Grants whatever the state now admits: a sole-holder upgrade first,
+    /// then queue candidates per bias/topology (strict FIFO by default).
+    /// Appends `(owner, mode)` grants to `out`.
+    fn promote(&mut self, si: u32, e: EntityId, from_cohort: Option<u32>, out: &mut Grants<O>) {
+        loop {
+            let st = self.estates[si as usize];
+            // Sole-holder upgrade is always served first.
+            if st.upgrades.len > 0 && st.holders.len == 1 {
+                let hid = st.holders.head;
+                let howner = self.nodes[hid as usize].owner;
+                if let Some(uid) = self.find_in(st.upgrades, howner) {
+                    self.nodes[hid as usize].mode = LockMode::Exclusive;
+                    self.unlink(si, Part::Upgrades, uid);
+                    self.free_node(uid);
+                    out.push((howner, LockMode::Exclusive));
+                    continue;
+                }
+            }
+            let Some(id) = self.pick_candidate(si, from_cohort) else {
+                break;
+            };
+            let (owner, mode) = {
+                let n = &self.nodes[id as usize];
+                (n.owner, n.mode)
+            };
+            self.unlink(si, Part::Queue, id);
+            self.push_back(si, Part::Holders, id);
+            self.owned_insert(owner, e);
+            out.push((owner, mode));
+        }
+    }
+
+    /// The releasing owner's cohort, when topology is enabled.
+    fn cohort_hint(&self, o: O) -> Option<u32> {
+        self.topology.map(|t| (self.cohort_of)(o, t.cohorts))
+    }
+
+    // ------------------------------------------------------------------
+    // Public protocol surface (inherent twins of the trait methods, so
+    // non-dyn callers keep static dispatch).
+    // ------------------------------------------------------------------
+
+    /// Requests `mode` on `e` for `o`.
+    /// See [`FifoTable::request`](crate::FifoTable::request).
+    pub fn request(&mut self, e: EntityId, o: O, mode: LockMode) -> Result<Acquire, LockError> {
+        let si = self.slot_for(e);
+        let out = match self.try_admit(si, e, o, mode) {
+            Err(err) => {
+                self.prune_if_empty(e, si);
+                return Err(err);
+            }
+            Ok(None) => Acquire::Granted,
+            Ok(Some(true)) => {
+                // Upgrade nodes carry the mode being requested (X).
+                let id = self.alloc_node(o, LockMode::Exclusive);
+                self.push_back(si, Part::Upgrades, id);
+                Acquire::Queued
+            }
+            Ok(Some(false)) => {
+                let id = self.alloc_node(o, mode);
+                self.push_back(si, Part::Queue, id);
+                Acquire::Queued
+            }
+        };
+        Ok(out)
+    }
+
+    /// Requests `mode` on `e` for `o` under a prevention scheme.
+    /// See [`FifoTable::request_with_priority`](crate::FifoTable::request_with_priority).
+    pub fn request_with_priority(
+        &mut self,
+        e: EntityId,
+        o: O,
+        mode: LockMode,
+        scheme: PreventionScheme,
+        prio: impl Fn(O) -> Priority,
+    ) -> Result<PreventionOutcome<O>, LockError> {
+        let si = self.slot_for(e);
+        let upgrade = match self.try_admit(si, e, o, mode) {
+            Err(err) => {
+                self.prune_if_empty(e, si);
+                return Err(err);
+            }
+            Ok(None) => return Ok(PreventionOutcome::Granted),
+            Ok(Some(upgrade)) => upgrade,
+        };
+        let mut obstacles = std::mem::take(&mut self.scratch);
+        obstacles.clear();
+        let st = self.estates[si as usize];
+        let mut id = st.holders.head;
+        while id != NIL {
+            obstacles.push(self.nodes[id as usize].owner);
+            id = self.nodes[id as usize].next;
+        }
+        let mut id = st.upgrades.head;
+        while id != NIL {
+            obstacles.push(self.nodes[id as usize].owner);
+            id = self.nodes[id as usize].next;
+        }
+        if !upgrade {
+            // Queued waiters are obstacles for fresh requests only; an
+            // upgrade is served ahead of the queue (see FifoTable docs).
+            let mut id = st.queue.head;
+            while id != NIL {
+                obstacles.push(self.nodes[id as usize].owner);
+                id = self.nodes[id as usize].next;
+            }
+        }
+        obstacles.retain(|&x| x != o);
+        obstacles.sort();
+        obstacles.dedup();
+        let mine = prio(o);
+        let admit = |table: &mut Self| {
+            if upgrade {
+                let id = table.alloc_node(o, LockMode::Exclusive);
+                table.push_back(si, Part::Upgrades, id);
+            } else {
+                let id = table.alloc_node(o, mode);
+                table.push_back(si, Part::Queue, id);
+            }
+        };
+        let outcome = match scheme {
+            PreventionScheme::NoWait => PreventionOutcome::Rejected,
+            PreventionScheme::WaitDie => {
+                if obstacles.iter().all(|&x| mine < prio(x)) {
+                    admit(self);
+                    PreventionOutcome::Queued
+                } else {
+                    PreventionOutcome::Rejected
+                }
+            }
+            PreventionScheme::WoundWait => {
+                let victims: Vec<O> = obstacles
+                    .iter()
+                    .copied()
+                    .filter(|&x| prio(x) > mine)
+                    .collect();
+                admit(self);
+                if victims.is_empty() {
+                    PreventionOutcome::Queued
+                } else {
+                    PreventionOutcome::Wounded(victims)
+                }
+            }
+        };
+        obstacles.clear();
+        self.scratch = obstacles;
+        self.prune_if_empty(e, si);
+        Ok(outcome)
+    }
+
+    /// Releases `o`'s lock on `e`, appending unblocked grants to `out` —
+    /// the zero-allocation hot path when the caller reuses the buffer.
+    pub fn release_into(
+        &mut self,
+        e: EntityId,
+        o: O,
+        out: &mut Grants<O>,
+    ) -> Result<(), LockError> {
+        let Some(si) = self.slot_of(e) else {
+            return Err(LockError::NotHolder { entity: e });
+        };
+        let st = self.estates[si as usize];
+        let Some(hid) = self.find_in(st.holders, o) else {
+            return Err(LockError::NotHolder { entity: e });
+        };
+        self.unlink(si, Part::Holders, hid);
+        self.free_node(hid);
+        self.owned_remove(o, e);
+        // A pending upgrade by `o` is cancelled alongside.
+        if let Some(uid) = self.find_in(self.estates[si as usize].upgrades, o) {
+            self.unlink(si, Part::Upgrades, uid);
+            self.free_node(uid);
+        }
+        let hint = self.cohort_hint(o);
+        self.promote(si, e, hint, out);
+        self.prune_if_empty(e, si);
+        Ok(())
+    }
+
+    /// Allocating convenience over [`QueueTable::release_into`].
+    pub fn release(&mut self, e: EntityId, o: O) -> Result<Grants<O>, LockError> {
+        let mut out = Grants::new();
+        self.release_into(e, o, &mut out)?;
+        Ok(out)
+    }
+
+    /// See [`FifoTable::release_idempotent`](crate::FifoTable::release_idempotent).
+    pub fn release_idempotent(&mut self, e: EntityId, o: O) -> Grants<O> {
+        self.release(e, o).unwrap_or_default()
+    }
+
+    /// See [`FifoTable::cancel_waits`](crate::FifoTable::cancel_waits).
+    pub fn cancel_waits(&mut self, o: O) -> CancelOutcome<O> {
+        let mut entities: Vec<EntityId> = self
+            .slots
+            .iter()
+            .filter(|&(_, &si)| {
+                let st = self.estates[si as usize];
+                self.find_in(st.queue, o).is_some() || self.find_in(st.upgrades, o).is_some()
+            })
+            .map(|(&e, _)| e)
+            .collect();
+        entities.sort();
+        let mut out = CancelOutcome::default();
+        for e in entities {
+            let si = self.slot_of(e).expect("entity just listed");
+            let mut changed = false;
+            if let Some(id) = self.find_in(self.estates[si as usize].queue, o) {
+                self.unlink(si, Part::Queue, id);
+                self.free_node(id);
+                changed = true;
+            }
+            if let Some(id) = self.find_in(self.estates[si as usize].upgrades, o) {
+                self.unlink(si, Part::Upgrades, id);
+                self.free_node(id);
+                changed = true;
+            }
+            if !changed {
+                continue;
+            }
+            out.cancelled.push(e);
+            let mut grants = Grants::new();
+            self.promote(si, e, None, &mut grants);
+            if !grants.is_empty() {
+                out.granted.push((e, grants));
+            }
+            self.prune_if_empty(e, si);
+        }
+        out
+    }
+
+    /// See [`FifoTable::release_all`](crate::FifoTable::release_all).
+    pub fn release_all(&mut self, o: O) -> EntityGrants<O> {
+        self.held_by(o)
+            .into_iter()
+            .map(|e| {
+                let grants = self.release(e, o).expect("held_by listed the entity");
+                (e, grants)
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (identical results to FifoTable's).
+    // ------------------------------------------------------------------
+
+    /// The mode `o` holds on `e`, if any.
+    pub fn holds(&self, e: EntityId, o: O) -> Option<LockMode> {
+        let si = self.slot_of(e)?;
+        self.find_in(self.estates[si as usize].holders, o)
+            .map(|id| self.nodes[id as usize].mode)
+    }
+
+    /// Current holders of `e` with their modes (list order).
+    pub fn holders(&self, e: EntityId) -> Vec<(O, LockMode)> {
+        let Some(si) = self.slot_of(e) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut id = self.estates[si as usize].holders.head;
+        while id != NIL {
+            let n = &self.nodes[id as usize];
+            out.push((n.owner, n.mode));
+            id = n.next;
+        }
+        out
+    }
+
+    /// Sole exclusive holder of `e`, if held exclusively.
+    pub fn exclusive_holder(&self, e: EntityId) -> Option<O> {
+        let si = self.slot_of(e)?;
+        let st = self.estates[si as usize];
+        if st.holders.len == 1 {
+            let n = &self.nodes[st.holders.head as usize];
+            (n.mode == LockMode::Exclusive).then_some(n.owner)
+        } else {
+            None
+        }
+    }
+
+    /// Entities currently held by `o`, ascending (O(held), from the
+    /// reverse index).
+    pub fn held_by(&self, o: O) -> Vec<EntityId> {
+        self.owned.get(&o).cloned().unwrap_or_default()
+    }
+
+    /// The waits-for edges induced by `e` alone, ascending.
+    pub fn entity_waits_for(&self, e: EntityId) -> Vec<(O, O)> {
+        let Some(si) = self.slot_of(e) else {
+            return Vec::new();
+        };
+        let st = self.estates[si as usize];
+        let mut out = Vec::new();
+        let mut w = st.queue.head;
+        while w != NIL {
+            let waiter = self.nodes[w as usize].owner;
+            let mut h = st.holders.head;
+            while h != NIL {
+                out.push((waiter, self.nodes[h as usize].owner));
+                h = self.nodes[h as usize].next;
+            }
+            w = self.nodes[w as usize].next;
+        }
+        let mut u = st.upgrades.head;
+        while u != NIL {
+            let upgrader = self.nodes[u as usize].owner;
+            let mut h = st.holders.head;
+            while h != NIL {
+                let holder = self.nodes[h as usize].owner;
+                if holder != upgrader {
+                    out.push((upgrader, holder));
+                }
+                h = self.nodes[h as usize].next;
+            }
+            u = self.nodes[u as usize].next;
+        }
+        out.sort();
+        out
+    }
+
+    /// All waits-for edges at this table, ascending.
+    pub fn waits_for(&self) -> Vec<(O, O)> {
+        let mut out = Vec::new();
+        for &e in self.slots.keys() {
+            out.extend(self.entity_waits_for(e));
+        }
+        out.sort();
+        out
+    }
+
+    /// The holders `o` waits on here, ascending, deduplicated.
+    pub fn waits_of(&self, o: O) -> Vec<O> {
+        let mut out = Vec::new();
+        for &si in self.slots.values() {
+            let st = self.estates[si as usize];
+            if self.find_in(st.queue, o).is_some() {
+                let mut h = st.holders.head;
+                while h != NIL {
+                    out.push(self.nodes[h as usize].owner);
+                    h = self.nodes[h as usize].next;
+                }
+            } else if self.find_in(st.upgrades, o).is_some() {
+                let mut h = st.holders.head;
+                while h != NIL {
+                    let holder = self.nodes[h as usize].owner;
+                    if holder != o {
+                        out.push(holder);
+                    }
+                    h = self.nodes[h as usize].next;
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// True when `o` is queued or upgrade-pending on `e`.
+    pub fn is_waiting(&self, e: EntityId, o: O) -> bool {
+        self.slot_of(e).is_some_and(|si| {
+            let st = self.estates[si as usize];
+            self.find_in(st.queue, o).is_some() || self.find_in(st.upgrades, o).is_some()
+        })
+    }
+
+    /// See [`FifoTable::conflicts_of`](crate::FifoTable::conflicts_of).
+    pub fn conflicts_of(&self, e: EntityId, o: O) -> Vec<O> {
+        let Some(si) = self.slot_of(e) else {
+            return Vec::new();
+        };
+        let st = self.estates[si as usize];
+        let mut out = Vec::new();
+        let mut id = st.holders.head;
+        while id != NIL {
+            out.push(self.nodes[id as usize].owner);
+            id = self.nodes[id as usize].next;
+        }
+        let mut id = st.upgrades.head;
+        while id != NIL {
+            out.push(self.nodes[id as usize].owner);
+            id = self.nodes[id as usize].next;
+        }
+        if self.find_in(st.upgrades, o).is_none() {
+            let mut id = st.queue.head;
+            while id != NIL {
+                out.push(self.nodes[id as usize].owner);
+                id = self.nodes[id as usize].next;
+            }
+        }
+        out.retain(|&x| x != o);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Entities with any lock state, ascending.
+    pub fn active_entities(&self) -> Vec<EntityId> {
+        let mut v: Vec<EntityId> = self.slots.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// True when nothing is held or queued anywhere.
+    pub fn is_idle(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Structural invariant check: the FifoTable invariants plus arena
+    /// integrity (list links consistent, lengths correct, freed nodes
+    /// never reachable, `owned` index exact).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut reachable = 0u32;
+        for (&e, &si) in &self.slots {
+            let st = self.estates[si as usize];
+            if st.is_empty() {
+                return Err(format!("{e}: empty state not pruned"));
+            }
+            for part in [Part::Holders, Part::Queue, Part::Upgrades] {
+                let list = self.list(si, part);
+                let mut id = list.head;
+                let mut prev = NIL;
+                let mut count = 0u32;
+                while id != NIL {
+                    let n = &self.nodes[id as usize];
+                    if n.prev != prev {
+                        return Err(format!("{e}: broken prev link in {part:?}"));
+                    }
+                    prev = id;
+                    id = n.next;
+                    count += 1;
+                    if count > self.nodes.len() as u32 {
+                        return Err(format!("{e}: cycle in {part:?} list"));
+                    }
+                }
+                if list.tail != prev {
+                    return Err(format!("{e}: tail mismatch in {part:?}"));
+                }
+                if list.len != count {
+                    return Err(format!("{e}: length mismatch in {part:?}"));
+                }
+                reachable += count;
+            }
+            let mut x = 0;
+            let mut id = st.holders.head;
+            while id != NIL {
+                let n = &self.nodes[id as usize];
+                if n.mode == LockMode::Exclusive {
+                    x += 1;
+                }
+                id = n.next;
+            }
+            if x > 1 {
+                return Err(format!("{e}: {x} exclusive holders"));
+            }
+            if x == 1 && st.holders.len > 1 {
+                return Err(format!("{e}: exclusive alongside shared holders"));
+            }
+            let mut id = st.upgrades.head;
+            while id != NIL {
+                let u = self.nodes[id as usize].owner;
+                if self.find_in(st.holders, u).is_none() {
+                    return Err(format!("{e}: upgrader is not a holder"));
+                }
+                id = self.nodes[id as usize].next;
+            }
+            let mut id = st.queue.head;
+            while id != NIL {
+                let w = self.nodes[id as usize].owner;
+                if self.find_in(st.holders, w).is_some() {
+                    return Err(format!("{e}: owner both holds and waits"));
+                }
+                id = self.nodes[id as usize].next;
+            }
+            let mut id = st.holders.head;
+            while id != NIL {
+                let h = self.nodes[id as usize].owner;
+                let indexed = self
+                    .owned
+                    .get(&h)
+                    .is_some_and(|v| v.binary_search(&e).is_ok());
+                if !indexed {
+                    return Err(format!("{e}: holder missing from owned index"));
+                }
+                id = self.nodes[id as usize].next;
+            }
+        }
+        // Free list + reachable nodes partition the arena exactly.
+        let mut free_count = 0u32;
+        let mut id = self.free;
+        while id != NIL {
+            free_count += 1;
+            if free_count > self.nodes.len() as u32 {
+                return Err("cycle in node free list".to_string());
+            }
+            id = self.nodes[id as usize].next;
+        }
+        if reachable + free_count != self.nodes.len() as u32 {
+            return Err(format!(
+                "arena leak: {} reachable + {} free != {} nodes",
+                reachable,
+                free_count,
+                self.nodes.len()
+            ));
+        }
+        for (o, entities) in &self.owned {
+            if !entities.windows(2).all(|w| w[0] < w[1]) {
+                return Err("owned index entry not strictly ascending".to_string());
+            }
+            for e in entities {
+                let holds = self.slot_of(*e).is_some_and(|si| {
+                    self.find_in(self.estates[si as usize].holders, *o)
+                        .is_some()
+                });
+                if !holds {
+                    return Err(format!("{e}: stale owned index entry"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<O: Copy + Eq + Ord + Hash> LockTable<O> for QueueTable<O> {
+    fn acquire(&mut self, e: EntityId, o: O, mode: LockMode) -> Result<Acquire, LockError> {
+        self.request(e, o, mode)
+    }
+
+    fn acquire_with_priority(
+        &mut self,
+        e: EntityId,
+        o: O,
+        mode: LockMode,
+        scheme: PreventionScheme,
+        prio: &dyn Fn(O) -> Priority,
+    ) -> Result<PreventionOutcome<O>, LockError> {
+        self.request_with_priority(e, o, mode, scheme, prio)
+    }
+
+    fn release_into(&mut self, e: EntityId, o: O, out: &mut Grants<O>) -> Result<(), LockError> {
+        QueueTable::release_into(self, e, o, out)
+    }
+
+    fn release(&mut self, e: EntityId, o: O) -> Result<Grants<O>, LockError> {
+        QueueTable::release(self, e, o)
+    }
+
+    fn release_idempotent(&mut self, e: EntityId, o: O) -> Grants<O> {
+        QueueTable::release_idempotent(self, e, o)
+    }
+
+    fn cancel_waits(&mut self, o: O) -> CancelOutcome<O> {
+        QueueTable::cancel_waits(self, o)
+    }
+
+    fn release_all(&mut self, o: O) -> EntityGrants<O> {
+        QueueTable::release_all(self, o)
+    }
+
+    fn holds(&self, e: EntityId, o: O) -> Option<LockMode> {
+        QueueTable::holds(self, e, o)
+    }
+
+    fn holders(&self, e: EntityId) -> Vec<(O, LockMode)> {
+        QueueTable::holders(self, e)
+    }
+
+    fn exclusive_holder(&self, e: EntityId) -> Option<O> {
+        QueueTable::exclusive_holder(self, e)
+    }
+
+    fn held_by(&self, o: O) -> Vec<EntityId> {
+        QueueTable::held_by(self, o)
+    }
+
+    fn waits_for(&self) -> Vec<(O, O)> {
+        QueueTable::waits_for(self)
+    }
+
+    fn entity_waits_for(&self, e: EntityId) -> Vec<(O, O)> {
+        QueueTable::entity_waits_for(self, e)
+    }
+
+    fn waits_of(&self, o: O) -> Vec<O> {
+        QueueTable::waits_of(self, o)
+    }
+
+    fn is_waiting(&self, e: EntityId, o: O) -> bool {
+        QueueTable::is_waiting(self, e, o)
+    }
+
+    fn conflicts_of(&self, e: EntityId, o: O) -> Vec<O> {
+        QueueTable::conflicts_of(self, e, o)
+    }
+
+    fn active_entities(&self) -> Vec<EntityId> {
+        QueueTable::active_entities(self)
+    }
+
+    fn is_idle(&self) -> bool {
+        QueueTable::is_idle(self)
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        QueueTable::check_invariants(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> LockMode {
+        LockMode::Exclusive
+    }
+    fn s() -> LockMode {
+        LockMode::Shared
+    }
+
+    #[test]
+    fn exclusive_fifo_grant_queue_release() {
+        let mut t: QueueTable<u32> = QueueTable::new();
+        let e = EntityId(0);
+        assert_eq!(t.request(e, 0, x()).unwrap(), Acquire::Granted);
+        assert_eq!(t.request(e, 1, x()).unwrap(), Acquire::Queued);
+        assert_eq!(t.request(e, 2, x()).unwrap(), Acquire::Queued);
+        assert_eq!(t.holds(e, 0), Some(x()));
+        assert_eq!(t.waits_for(), vec![(1, 0), (2, 0)]);
+        assert_eq!(t.release(e, 0).unwrap(), vec![(1, x())]);
+        assert_eq!(t.release(e, 1).unwrap(), vec![(2, x())]);
+        assert_eq!(t.release(e, 2).unwrap(), vec![]);
+        assert!(t.is_idle());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn nodes_are_recycled_not_grown() {
+        let mut t: QueueTable<u32> = QueueTable::new();
+        let e = EntityId(0);
+        for round in 0..100 {
+            t.request(e, 0, x()).unwrap();
+            t.request(e, 1, x()).unwrap();
+            assert_eq!(t.release(e, 0).unwrap(), vec![(1, x())]);
+            assert_eq!(t.release(e, 1).unwrap(), vec![]);
+            t.check_invariants()
+                .unwrap_or_else(|err| panic!("round {round}: {err}"));
+        }
+        assert!(
+            t.nodes.len() <= 2,
+            "arena grew to {} nodes for a 2-owner workload",
+            t.nodes.len()
+        );
+        assert!(t.estates.len() <= 1, "estate arena grew");
+    }
+
+    #[test]
+    fn shared_batch_and_upgrade_follow_fifo_rules() {
+        let mut t: QueueTable<u32> = QueueTable::new();
+        let e = EntityId(0);
+        t.request(e, 0, x()).unwrap();
+        t.request(e, 1, s()).unwrap();
+        t.request(e, 2, s()).unwrap();
+        t.request(e, 3, x()).unwrap();
+        assert_eq!(t.release(e, 0).unwrap(), vec![(1, s()), (2, s())]);
+        // Contended upgrade: 1 upgrades, waits on 2.
+        assert_eq!(t.request(e, 1, x()).unwrap(), Acquire::Queued);
+        assert_eq!(t.waits_for(), vec![(1, 2), (3, 1), (3, 2)]);
+        assert_eq!(t.release(e, 2).unwrap(), vec![(1, x())]);
+        assert_eq!(t.holds(e, 1), Some(x()));
+        assert_eq!(t.release(e, 1).unwrap(), vec![(3, x())]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sole_holder_upgrade_in_place() {
+        let mut t: QueueTable<u32> = QueueTable::new();
+        let e = EntityId(0);
+        t.request(e, 7, s()).unwrap();
+        assert_eq!(t.request(e, 7, x()).unwrap(), Acquire::Granted);
+        assert_eq!(t.exclusive_holder(e), Some(7));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_and_nonholder_errors_match_fifo() {
+        let mut t: QueueTable<u32> = QueueTable::new();
+        let e = EntityId(0);
+        t.request(e, 0, x()).unwrap();
+        t.request(e, 1, x()).unwrap();
+        assert_eq!(
+            t.request(e, 1, x()).unwrap_err(),
+            LockError::AlreadyQueued { entity: e }
+        );
+        assert_eq!(
+            t.release(e, 9).unwrap_err(),
+            LockError::NotHolder { entity: e }
+        );
+        assert_eq!(
+            t.release(EntityId(5), 0).unwrap_err(),
+            LockError::NotHolder {
+                entity: EntityId(5)
+            }
+        );
+    }
+
+    #[test]
+    fn prevention_schemes_match_fifo_semantics() {
+        let by_id = |o: u32| -> Priority { (o as u64, 0) };
+        let mut t: QueueTable<u32> = QueueTable::new();
+        let e = EntityId(0);
+        t.request_with_priority(e, 5, x(), PreventionScheme::WaitDie, by_id)
+            .unwrap();
+        assert_eq!(
+            t.request_with_priority(e, 3, x(), PreventionScheme::WaitDie, by_id)
+                .unwrap(),
+            PreventionOutcome::Queued
+        );
+        assert_eq!(
+            t.request_with_priority(e, 9, x(), PreventionScheme::WaitDie, by_id)
+                .unwrap(),
+            PreventionOutcome::Rejected
+        );
+        assert_eq!(t.waits_for(), vec![(3, 5)]);
+        t.check_invariants().unwrap();
+
+        let mut t: QueueTable<u32> = QueueTable::new();
+        t.request_with_priority(e, 2, s(), PreventionScheme::WoundWait, by_id)
+            .unwrap();
+        t.request_with_priority(e, 8, s(), PreventionScheme::WoundWait, by_id)
+            .unwrap();
+        t.request_with_priority(e, 9, x(), PreventionScheme::WoundWait, by_id)
+            .unwrap();
+        assert_eq!(
+            t.request_with_priority(e, 5, x(), PreventionScheme::WoundWait, by_id)
+                .unwrap(),
+            PreventionOutcome::Wounded(vec![8, 9])
+        );
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cancel_waits_unblocks_and_recycles() {
+        let mut t: QueueTable<u32> = QueueTable::new();
+        let e = EntityId(0);
+        t.request(e, 0, s()).unwrap();
+        t.request(e, 1, x()).unwrap();
+        t.request(e, 2, s()).unwrap();
+        let out = t.cancel_waits(1);
+        assert_eq!(out.cancelled, vec![e]);
+        assert_eq!(out.granted, vec![(e, vec![(2, s())])]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn release_all_and_held_by_use_the_reverse_index() {
+        let mut t: QueueTable<u32> = QueueTable::new();
+        let (a, b) = (EntityId(0), EntityId(1));
+        t.request(a, 0, x()).unwrap();
+        t.request(b, 0, x()).unwrap();
+        t.request(a, 1, x()).unwrap();
+        assert_eq!(t.held_by(0), vec![a, b]);
+        let released = t.release_all(0);
+        assert_eq!(released, vec![(a, vec![(1, x())]), (b, vec![])]);
+        assert_eq!(t.held_by(0), Vec::<EntityId>::new());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn writer_preference_serves_first_writer_past_readers() {
+        let mut t: QueueTable<u32> = QueueTable::new().with_bias(Bias::WriterPreference);
+        let e = EntityId(0);
+        t.request(e, 0, x()).unwrap();
+        t.request(e, 1, s()).unwrap();
+        t.request(e, 2, s()).unwrap();
+        t.request(e, 3, x()).unwrap();
+        // Lock falls free: the writer 3 overtakes readers 1 and 2.
+        assert_eq!(t.release(e, 0).unwrap(), vec![(3, x())]);
+        assert_eq!(t.release(e, 3).unwrap(), vec![(1, s()), (2, s())]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reader_batch_pulls_readers_past_a_blocked_writer() {
+        let mut t: QueueTable<u32> = QueueTable::new().with_bias(Bias::ReaderBatch);
+        let e = EntityId(0);
+        t.request(e, 0, s()).unwrap();
+        t.request(e, 1, s()).unwrap();
+        t.request(e, 2, x()).unwrap();
+        t.request(e, 3, s()).unwrap();
+        // Releasing one reader leaves an all-shared holder set; neutral
+        // FIFO would grant nothing (the writer blocks the front), but
+        // reader batching pulls reader 3 forward.
+        assert_eq!(t.release(e, 0).unwrap(), vec![(3, s())]);
+        assert_eq!(t.release(e, 1).unwrap(), vec![]);
+        assert_eq!(t.release(e, 3).unwrap(), vec![(2, x())]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cohort_handoff_prefers_the_releasers_cohort() {
+        // Cohort = owner parity. Queue: [1 (odd), 2 (even), 3 (odd)].
+        // Odd releaser 9 hands off within its cohort: 1 first (front,
+        // also local), then — releasing 1 — 3 skips past 2.
+        let mut t: QueueTable<u32> = QueueTable::new().with_topology(2, |o, n| o % n);
+        let e = EntityId(0);
+        t.request(e, 9, x()).unwrap();
+        t.request(e, 1, x()).unwrap();
+        t.request(e, 2, x()).unwrap();
+        t.request(e, 3, x()).unwrap();
+        assert_eq!(t.release(e, 9).unwrap(), vec![(1, x())]);
+        assert_eq!(t.release(e, 1).unwrap(), vec![(3, x())]);
+        // Only the remote waiter is left.
+        assert_eq!(t.release(e, 3).unwrap(), vec![(2, x())]);
+        assert_eq!(t.release(e, 2).unwrap(), vec![]);
+        assert!(t.is_idle());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cohort_handoff_cap_prevents_starvation() {
+        // One even waiter behind a stream of odd handoffs: after
+        // DEFAULT_HANDOFF_CAP consecutive skips the table must fall back
+        // to FIFO and serve the front (even) waiter.
+        let mut t: QueueTable<u64> =
+            QueueTable::new().with_topology(2, |o, n| (o % n as u64) as u32);
+        let e = EntityId(0);
+        t.request(e, 1, x()).unwrap(); // odd holder
+        t.request(e, 2, x()).unwrap(); // even waiter at the front
+        let mut next_odd = 3u64;
+        let mut served_even = false;
+        for _ in 0..(DEFAULT_HANDOFF_CAP + 2) {
+            // Keep one odd waiter behind the even front at all times.
+            t.request(e, next_odd, x()).unwrap();
+            let holder = t
+                .holders(e)
+                .first()
+                .map(|&(h, _)| h)
+                .expect("lock always held");
+            let grants = t.release(e, holder).unwrap();
+            assert_eq!(grants.len(), 1);
+            if grants[0].0 == 2 {
+                served_even = true;
+                break;
+            }
+            next_odd += 2;
+        }
+        assert!(served_even, "handoff cap failed: even waiter starved");
+        t.check_invariants().unwrap();
+    }
+}

@@ -3,7 +3,8 @@
 //! A single mutex-guarded lock table serializes *every* request, even for
 //! unrelated entities; under multi-core load the mutex, not the lock logic,
 //! becomes the bottleneck. [`ShardedTable`] hash-partitions the entity
-//! space into `n` independent [`ModeTable`]s, each behind its own
+//! space into `n` independent tables (default [`FifoTable`], or any
+//! [`LockTable`] impl), each behind its own
 //! `parking_lot::Mutex`, so requests for entities in different shards never
 //! contend. `crates/bench/benches/dlm.rs` measures the effect (see
 //! ARCHITECTURE.md for numbers).
@@ -15,25 +16,45 @@
 //! entity.
 
 use crate::error::LockError;
+use crate::lock_table::LockTable;
 use crate::prevent::{PreventionOutcome, PreventionScheme, Priority};
-use crate::table::{Acquire, CancelOutcome, EntityGrants, Grants, ModeTable};
+use crate::table::{Acquire, CancelOutcome, EntityGrants, FifoTable, Grants};
 use kplock_model::{EntityId, LockMode};
 use parking_lot::{Mutex, MutexGuard};
 use std::hash::Hash;
+use std::marker::PhantomData;
 
 /// A sharded reader–writer lock table: `shards` independent
-/// [`ModeTable`]s, each guarded by its own mutex.
+/// [`LockTable`] engines, each guarded by its own mutex.
+///
+/// The engine defaults to [`FifoTable`] (so `ShardedTable<O>` keeps its
+/// historical meaning); pass [`crate::QueueTable`] — or anything else
+/// implementing [`LockTable`] — as `T` to swap the data structure under
+/// an unchanged protocol.
 #[derive(Debug)]
-pub struct ShardedTable<O> {
-    shards: Vec<Mutex<ModeTable<O>>>,
+pub struct ShardedTable<O, T = FifoTable<O>> {
+    shards: Vec<Mutex<T>>,
+    _owner: PhantomData<fn(O)>,
 }
 
-impl<O: Copy + Eq + Ord + Hash> ShardedTable<O> {
-    /// Creates a table with `shards` partitions (at least 1).
-    pub fn new(shards: usize) -> Self {
+impl<O: Copy + Eq + Ord + Hash, T: LockTable<O>> ShardedTable<O, T> {
+    /// Creates a table with `shards` partitions (at least 1) of a
+    /// default-constructed engine.
+    pub fn new(shards: usize) -> Self
+    where
+        T: Default,
+    {
+        Self::with_tables(shards, T::default)
+    }
+
+    /// Creates a table with `shards` partitions (at least 1), building
+    /// each shard's engine with `factory` — how configured
+    /// [`crate::QueueTable`]s (bias, topology) are installed per shard.
+    pub fn with_tables(shards: usize, mut factory: impl FnMut() -> T) -> Self {
         let n = shards.max(1);
         ShardedTable {
-            shards: (0..n).map(|_| Mutex::new(ModeTable::new())).collect(),
+            shards: (0..n).map(|_| Mutex::new(factory())).collect(),
+            _owner: PhantomData,
         }
     }
 
@@ -53,22 +74,22 @@ impl<O: Copy + Eq + Ord + Hash> ShardedTable<O> {
     /// Locks the shard owning `e` and returns the guard. For callers (like
     /// the real-thread runner) that must compose several table calls with
     /// external bookkeeping atomically.
-    pub fn lock_shard(&self, e: EntityId) -> MutexGuard<'_, ModeTable<O>> {
+    pub fn lock_shard(&self, e: EntityId) -> MutexGuard<'_, T> {
         self.shards[self.shard_index(e)].lock()
     }
 
     /// Locks shard `idx` directly.
-    pub fn lock_shard_index(&self, idx: usize) -> MutexGuard<'_, ModeTable<O>> {
+    pub fn lock_shard_index(&self, idx: usize) -> MutexGuard<'_, T> {
         self.shards[idx].lock()
     }
 
-    /// Requests `mode` on `e` for `o`. See [`ModeTable::request`].
+    /// Requests `mode` on `e` for `o`. See [`FifoTable::request`].
     pub fn acquire(&self, e: EntityId, o: O, mode: LockMode) -> Result<Acquire, LockError> {
-        self.lock_shard(e).request(e, o, mode)
+        self.lock_shard(e).acquire(e, o, mode)
     }
 
     /// Requests `mode` on `e` for `o` under a timestamp-ordering deadlock
-    /// prevention scheme. See [`ModeTable::request_with_priority`]; only
+    /// prevention scheme. See [`FifoTable::request_with_priority`]; only
     /// `e`'s shard is locked — prevention needs no cross-shard state.
     pub fn acquire_with_priority(
         &self,
@@ -79,13 +100,20 @@ impl<O: Copy + Eq + Ord + Hash> ShardedTable<O> {
         prio: impl Fn(O) -> Priority,
     ) -> Result<PreventionOutcome<O>, LockError> {
         self.lock_shard(e)
-            .request_with_priority(e, o, mode, scheme, prio)
+            .acquire_with_priority(e, o, mode, scheme, &prio)
     }
 
     /// Releases `o`'s lock on `e`; returns the grants this unblocked.
-    /// See [`ModeTable::release`].
+    /// See [`FifoTable::release`].
     pub fn release(&self, e: EntityId, o: O) -> Result<Grants<O>, LockError> {
         self.lock_shard(e).release(e, o)
+    }
+
+    /// Releases `o`'s lock on `e`, appending unblocked grants to `out` —
+    /// the zero-allocation hot path when `T` supports it (see
+    /// [`LockTable::release_into`]).
+    pub fn release_into(&self, e: EntityId, o: O, out: &mut Grants<O>) -> Result<(), LockError> {
+        self.lock_shard(e).release_into(e, o, out)
     }
 
     /// Acquires a batch of locks for `o`, locking every touched shard only
@@ -114,7 +142,7 @@ impl<O: Copy + Eq + Ord + Hash> ShardedTable<O> {
             let mut guard = self.shards[shard].lock();
             while i < order.len() && self.shard_index(reqs[order[i]].0) == shard {
                 let (e, mode) = reqs[order[i]];
-                out[order[i]] = Some(guard.request(e, o, mode)?);
+                out[order[i]] = Some(guard.acquire(e, o, mode)?);
                 i += 1;
             }
         }

@@ -1,10 +1,22 @@
 //! The mode-aware FIFO lock table (one partition).
 //!
-//! [`ModeTable`] generalizes the simulator's exclusive-only table to
-//! reader–writer locks while keeping its grant discipline *bit-identical*
-//! in the exclusive-only case: requests queue strictly FIFO (no waiter is
-//! ever overtaken by a later request, so writers never starve), and grants
-//! happen inside [`ModeTable::release`] so the caller can forward them.
+//! [`FifoTable`] (formerly `ModeTable`; the alias remains) generalizes the
+//! simulator's exclusive-only table to reader–writer locks while keeping
+//! its grant discipline *bit-identical* in the exclusive-only case:
+//! requests queue strictly FIFO (no waiter is ever overtaken by a later
+//! request, so writers never starve), and grants happen inside
+//! [`FifoTable::release`] so the caller can forward them.
+//!
+//! Owner- and entity-keyed queries used to be O(entities) sorted scans;
+//! the table now maintains three reverse indexes — `owned` (per-owner held
+//! entities), `active` (entities with any state) and `contended` (entities
+//! with waiters) — so [`FifoTable::held_by`] is O(held),
+//! [`FifoTable::active_entities`] is a copy, and
+//! [`FifoTable::waits_for`]/[`FifoTable::waits_of`]/
+//! [`FifoTable::cancel_waits`] visit only contended entities. The indexes
+//! are pure acceleration: every result is identical to the scans they
+//! replaced (pinned by a proptest in `tests/properties.rs` and verified
+//! wholesale by [`FifoTable::check_invariants`]).
 //!
 //! # Invariants
 //!
@@ -24,6 +36,20 @@ use crate::prevent::{PreventionOutcome, PreventionScheme, Priority};
 use kplock_model::{EntityId, LockMode};
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
+
+/// Inserts `v` into a sorted vector if absent (no-op when present).
+fn sorted_insert<T: Ord + Copy>(vec: &mut Vec<T>, v: T) {
+    if let Err(i) = vec.binary_search(&v) {
+        vec.insert(i, v);
+    }
+}
+
+/// Removes `v` from a sorted vector if present (no-op when absent).
+fn sorted_remove<T: Ord + Copy>(vec: &mut Vec<T>, v: T) {
+    if let Ok(i) = vec.binary_search(&v) {
+        vec.remove(i);
+    }
+}
 
 /// Grants unblocked by one release/cancel at one entity: the granted
 /// owners with their granted modes, in FIFO order.
@@ -95,14 +121,26 @@ impl<O> Default for CancelOutcome<O> {
 /// must be cheap to copy and totally ordered so every query can return
 /// deterministic, sorted results.
 #[derive(Clone, Debug)]
-pub struct ModeTable<O> {
+pub struct FifoTable<O> {
     states: HashMap<EntityId, LockState<O>>,
+    /// Per-owner reverse index: entities the owner holds, ascending.
+    owned: HashMap<O, Vec<EntityId>>,
+    /// Entities with any state, ascending (mirrors `states.keys()`).
+    active: Vec<EntityId>,
+    /// Entities with a nonempty queue or pending upgrade, ascending.
+    contended: Vec<EntityId>,
 }
 
-impl<O> Default for ModeTable<O> {
+/// Original name of [`FifoTable`], kept for downstream callers.
+pub type ModeTable<O> = FifoTable<O>;
+
+impl<O> Default for FifoTable<O> {
     fn default() -> Self {
-        ModeTable {
+        FifoTable {
             states: HashMap::new(),
+            owned: HashMap::new(),
+            active: Vec::new(),
+            contended: Vec::new(),
         }
     }
 }
@@ -112,7 +150,12 @@ impl<O> Default for ModeTable<O> {
 /// applied to the state), or forced to wait — as a fresh queued request or
 /// as a pending upgrade by an existing holder.
 enum Admission {
-    Granted,
+    Granted {
+        /// True when the grant added a *new* holder entry (as opposed to a
+        /// covered re-request or an in-place upgrade) — the caller must
+        /// mirror it into the `owned` reverse index.
+        newly: bool,
+    },
     MustWait {
         /// True when `o` already holds the lock and is upgrading: it would
         /// join `upgrades`, not the queue, and is served ahead of it.
@@ -120,7 +163,7 @@ enum Admission {
     },
 }
 
-impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
+impl<O: Copy + Eq + Ord + Hash> FifoTable<O> {
     /// Creates an empty table.
     pub fn new() -> Self {
         Self::default()
@@ -143,12 +186,12 @@ impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
         }
         if let Some(held) = st.holders.iter().find(|&&(h, _)| h == o).map(|&(_, m)| m) {
             if held.covers(mode) {
-                return Ok(Admission::Granted);
+                return Ok(Admission::Granted { newly: false });
             }
             // Upgrade S -> X, in place when sole holder.
             if st.holders.len() == 1 {
                 st.holders[0].1 = LockMode::Exclusive;
-                return Ok(Admission::Granted);
+                return Ok(Admission::Granted { newly: false });
             }
             return Ok(Admission::MustWait { upgrade: true });
         }
@@ -162,9 +205,51 @@ impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
         };
         if grantable {
             st.holders.push((o, mode));
-            Ok(Admission::Granted)
+            Ok(Admission::Granted { newly: true })
         } else {
             Ok(Admission::MustWait { upgrade: false })
+        }
+    }
+
+    /// Re-syncs the `active`/`contended` indexes for `e` after a mutation,
+    /// pruning the state entirely when it went empty. Must be called after
+    /// every operation that can change `e`'s waiter sets or emptiness.
+    fn sync_entity(&mut self, e: EntityId) {
+        match self.states.get(&e) {
+            Some(st) if !st.is_empty() => {
+                sorted_insert(&mut self.active, e);
+                if st.queue.is_empty() && st.upgrades.is_empty() {
+                    sorted_remove(&mut self.contended, e);
+                } else {
+                    sorted_insert(&mut self.contended, e);
+                }
+            }
+            Some(_) => {
+                self.states.remove(&e);
+                sorted_remove(&mut self.active, e);
+                sorted_remove(&mut self.contended, e);
+            }
+            None => {
+                sorted_remove(&mut self.active, e);
+                sorted_remove(&mut self.contended, e);
+            }
+        }
+    }
+
+    /// Records `o` as holding `e` in the per-owner reverse index
+    /// (idempotent — upgrade grants re-report an existing holder).
+    fn owned_insert(owned: &mut HashMap<O, Vec<EntityId>>, o: O, e: EntityId) {
+        sorted_insert(owned.entry(o).or_default(), e);
+    }
+
+    /// Removes `e` from `o`'s reverse-index entry, dropping the entry when
+    /// it empties so the map does not accumulate dead owners.
+    fn owned_remove(owned: &mut HashMap<O, Vec<EntityId>>, o: O, e: EntityId) {
+        if let Some(v) = owned.get_mut(&o) {
+            sorted_remove(v, e);
+            if v.is_empty() {
+                owned.remove(&o);
+            }
         }
     }
 
@@ -177,17 +262,30 @@ impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
     /// release (reported as `Queued`).
     pub fn request(&mut self, e: EntityId, o: O, mode: LockMode) -> Result<Acquire, LockError> {
         let st = self.states.entry(e).or_insert_with(LockState::new);
-        match Self::try_admit(st, e, o, mode)? {
-            Admission::Granted => Ok(Acquire::Granted),
-            Admission::MustWait { upgrade: true } => {
+        let out = match Self::try_admit(st, e, o, mode) {
+            Err(err) => {
+                // AlreadyQueued implies waiters exist, so the state cannot
+                // have been freshly created here; still, resync to be safe.
+                self.sync_entity(e);
+                return Err(err);
+            }
+            Ok(Admission::Granted { newly }) => {
+                if newly {
+                    Self::owned_insert(&mut self.owned, o, e);
+                }
+                Acquire::Granted
+            }
+            Ok(Admission::MustWait { upgrade: true }) => {
                 st.upgrades.push(o);
-                Ok(Acquire::Queued)
+                Acquire::Queued
             }
-            Admission::MustWait { upgrade: false } => {
+            Ok(Admission::MustWait { upgrade: false }) => {
                 st.queue.push_back((o, mode));
-                Ok(Acquire::Queued)
+                Acquire::Queued
             }
-        }
+        };
+        self.sync_entity(e);
+        Ok(out)
     }
 
     /// Requests `mode` on `e` for `o` under a timestamp-ordering deadlock
@@ -228,10 +326,21 @@ impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
         prio: impl Fn(O) -> Priority,
     ) -> Result<PreventionOutcome<O>, LockError> {
         let st = self.states.entry(e).or_insert_with(LockState::new);
-        let upgrade = match Self::try_admit(st, e, o, mode)? {
-            Admission::Granted => return Ok(PreventionOutcome::Granted),
-            Admission::MustWait { upgrade } => upgrade,
+        let upgrade = match Self::try_admit(st, e, o, mode) {
+            Err(err) => {
+                self.sync_entity(e);
+                return Err(err);
+            }
+            Ok(Admission::Granted { newly }) => {
+                if newly {
+                    Self::owned_insert(&mut self.owned, o, e);
+                }
+                self.sync_entity(e);
+                return Ok(PreventionOutcome::Granted);
+            }
+            Ok(Admission::MustWait { upgrade }) => upgrade,
         };
+        let st = self.states.get_mut(&e).expect("state exists: must-wait");
         let mut obstacles: Vec<O> = st
             .holders
             .iter()
@@ -276,9 +385,7 @@ impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
                 }
             }
         };
-        if st.is_empty() {
-            self.states.remove(&e);
-        }
+        self.sync_entity(e);
         Ok(outcome)
     }
 
@@ -333,9 +440,12 @@ impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
         }
         st.upgrades.retain(|&x| x != o);
         let grants = Self::promote(st);
-        if st.is_empty() {
-            self.states.remove(&e);
+        Self::owned_remove(&mut self.owned, o, e);
+        for &(w, _) in &grants {
+            // Idempotent: an upgrade grant re-reports an existing holder.
+            Self::owned_insert(&mut self.owned, w, e);
         }
+        self.sync_entity(e);
         Ok(grants)
     }
 
@@ -366,26 +476,22 @@ impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
         }
     }
 
-    /// Entities currently held by `o`, ascending.
+    /// Entities currently held by `o`, ascending — an O(held) copy out of
+    /// the reverse index (previously an O(entities) scan + sort).
     pub fn held_by(&self, o: O) -> Vec<EntityId> {
-        let mut v: Vec<EntityId> = self
-            .states
-            .iter()
-            .filter(|(_, st)| st.holders.iter().any(|&(h, _)| h == o))
-            .map(|(&e, _)| e)
-            .collect();
-        v.sort();
-        v
+        self.owned.get(&o).cloned().unwrap_or_default()
     }
 
     /// Removes `o` from every wait queue and pending-upgrade slot. Grants
-    /// unblocked by the cancellation are performed and reported.
+    /// unblocked by the cancellation are performed and reported. Only
+    /// contended entities are visited (previously every entity was
+    /// scanned); the output is unchanged, since an entity with no waiters
+    /// can never contribute a cancellation.
     pub fn cancel_waits(&mut self, o: O) -> CancelOutcome<O> {
-        let mut entities: Vec<EntityId> = self.states.keys().copied().collect();
-        entities.sort();
+        let entities: Vec<EntityId> = self.contended.clone();
         let mut out = CancelOutcome::default();
         for e in entities {
-            let st = self.states.get_mut(&e).expect("key just listed");
+            let st = self.states.get_mut(&e).expect("contended index entry");
             let before = st.queue.len() + st.upgrades.len();
             st.queue.retain(|&(w, _)| w != o);
             st.upgrades.retain(|&x| x != o);
@@ -394,12 +500,13 @@ impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
             }
             out.cancelled.push(e);
             let grants = Self::promote(st);
+            for &(w, _) in &grants {
+                Self::owned_insert(&mut self.owned, w, e);
+            }
             if !grants.is_empty() {
                 out.granted.push((e, grants));
             }
-            if st.is_empty() {
-                self.states.remove(&e);
-            }
+            self.sync_entity(e);
         }
         out
     }
@@ -441,9 +548,11 @@ impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
     }
 
     /// All waits-for edges `(waiter, holder)` at this table, ascending.
+    /// Visits only contended entities — entities without waiters
+    /// contribute no edges.
     pub fn waits_for(&self) -> Vec<(O, O)> {
         let mut out = Vec::new();
-        for &e in self.states.keys() {
+        for &e in &self.contended {
             out.extend(self.entity_waits_for(e));
         }
         out.sort();
@@ -457,7 +566,8 @@ impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
     /// from local state alone, with no global wait-for graph.
     pub fn waits_of(&self, o: O) -> Vec<O> {
         let mut out = Vec::new();
-        for st in self.states.values() {
+        for e in &self.contended {
+            let st = &self.states[e];
             if st.queue.iter().any(|&(w, _)| w == o) {
                 out.extend(st.holders.iter().map(|&(h, _)| h));
             } else if st.upgrades.contains(&o) {
@@ -520,11 +630,10 @@ impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
         out
     }
 
-    /// Entities with any lock state (held or queued), ascending.
+    /// Entities with any lock state (held or queued), ascending — a copy
+    /// of the `active` index (previously an O(entities) collect + sort).
     pub fn active_entities(&self) -> Vec<EntityId> {
-        let mut v: Vec<EntityId> = self.states.keys().copied().collect();
-        v.sort();
-        v
+        self.active.clone()
     }
 
     /// True when nothing is held or queued anywhere.
@@ -561,8 +670,140 @@ impl<O: Copy + Eq + Ord + Hash> ModeTable<O> {
             if st.is_empty() {
                 return Err(format!("{e}: empty state not pruned"));
             }
+            if self.active.binary_search(e).is_err() {
+                return Err(format!("{e}: missing from active index"));
+            }
+            let waiting = !st.queue.is_empty() || !st.upgrades.is_empty();
+            if waiting != self.contended.binary_search(e).is_ok() {
+                return Err(format!("{e}: contended index disagrees"));
+            }
+            for &(h, _) in &st.holders {
+                let indexed = self
+                    .owned
+                    .get(&h)
+                    .is_some_and(|v| v.binary_search(e).is_ok());
+                if !indexed {
+                    return Err(format!("{e}: holder missing from owned index"));
+                }
+            }
+        }
+        // No stale index entries: every indexed item must exist in states.
+        if self.active.len() != self.states.len() {
+            return Err(format!(
+                "active index has {} entries, states has {}",
+                self.active.len(),
+                self.states.len()
+            ));
+        }
+        for &e in &self.contended {
+            if !self.states.contains_key(&e) {
+                return Err(format!("{e}: stale contended index entry"));
+            }
+        }
+        for (o, entities) in &self.owned {
+            if entities.is_empty() {
+                return Err("empty owned index entry not pruned".to_string());
+            }
+            if !entities.windows(2).all(|w| w[0] < w[1]) {
+                return Err("owned index entry not strictly ascending".to_string());
+            }
+            for e in entities {
+                let holds = self
+                    .states
+                    .get(e)
+                    .is_some_and(|st| st.holders.iter().any(|&(h, _)| h == *o));
+                if !holds {
+                    return Err(format!("{e}: stale owned index entry"));
+                }
+            }
         }
         Ok(())
+    }
+}
+
+impl<O: Copy + Eq + Ord + Hash> crate::lock_table::LockTable<O> for FifoTable<O> {
+    fn acquire(&mut self, e: EntityId, o: O, mode: LockMode) -> Result<Acquire, LockError> {
+        self.request(e, o, mode)
+    }
+
+    fn acquire_with_priority(
+        &mut self,
+        e: EntityId,
+        o: O,
+        mode: LockMode,
+        scheme: PreventionScheme,
+        prio: &dyn Fn(O) -> Priority,
+    ) -> Result<PreventionOutcome<O>, LockError> {
+        self.request_with_priority(e, o, mode, scheme, prio)
+    }
+
+    fn release_into(&mut self, e: EntityId, o: O, out: &mut Grants<O>) -> Result<(), LockError> {
+        out.extend(self.release(e, o)?);
+        Ok(())
+    }
+
+    fn release(&mut self, e: EntityId, o: O) -> Result<Grants<O>, LockError> {
+        FifoTable::release(self, e, o)
+    }
+
+    fn release_idempotent(&mut self, e: EntityId, o: O) -> Grants<O> {
+        FifoTable::release_idempotent(self, e, o)
+    }
+
+    fn cancel_waits(&mut self, o: O) -> CancelOutcome<O> {
+        FifoTable::cancel_waits(self, o)
+    }
+
+    fn release_all(&mut self, o: O) -> EntityGrants<O> {
+        FifoTable::release_all(self, o)
+    }
+
+    fn holds(&self, e: EntityId, o: O) -> Option<LockMode> {
+        FifoTable::holds(self, e, o)
+    }
+
+    fn holders(&self, e: EntityId) -> Vec<(O, LockMode)> {
+        FifoTable::holders(self, e)
+    }
+
+    fn exclusive_holder(&self, e: EntityId) -> Option<O> {
+        FifoTable::exclusive_holder(self, e)
+    }
+
+    fn held_by(&self, o: O) -> Vec<EntityId> {
+        FifoTable::held_by(self, o)
+    }
+
+    fn waits_for(&self) -> Vec<(O, O)> {
+        FifoTable::waits_for(self)
+    }
+
+    fn entity_waits_for(&self, e: EntityId) -> Vec<(O, O)> {
+        FifoTable::entity_waits_for(self, e)
+    }
+
+    fn waits_of(&self, o: O) -> Vec<O> {
+        FifoTable::waits_of(self, o)
+    }
+
+    fn is_waiting(&self, e: EntityId, o: O) -> bool {
+        FifoTable::is_waiting(self, e, o)
+    }
+
+    fn conflicts_of(&self, e: EntityId, o: O) -> Vec<O> {
+        FifoTable::conflicts_of(self, e, o)
+    }
+
+    fn active_entities(&self) -> Vec<EntityId> {
+        FifoTable::active_entities(self)
+    }
+
+    fn is_idle(&self) -> bool {
+        FifoTable::is_idle(self)
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        FifoTable::check_invariants(self)
     }
 }
 

@@ -165,6 +165,50 @@ proptest! {
         }
     }
 
+    /// The per-owner reverse index behind `held_by` (and the entity
+    /// indexes behind `active_entities`/`waits_for`) return exactly what
+    /// the O(entities) scans they replaced would have: recompute held_by
+    /// by scanning `active_entities() × holders()` and demand equality
+    /// after every random operation.
+    #[test]
+    fn reverse_indexes_match_the_scans_they_replaced(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(3));
+        let t: ShardedTable<u32> = ShardedTable::new(4);
+        let mut pending = HashSet::new();
+        for step in 0..150 {
+            if let Err(e) = random_op(&mut rng, &t, &mut pending) {
+                prop_assert!(false, "seed {} step {}: {}", seed, step, e);
+            }
+            // check_invariants cross-validates every index against a
+            // direct scan of the states map; do the held_by comparison
+            // here explicitly as well.
+            if let Err(e) = t.check_invariants() {
+                prop_assert!(false, "seed {} step {}: {}", seed, step, e);
+            }
+            let mut by_scan: HashMap<u32, Vec<EntityId>> = HashMap::new();
+            for shard in 0..t.shard_count() {
+                let guard = t.lock_shard_index(shard);
+                for e in kplock_dlm::LockTable::active_entities(&*guard) {
+                    for (h, _) in guard.holders(e) {
+                        by_scan.entry(h).or_default().push(e);
+                    }
+                }
+            }
+            for o in 0..OWNERS {
+                let mut expect = by_scan.remove(&o).unwrap_or_default();
+                expect.sort();
+                prop_assert_eq!(
+                    t.held_by(o),
+                    expect,
+                    "seed {} step {}: held_by({}) diverged from scan",
+                    seed,
+                    step,
+                    o
+                );
+            }
+        }
+    }
+
     /// Exclusive-only requests through the new table behave exactly like
     /// the original simulator FIFO table (modelled here): same grant
     /// decisions, same grantees on release, same waits-for edges.

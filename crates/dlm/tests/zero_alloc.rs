@@ -1,0 +1,143 @@
+//! Proof of the `QueueTable` zero-allocation claim: a counting global
+//! allocator wraps `System`, the table is warmed through every code
+//! path the steady-state loop will take (so arenas, free lists, hash
+//! maps and the per-owner index reach their high-water capacity), and
+//! then a thousand more contended lock/unlock rounds must perform *no*
+//! heap allocation at all.
+//!
+//! This lives in its own integration-test binary because a global
+//! allocator is process-wide: sharing a binary with other tests would
+//! let their allocations race the measurement.
+
+use kplock_dlm::{Acquire, LockTable, PreventionScheme, QueueTable};
+use kplock_model::{EntityId, LockMode};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation (alloc, alloc_zeroed, and growth reallocs);
+/// frees are uncounted — the claim is about acquiring memory.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const X: LockMode = LockMode::Exclusive;
+const S: LockMode = LockMode::Shared;
+
+/// One steady-state round over `ents`: an exclusive holder, a queued
+/// second writer granted by the first's release, a shared pair, and a
+/// priority-path grant — every hot-path shape the table serves.
+fn round(t: &mut QueueTable<u32>, ents: &[EntityId], buf: &mut Vec<(u32, LockMode)>) {
+    for &e in ents {
+        // Contended exclusive hand-off.
+        assert_eq!(t.request(e, 1, X).unwrap(), Acquire::Granted);
+        assert_eq!(t.request(e, 2, X).unwrap(), Acquire::Queued);
+        buf.clear();
+        t.release_into(e, 1, buf).unwrap();
+        assert_eq!(buf.as_slice(), &[(2, X)]);
+        buf.clear();
+        t.release_into(e, 2, buf).unwrap();
+        assert!(buf.is_empty());
+
+        // Shared coexistence.
+        assert_eq!(t.request(e, 1, S).unwrap(), Acquire::Granted);
+        assert_eq!(t.request(e, 2, S).unwrap(), Acquire::Granted);
+        buf.clear();
+        t.release_into(e, 1, buf).unwrap();
+        buf.clear();
+        t.release_into(e, 2, buf).unwrap();
+
+        // The prevention admission path (uncontended: Granted, and the
+        // obstacle scratch buffer is reused).
+        let outcome = t
+            .request_with_priority(e, 3, X, PreventionScheme::WoundWait, |o| (u64::from(o), 0))
+            .unwrap();
+        assert!(matches!(outcome, kplock_dlm::PreventionOutcome::Granted));
+        buf.clear();
+        t.release_into(e, 3, buf).unwrap();
+    }
+}
+
+#[test]
+fn queue_table_steady_state_performs_zero_allocations() {
+    let mut t: QueueTable<u32> = QueueTable::new();
+    let ents: Vec<EntityId> = (0..8).map(EntityId).collect();
+    let mut buf: Vec<(u32, LockMode)> = Vec::with_capacity(8);
+
+    // Warm-up: drive every path until all capacities hit steady state.
+    for _ in 0..50 {
+        round(&mut t, &ents, &mut buf);
+    }
+    t.check_invariants().unwrap();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..1_000 {
+        round(&mut t, &ents, &mut buf);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "QueueTable allocated {} times across 1000 steady-state rounds",
+        after - before
+    );
+    t.check_invariants().unwrap();
+}
+
+#[test]
+fn fifo_table_allocates_in_the_same_loop() {
+    // The contrast measurement: the map-of-vecs FifoTable deallocates a
+    // state's buffers when an entity goes idle and reallocates them on
+    // the next request, so the identical loop must allocate — this is
+    // exactly the churn the arena exists to remove. (If this ever goes
+    // to zero, FifoTable learned the same trick and the QueueTable test
+    // above is no longer the distinguishing measurement.)
+    let mut t: kplock_dlm::FifoTable<u32> = kplock_dlm::FifoTable::new();
+    let ents: Vec<EntityId> = (0..8).map(EntityId).collect();
+    let mut buf: Vec<(u32, LockMode)> = Vec::with_capacity(8);
+    let round = |t: &mut kplock_dlm::FifoTable<u32>, buf: &mut Vec<(u32, LockMode)>| {
+        for &e in &ents {
+            assert_eq!(t.request(e, 1, X).unwrap(), Acquire::Granted);
+            assert_eq!(t.request(e, 2, X).unwrap(), Acquire::Queued);
+            buf.clear();
+            t.release_into(e, 1, buf).unwrap();
+            buf.clear();
+            t.release_into(e, 2, buf).unwrap();
+        }
+    };
+    for _ in 0..50 {
+        round(&mut t, &mut buf);
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..1_000 {
+        round(&mut t, &mut buf);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert!(
+        after - before > 0,
+        "expected the FIFO map-of-vecs table to allocate in steady state"
+    );
+}

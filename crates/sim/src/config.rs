@@ -2,6 +2,7 @@
 
 use crate::fault::{FaultPlan, FaultPlanError};
 pub use kplock_dlm::PreventionScheme;
+pub use kplock_dlm::{Bias, TableSpec};
 use std::fmt;
 
 /// Network latency model for coordinator ↔ site messages.
@@ -190,6 +191,12 @@ pub struct SimConfig {
     /// A violation is an engine bug and panics with the offending site
     /// and tick.
     pub invariant_audit: bool,
+    /// Which lock-table implementation backs every site (see
+    /// [`kplock_dlm::TableSpec`]). The default, [`TableSpec::Fifo`],
+    /// reproduces the original engine bit for bit; [`TableSpec::Queue`]
+    /// swaps in the arena-allocated queue table with its bias and
+    /// cohort-handoff knobs (grant-order-equivalent when neutral).
+    pub table: TableSpec,
 }
 
 impl SimConfig {
@@ -240,6 +247,7 @@ impl Default for SimConfig {
             max_time: 10_000_000,
             faults: FaultPlan::none(),
             invariant_audit: false,
+            table: TableSpec::default(),
         }
     }
 }

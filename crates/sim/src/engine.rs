@@ -35,7 +35,7 @@ use crate::config::{ConfigError, DeadlockDetection, SimConfig};
 use crate::event::{EventKind, EventQueue, Instance, Payload, SimTime};
 use crate::fault::FaultPlanError;
 use crate::history::{audit, Audit, History};
-use crate::lock_table::LockTable;
+use crate::lock_table::SiteTable;
 use crate::metrics::Metrics;
 use crate::probe::{self, ProbeMsg, SiteProbeState, Stamp};
 use kplock_dlm::{Lease, LeaseTable, PreventionOutcome, WaitForGraph};
@@ -110,7 +110,7 @@ struct Engine<'a> {
     cfg: &'a SimConfig,
     rng: StdRng,
     queue: EventQueue,
-    sites: Vec<LockTable>,
+    sites: Vec<SiteTable>,
     coords: Vec<Coordinator>,
     /// Lock step id for a queued lock request.
     pending_lock_step: HashMap<(Instance, EntityId), StepId>,
@@ -214,7 +214,7 @@ pub fn run_with_arrivals(
         cfg,
         rng: StdRng::seed_from_u64(cfg.seed),
         queue: EventQueue::new(),
-        sites: vec![LockTable::new(); sys.db().site_count()],
+        sites: vec![SiteTable::new(cfg.table); sys.db().site_count()],
         coords: sys
             .txns()
             .iter()
@@ -1074,7 +1074,7 @@ impl Engine<'_> {
         let s = site.idx();
         self.down[s] = true;
         self.crash_at[s] = self.now;
-        self.sites[s] = LockTable::new();
+        self.sites[s] = SiteTable::new(self.cfg.table);
         self.probe_state[s].clear();
         // Sync the detectors to the wiped table: every wait edge this
         // site induced is gone until the waits re-form. Removals cannot

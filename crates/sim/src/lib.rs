@@ -95,15 +95,15 @@ pub mod probe;
 pub mod threaded;
 
 pub use config::{
-    ConfigError, DeadlockDetection, DeadlockResolution, LatencyModel, PreventionScheme, SimConfig,
-    VictimPolicy,
+    Bias, ConfigError, DeadlockDetection, DeadlockResolution, LatencyModel, PreventionScheme,
+    SimConfig, TableSpec, VictimPolicy,
 };
 pub use driver::{draw_arrivals, run_open_loop, ArrivalConfig};
 pub use engine::{run, run_with_arrivals, RunOutcome, SimReport};
 pub use event::{EventKind, EventQueue, Instance, Payload, SimTime};
 pub use fault::{FaultPlan, FaultPlanError, SiteCrash};
 pub use history::{audit, Audit, History, HistoryEvent};
-pub use lock_table::LockTable;
+pub use lock_table::SiteTable;
 pub use metrics::Metrics;
 pub use probe::{choose_victim, ProbeMsg, SiteProbeState, Stamp};
 pub use threaded::{run_threaded, ThreadedConfig, ThreadedReport, ThreadedResolution};

@@ -3,15 +3,22 @@
 //!
 //! One thread per transaction; locks live in a [`kplock_dlm::ShardedTable`]
 //! (hash-partitioned, one `parking_lot` mutex per shard, so independent
-//! entities never contend on one map) with a condvar per shard for grant
-//! wakeups; a global atomic sequence numbers the applied steps so the
-//! committed history can be audited exactly like the deterministic
+//! entities never contend on one map) generic over the
+//! [`kplock_dlm::LockTable`] implementation ([`ThreadedConfig::table`]
+//! picks [`kplock_dlm::FifoTable`] or [`kplock_dlm::QueueTable`], each
+//! monomorphized — no virtual dispatch on the lock hot path). Grant
+//! wakeups are *targeted*: each transaction owns a waiter slot (a flag
+//! under its own mutex plus a condvar), and whoever performs a grant
+//! notifies exactly the granted transactions' slots with `notify_one` —
+//! no per-shard broadcast, so a release never wakes the whole herd just
+//! to re-park it. A global atomic sequence numbers the applied steps so
+//! the committed history can be audited exactly like the deterministic
 //! simulator's. Deadlocks are broken by lock-wait timeouts by default
 //! (cancel the queued request, release, randomized backoff, retry), or —
 //! under [`ThreadedResolution::Prevent`] — never allowed to form:
 //! timestamp-ordering prevention decides wait/wound/die inside the shard,
-//! wounds are delivered as per-transaction flags plus condvar broadcasts
-//! so blocked victims wake and abort, and no timeout heuristic is needed.
+//! wounds are delivered as per-transaction flags plus a targeted wakeup
+//! of the victim's slot, and no timeout heuristic is needed.
 //!
 //! This runner is *non*-deterministic by nature — it exists to show the
 //! phenomena under genuine concurrency; the discrete-event engine in
@@ -21,9 +28,12 @@ use crate::config::ConfigError;
 use crate::event::Instance;
 use crate::history::History;
 use crate::history::{audit, Audit};
-use kplock_dlm::{Acquire, PreventionOutcome, PreventionScheme, Priority, ShardedTable};
+use kplock_dlm::{
+    Acquire, FifoTable, LockTable, PreventionOutcome, PreventionScheme, Priority, QueueTable,
+    ShardedTable, TableSpec,
+};
 use kplock_model::{ActionKind, EntityId, StepId, TxnId, TxnSystem};
-use parking_lot::Condvar;
+use parking_lot::{Condvar, Mutex};
 use rand::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,7 +51,8 @@ pub enum ThreadedResolution {
     /// are admitted only in priority order, so no cycle can form and no
     /// wait is ever mistaken for one. Transaction index plays the birth
     /// stamp (a fixed total order that survives retries). Wounds are
-    /// delivered through per-transaction flags and the shard condvars.
+    /// delivered through per-transaction flags and the victim's waiter
+    /// slot.
     Prevent(PreventionScheme),
 }
 
@@ -60,6 +71,10 @@ pub struct ThreadedConfig {
     pub shards: usize,
     /// Deadlock resolution: timeout heuristic (default) or prevention.
     pub resolution: ThreadedResolution,
+    /// Which lock-table implementation backs the shards (see
+    /// [`kplock_dlm::TableSpec`]); each choice is monomorphized into its
+    /// own runner.
+    pub table: TableSpec,
 }
 
 impl ThreadedConfig {
@@ -80,6 +95,7 @@ impl Default for ThreadedConfig {
             max_backoff: Duration::from_millis(5),
             shards: 8,
             resolution: ThreadedResolution::default(),
+            table: TableSpec::default(),
         }
     }
 }
@@ -101,10 +117,19 @@ pub struct ThreadedReport {
     pub committed_epoch: Vec<Option<u32>>,
 }
 
-struct Shared {
-    table: ShardedTable<Instance>,
-    /// One condvar per shard; waiters block on the shard's mutex guard.
-    wakeups: Vec<Condvar>,
+/// A transaction's wakeup slot: granters set the flag and `notify_one`;
+/// the owner parks on the condvar until the flag is set (or a timeout
+/// paces it). The flag lives under its *own* mutex, never the shard's,
+/// so delivering a wakeup does not contend with table operations.
+struct Waiter {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+struct Shared<T> {
+    table: ShardedTable<Instance, T>,
+    /// One slot per transaction; see [`Waiter`].
+    waiters: Vec<Waiter>,
     /// Wound markers, one per transaction (prevention only): `epoch + 1`
     /// of the wounded instance, `0` for none. Epoch-tagged so a stale
     /// wound (the victim already committed or restarted) is ignored for
@@ -114,7 +139,7 @@ struct Shared {
     events: parking_lot::Mutex<Vec<(u64, TxnId, u32, StepId)>>,
 }
 
-impl Shared {
+impl<T: LockTable<Instance>> Shared<T> {
     /// Records an applied step. Call while holding the shard guard of the
     /// step's entity so the global sequence respects per-entity
     /// grant/release order.
@@ -123,15 +148,30 @@ impl Shared {
         self.events.lock().push((seq, txn, epoch, step));
     }
 
-    /// Delivers a wound to `victim`: set its flag, then wake every shard's
-    /// waiters — the victim may be parked on any condvar (or none), and
-    /// wounds are rare enough that the broadcast is cheaper than tracking
-    /// where each transaction blocks.
+    /// Wakes exactly `who`'s thread: set its slot flag, notify its condvar.
+    /// Call *after* dropping the shard guard that performed the grant, so
+    /// the woken thread's authoritative holds-check does not immediately
+    /// block on a mutex we still hold.
+    fn notify(&self, who: Instance) {
+        let w = &self.waiters[who.txn.idx()];
+        let mut flag = w.flag.lock();
+        *flag = true;
+        w.cv.notify_one();
+    }
+
+    /// Notifies every grantee in a `(owner, mode)` grant list.
+    fn notify_grants(&self, grants: &[(Instance, kplock_model::LockMode)]) {
+        for &(who, _) in grants {
+            self.notify(who);
+        }
+    }
+
+    /// Delivers a wound to `victim`: set its flag, then wake its slot —
+    /// the victim is either parked there or will poll the flag at its
+    /// next step boundary.
     fn wound(&self, victim: Instance) {
         self.wounded[victim.txn.idx()].store(u64::from(victim.epoch) + 1, Ordering::SeqCst);
-        for c in &self.wakeups {
-            c.notify_all();
-        }
+        self.notify(victim);
     }
 
     /// Whether a wound targeting exactly this instance's epoch is pending.
@@ -146,16 +186,42 @@ fn prio_of(o: Instance) -> Priority {
     (o.txn.idx() as u64, 0)
 }
 
+/// Owner → cohort for [`TableSpec::Queue`] shards: transactions stripe
+/// across cohorts by index, stable across retries.
+fn txn_cohort(inst: Instance, cohorts: u32) -> u32 {
+    inst.txn.idx() as u32 % cohorts
+}
+
 /// Executes the system on real threads.
 ///
 /// Returns [`ConfigError`] if `cfg` fails [`ThreadedConfig::validate`]
 /// (e.g. zero shards), checked up front like [`crate::run`].
 pub fn run_threaded(sys: &TxnSystem, cfg: &ThreadedConfig) -> Result<ThreadedReport, ConfigError> {
     cfg.validate()?;
-    let shards = cfg.shards;
+    match cfg.table {
+        TableSpec::Fifo => run_generic(sys, cfg, FifoTable::new),
+        TableSpec::Queue { bias, cohorts } => run_generic(sys, cfg, move || {
+            QueueTable::new()
+                .with_bias(bias)
+                .with_topology(cohorts, txn_cohort)
+        }),
+    }
+}
+
+/// The monomorphized runner body: one instantiation per table type.
+fn run_generic<T: LockTable<Instance> + Send>(
+    sys: &TxnSystem,
+    cfg: &ThreadedConfig,
+    factory: impl FnMut() -> T,
+) -> Result<ThreadedReport, ConfigError> {
     let shared = Arc::new(Shared {
-        table: ShardedTable::new(shards),
-        wakeups: (0..shards).map(|_| Condvar::new()).collect(),
+        table: ShardedTable::with_tables(cfg.shards, factory),
+        waiters: (0..sys.len())
+            .map(|_| Waiter {
+                flag: Mutex::new(false),
+                cv: Condvar::new(),
+            })
+            .collect(),
         wounded: (0..sys.len()).map(|_| AtomicU64::new(0)).collect(),
         seq: AtomicU64::new(0),
         events: parking_lot::Mutex::new(Vec::new()),
@@ -198,7 +264,12 @@ pub fn run_threaded(sys: &TxnSystem, cfg: &ThreadedConfig) -> Result<ThreadedRep
 }
 
 /// Runs one transaction to commit; returns `(committed, final_epoch)`.
-fn run_txn(sys: &TxnSystem, txn: TxnId, shared: &Shared, cfg: &ThreadedConfig) -> (bool, u32) {
+fn run_txn<T: LockTable<Instance>>(
+    sys: &TxnSystem,
+    txn: TxnId,
+    shared: &Shared<T>,
+    cfg: &ThreadedConfig,
+) -> (bool, u32) {
     let t = sys.txn(txn);
     let mut rng = rand::thread_rng();
     for epoch in 0..cfg.max_attempts {
@@ -213,11 +284,11 @@ fn run_txn(sys: &TxnSystem, txn: TxnId, shared: &Shared, cfg: &ThreadedConfig) -
     (false, cfg.max_attempts)
 }
 
-fn attempt(
+fn attempt<T: LockTable<Instance>>(
     txn: TxnId,
     epoch: u32,
     t: &kplock_model::Transaction,
-    shared: &Shared,
+    shared: &Shared<T>,
     cfg: &ThreadedConfig,
 ) -> bool {
     let inst = Instance { txn, epoch };
@@ -225,13 +296,10 @@ fn attempt(
     let mut held: Vec<EntityId> = Vec::new();
     let abort = |held: &mut Vec<EntityId>| {
         held.clear();
-        // Wake only the shards whose waiters were actually granted
-        // something — notifying every condvar would recreate the
-        // thundering herd that sharding exists to avoid.
-        for (e, grants) in shared.table.release_all(inst) {
-            if !grants.is_empty() {
-                shared.wakeups[shared.table.shard_index(e)].notify_all();
-            }
+        // Wake only the transactions actually granted something by our
+        // releases — a targeted notify per grantee, never a broadcast.
+        for (_e, grants) in shared.table.release_all(inst) {
+            shared.notify_grants(&grants);
         }
     };
 
@@ -239,7 +307,7 @@ fn attempt(
     // transaction; parallel across transactions).
     loop {
         // A running victim notices its wound at step boundaries; a blocked
-        // one is woken by the wounder's condvar broadcast below.
+        // one is woken through its waiter slot by the wounder.
         if matches!(cfg.resolution, ThreadedResolution::Prevent(_)) && shared.is_wounded(inst) {
             abort(&mut held);
             return false;
@@ -253,26 +321,32 @@ fn attempt(
         let shard = shared.table.shard_index(step.entity);
         match step.kind {
             ActionKind::Lock => {
+                // Clear any stale wakeup before the request goes in: every
+                // grant of *this* request happens under the shard guard we
+                // are about to take, so it cannot race past this reset.
+                *shared.waiters[txn.idx()].flag.lock() = false;
                 let mut st = shared.table.lock_shard_index(shard);
                 let queued = match cfg.resolution {
                     ThreadedResolution::TimeoutAbort => matches!(
-                        st.request(step.entity, inst, step.mode).expect("protocol"),
+                        st.acquire(step.entity, inst, step.mode).expect("protocol"),
                         Acquire::Queued
                     ),
                     ThreadedResolution::Prevent(scheme) => {
                         match st
-                            .request_with_priority(step.entity, inst, step.mode, scheme, prio_of)
+                            .acquire_with_priority(step.entity, inst, step.mode, scheme, &prio_of)
                             .expect("protocol")
                         {
                             PreventionOutcome::Granted => false,
                             PreventionOutcome::Queued => true,
                             PreventionOutcome::Wounded(victims) => {
-                                // Wound the younger owners (flag + condvar
-                                // broadcast — real delivery, they abort
+                                // Wound the younger owners (flag + targeted
+                                // wakeup — real delivery, they abort
                                 // themselves) and wait like anyone else.
+                                drop(st);
                                 for v in victims {
                                     shared.wound(v);
                                 }
+                                st = shared.table.lock_shard_index(shard);
                                 true
                             }
                             PreventionOutcome::Rejected => {
@@ -285,60 +359,71 @@ fn attempt(
                         }
                     }
                 };
-                if queued {
-                    // FIFO: a later release grants us in-queue; wait for
-                    // it. Under the timeout heuristic the wait is bounded
-                    // and presumed deadlocked at the deadline; under
-                    // prevention waits are cycle-free, and the same
-                    // duration only paces wound-flag polling (covering a
-                    // wound that fired before we parked).
+                if !queued {
+                    held.push(step.entity);
+                    shared.record(txn, epoch, StepId::from_idx(v));
+                    drop(st);
+                } else {
+                    // FIFO: a later release grants us in-queue and wakes
+                    // our slot; park there. Under the timeout heuristic
+                    // the wait is bounded and presumed deadlocked at the
+                    // deadline; under prevention waits are cycle-free, and
+                    // the same duration only paces wound-flag polling
+                    // (covering a wound that fired before we parked).
+                    drop(st);
                     let deadline = std::time::Instant::now() + cfg.lock_timeout;
                     loop {
+                        {
+                            let w = &shared.waiters[txn.idx()];
+                            let mut flag = w.flag.lock();
+                            if !*flag {
+                                let pace = match cfg.resolution {
+                                    ThreadedResolution::TimeoutAbort => deadline
+                                        .saturating_duration_since(std::time::Instant::now()),
+                                    ThreadedResolution::Prevent(_) => cfg.lock_timeout,
+                                };
+                                if !pace.is_zero() {
+                                    let _ = w.cv.wait_for(&mut flag, pace);
+                                }
+                            }
+                            *flag = false; // consume the wakeup
+                        }
+                        // Authoritative checks happen under the shard
+                        // guard — the flag is only a hint.
+                        let mut st = shared.table.lock_shard_index(shard);
                         if matches!(cfg.resolution, ThreadedResolution::Prevent(_))
                             && shared.is_wounded(inst)
                         {
                             let cancelled = st.cancel_waits(inst);
                             drop(st);
-                            if !cancelled.granted.is_empty() {
-                                shared.wakeups[shard].notify_all();
+                            for (_e, grants) in &cancelled.granted {
+                                shared.notify_grants(grants);
                             }
                             abort(&mut held);
                             return false;
                         }
                         if st.holds(step.entity, inst).is_some() {
+                            held.push(step.entity);
+                            shared.record(txn, epoch, StepId::from_idx(v));
+                            drop(st);
                             break;
                         }
-                        match cfg.resolution {
-                            ThreadedResolution::TimeoutAbort => {
-                                let left =
-                                    deadline.saturating_duration_since(std::time::Instant::now());
-                                if left.is_zero()
-                                    || shared.wakeups[shard].wait_for(&mut st, left).timed_out()
-                                {
-                                    if st.holds(step.entity, inst).is_some() {
-                                        break; // granted in the same instant
-                                    }
-                                    // Presumed deadlock: cancel our queued
-                                    // request (may unblock readers behind
-                                    // us), then abort.
-                                    let cancelled = st.cancel_waits(inst);
-                                    drop(st);
-                                    if !cancelled.granted.is_empty() {
-                                        shared.wakeups[shard].notify_all();
-                                    }
-                                    abort(&mut held);
-                                    return false;
-                                }
+                        if matches!(cfg.resolution, ThreadedResolution::TimeoutAbort)
+                            && std::time::Instant::now() >= deadline
+                        {
+                            // Presumed deadlock: cancel our queued request
+                            // (may unblock readers behind us), then abort.
+                            let cancelled = st.cancel_waits(inst);
+                            drop(st);
+                            for (_e, grants) in &cancelled.granted {
+                                shared.notify_grants(grants);
                             }
-                            ThreadedResolution::Prevent(_) => {
-                                let _ = shared.wakeups[shard].wait_for(&mut st, cfg.lock_timeout);
-                            }
+                            abort(&mut held);
+                            return false;
                         }
+                        drop(st);
                     }
                 }
-                held.push(step.entity);
-                shared.record(txn, epoch, StepId::from_idx(v));
-                drop(st);
             }
             ActionKind::Update => {
                 let st = shared.table.lock_shard_index(shard);
@@ -356,9 +441,7 @@ fn attempt(
                 held.retain(|&e| e != step.entity);
                 shared.record(txn, epoch, StepId::from_idx(v));
                 drop(st);
-                if !grants.is_empty() {
-                    shared.wakeups[shard].notify_all();
-                }
+                shared.notify_grants(&grants);
             }
         }
         done[v] = true;
@@ -384,17 +467,28 @@ mod tests {
         TxnSystem::new(db, txns)
     }
 
+    /// Both table implementations, for sweeping the same scenario.
+    fn specs() -> [TableSpec; 2] {
+        [TableSpec::Fifo, TableSpec::queue()]
+    }
+
     #[test]
     fn threaded_conflicting_pair_commits_serializably() {
         let s = sys(
             &["Lx Ly x y Ux Uy", "Lx Ly x y Ux Uy"],
             &[("x", 0), ("y", 0)],
         );
-        for _ in 0..5 {
-            let r = run_threaded(&s, &ThreadedConfig::default()).unwrap();
-            assert!(r.finished);
-            r.audit.legal.as_ref().unwrap();
-            assert!(r.audit.serializable, "2PL history must be serializable");
+        for table in specs() {
+            let cfg = ThreadedConfig {
+                table,
+                ..Default::default()
+            };
+            for _ in 0..5 {
+                let r = run_threaded(&s, &cfg).unwrap();
+                assert!(r.finished);
+                r.audit.legal.as_ref().unwrap();
+                assert!(r.audit.serializable, "2PL history must be serializable");
+            }
         }
     }
 
@@ -404,10 +498,16 @@ mod tests {
             &["Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux"],
             &[("x", 0), ("y", 0)],
         );
-        let r = run_threaded(&s, &ThreadedConfig::default()).unwrap();
-        assert!(r.finished, "timeout-abort must break deadlocks");
-        r.audit.legal.as_ref().unwrap();
-        assert!(r.audit.serializable);
+        for table in specs() {
+            let cfg = ThreadedConfig {
+                table,
+                ..Default::default()
+            };
+            let r = run_threaded(&s, &cfg).unwrap();
+            assert!(r.finished, "timeout-abort must break deadlocks");
+            r.audit.legal.as_ref().unwrap();
+            assert!(r.audit.serializable);
+        }
     }
 
     #[test]
@@ -430,11 +530,17 @@ mod tests {
     #[test]
     fn threaded_shared_readers_and_a_writer() {
         let s = sys(&["SLx rx Ux", "SLx rx Ux", "Lx x Ux"], &[("x", 0)]);
-        for _ in 0..5 {
-            let r = run_threaded(&s, &ThreadedConfig::default()).unwrap();
-            assert!(r.finished);
-            r.audit.legal.as_ref().unwrap();
-            assert!(r.audit.serializable);
+        for table in specs() {
+            let cfg = ThreadedConfig {
+                table,
+                ..Default::default()
+            };
+            for _ in 0..5 {
+                let r = run_threaded(&s, &cfg).unwrap();
+                assert!(r.finished);
+                r.audit.legal.as_ref().unwrap();
+                assert!(r.audit.serializable);
+            }
         }
     }
 
@@ -447,22 +553,25 @@ mod tests {
             &["Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux"],
             &[("x", 0), ("y", 0)],
         );
-        for scheme in [
-            PreventionScheme::WoundWait,
-            PreventionScheme::WaitDie,
-            PreventionScheme::NoWait,
-        ] {
-            let cfg = ThreadedConfig {
-                resolution: ThreadedResolution::Prevent(scheme),
-                lock_timeout: Duration::from_millis(2),
-                max_attempts: 1000,
-                ..Default::default()
-            };
-            for _ in 0..5 {
-                let r = run_threaded(&s, &cfg).unwrap();
-                assert!(r.finished, "{scheme:?} must not wedge");
-                r.audit.legal.as_ref().unwrap();
-                assert!(r.audit.serializable, "{scheme:?}");
+        for table in specs() {
+            for scheme in [
+                PreventionScheme::WoundWait,
+                PreventionScheme::WaitDie,
+                PreventionScheme::NoWait,
+            ] {
+                let cfg = ThreadedConfig {
+                    resolution: ThreadedResolution::Prevent(scheme),
+                    lock_timeout: Duration::from_millis(2),
+                    max_attempts: 1000,
+                    table,
+                    ..Default::default()
+                };
+                for _ in 0..5 {
+                    let r = run_threaded(&s, &cfg).unwrap();
+                    assert!(r.finished, "{scheme:?} must not wedge");
+                    r.audit.legal.as_ref().unwrap();
+                    assert!(r.audit.serializable, "{scheme:?}");
+                }
             }
         }
     }
@@ -559,5 +668,32 @@ mod tests {
         let r = run_threaded(&s, &cfg).unwrap();
         assert!(r.finished);
         assert!(r.audit.serializable);
+    }
+
+    #[test]
+    fn threaded_queue_table_with_cohorts_and_bias_finishes() {
+        let s = sys(
+            &["Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", "SLx rx Ux"],
+            &[("x", 0), ("y", 0)],
+        );
+        for table in [
+            TableSpec::Queue {
+                bias: kplock_dlm::Bias::ReaderBatch,
+                cohorts: 0,
+            },
+            TableSpec::Queue {
+                bias: kplock_dlm::Bias::WriterPreference,
+                cohorts: 2,
+            },
+        ] {
+            let cfg = ThreadedConfig {
+                table,
+                ..Default::default()
+            };
+            let r = run_threaded(&s, &cfg).unwrap();
+            assert!(r.finished);
+            r.audit.legal.as_ref().unwrap();
+            assert!(r.audit.serializable);
+        }
     }
 }

@@ -1,0 +1,84 @@
+//! Select a lock-table implementation per run and watch the knob propagate
+//! through both runners: the discrete-event simulator must produce an
+//! *identical* report for `TableSpec::Fifo` and a neutral
+//! `TableSpec::queue()` (the queue table is a drop-in replacement), and the
+//! threaded runner sweeps every spec — including the reader/writer-bias and
+//! cohort-handoff variants — over real OS threads.
+//!
+//! For measured numbers, run the dedicated driver instead:
+//! `cargo run --release -p kplock-bench --bin kplock-bench -- --smoke`
+//! (see README for the BENCH_*.json schema).
+//!
+//! Run with: `cargo run --example table_bench`
+
+use kplock::core::policy::LockStrategy;
+use kplock::sim::{run, run_threaded, LatencyModel, SimConfig, TableSpec, ThreadedConfig};
+use kplock::workload::{random_system, WorkloadParams};
+
+fn main() {
+    let sys = random_system(&WorkloadParams {
+        seed: 23,
+        sites: 2,
+        entities_per_site: 2,
+        transactions: 4,
+        steps_per_txn: 6,
+        strategy: LockStrategy::TwoPhaseSync,
+        ..Default::default()
+    });
+
+    // --- Simulator: the table is one field on SimConfig. -----------------
+    println!("=== simulator: FIFO vs neutral queue table ===");
+    let report_for = |table: TableSpec| {
+        let cfg = SimConfig {
+            seed: 7,
+            latency: LatencyModel::Uniform(1, 20),
+            table,
+            ..Default::default()
+        };
+        run(&sys, &cfg).expect("valid config")
+    };
+    let fifo = report_for(TableSpec::Fifo);
+    let queue = report_for(TableSpec::queue());
+    for (label, r) in [("fifo", &fifo), ("queue", &queue)] {
+        println!(
+            "  {label:<6} committed={} aborts={} makespan={}",
+            r.metrics.committed, r.metrics.aborts, r.metrics.makespan
+        );
+    }
+    assert_eq!(
+        fifo.metrics, queue.metrics,
+        "a neutral queue table must be indistinguishable from FIFO"
+    );
+    println!("  reports identical — the queue table is a drop-in.\n");
+
+    // --- Threaded runner: same knob, monomorphized per spec. -------------
+    println!("=== threaded runner: sweeping table specs on OS threads ===");
+    for spec in [
+        TableSpec::Fifo,
+        TableSpec::queue(),
+        TableSpec::Queue {
+            bias: kplock::dlm::Bias::ReaderBatch,
+            cohorts: 0,
+        },
+        TableSpec::Queue {
+            bias: kplock::dlm::Bias::WriterPreference,
+            cohorts: 2,
+        },
+    ] {
+        let cfg = ThreadedConfig {
+            shards: 4,
+            table: spec,
+            ..Default::default()
+        };
+        let r = run_threaded(&sys, &cfg).expect("valid config");
+        assert!(r.finished, "{spec:?} run must finish");
+        r.audit.legal.as_ref().expect("history must be legal");
+        assert!(r.audit.serializable, "2PL-sync histories are serializable");
+        println!(
+            "  {:<13} finished={} aborts={} (audit: serializable)",
+            spec.label(),
+            r.finished,
+            r.aborts
+        );
+    }
+}

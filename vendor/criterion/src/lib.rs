@@ -6,11 +6,17 @@
 //! the [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark is
 //! warmed up, then timed over enough iterations to fill a short measurement
 //! window, and the mean time per iteration is printed in criterion's
-//! `name ... time: [..]` style. Statistical analysis (outlier detection,
-//! regressions, HTML reports) is out of scope; swap in the real crate when a
-//! registry is reachable.
+//! `name ... time: [..]` style. Passing `--json <path>` (as in
+//! `cargo bench --bench foo -- --json out.jsonl`) additionally appends one
+//! JSON object per benchmark — `{"name", "mean_ns", "iters", "mode"}` — so
+//! drivers can collect machine-readable trajectories without scraping
+//! stdout. Statistical analysis (outlier detection, regressions, HTML
+//! reports) is out of scope; swap in the real crate when a registry is
+//! reachable.
 
 use std::fmt;
+use std::io::Write;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Prevent the optimizer from discarding a value. Re-exported for parity with
@@ -183,19 +189,31 @@ impl BenchmarkGroup<'_> {
 pub struct Criterion {
     measurement_time: Duration,
     test_mode: bool,
+    json_path: Option<PathBuf>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        let mut args = std::env::args();
+        let mut test_mode = false;
+        let mut json_path = None;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                // Mirror of real criterion's `--test` flag (as in
+                // `cargo bench --bench foo -- --test`): run each benchmark
+                // body exactly once so CI can prove benches still compile
+                // and execute without paying for measurements.
+                "--test" => test_mode = true,
+                "--json" => json_path = args.next().map(PathBuf::from),
+                _ => {}
+            }
+        }
         Criterion {
             // Short window: these benches run in CI smoke mode, not for
             // statistically rigorous comparisons.
             measurement_time: Duration::from_millis(200),
-            // Mirror of real criterion's `--test` flag (as in
-            // `cargo bench --bench foo -- --test`): run each benchmark
-            // body exactly once so CI can prove benches still compile and
-            // execute without paying for measurements.
-            test_mode: std::env::args().any(|a| a == "--test"),
+            test_mode,
+            json_path,
         }
     }
 }
@@ -232,7 +250,40 @@ impl Criterion {
         };
         f(&mut bencher);
         bencher.report(name);
+        if let Some(path) = &self.json_path {
+            let mean_ns = if bencher.iters == 0 {
+                0.0
+            } else {
+                bencher.total.as_nanos() as f64 / bencher.iters as f64
+            };
+            let line = format!(
+                "{{\"name\":\"{}\",\"mean_ns\":{:.3},\"iters\":{},\"mode\":\"{}\"}}\n",
+                escape_json(name),
+                mean_ns,
+                bencher.iters,
+                if self.test_mode { "test" } else { "measured" },
+            );
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(line.as_bytes()))
+                .unwrap_or_else(|e| panic!("--json {}: {e}", path.display()));
+        }
     }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Mirror of `criterion::criterion_group!`: bundle benchmark functions.
@@ -265,6 +316,7 @@ mod tests {
         let mut c = Criterion {
             measurement_time: Duration::from_millis(5),
             test_mode: false,
+            json_path: None,
         };
         let mut ran = 0u64;
         c.bench_function("noop", |b| b.iter(|| ran += 1));
@@ -276,6 +328,7 @@ mod tests {
         let mut c = Criterion {
             measurement_time: Duration::from_millis(5),
             test_mode: false,
+            json_path: None,
         };
         let mut group = c.benchmark_group("g");
         group.measurement_time(Duration::from_millis(40));
@@ -289,6 +342,7 @@ mod tests {
         let mut c = Criterion {
             measurement_time: Duration::from_millis(5),
             test_mode: true,
+            json_path: None,
         };
         let mut ran = 0u64;
         c.bench_function("once", |b| b.iter(|| ran += 1));
@@ -297,10 +351,34 @@ mod tests {
     }
 
     #[test]
+    fn json_output_appends_one_line_per_benchmark() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-shim-json-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+            test_mode: true,
+            json_path: Some(path.clone()),
+        };
+        c.bench_function("grp/na\"me", |b| b.iter(|| 1 + 1));
+        c.bench_function("plain", |b| b.iter(|| 2 + 2));
+        let body = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"name\":\"grp/na\\\"me\",\"mean_ns\":0.000,\"iters\":1,\"mode\":\"test\"}"
+        );
+        assert!(lines[1].contains("\"name\":\"plain\""));
+    }
+
+    #[test]
     fn groups_and_ids_compose() {
         let mut c = Criterion {
             measurement_time: Duration::from_millis(5),
             test_mode: false,
+            json_path: None,
         };
         let mut group = c.benchmark_group("g");
         group.sample_size(10);
