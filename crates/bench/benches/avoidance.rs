@@ -1,0 +1,67 @@
+//! Experiment D4's wall-clock companion and CI's avoidance smoke: what
+//! does running the paper's static analysis *at runtime* cost?
+//!
+//! Two measurements on the certified-mix family
+//! ([`kplock_workload::avoid_mix_sweep`]):
+//!
+//! * `synthesize` — plan construction alone (the greedy certification
+//!   plus topological safe-order extraction), the price paid once per
+//!   declared transaction set, before anything runs;
+//! * `run` — whole avoidance-arm simulations across the certified
+//!   fraction, from pure fallback (wound-wait-shaped) to fully certified
+//!   (the silent regime).
+//!
+//! The companion table (`cargo run --release --bin experiments`, table
+//! D4) reports the simulated units (restarts, messages, makespan); here
+//! the host cost is timed — and `cargo bench --bench avoidance -- --test`
+//! is CI's one-iteration proof that every rung still completes with zero
+//! resolved deadlocks and a serializable audit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplock_sim::{run, AvoidPlan, RunOutcome};
+use kplock_workload::{avoid_mix_sweep, certified_mix};
+
+fn bench_avoidance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("avoidance");
+    group.sample_size(20);
+
+    for (certified, fallback) in [(6usize, 0usize), (3, 3), (0, 6)] {
+        let sys = certified_mix(6, certified, fallback, 3);
+        group.bench_with_input(
+            BenchmarkId::new("synthesize", format!("certified={certified}/6")),
+            &sys,
+            |b, sys| {
+                b.iter(|| {
+                    let plan = AvoidPlan::synthesize(std::hint::black_box(sys));
+                    assert!(plan.verify(sys).is_ok());
+                    plan
+                })
+            },
+        );
+    }
+
+    for sc in avoid_mix_sweep(6, 4, 3, &[0, 2, 4]) {
+        group.bench_with_input(BenchmarkId::new("run", sc.name.clone()), &sc, |b, sc| {
+            b.iter(|| {
+                let r = run(std::hint::black_box(&sc.system), &sc.config(5)).expect("valid config");
+                assert_eq!(
+                    r.outcome,
+                    RunOutcome::Completed,
+                    "{} must complete",
+                    sc.name
+                );
+                assert_eq!(
+                    r.metrics.deadlocks_resolved, 0,
+                    "{} must never resolve a deadlock",
+                    sc.name
+                );
+                assert!(r.audit.serializable, "{} must audit clean", sc.name);
+                r
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_avoidance);
+criterion_main!(benches);

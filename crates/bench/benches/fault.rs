@@ -4,8 +4,10 @@
 //! Three rungs of the [`kplock_workload::fault_plan_ladder`] — `clean`
 //! (the bit-identical baseline), `mixed` (loss + duplication + reorder
 //! with retransmission), and `crash` (two scheduled outages with lease
-//! recovery) — each run under distributed probes and wound-wait
-//! prevention on the rotated-lock-order workload. The companion table
+//! recovery) — each run under distributed probes, wound-wait prevention,
+//! and the avoidance arm on the rotated-lock-order workload (whose
+//! pairwise-opposed orders leave exactly one transaction certifiable —
+//! the certificate *boundary* under faults). The companion table
 //! (`cargo run --release --bin experiments`, table D3) reports the
 //! simulated units (drops, duplicates, recoveries, detection latency,
 //! restarts); here the host cost of whole faulty runs is timed — and
@@ -16,13 +18,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kplock_sim::{run, RunOutcome, SimConfig};
-use kplock_workload::{fault_sweep, FAULT_ARMS};
+use kplock_workload::{fault_sweep, FAULT_ARMS_WITH_AVOID};
 
 fn bench_fault(c: &mut Criterion) {
     let mut group = c.benchmark_group("fault_matrix");
     group.sample_size(20);
     let smoke_plans = ["clean", "mixed=0.10", "crash"];
-    for sc in fault_sweep(6, 4, 3, &[0.10], &FAULT_ARMS) {
+    for sc in fault_sweep(6, 4, 3, &[0.10], &FAULT_ARMS_WITH_AVOID) {
         if !smoke_plans.contains(&sc.plan_name.as_str()) {
             continue;
         }

@@ -9,8 +9,10 @@
 //!   single core nothing blocks cross-thread and the numbers measure
 //!   the table data structure, not the scheduler);
 //! * `sim` — full deterministic simulator runs under probe detection,
-//!   wound-wait prevention, and a lossy fault plan;
-//! * `threaded` — the OS-thread runner under both resolutions.
+//!   wound-wait prevention, certificate-driven avoidance, and a lossy
+//!   fault plan;
+//! * `threaded` — the OS-thread runner under timeout, prevention and
+//!   avoidance.
 //!
 //! Each configuration yields one [`BenchRecord`] (throughput,
 //! p50/p99/p999 latency, restarts, probe messages). `--out PATH` writes
@@ -28,7 +30,7 @@ use kplock_bench::two_site_pair;
 use kplock_dlm::{Bias, FifoTable, LockTable, QueueTable, ShardedTable, TableSpec};
 use kplock_model::{Database, EntityId, LockMode, TxnBuilder, TxnSystem};
 use kplock_sim::{
-    run, run_threaded, DeadlockDetection, DeadlockResolution, FaultPlan, LatencyModel,
+    run, run_threaded, AvoidPlan, DeadlockDetection, DeadlockResolution, FaultPlan, LatencyModel,
     PreventionScheme, SimConfig, ThreadedConfig, ThreadedResolution,
 };
 use std::sync::Barrier;
@@ -348,6 +350,7 @@ fn sim_suite(records: &mut Vec<BenchRecord>, scale: &Scale) {
             "wound_wait",
             DeadlockResolution::Prevent(PreventionScheme::WoundWait),
         ),
+        ("avoid", DeadlockResolution::Avoid),
     ];
     for spec in [TableSpec::Fifo, TableSpec::queue()] {
         for (rlabel, resolution) in arms {
@@ -403,6 +406,7 @@ fn sim_record(
             table: spec,
             faults: faults.clone(),
             seed: seed + 1,
+            avoid: (resolution == DeadlockResolution::Avoid).then(|| AvoidPlan::synthesize(&sys)),
             ..Default::default()
         };
         let r0 = Instant::now();
@@ -466,6 +470,7 @@ fn threaded_suite(records: &mut Vec<BenchRecord>, scale: &Scale) {
             "wound_wait",
             ThreadedResolution::Prevent(PreventionScheme::WoundWait),
         ),
+        ("avoid", ThreadedResolution::Avoid),
     ];
     for spec in [TableSpec::Fifo, TableSpec::queue()] {
         for shards in [4usize, 16] {
@@ -493,6 +498,7 @@ fn threaded_record(
         lock_timeout: Duration::from_millis(5),
         max_backoff: Duration::from_millis(1),
         max_attempts: 1000,
+        avoid: (resolution == ThreadedResolution::Avoid).then(|| AvoidPlan::synthesize(sys)),
     };
     let mut ops = 0u64;
     let mut restarts = 0u64;

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod analysis;
+pub mod avoid;
 pub mod certificate;
 pub mod closure;
 pub mod conflict_graph;
@@ -60,6 +61,7 @@ pub mod total_pair;
 pub mod two_site;
 
 pub use analysis::{analyze_pair, PairAnalysis};
+pub use avoid::{hold_request_edges, AvoidPlan, AvoidPlanError, SiteController};
 pub use certificate::{CertificateError, SafeProof, SafetyVerdict, UnsafetyCertificate};
 pub use closure::{
     certificate_from_closure, close_wrt_dominator, try_unsafety_via_dominator, Closure,

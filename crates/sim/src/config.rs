@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::fault::{FaultPlan, FaultPlanError};
+pub use kplock_core::AvoidPlan;
 pub use kplock_dlm::PreventionScheme;
 pub use kplock_dlm::{Bias, TableSpec};
 use std::fmt;
@@ -82,6 +83,19 @@ pub enum DeadlockResolution {
     /// coordinator's birth timestamp carried on the lock request, whether
     /// to wait, wound, or die.
     Prevent(PreventionScheme),
+    /// Run the paper's static analysis at runtime: a pre-computed
+    /// [`AvoidPlan`] (see [`SimConfig::avoid`]) certifies a subset of the
+    /// declared transactions against a safe lock order, making wait-for
+    /// cycles among them unreachable **without any runtime messages or
+    /// restarts**; transactions outside the certified set fall back to
+    /// wound-wait (certified transactions always win the tie, so no
+    /// fallback transaction can ever make a certified one wait behind a
+    /// cycle). Requires `avoid: Some(plan)` — validation rejects the
+    /// combination of `Avoid` with an absent plan
+    /// ([`ConfigError::AvoidWithoutPlan`]), which is also why open-loop
+    /// arrival runs (no declared transaction set to analyze) cannot use
+    /// this arm.
+    Avoid,
 }
 
 impl Default for DeadlockResolution {
@@ -126,6 +140,21 @@ pub enum ConfigError {
     /// The fault plan is invalid (a rate outside `[0, 1]`, or a crash
     /// scheduled for a site the system does not have).
     BadFaultPlan(FaultPlanError),
+    /// `resolution == Avoid` but no [`AvoidPlan`] was supplied
+    /// ([`SimConfig::avoid`] is `None`). Avoidance analyzes the *declared*
+    /// transaction set ahead of time; without a plan there is nothing to
+    /// enforce — notably, open-loop arrival runs have no declared set and
+    /// can never use this arm.
+    AvoidWithoutPlan,
+    /// The supplied [`AvoidPlan`] was synthesized from a different number
+    /// of transactions than the system being run — its certificate says
+    /// nothing about these transactions.
+    AvoidPlanMismatch {
+        /// Transactions the plan was synthesized from.
+        plan_txns: usize,
+        /// Transactions the system declares.
+        system_txns: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -142,6 +171,19 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroShards => write!(f, "shard count must be > 0"),
             ConfigError::BadFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
+            ConfigError::AvoidWithoutPlan => write!(
+                f,
+                "resolution Avoid requires an AvoidPlan (SimConfig::avoid); \
+                 open-loop runs have no declared transaction set to analyze"
+            ),
+            ConfigError::AvoidPlanMismatch {
+                plan_txns,
+                system_txns,
+            } => write!(
+                f,
+                "avoid plan was synthesized from {plan_txns} transactions \
+                 but the system declares {system_txns}"
+            ),
         }
     }
 }
@@ -197,6 +239,13 @@ pub struct SimConfig {
     /// swaps in the arena-allocated queue table with its bias and
     /// cohort-handoff knobs (grant-order-equivalent when neutral).
     pub table: TableSpec,
+    /// The avoidance certificate, required (and only consulted) under
+    /// [`DeadlockResolution::Avoid`]: synthesize one from the declared
+    /// transaction set with [`AvoidPlan::synthesize`] (or
+    /// `synthesize_restricted` to control the certified fraction). The
+    /// run entry points additionally check the plan covers exactly the
+    /// system's transactions ([`ConfigError::AvoidPlanMismatch`]).
+    pub avoid: Option<AvoidPlan>,
 }
 
 impl SimConfig {
@@ -205,15 +254,40 @@ impl SimConfig {
     pub fn detection(&self) -> Option<DeadlockDetection> {
         match self.resolution {
             DeadlockResolution::Detect(d) => Some(d),
-            DeadlockResolution::Prevent(_) => None,
+            DeadlockResolution::Prevent(_) | DeadlockResolution::Avoid => None,
         }
     }
 
-    /// The prevention scheme in force, if any.
+    /// The prevention scheme in force, if any. `None` under `Avoid`: the
+    /// avoidance arm's wound-wait *fallback* is reported by
+    /// [`SimConfig::admission_scheme`] instead, so code keying on "is
+    /// this a pure prevention run" stays accurate.
     pub fn prevention(&self) -> Option<PreventionScheme> {
+        match self.resolution {
+            DeadlockResolution::Detect(_) | DeadlockResolution::Avoid => None,
+            DeadlockResolution::Prevent(p) => Some(p),
+        }
+    }
+
+    /// The scheme deciding lock admission at request time, if any:
+    /// the configured scheme under `Prevent`, wound-wait under `Avoid`
+    /// (the fallback discipline for uncertified transactions — certified
+    /// ones are admitted with a priority that always wins), `None` under
+    /// `Detect` (requests always wait; cycles are found later).
+    pub fn admission_scheme(&self) -> Option<PreventionScheme> {
         match self.resolution {
             DeadlockResolution::Detect(_) => None,
             DeadlockResolution::Prevent(p) => Some(p),
+            DeadlockResolution::Avoid => Some(PreventionScheme::WoundWait),
+        }
+    }
+
+    /// The avoidance plan in force: `Some` iff the resolution is
+    /// [`DeadlockResolution::Avoid`] *and* a plan was supplied.
+    pub fn avoid_plan(&self) -> Option<&AvoidPlan> {
+        match self.resolution {
+            DeadlockResolution::Avoid => self.avoid.as_ref(),
+            _ => None,
         }
     }
 
@@ -229,6 +303,9 @@ impl SimConfig {
             return Err(ConfigError::ZeroScanInterval);
         }
         self.faults.validate().map_err(ConfigError::BadFaultPlan)?;
+        if self.resolution == DeadlockResolution::Avoid && self.avoid.is_none() {
+            return Err(ConfigError::AvoidWithoutPlan);
+        }
         Ok(())
     }
 }
@@ -248,6 +325,7 @@ impl Default for SimConfig {
             faults: FaultPlan::none(),
             invariant_audit: false,
             table: TableSpec::default(),
+            avoid: None,
         }
     }
 }
@@ -329,6 +407,51 @@ mod tests {
         assert!(ConfigError::ZeroShards.to_string().contains("shard"));
         let e = ConfigError::BadFaultPlan(FaultPlanError::RateOutOfRange { which: "loss" });
         assert!(e.to_string().contains("fault"));
+        assert!(ConfigError::AvoidWithoutPlan.to_string().contains("Avoid"));
+        let e = ConfigError::AvoidPlanMismatch {
+            plan_txns: 2,
+            system_txns: 5,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn avoid_without_plan_is_rejected() {
+        let cfg = SimConfig {
+            resolution: DeadlockResolution::Avoid,
+            ..Default::default()
+        };
+        assert_eq!(cfg.validate().unwrap_err(), ConfigError::AvoidWithoutPlan);
+        // With a plan (even an empty-certificate one) it validates, needs
+        // no scan interval, and projects onto the admission side only.
+        let db = kplock_model::Database::from_spec(&[("x", 0)]);
+        let sys = kplock_model::TxnSystem::new(db, vec![]);
+        let cfg = SimConfig {
+            resolution: DeadlockResolution::Avoid,
+            deadlock_scan_interval: 0,
+            avoid: Some(AvoidPlan::synthesize(&sys)),
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
+        assert_eq!(cfg.detection(), None);
+        assert_eq!(cfg.prevention(), None);
+        assert_eq!(cfg.admission_scheme(), Some(PreventionScheme::WoundWait));
+        assert!(cfg.avoid_plan().is_some());
+        // A plan supplied under a non-Avoid resolution is inert.
+        let cfg = SimConfig {
+            avoid: Some(AvoidPlan::synthesize(&sys)),
+            ..Default::default()
+        };
+        assert!(cfg.avoid_plan().is_none());
+        assert_eq!(cfg.admission_scheme(), None);
+        assert_eq!(
+            SimConfig {
+                resolution: PreventionScheme::WaitDie.into(),
+                ..Default::default()
+            }
+            .admission_scheme(),
+            Some(PreventionScheme::WaitDie)
+        );
     }
 
     #[test]

@@ -105,6 +105,40 @@ struct Coordinator {
     birth: (SimTime, usize),
 }
 
+/// The admission priority of instance `o` — what the lock table's
+/// wound/wait/die arithmetic compares (smaller wins).
+///
+/// Plain prevention runs use the coordinator's birth stamp unchanged.
+/// Under [`crate::DeadlockResolution::Avoid`] the certificate splits the
+/// population into two classes:
+///
+/// * **certified** transactions all share the top priority `(0, 0)` —
+///   deliberately *not* distinct: wound-wait only wounds a strictly
+///   lower-priority obstacle, so equals never wound each other and
+///   certified transactions simply queue FIFO among themselves (safe by
+///   the plan's lock order, which makes certified-only wait cycles
+///   impossible), while any uncertified obstacle in their way is wounded
+///   and no uncertified requester can ever make a certified holder wait
+///   behind it;
+/// * **uncertified** transactions keep their wound-wait birth order,
+///   uniformly shifted one tick later so even a birth-0 fallback ranks
+///   strictly below every certified transaction. The shift preserves the
+///   relative order of all fallback transactions, which is why an
+///   empty-certificate Avoid run is decision-for-decision identical to
+///   `Prevent(WoundWait)`.
+fn admission_priority(
+    cfg: &SimConfig,
+    coords: &[Coordinator],
+    o: Instance,
+) -> kplock_dlm::Priority {
+    let (t, idx) = coords[o.txn.idx()].birth;
+    match cfg.avoid_plan() {
+        Some(plan) if plan.is_certified(o.txn) => (0, 0),
+        Some(_) => (t.saturating_add(1), idx as u64),
+        None => (t, idx as u64),
+    }
+}
+
 struct Engine<'a> {
     sys: &'a TxnSystem,
     cfg: &'a SimConfig,
@@ -192,6 +226,16 @@ pub fn run_with_arrivals(
             ));
         }
     }
+    // Likewise the avoid plan: its certificate is only meaningful for the
+    // transaction set it was synthesized from.
+    if let Some(plan) = cfg.avoid_plan() {
+        if plan.txn_count() != sys.len() {
+            return Err(ConfigError::AvoidPlanMismatch {
+                plan_txns: plan.txn_count(),
+                system_txns: sys.len(),
+            });
+        }
+    }
     let lock_sites = if cfg.detection() == Some(DeadlockDetection::Probe) {
         sys.txns()
             .iter()
@@ -241,7 +285,11 @@ pub fn run_with_arrivals(
         track_leases: !cfg.faults.crashes.is_empty(),
         recorded: HashSet::new(),
         history: History::default(),
-        metrics: Metrics::default(),
+        metrics: Metrics {
+            avoid_certified: cfg.avoid_plan().map_or(0, |p| p.certified_count()),
+            avoid_fallbacks: cfg.avoid_plan().map_or(0, |p| p.fallback_count()),
+            ..Metrics::default()
+        },
         now: 0,
     };
 
@@ -653,7 +701,7 @@ impl Engine<'_> {
                     return;
                 }
                 let mode = self.sys.txn(inst.txn).step(step).mode;
-                if let Some(scheme) = self.cfg.prevention() {
+                if let Some(scheme) = self.cfg.admission_scheme() {
                     self.on_prevented_lock_request(site, inst, entity, step, mode, scheme);
                     return;
                 }
@@ -735,11 +783,13 @@ impl Engine<'_> {
         }
     }
 
-    /// A lock request under a prevention scheme: the site decides wait /
-    /// wound / die from the requester's and the conflicting owners' birth
-    /// stamps — knowledge carried on the request and already present in
-    /// the table's ownership records. Nothing global is consulted and no
-    /// detection state exists in this mode.
+    /// A lock request under an admission scheme — a prevention run, or
+    /// the avoidance arm's wound-wait fallback: the site decides wait /
+    /// wound / die from the requester's and the conflicting owners'
+    /// admission priorities ([`admission_priority`]) — knowledge carried
+    /// on the request and already present in the table's ownership
+    /// records. Nothing global is consulted and no detection state exists
+    /// in this mode.
     fn on_prevented_lock_request(
         &mut self,
         site: SiteId,
@@ -757,11 +807,11 @@ impl Engine<'_> {
             // re-send the wounds. Idempotent at the coordinator: wounds
             // for moved-on or committed victims are dropped there.
             if scheme == kplock_dlm::PreventionScheme::WoundWait {
-                let mine = self.coords[inst.txn.idx()].birth;
+                let mine = admission_priority(self.cfg, &self.coords, inst);
                 let victims: Vec<Instance> = self.sites[site.idx()]
                     .conflicts_of(entity, inst)
                     .into_iter()
-                    .filter(|&o| self.coords[o.txn.idx()].birth > mine)
+                    .filter(|&o| admission_priority(self.cfg, &self.coords, o) > mine)
                     .collect();
                 for victim in victims {
                     self.send_to_coordinator(victim.txn, Payload::Wound { victim });
@@ -774,10 +824,10 @@ impl Engine<'_> {
         // stale (aborts scrub synchronously), and birth survives restarts,
         // so the lookup is always current.
         let coords = &self.coords;
+        let cfg = self.cfg;
         let table = &mut self.sites[site.idx()];
         let outcome = table.request_with_priority(entity, inst, mode, scheme, |o: Instance| {
-            let (t, idx) = coords[o.txn.idx()].birth;
-            (t, idx as u64)
+            admission_priority(cfg, coords, o)
         });
         match outcome {
             PreventionOutcome::Granted => {
@@ -1606,6 +1656,120 @@ mod tests {
                 "the younger pays the restart"
             );
         }
+    }
+
+    fn many(scripts: &[&str], spec: &[(&str, usize)]) -> TxnSystem {
+        let db = Database::from_spec(spec);
+        let txns = scripts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut b = TxnBuilder::new(&db, format!("T{}", i + 1));
+                b.script(s).unwrap();
+                b.build().unwrap()
+            })
+            .collect();
+        TxnSystem::new(db, txns)
+    }
+
+    #[test]
+    fn avoid_certified_set_runs_clean_of_all_deadlock_machinery() {
+        use crate::config::{AvoidPlan, DeadlockResolution};
+        // Three transactions, all locking in ascending entity order: the
+        // whole set certifies, so the run must show *zero* traces of any
+        // deadlock handling — no resolutions, no restarts, no probes, no
+        // aborts of any kind — while committing serializably.
+        let sys = many(
+            &["Lx Ly x y Ux Uy", "Lx Ly x y Ux Uy", "Ly Lz y z Uy Uz"],
+            &[("x", 0), ("y", 1), ("z", 2)],
+        );
+        let plan = AvoidPlan::synthesize(&sys);
+        assert!(plan.fully_certified());
+        let cfg = SimConfig {
+            latency: LatencyModel::Fixed(5),
+            resolution: DeadlockResolution::Avoid,
+            avoid: Some(plan),
+            invariant_audit: true,
+            ..Default::default()
+        };
+        let r = run(&sys, &cfg).unwrap();
+        assert!(r.finished());
+        assert_eq!(r.metrics.deadlocks_resolved, 0);
+        assert_eq!(r.metrics.prevention_restarts, 0);
+        assert_eq!(r.metrics.probe_messages, 0);
+        assert_eq!(r.metrics.aborts, 0, "certified transactions never abort");
+        assert_eq!(r.metrics.avoid_certified, 3);
+        assert_eq!(r.metrics.avoid_fallbacks, 0);
+        r.audit.legal.as_ref().unwrap();
+        assert!(r.audit.serializable);
+        // Deterministic like every other arm.
+        let r2 = run(&sys, &cfg).unwrap();
+        assert_eq!(r.metrics, r2.metrics);
+    }
+
+    #[test]
+    fn avoid_mixed_set_shields_the_certified_and_meters_the_rest() {
+        use crate::config::{AvoidPlan, DeadlockResolution};
+        // The guaranteed deadlock pair: T1 certifies, T2 opposes the lock
+        // order and falls back to wound-wait. No cycle may ever form, the
+        // certified transaction must never restart, and the fallback's
+        // restarts are accounted as prevention restarts.
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 0)]);
+        let plan = AvoidPlan::synthesize(&sys);
+        assert!(plan.is_certified(TxnId(0)) && !plan.is_certified(TxnId(1)));
+        let cfg = SimConfig {
+            latency: LatencyModel::Fixed(5),
+            resolution: DeadlockResolution::Avoid,
+            avoid: Some(plan),
+            invariant_audit: true,
+            ..Default::default()
+        };
+        let r = run(&sys, &cfg).unwrap();
+        assert!(r.finished());
+        assert_eq!(r.metrics.deadlocks_resolved, 0, "no cycle ever forms");
+        assert_eq!(r.metrics.avoid_certified, 1);
+        assert_eq!(r.metrics.avoid_fallbacks, 1);
+        assert_eq!(
+            r.committed_epoch[0],
+            Some(0),
+            "the certified transaction is never wounded"
+        );
+        assert_eq!(
+            r.metrics.aborts, r.metrics.prevention_restarts,
+            "every avoid-arm abort is a fallback restart"
+        );
+        r.audit.legal.as_ref().unwrap();
+        assert!(r.audit.serializable);
+    }
+
+    #[test]
+    fn avoid_rejects_missing_and_mismatched_plans() {
+        use crate::config::{AvoidPlan, DeadlockResolution};
+        let sys = pair("Lx x Ux", "Lx x Ux", &[("x", 0)]);
+        // Absent plan: typed error from validation, not a mid-run panic.
+        let cfg = SimConfig {
+            resolution: DeadlockResolution::Avoid,
+            ..Default::default()
+        };
+        assert_eq!(run(&sys, &cfg).unwrap_err(), ConfigError::AvoidWithoutPlan);
+        // A plan synthesized for a different transaction set is refused
+        // before the engine starts.
+        let other = pair("Lx x Ux", "Lx x Ux", &[("x", 0), ("y", 0)]);
+        let mut three = other.txns().to_vec();
+        three.push(three[0].clone());
+        let other = TxnSystem::new(other.db().clone(), three);
+        let cfg = SimConfig {
+            resolution: DeadlockResolution::Avoid,
+            avoid: Some(AvoidPlan::synthesize(&other)),
+            ..Default::default()
+        };
+        assert_eq!(
+            run(&sys, &cfg).unwrap_err(),
+            ConfigError::AvoidPlanMismatch {
+                plan_txns: 3,
+                system_txns: 2
+            }
+        );
     }
 
     #[test]

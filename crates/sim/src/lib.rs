@@ -17,7 +17,7 @@
 //!
 //! Both sit on the `kplock-dlm` lock tables: reader–writer modes with
 //! FIFO grants (exclusive-only by default, matching the paper). Deadlocks
-//! are resolved along a two-sided axis ([`DeadlockResolution`]):
+//! are resolved along a three-way axis ([`DeadlockResolution`]):
 //!
 //! * **detect** — periodic global scan (default), incrementally at block
 //!   time ([`DeadlockDetection::OnBlock`]), or fully distributed via
@@ -29,7 +29,14 @@
 //!   ([`PreventionScheme::WoundWait`] / [`PreventionScheme::WaitDie`] /
 //!   [`PreventionScheme::NoWait`], see [`kplock_dlm::prevent`]) that never
 //!   let a cycle form, trading the detector's messages for restarts
-//!   ([`Metrics::prevention_restarts`]).
+//!   ([`Metrics::prevention_restarts`]);
+//! * **avoid** ([`DeadlockResolution::Avoid`]) — run the paper's static
+//!   analysis at runtime: an [`AvoidPlan`] synthesized by `kplock-core`
+//!   certifies the declared transaction set against a safe lock order
+//!   (per-site local controllers), making cycles unreachable for
+//!   certified transactions with *zero* messages and *zero* restarts;
+//!   transactions outside the certificate fall back to wound-wait
+//!   ([`Metrics::avoid_certified`] / [`Metrics::avoid_fallbacks`]).
 //!
 //! Orthogonal to both sits the **fault axis** ([`SimConfig::faults`],
 //! [`fault::FaultPlan`]): seeded message loss, duplication and
@@ -81,6 +88,22 @@
 //! assert!(report.finished());
 //! assert_eq!(report.metrics.deadlocks_resolved, 0); // no cycle ever formed
 //! assert!(report.metrics.prevention_restarts >= 1); // the young were wounded
+//!
+//! // Finally, *avoidance*: the paper's analysis certifies what it can
+//! // (T1 here) against a safe lock order and meters the rest (T2)
+//! // through the wound-wait fallback.
+//! let plan = kplock_sim::AvoidPlan::synthesize(&sys);
+//! assert_eq!(plan.certified_count(), 1);
+//! let avoid = SimConfig {
+//!     resolution: DeadlockResolution::Avoid,
+//!     avoid: Some(plan),
+//!     ..prevent
+//! };
+//! let report = run(&sys, &avoid).unwrap();
+//! assert!(report.finished());
+//! assert_eq!(report.metrics.deadlocks_resolved, 0);
+//! assert_eq!(report.metrics.avoid_certified, 1);
+//! assert_eq!(report.metrics.avoid_fallbacks, 1);
 //! ```
 
 pub mod config;
@@ -95,8 +118,8 @@ pub mod probe;
 pub mod threaded;
 
 pub use config::{
-    Bias, ConfigError, DeadlockDetection, DeadlockResolution, LatencyModel, PreventionScheme,
-    SimConfig, TableSpec, VictimPolicy,
+    AvoidPlan, Bias, ConfigError, DeadlockDetection, DeadlockResolution, LatencyModel,
+    PreventionScheme, SimConfig, TableSpec, VictimPolicy,
 };
 pub use driver::{draw_arrivals, run_open_loop, ArrivalConfig};
 pub use engine::{run, run_with_arrivals, RunOutcome, SimReport};

@@ -65,6 +65,18 @@ pub struct Metrics {
     /// Completed site recoveries (one per [`crate::fault::SiteCrash`]
     /// whose outage ended within the run).
     pub recoveries: usize,
+    /// Transactions covered by the avoidance certificate
+    /// ([`crate::DeadlockResolution::Avoid`]): admitted under the safe
+    /// lock order, so they can never deadlock, never restart and generate
+    /// zero deadlock-handling messages. Set once at run start from the
+    /// plan; zero on every other arm.
+    pub avoid_certified: usize,
+    /// Transactions *outside* the avoidance certificate, metered by the
+    /// wound-wait fallback instead (their restarts land in
+    /// [`Metrics::prevention_restarts`]). Set once at run start; zero on
+    /// every other arm. `avoid_certified + avoid_fallbacks` equals the
+    /// declared transaction count of an Avoid run.
+    pub avoid_fallbacks: usize,
     /// Completion time of the last commit.
     pub makespan: SimTime,
     /// Total simulated time the run observed: equal to `makespan` for

@@ -24,7 +24,7 @@
 //! phenomena under genuine concurrency; the discrete-event engine in
 //! [`crate::engine`] is the reproducible instrument.
 
-use crate::config::ConfigError;
+use crate::config::{AvoidPlan, ConfigError};
 use crate::event::Instance;
 use crate::history::History;
 use crate::history::{audit, Audit};
@@ -54,6 +54,16 @@ pub enum ThreadedResolution {
     /// delivered through per-transaction flags and the victim's waiter
     /// slot.
     Prevent(PreventionScheme),
+    /// Avoidance (see [`crate::DeadlockResolution::Avoid`]): an
+    /// [`AvoidPlan`] supplied in [`ThreadedConfig::avoid`] certifies a
+    /// subset of the transactions against a safe lock order. Certified
+    /// transactions all carry the top admission priority `(0, 0)` — they
+    /// queue FIFO among themselves (cycle-free by the certificate) and
+    /// wound any uncertified transaction in their way; uncertified
+    /// transactions fall back to wound-wait among themselves with their
+    /// index order preserved, shifted below every certified transaction.
+    /// Like `Prevent`, no timeout heuristic is needed.
+    Avoid,
 }
 
 /// Configuration for the threaded runner.
@@ -75,6 +85,11 @@ pub struct ThreadedConfig {
     /// [`kplock_dlm::TableSpec`]); each choice is monomorphized into its
     /// own runner.
     pub table: TableSpec,
+    /// The avoidance certificate, required under
+    /// [`ThreadedResolution::Avoid`] (mirrors [`crate::SimConfig::avoid`];
+    /// [`run_threaded`] additionally checks it covers exactly the system's
+    /// transactions).
+    pub avoid: Option<AvoidPlan>,
 }
 
 impl ThreadedConfig {
@@ -83,7 +98,31 @@ impl ThreadedConfig {
         if self.shards == 0 {
             return Err(ConfigError::ZeroShards);
         }
+        if self.resolution == ThreadedResolution::Avoid && self.avoid.is_none() {
+            return Err(ConfigError::AvoidWithoutPlan);
+        }
         Ok(())
+    }
+
+    /// The scheme deciding lock admission inside the shards, if any:
+    /// the configured scheme under `Prevent`, wound-wait (as the
+    /// fallback discipline) under `Avoid`, `None` under the timeout
+    /// heuristic.
+    fn admission_scheme(&self) -> Option<PreventionScheme> {
+        match self.resolution {
+            ThreadedResolution::TimeoutAbort => None,
+            ThreadedResolution::Prevent(p) => Some(p),
+            ThreadedResolution::Avoid => Some(PreventionScheme::WoundWait),
+        }
+    }
+
+    /// The avoidance plan in force: `Some` iff the resolution is `Avoid`
+    /// and a plan was supplied.
+    fn avoid_plan(&self) -> Option<&AvoidPlan> {
+        match self.resolution {
+            ThreadedResolution::Avoid => self.avoid.as_ref(),
+            _ => None,
+        }
     }
 }
 
@@ -96,6 +135,7 @@ impl Default for ThreadedConfig {
             shards: 8,
             resolution: ThreadedResolution::default(),
             table: TableSpec::default(),
+            avoid: None,
         }
     }
 }
@@ -186,6 +226,20 @@ fn prio_of(o: Instance) -> Priority {
     (o.txn.idx() as u64, 0)
 }
 
+/// The admission priority under the configured resolution: the plain
+/// index stamp for prevention; under avoidance, certified transactions
+/// share the all-winning `(0, 0)` (equals never wound each other — they
+/// queue FIFO, safe by the plan's lock order) and uncertified ones keep
+/// their index order shifted one below every certified transaction
+/// (mirrors the simulator's `admission_priority`).
+fn threaded_priority(cfg: &ThreadedConfig, o: Instance) -> Priority {
+    match cfg.avoid_plan() {
+        Some(plan) if plan.is_certified(o.txn) => (0, 0),
+        Some(_) => (o.txn.idx() as u64 + 1, 0),
+        None => prio_of(o),
+    }
+}
+
 /// Owner → cohort for [`TableSpec::Queue`] shards: transactions stripe
 /// across cohorts by index, stable across retries.
 fn txn_cohort(inst: Instance, cohorts: u32) -> u32 {
@@ -198,6 +252,14 @@ fn txn_cohort(inst: Instance, cohorts: u32) -> u32 {
 /// (e.g. zero shards), checked up front like [`crate::run`].
 pub fn run_threaded(sys: &TxnSystem, cfg: &ThreadedConfig) -> Result<ThreadedReport, ConfigError> {
     cfg.validate()?;
+    if let Some(plan) = cfg.avoid_plan() {
+        if plan.txn_count() != sys.len() {
+            return Err(ConfigError::AvoidPlanMismatch {
+                plan_txns: plan.txn_count(),
+                system_txns: sys.len(),
+            });
+        }
+    }
     match cfg.table {
         TableSpec::Fifo => run_generic(sys, cfg, FifoTable::new),
         TableSpec::Queue { bias, cohorts } => run_generic(sys, cfg, move || {
@@ -308,7 +370,7 @@ fn attempt<T: LockTable<Instance>>(
     loop {
         // A running victim notices its wound at step boundaries; a blocked
         // one is woken through its waiter slot by the wounder.
-        if matches!(cfg.resolution, ThreadedResolution::Prevent(_)) && shared.is_wounded(inst) {
+        if cfg.admission_scheme().is_some() && shared.is_wounded(inst) {
             abort(&mut held);
             return false;
         }
@@ -326,14 +388,16 @@ fn attempt<T: LockTable<Instance>>(
                 // are about to take, so it cannot race past this reset.
                 *shared.waiters[txn.idx()].flag.lock() = false;
                 let mut st = shared.table.lock_shard_index(shard);
-                let queued = match cfg.resolution {
-                    ThreadedResolution::TimeoutAbort => matches!(
+                let queued = match cfg.admission_scheme() {
+                    None => matches!(
                         st.acquire(step.entity, inst, step.mode).expect("protocol"),
                         Acquire::Queued
                     ),
-                    ThreadedResolution::Prevent(scheme) => {
+                    Some(scheme) => {
                         match st
-                            .acquire_with_priority(step.entity, inst, step.mode, scheme, &prio_of)
+                            .acquire_with_priority(step.entity, inst, step.mode, scheme, &|o| {
+                                threaded_priority(cfg, o)
+                            })
                             .expect("protocol")
                         {
                             PreventionOutcome::Granted => false,
@@ -377,10 +441,10 @@ fn attempt<T: LockTable<Instance>>(
                             let w = &shared.waiters[txn.idx()];
                             let mut flag = w.flag.lock();
                             if !*flag {
-                                let pace = match cfg.resolution {
-                                    ThreadedResolution::TimeoutAbort => deadline
+                                let pace = match cfg.admission_scheme() {
+                                    None => deadline
                                         .saturating_duration_since(std::time::Instant::now()),
-                                    ThreadedResolution::Prevent(_) => cfg.lock_timeout,
+                                    Some(_) => cfg.lock_timeout,
                                 };
                                 if !pace.is_zero() {
                                     let _ = w.cv.wait_for(&mut flag, pace);
@@ -391,9 +455,7 @@ fn attempt<T: LockTable<Instance>>(
                         // Authoritative checks happen under the shard
                         // guard — the flag is only a hint.
                         let mut st = shared.table.lock_shard_index(shard);
-                        if matches!(cfg.resolution, ThreadedResolution::Prevent(_))
-                            && shared.is_wounded(inst)
-                        {
+                        if cfg.admission_scheme().is_some() && shared.is_wounded(inst) {
                             let cancelled = st.cancel_waits(inst);
                             drop(st);
                             for (_e, grants) in &cancelled.granted {
@@ -653,6 +715,90 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn threaded_avoid_certified_set_commits_first_try() {
+        // Every transaction locks in ascending entity order: the whole set
+        // certifies, so under Avoid nothing is ever wounded or rejected —
+        // every transaction commits at epoch 0 (zero aborts), with a lock
+        // timeout far beyond the test budget so the heuristic cannot be
+        // credited.
+        let s = sys(
+            &["Lx Ly x y Ux Uy", "Lx Ly x y Ux Uy", "Ly Lz y z Uy Uz"],
+            &[("x", 0), ("y", 1), ("z", 2)],
+        );
+        let plan = AvoidPlan::synthesize(&s);
+        assert!(plan.fully_certified());
+        for table in specs() {
+            let cfg = ThreadedConfig {
+                resolution: ThreadedResolution::Avoid,
+                avoid: Some(plan.clone()),
+                lock_timeout: Duration::from_millis(2),
+                max_attempts: 1000,
+                table,
+                ..Default::default()
+            };
+            for _ in 0..5 {
+                let r = run_threaded(&s, &cfg).unwrap();
+                assert!(r.finished);
+                assert_eq!(r.aborts, 0, "certified sets never restart");
+                assert!(r.committed_epoch.iter().all(|&e| e == Some(0)));
+                r.audit.legal.as_ref().unwrap();
+                assert!(r.audit.serializable);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_avoid_mixed_set_finishes_without_timeouts() {
+        // T2 opposes the lock order and stays uncertified: the wound-wait
+        // fallback meters it while the certified majority runs untouched.
+        let s = sys(
+            &["Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", "Lx Ly x y Ux Uy"],
+            &[("x", 0), ("y", 0)],
+        );
+        let plan = AvoidPlan::synthesize(&s);
+        assert!(plan.is_certified(TxnId(0)) && !plan.is_certified(TxnId(1)));
+        let cfg = ThreadedConfig {
+            resolution: ThreadedResolution::Avoid,
+            avoid: Some(plan),
+            lock_timeout: Duration::from_millis(2),
+            max_attempts: 1000,
+            ..Default::default()
+        };
+        for _ in 0..10 {
+            let r = run_threaded(&s, &cfg).unwrap();
+            assert!(r.finished, "avoidance must not wedge");
+            r.audit.legal.as_ref().unwrap();
+            assert!(r.audit.serializable);
+        }
+    }
+
+    #[test]
+    fn threaded_avoid_requires_a_matching_plan() {
+        let s = sys(&["Lx x Ux"], &[("x", 0)]);
+        let cfg = ThreadedConfig {
+            resolution: ThreadedResolution::Avoid,
+            ..Default::default()
+        };
+        assert_eq!(
+            run_threaded(&s, &cfg).unwrap_err(),
+            ConfigError::AvoidWithoutPlan
+        );
+        let other = sys(&["Lx x Ux", "Lx x Ux"], &[("x", 0)]);
+        let cfg = ThreadedConfig {
+            resolution: ThreadedResolution::Avoid,
+            avoid: Some(AvoidPlan::synthesize(&other)),
+            ..Default::default()
+        };
+        assert_eq!(
+            run_threaded(&s, &cfg).unwrap_err(),
+            ConfigError::AvoidPlanMismatch {
+                plan_txns: 2,
+                system_txns: 1
+            }
+        );
     }
 
     #[test]

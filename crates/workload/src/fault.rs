@@ -14,7 +14,8 @@
 use crate::scenarios::resolution_sweep;
 use kplock_model::TxnSystem;
 use kplock_sim::{
-    DeadlockDetection, DeadlockResolution, FaultPlan, PreventionScheme, SimConfig, SiteCrash,
+    AvoidPlan, DeadlockDetection, DeadlockResolution, FaultPlan, PreventionScheme, SimConfig,
+    SiteCrash,
 };
 
 /// One point of the fault sweep: a system, a fault plan, and a resolution
@@ -44,6 +45,10 @@ impl FaultScenario {
         SimConfig {
             latency: kplock_sim::LatencyModel::Fixed(latency),
             resolution: self.resolution,
+            // The avoidance arm needs its certificate; synthesize it from
+            // the scenario's own system so the config always validates.
+            avoid: (self.resolution == DeadlockResolution::Avoid)
+                .then(|| AvoidPlan::synthesize(&self.system)),
             faults: self.faults.clone(),
             ..Default::default()
         }
@@ -114,6 +119,25 @@ pub const FAULT_ARMS: [(DeadlockResolution, &str); 2] = [
         DeadlockResolution::Prevent(PreventionScheme::WoundWait),
         "wound-wait",
     ),
+];
+
+/// [`FAULT_ARMS`] plus the avoidance arm: the rotated-lock-order system
+/// is mostly uncertifiable (every pair conflicts in both orders), so this
+/// arm exercises the certificate *boundary* under faults — certified
+/// transactions must stay deadlock-free while the fallback majority is
+/// wounded across lossy channels. Used by the fault bench and the
+/// conformance suite; [`FAULT_ARMS`] keeps its original pair so existing
+/// sweep shapes are unchanged.
+pub const FAULT_ARMS_WITH_AVOID: [(DeadlockResolution, &str); 3] = [
+    (
+        DeadlockResolution::Detect(DeadlockDetection::Probe),
+        "probe",
+    ),
+    (
+        DeadlockResolution::Prevent(PreventionScheme::WoundWait),
+        "wound-wait",
+    ),
+    (DeadlockResolution::Avoid, "avoid"),
 ];
 
 /// Crosses the [`fault_plan_ladder`] with resolution arms on one
@@ -212,6 +236,35 @@ mod tests {
             let cfg = sc.config(5);
             cfg.validate().unwrap();
             assert_eq!(cfg.resolution, sc.resolution);
+        }
+    }
+
+    #[test]
+    fn avoid_arm_sweeps_with_a_synthesized_certificate() {
+        let sweep = fault_sweep(4, 3, 2, &[0.1], &FAULT_ARMS_WITH_AVOID);
+        // 5 plans × 3 arms.
+        assert_eq!(sweep.len(), 15);
+        let avoid: Vec<_> = sweep
+            .iter()
+            .filter(|sc| sc.resolution == DeadlockResolution::Avoid)
+            .collect();
+        assert_eq!(avoid.len(), 5);
+        for sc in avoid {
+            // config() must synthesize the plan, or Avoid would be
+            // rejected by validation before it could run.
+            let cfg = SimConfig {
+                max_time: 400_000,
+                ..sc.config(5)
+            };
+            cfg.validate().unwrap();
+            let plan = cfg.avoid.as_ref().unwrap();
+            assert_eq!(plan.txn_count(), sc.system.len());
+            // Rotated lock orders conflict pairwise in both directions:
+            // only the first transaction admitted can be certified.
+            assert_eq!(plan.certified_count(), 1, "{}", sc.name);
+            let r = run(&sc.system, &cfg).unwrap();
+            assert_ne!(r.outcome, RunOutcome::Stalled, "{}", sc.name);
+            assert_eq!(r.metrics.deadlocks_resolved, 0, "{}", sc.name);
         }
     }
 

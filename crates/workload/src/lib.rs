@@ -29,6 +29,7 @@
 //! assert!(shared_locks > 0);
 //! ```
 
+pub mod avoidance;
 pub mod fault;
 pub mod figures;
 pub mod reduction_instances;
@@ -36,7 +37,8 @@ pub mod scenarios;
 pub mod suite;
 pub mod txn_gen;
 
-pub use fault::{fault_plan_ladder, fault_sweep, FaultScenario, FAULT_ARMS};
+pub use avoidance::{avoid_mix_sweep, certified_mix, AvoidScenario};
+pub use fault::{fault_plan_ladder, fault_sweep, FaultScenario, FAULT_ARMS, FAULT_ARMS_WITH_AVOID};
 pub use figures::{fig1, fig2, fig3, fig5};
 pub use reduction_instances::{fig8_formula, fig8_reduction, random_instance, unsat_restricted};
 pub use scenarios::{hot_site_sweep, resolution_sweep, site_count_sweep, Scenario};

@@ -8,8 +8,10 @@
 //! printed actual values and justify the change in the PR.
 
 use kplock_core::policy::LockStrategy;
-use kplock_sim::{run, LatencyModel, Metrics, PreventionScheme, SimConfig, VictimPolicy};
-use kplock_workload::{fig5, random_system, WorkloadParams};
+use kplock_sim::{
+    run, LatencyModel, Metrics, PreventionScheme, RunOutcome, SimConfig, VictimPolicy,
+};
+use kplock_workload::{avoid_mix_sweep, fault_plan_ladder, fig5, random_system, WorkloadParams};
 
 fn metrics(m: &Metrics) -> (usize, usize, u64, u64, usize, u64) {
     (
@@ -132,6 +134,59 @@ fn fixed_seed_prevention_runs_are_pinned() {
     }
 }
 
+#[test]
+fn fixed_avoidance_runs_are_pinned() {
+    // The RNG-free certified-mix family at Fixed(5): the fully certified
+    // rung (avoidance's Theorem-level regime — zero aborts by contract)
+    // and a half-certified rung whose fallback half is metered by
+    // wound-wait. Both runs are deterministic, so the full metric tuples
+    // pin exact replay of the avoidance arm like the arms above.
+    let sweep = avoid_mix_sweep(4, 4, 2, &[4, 2]);
+    for (sc, pin) in sweep.iter().zip([PIN_AVOID_FULL, PIN_AVOID_MIXED]) {
+        let r = run(&sc.system, &sc.config(5)).expect("valid config");
+        assert!(r.finished(), "{}", sc.name);
+        assert_eq!(r.metrics.deadlocks_resolved, 0, "{}", sc.name);
+        assert_eq!(r.metrics.avoid_certified, sc.certified, "{}", sc.name);
+        assert_eq!(
+            metrics(&r.metrics),
+            pin,
+            "{} actual: {:?}",
+            sc.name,
+            metrics(&r.metrics)
+        );
+    }
+}
+
+#[test]
+fn pinned_mixed_avoidance_run_survives_the_fault_ladder() {
+    // The PIN_AVOID_MIXED scenario re-run under the loss and duplication
+    // rungs of the canonical fault ladder, with the per-step lock-table
+    // invariant audit on: faulty channels may reorder the fallback's
+    // wounds but must never let a cycle through the certificate or
+    // corrupt a table. (Outcome-shape assertions, not metric pins — the
+    // point is safety under faults, and the clean-run pin above already
+    // guards replay.)
+    let sc = &avoid_mix_sweep(4, 4, 2, &[2])[0];
+    for (name, faults) in fault_plan_ladder(97, &[0.15], 0.20) {
+        if !(name.starts_with("loss=") || name.starts_with("dup=")) {
+            continue;
+        }
+        let cfg = SimConfig {
+            faults,
+            invariant_audit: true,
+            max_time: 400_000,
+            ..sc.config(5)
+        };
+        let r = run(&sc.system, &cfg).expect("valid config");
+        assert_ne!(r.outcome, RunOutcome::Stalled, "{name}");
+        assert_eq!(r.metrics.deadlocks_resolved, 0, "{name}");
+        assert_eq!(r.metrics.probe_messages, 0, "{name}");
+        if r.outcome == RunOutcome::Completed {
+            assert!(r.audit.serializable, "{name}");
+        }
+    }
+}
+
 // Pinned values, captured from the seed engine before the kplock-dlm
 // lock-table refactor (PR 2) and required to survive it unchanged.
 const PIN_RANDOM: (usize, usize, u64, u64, usize, u64) = (4, 1, 122, 875, 1, 402);
@@ -143,3 +198,8 @@ const PIN_FIG5: (usize, usize, u64, u64, usize, u64) = (2, 0, 48, 54, 0, 53);
 const PIN_WOUND_WAIT: (usize, usize, u64, u64, usize, u64) = (4, 0, 100, 660, 0, 250);
 const PIN_WAIT_DIE: (usize, usize, u64, u64, usize, u64) = (4, 9, 136, 80, 0, 287);
 const PIN_NO_WAIT: (usize, usize, u64, u64, usize, u64) = (4, 10, 140, 0, 0, 293);
+
+// Avoidance pins (PR 7): the certified-mix family (4 entities over 2
+// sites, 4 transactions) at Fixed(5) — fully certified, then half.
+const PIN_AVOID_FULL: (usize, usize, u64, u64, usize, u64) = (4, 0, 96, 480, 0, 360);
+const PIN_AVOID_MIXED: (usize, usize, u64, u64, usize, u64) = (4, 5, 118, 329, 0, 400);
