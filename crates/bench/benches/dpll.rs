@@ -1,0 +1,74 @@
+//! What does pure-literal elimination buy the SAT solver?
+//!
+//! The rule assigns variables occurring with a single polarity (they can
+//! never falsify anything); the solver applies it once at the root,
+//! shrinking the formula before the conflict-driven search starts.
+//! `Solver::with_pure_literals(false)` exposes the toggle; this bench
+//! runs the same formulas both ways:
+//!
+//! * random 3-CNF below the satisfiability threshold, where many
+//!   variables go pure as clauses saturate;
+//! * the paper's *restricted* CNF form (≤3 literals, each variable ≤2×
+//!   positive ≤1× negative), the Theorem-3 reduction's input class;
+//! * an unsatisfiable pigeonhole instance, where the verdict needs the
+//!   full search tree.
+//!
+//! `cargo bench --bench dpll -- --test` is CI's one-iteration smoke that
+//! both configurations still agree on every verdict.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplock_sat::{random_kcnf, random_restricted, Cnf, Lit, SatResult, Solver, Var};
+
+/// Pigeonhole principle: `holes + 1` pigeons into `holes` holes, UNSAT.
+fn pigeonhole(holes: usize) -> Cnf {
+    let pigeons = holes + 1;
+    let var = |p: usize, h: usize| Var((p * holes + h) as u32);
+    let mut f = Cnf::new(pigeons * holes);
+    for p in 0..pigeons {
+        f.add_clause((0..holes).map(|h| Lit::pos(var(p, h))).collect());
+    }
+    for h in 0..holes {
+        for p in 0..pigeons {
+            for q in (p + 1)..pigeons {
+                f.add_clause(vec![Lit::neg(var(p, h)), Lit::neg(var(q, h))]);
+            }
+        }
+    }
+    f
+}
+
+fn bench_dpll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpll");
+    group.sample_size(20);
+
+    let instances: Vec<(String, Cnf)> = vec![
+        ("3cnf_v40_c120".into(), random_kcnf(7, 40, 120, 3)),
+        ("3cnf_v60_c210".into(), random_kcnf(11, 60, 210, 3)),
+        ("restricted_v50".into(), random_restricted(13, 50, 60)),
+        ("pigeonhole_5".into(), pigeonhole(5)),
+    ];
+
+    for (name, f) in &instances {
+        let reference = Solver::new(f).solve().is_sat();
+        for pure in [true, false] {
+            let tag = if pure { "pure-on" } else { "pure-off" };
+            group.bench_with_input(BenchmarkId::new(tag, name), f, |b, f| {
+                b.iter(|| {
+                    let result = Solver::new(std::hint::black_box(f))
+                        .with_pure_literals(pure)
+                        .solve();
+                    assert_eq!(
+                        result.is_sat(),
+                        reference,
+                        "{name}: toggle changed the verdict"
+                    );
+                    matches!(result, SatResult::Sat(_))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dpll);
+criterion_main!(benches);

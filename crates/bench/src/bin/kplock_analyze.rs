@@ -1,0 +1,246 @@
+//! `kplock-analyze`: the static-analysis regression gate.
+//!
+//! Runs the exact SAT checker (`kplock_core::sat_check`) over the
+//! built-in workload corpora and *cross-examines every verdict*:
+//!
+//! * safety verdicts must match the exhaustive oracle wherever the
+//!   oracle can decide, and the pinned expectation of every named
+//!   corpus system;
+//! * every `Unsafe` verdict must ship a witness schedule that replays
+//!   through the real per-site lock tables to a legal,
+//!   **non**-serializable committed history
+//!   (`kplock_sim::replay_violation`);
+//! * every deadlock verdict must replay to a total stall with a
+//!   waits-for cycle in the tables (`kplock_sim::replay_deadlock`), and
+//!   deadlock reachability must match the oracle on fully explored
+//!   systems;
+//! * `synthesize_optimal` must certify at least as much as greedy
+//!   everywhere, strictly more on the opposed family (where the gap is
+//!   by construction), and its plan must pass `AvoidPlan::verify`.
+//!
+//! Any discrepancy prints a `FAIL` row and the process exits nonzero —
+//! CI runs `kplock-analyze --smoke` as a merge gate. `--full` widens the
+//! corpus (more random seeds, larger families); the default is `--full`.
+//!
+//! ```text
+//! kplock-analyze [--smoke|--full]
+//! ```
+
+use kplock_core::{
+    check_deadlock, check_safety, decide_exhaustive, synthesize_optimal, OracleOptions,
+    OracleOutcome, SatSafety,
+};
+use kplock_model::TxnSystem;
+use kplock_sim::{replay_deadlock, replay_violation};
+use kplock_workload::{certified_mix, opposed_mix, regression_corpus, NamedSystem};
+
+struct Opts {
+    smoke: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: kplock-analyze [--smoke|--full]");
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts { smoke: false };
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--full" => opts.smoke = false,
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// One corpus entry: a system, optional pinned safety expectation, and
+/// whether the greedy-vs-optimal gap must be strict.
+struct Case {
+    name: String,
+    sys: TxnSystem,
+    expected_safe: Option<bool>,
+    expect_gap: bool,
+}
+
+fn corpus(smoke: bool) -> Vec<Case> {
+    // The corpus repeats each generator strategy under several seeds with
+    // the same name; smoke keeps the first of each (plus all figures).
+    let mut seen: Vec<&'static str> = Vec::new();
+    let mut index = std::collections::HashMap::<&'static str, usize>::new();
+    let mut cases: Vec<Case> = regression_corpus()
+        .into_iter()
+        .filter(|ns: &NamedSystem| {
+            let keep = !smoke || !seen.contains(&ns.name);
+            seen.push(ns.name);
+            keep
+        })
+        .map(|ns| {
+            let n = index.entry(ns.name).or_default();
+            *n += 1;
+            Case {
+                name: format!("{}#{n}", ns.name),
+                sys: ns.sys,
+                expected_safe: ns.expected_safe,
+                expect_gap: false,
+            }
+        })
+        .collect();
+    let opposed_ks: &[usize] = if smoke { &[2, 3] } else { &[2, 3, 4, 5] };
+    for &k in opposed_ks {
+        cases.push(Case {
+            name: format!("opposed(1+{k})"),
+            sys: opposed_mix(k, 2),
+            // Synchronized 2PL: safe (deadlock-prone, but every complete
+            // schedule serializable).
+            expected_safe: Some(true),
+            expect_gap: true,
+        });
+    }
+    let mixes: &[(usize, usize, usize)] = if smoke {
+        &[(3, 1, 2), (3, 0, 3)]
+    } else {
+        &[(3, 1, 2), (3, 0, 3), (4, 2, 2), (4, 0, 4)]
+    };
+    for &(entities, certified, fallback) in mixes {
+        cases.push(Case {
+            name: format!("mix(e{entities},c{certified},f{fallback})"),
+            sys: certified_mix(entities, certified, fallback, 2),
+            expected_safe: Some(true),
+            expect_gap: false,
+        });
+    }
+    cases
+}
+
+fn main() {
+    let opts = parse_opts();
+    let cases = corpus(opts.smoke);
+    eprintln!(
+        "kplock-analyze: {} corpus systems ({})",
+        cases.len(),
+        if opts.smoke { "smoke" } else { "full" }
+    );
+
+    println!("| system | txns | sat | oracle | dl(sat) | dl(oracle) | greedy | optimal | status |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+
+    let mut failures = 0usize;
+    for case in &cases {
+        let mut errors: Vec<String> = Vec::new();
+        let sys = &case.sys;
+
+        let sat_safe = match check_safety(sys) {
+            Ok(report) => {
+                if let SatSafety::Unsafe(w) = &report.verdict {
+                    if let Err(e) = replay_violation(sys, w) {
+                        errors.push(format!("witness replay failed: {e}"));
+                    }
+                }
+                Some(report.verdict.is_safe())
+            }
+            Err(e) => {
+                errors.push(format!("check_safety refused: {e}"));
+                None
+            }
+        };
+        let sat_deadlock = match check_deadlock(sys) {
+            Ok(report) => {
+                if let Some(prefix) = &report.deadlock {
+                    if let Err(e) = replay_deadlock(sys, prefix) {
+                        errors.push(format!("deadlock replay failed: {e}"));
+                    }
+                }
+                Some(report.deadlock.is_some())
+            }
+            Err(e) => {
+                errors.push(format!("check_deadlock refused: {e}"));
+                None
+            }
+        };
+
+        // Oracle cross-examination (its hard cap is 8 transactions).
+        let mut oracle_safe = String::from("-");
+        let mut oracle_deadlock = String::from("-");
+        if sys.len() <= 8 {
+            let report = decide_exhaustive(sys, &OracleOptions::default());
+            match report.outcome {
+                OracleOutcome::Safe => {
+                    oracle_safe = "safe".into();
+                    if sat_safe == Some(false) {
+                        errors.push("oracle says safe, SAT says unsafe".into());
+                    }
+                    // Only a full exploration decides deadlock *absence*.
+                    oracle_deadlock = if report.deadlock_reachable {
+                        "yes".into()
+                    } else {
+                        "no".into()
+                    };
+                    if sat_deadlock.is_some() && sat_deadlock != Some(report.deadlock_reachable) {
+                        errors.push("deadlock verdict disagrees with oracle".into());
+                    }
+                }
+                OracleOutcome::Unsafe(_) => {
+                    oracle_safe = "unsafe".into();
+                    if sat_safe == Some(true) {
+                        errors.push("oracle says unsafe, SAT says safe".into());
+                    }
+                    if report.deadlock_reachable {
+                        oracle_deadlock = "yes".into();
+                    }
+                }
+                OracleOutcome::Aborted => oracle_safe = "aborted".into(),
+            }
+        }
+
+        if let (Some(expected), Some(got)) = (case.expected_safe, sat_safe) {
+            if expected != got {
+                errors.push(format!(
+                    "pinned expectation safe={expected}, SAT says {got}"
+                ));
+            }
+        }
+
+        let opt = synthesize_optimal(sys);
+        if opt.optimal_count < opt.greedy_count {
+            errors.push("optimal certified fewer than greedy".into());
+        }
+        if case.expect_gap && opt.optimal_count <= opt.greedy_count {
+            errors.push("expected a strict greedy-vs-optimal gap".into());
+        }
+        if let Err(e) = opt.plan.verify(sys) {
+            errors.push(format!("optimal plan fails verification: {e:?}"));
+        }
+
+        let status = if errors.is_empty() {
+            "ok".to_string()
+        } else {
+            failures += 1;
+            format!("FAIL: {}", errors.join("; "))
+        };
+        let show = |v: Option<bool>, yes: &str, no: &str| match v {
+            Some(true) => yes.to_string(),
+            Some(false) => no.to_string(),
+            None => "error".to_string(),
+        };
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            case.name,
+            sys.len(),
+            show(sat_safe, "safe", "unsafe"),
+            oracle_safe,
+            show(sat_deadlock, "yes", "no"),
+            oracle_deadlock,
+            opt.greedy_count,
+            opt.optimal_count,
+            status
+        );
+    }
+
+    if failures > 0 {
+        eprintln!("kplock-analyze: {failures} system(s) FAILED");
+        std::process::exit(1);
+    }
+    eprintln!("kplock-analyze: all {} systems consistent", cases.len());
+}

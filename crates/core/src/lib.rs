@@ -14,6 +14,7 @@
 //! | Theorem 2, Corollary 1 — two sites: safe ⟺ strongly connected, O(n²) | [`two_site`] |
 //! | Corollary 2 — closed w.r.t. dominator ⇒ unsafe | [`closure::try_unsafety_via_dominator`] |
 //! | Theorem 3 — many sites: coNP-complete (SAT reduction) | [`reduction`] |
+//! | Theorem 3, converse direction — system → CNF, exact decision | [`sat_check`] |
 //! | Proposition 2 — k transactions | [`multi_txn`] |
 //! | Locking policies (2PL, tree) | [`policy`] |
 //!
@@ -57,6 +58,7 @@ pub mod multisite;
 pub mod oracle;
 pub mod policy;
 pub mod reduction;
+pub mod sat_check;
 pub mod total_pair;
 pub mod two_site;
 
@@ -75,5 +77,10 @@ pub use oracle::{
     decide_by_extensions, decide_exhaustive, OracleOptions, OracleOutcome, OracleReport,
 };
 pub use reduction::{reduce, NodeKind, Reduction, ReductionError};
+pub use sat_check::{
+    check_deadlock, check_deadlock_with, check_safety, check_safety_with, synthesize_optimal,
+    DeadlockCheck, EncodingStats, OptimalCertificate, SafetyCheck, SatCheckError, SatCheckOptions,
+    SatSafety,
+};
 pub use total_pair::{decide_total_pair, schedule_from_orientation};
 pub use two_site::{decide_two_site, decide_two_site_system, TwoSiteError};

@@ -1,0 +1,964 @@
+//! Exact safety and deadlock decision by reduction *to* SAT.
+//!
+//! [`crate::reduction`] is the paper's Theorem 3 — CNF formulas become
+//! two-transaction locking systems, proving unsafety NP-hard. This module
+//! closes the equivalence from the other side: a [`TxnSystem`] becomes a
+//! CNF formula whose models are exactly the reachable unsafe (or
+//! deadlocked) states, decided by our own DPLL ([`kplock_sat`]). Unlike
+//! the exhaustive oracle ([`crate::oracle::decide_exhaustive`]), which
+//! enumerates interleavings state-by-state and is hard-capped at 8
+//! transactions, the encoding is polynomial in the system size (the
+//! search is the solver's job), and unlike the greedy
+//! [`AvoidPlan`] it is exact, not conservative.
+//!
+//! # The encoding
+//!
+//! Every lock/unlock step is a *milestone*. One boolean per unordered
+//! milestone pair says which comes first; transitivity clauses over all
+//! triples force the pair variables to describe a total order, and unit
+//! clauses pin the pairs already ordered by each transaction's own
+//! precedence DAG. On top of that shared core:
+//!
+//! * **Safety** ([`check_safety`]) asks for a *complete* schedule whose
+//!   serialization graph is cyclic. Same-entity lock sections of distinct
+//!   transactions must not overlap (one disjointness clause per pair), a
+//!   section order `unlock_i(e) ≺ lock_j(e)` realizes the conflict edge
+//!   `i → j`, and selector variables must pick a set of realized edges in
+//!   which every tail also has an incoming selected edge — in a finite
+//!   graph such a set necessarily contains a directed cycle, and every
+//!   actual cycle is such a set.
+//! * **Deadlock** ([`check_deadlock`]) asks for a reachable *prefix* in
+//!   which no remaining step is enabled, mirroring the oracle's stall
+//!   rule. Per-step executed flags are closed downward over the DAG and
+//!   linked to the milestone order (an executed lock whose section is
+//!   ordered after another executed section forces that section's unlock
+//!   to be executed too), holder variables witness who blocks each
+//!   stalled lock, and one clause per step says "executed, or missing a
+//!   predecessor, or blocked".
+//!
+//! A satisfying model is *decoded* — milestone counts give the total
+//! order, a topological sort interleaves the remaining steps — and the
+//! resulting schedule is re-verified against the model-level definitions
+//! ([`Schedule::validate_complete`], [`kplock_model::is_serializable`],
+//! oracle-style enabledness), so a witness is never taken on the
+//! encoding's word alone. `crates/sim` replays these witnesses through
+//! the lock-table machinery for the dynamic half of the story.
+//!
+//! The checker mirrors the oracle's mode-blind contention rule (any
+//! holder blocks a lock request), which coincides with write-aware
+//! serializability only when every access is exclusive, so systems using
+//! shared modes are refused up front with a typed error — as are systems
+//! whose updates stray outside their entity's lock section, where
+//! section-level ordering stops determining access-level conflicts.
+//!
+//! # Optimal certificates
+//!
+//! [`synthesize_optimal`] reuses the machinery for the avoidance arm: a
+//! transaction set is certifiable iff the union of its hold-while-request
+//! edges embeds in a total entity order, which is one selection variable
+//! per transaction, one ordering variable per entity pair, and a
+//! cardinality bound ([`kplock_sat::at_least_k`]). Iterating the bound
+//! upward from the greedy count finds a *maximum* certifiable set and
+//! quantifies exactly how conservative declaration-order greediness is.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use kplock_model::{
+    is_serializable, ActionKind, EntityId, Level, LockMode, ModelError, Schedule, ScheduledStep,
+    StepId, TxnId, TxnSystem,
+};
+use kplock_sat::{at_least_k, Cnf, Lit, SatResult, Solver, Var};
+
+use crate::avoid::{hold_request_edges, AvoidPlan};
+
+/// Tuning knobs for the SAT checker.
+#[derive(Clone, Debug)]
+pub struct SatCheckOptions {
+    /// Refuse systems with more than this many milestones (lock/unlock
+    /// steps): the transitivity core grows with the cube of the milestone
+    /// count, and the cap keeps encodings in the range our DPLL handles.
+    pub max_milestones: usize,
+}
+
+impl Default for SatCheckOptions {
+    fn default() -> Self {
+        SatCheckOptions { max_milestones: 64 }
+    }
+}
+
+/// Why a system was refused (or a model failed to decode).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatCheckError {
+    /// A lock or update step uses [`LockMode::Shared`]. The encoding
+    /// mirrors the oracle's mode-blind semantics, which match
+    /// serializability only for exclusive-only systems.
+    SharedMode { txn: TxnId, step: StepId },
+    /// A transaction fails Locking-level well-formedness.
+    Invalid { txn: TxnId, error: ModelError },
+    /// An update step lies outside its entity's lock/unlock section, so
+    /// section disjointness would not govern its conflicts.
+    UnprotectedUpdate { txn: TxnId, step: StepId },
+    /// The system exceeds [`SatCheckOptions::max_milestones`].
+    TooLarge { milestones: usize, cap: usize },
+    /// Internal: a satisfying model did not decode into a witness passing
+    /// independent re-verification. Indicates an encoder bug.
+    WitnessDecode(String),
+}
+
+impl fmt::Display for SatCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SatCheckError::SharedMode { txn, step } => {
+                write!(f, "step {step} of {txn} uses a shared mode; the SAT checker decides exclusive-only systems")
+            }
+            SatCheckError::Invalid { txn, error } => {
+                write!(f, "transaction {txn} is not well-formed: {error}")
+            }
+            SatCheckError::UnprotectedUpdate { txn, step } => {
+                write!(
+                    f,
+                    "update step {step} of {txn} lies outside its lock section"
+                )
+            }
+            SatCheckError::TooLarge { milestones, cap } => {
+                write!(
+                    f,
+                    "system has {milestones} lock/unlock milestones, above the cap of {cap}"
+                )
+            }
+            SatCheckError::WitnessDecode(why) => {
+                write!(f, "internal error: model failed witness decoding: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SatCheckError {}
+
+/// Formula size and solver effort for one decision.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EncodingStats {
+    /// Total variables (ordering + auxiliaries).
+    pub vars: usize,
+    /// Total clauses.
+    pub clauses: usize,
+    /// DPLL branching decisions.
+    pub decisions: u64,
+    /// Unit propagations.
+    pub propagations: u64,
+}
+
+/// Verdict of [`check_safety`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatSafety {
+    /// Every complete legal schedule is serializable.
+    Safe,
+    /// A complete legal non-serializable schedule exists; here is one,
+    /// verified against [`kplock_model::is_serializable`].
+    Unsafe(Schedule),
+}
+
+impl SatSafety {
+    /// True for the [`SatSafety::Safe`] verdict.
+    pub fn is_safe(&self) -> bool {
+        matches!(self, SatSafety::Safe)
+    }
+}
+
+/// Result of [`check_safety`].
+#[derive(Clone, Debug)]
+pub struct SafetyCheck {
+    /// The verdict, with a replayable witness when unsafe.
+    pub verdict: SatSafety,
+    /// Encoding size and solver effort.
+    pub stats: EncodingStats,
+}
+
+/// Result of [`check_deadlock`].
+#[derive(Clone, Debug)]
+pub struct DeadlockCheck {
+    /// A legal prefix from which no step is enabled (verified by an
+    /// oracle-style stall recheck), or `None` if no such prefix exists.
+    pub deadlock: Option<Schedule>,
+    /// Encoding size and solver effort.
+    pub stats: EncodingStats,
+}
+
+/// A maximum certifiable transaction set, next to the greedy baseline.
+#[derive(Clone, Debug)]
+pub struct OptimalCertificate {
+    /// Plan certifying a *maximum* jointly-certifiable set (restricted
+    /// synthesis over the SAT-selected transactions).
+    pub plan: AvoidPlan,
+    /// What declaration-order greedy synthesis certifies.
+    pub greedy_count: usize,
+    /// The optimum; always ≥ `greedy_count`.
+    pub optimal_count: usize,
+    /// SAT invocations spent raising the cardinality bound.
+    pub sat_calls: usize,
+}
+
+/// One lock/unlock section of one transaction.
+#[derive(Clone, Copy, Debug)]
+struct Section {
+    txn: usize,
+    entity: EntityId,
+    lock_m: usize,
+    unlock_m: usize,
+}
+
+/// The shared encoding core: milestones, ordering variables, transitivity
+/// and intra-transaction order clauses.
+struct Encoder<'a> {
+    sys: &'a TxnSystem,
+    /// Milestone index → (transaction index, step).
+    milestones: Vec<(usize, StepId)>,
+    sections: Vec<Section>,
+    /// (transaction index, entity) → index into `sections`.
+    section_of: HashMap<(usize, EntityId), usize>,
+    cnf: Cnf,
+}
+
+impl<'a> Encoder<'a> {
+    fn new(sys: &'a TxnSystem, opts: &SatCheckOptions) -> Result<Self, SatCheckError> {
+        // Refuse anything the encoding does not faithfully model.
+        for (i, t) in sys.txns().iter().enumerate() {
+            let txn = TxnId::from_idx(i);
+            if let Err(error) = kplock_model::validate(sys.db(), t, Level::Locking) {
+                return Err(SatCheckError::Invalid { txn, error });
+            }
+            for v in 0..t.len() {
+                let sid = StepId::from_idx(v);
+                let s = t.step(sid);
+                if s.kind != ActionKind::Unlock && s.mode == LockMode::Shared {
+                    return Err(SatCheckError::SharedMode { txn, step: sid });
+                }
+                if s.kind == ActionKind::Update {
+                    let protected = t
+                        .lock_step(s.entity)
+                        .zip(t.unlock_step(s.entity))
+                        .is_some_and(|(l, u)| t.precedes(l, sid) && t.precedes(sid, u));
+                    if !protected {
+                        return Err(SatCheckError::UnprotectedUpdate { txn, step: sid });
+                    }
+                }
+            }
+        }
+
+        let mut milestones = Vec::new();
+        let mut sections = Vec::new();
+        let mut section_of = HashMap::new();
+        for (i, t) in sys.txns().iter().enumerate() {
+            for e in t.locked_entities() {
+                let lock_m = milestones.len();
+                milestones.push((i, t.lock_step(e).expect("validated pair")));
+                let unlock_m = milestones.len();
+                milestones.push((i, t.unlock_step(e).expect("validated pair")));
+                section_of.insert((i, e), sections.len());
+                sections.push(Section {
+                    txn: i,
+                    entity: e,
+                    lock_m,
+                    unlock_m,
+                });
+            }
+        }
+        let m = milestones.len();
+        if m > opts.max_milestones {
+            return Err(SatCheckError::TooLarge {
+                milestones: m,
+                cap: opts.max_milestones,
+            });
+        }
+
+        let mut enc = Encoder {
+            sys,
+            milestones,
+            sections,
+            section_of,
+            cnf: Cnf::new(m * m.saturating_sub(1) / 2),
+        };
+
+        // Intra-transaction order: milestone pairs already ordered by the
+        // precedence DAG become unit clauses. Using the full `precedes`
+        // closure (not just direct edges) is what makes the decoded
+        // milestone order embeddable into a step-level topological sort.
+        for a in 0..m {
+            for b in (a + 1)..m {
+                let (ta, sa) = enc.milestones[a];
+                let (tb, sb) = enc.milestones[b];
+                if ta != tb {
+                    continue;
+                }
+                let t = enc.sys.txn(TxnId::from_idx(ta));
+                if t.precedes(sa, sb) {
+                    let lit = enc.before(a, b);
+                    enc.cnf.add_clause(vec![lit]);
+                } else if t.precedes(sb, sa) {
+                    let lit = enc.before(b, a);
+                    enc.cnf.add_clause(vec![lit]);
+                }
+            }
+        }
+
+        // Transitivity: forbid both cyclic orientations of every triple,
+        // making any model's pair relation a strict total order.
+        for a in 0..m {
+            for b in (a + 1)..m {
+                for c in (b + 1)..m {
+                    let (ab, bc, ac) = (enc.before(a, b), enc.before(b, c), enc.before(a, c));
+                    enc.cnf.add_clause(vec![ab.negated(), bc.negated(), ac]);
+                    enc.cnf.add_clause(vec![ab, bc, ac.negated()]);
+                }
+            }
+        }
+        Ok(enc)
+    }
+
+    /// Index of the ordering variable for milestone pair `a < b`.
+    fn ord_var(&self, a: usize, b: usize) -> Var {
+        debug_assert!(a < b);
+        let m = self.milestones.len();
+        Var((a * (2 * m - a - 1) / 2 + (b - a - 1)) as u32)
+    }
+
+    /// Literal meaning "milestone `a` precedes milestone `b`".
+    fn before(&self, a: usize, b: usize) -> Lit {
+        debug_assert_ne!(a, b);
+        if a < b {
+            Lit::pos(self.ord_var(a, b))
+        } else {
+            Lit::neg(self.ord_var(b, a))
+        }
+    }
+
+    fn lit_true(&self, model: &[bool], lit: Lit) -> bool {
+        model[lit.var.idx()] == lit.positive
+    }
+
+    /// Decodes the model's milestone order restricted to `included`
+    /// milestones and topologically sorts `included_step` steps under the
+    /// precedence DAGs plus that order. Returns the schedule, or an error
+    /// if the combined relation is cyclic (which would be an encoder bug).
+    fn decode(
+        &self,
+        model: &[bool],
+        included_step: impl Fn(usize, StepId) -> bool,
+    ) -> Result<Schedule, SatCheckError> {
+        // Total order over the included milestones: sort by how many other
+        // included milestones come first.
+        let mut chain: Vec<usize> = (0..self.milestones.len())
+            .filter(|&a| {
+                let (t, s) = self.milestones[a];
+                included_step(t, s)
+            })
+            .collect();
+        let keys: HashMap<usize, usize> = chain
+            .iter()
+            .map(|&a| {
+                let k = chain
+                    .iter()
+                    .filter(|&&b| b != a && self.lit_true(model, self.before(b, a)))
+                    .count();
+                (a, k)
+            })
+            .collect();
+        chain.sort_by_key(|a| keys[a]);
+
+        // Step-level node ids.
+        let mut offsets = Vec::with_capacity(self.sys.len());
+        let mut total = 0usize;
+        for t in self.sys.txns() {
+            offsets.push(total);
+            total += t.len();
+        }
+        let node = |t: usize, s: StepId| offsets[t] + s.idx();
+        let included: Vec<(usize, StepId)> = (0..self.sys.len())
+            .flat_map(|t| {
+                (0..self.sys.txn(TxnId::from_idx(t)).len()).map(move |v| (t, StepId::from_idx(v)))
+            })
+            .filter(|&(t, s)| included_step(t, s))
+            .collect();
+
+        let mut indegree = vec![0usize; total];
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); total];
+        for &(t, s) in &included {
+            for &p in self
+                .sys
+                .txn(TxnId::from_idx(t))
+                .edge_graph()
+                .predecessors(s.idx())
+            {
+                let ps = StepId::from_idx(p);
+                debug_assert!(included_step(t, ps), "executed set not downward closed");
+                successors[node(t, ps)].push(node(t, s));
+                indegree[node(t, s)] += 1;
+            }
+        }
+        for w in chain.windows(2) {
+            let (ta, sa) = self.milestones[w[0]];
+            let (tb, sb) = self.milestones[w[1]];
+            successors[node(ta, sa)].push(node(tb, sb));
+            indegree[node(tb, sb)] += 1;
+        }
+
+        // Kahn's algorithm, deterministic by smallest node id.
+        let mut order = Vec::with_capacity(included.len());
+        let mut ready: Vec<usize> = included
+            .iter()
+            .map(|&(t, s)| node(t, s))
+            .filter(|&n| indegree[n] == 0)
+            .collect();
+        ready.sort_unstable();
+        while let Some(&n) = ready.first() {
+            ready.remove(0);
+            order.push(n);
+            for &m in &successors[n] {
+                indegree[m] -= 1;
+                if indegree[m] == 0 {
+                    let pos = ready.partition_point(|&r| r < m);
+                    ready.insert(pos, m);
+                }
+            }
+        }
+        if order.len() != included.len() {
+            return Err(SatCheckError::WitnessDecode(
+                "milestone order and precedence DAGs form a cycle".into(),
+            ));
+        }
+        let steps = order
+            .into_iter()
+            .map(|n| {
+                let t = offsets.partition_point(|&o| o <= n) - 1;
+                ScheduledStep {
+                    txn: TxnId::from_idx(t),
+                    step: StepId::from_idx(n - offsets[t]),
+                }
+            })
+            .collect();
+        Ok(Schedule::new(steps))
+    }
+}
+
+fn stats_of(cnf: &Cnf, solver: &Solver<'_>) -> EncodingStats {
+    EncodingStats {
+        vars: cnf.num_vars,
+        clauses: cnf.clauses.len(),
+        decisions: solver.decisions,
+        propagations: solver.propagations,
+    }
+}
+
+/// Decides safety exactly with default options. See [`check_safety_with`].
+pub fn check_safety(sys: &TxnSystem) -> Result<SafetyCheck, SatCheckError> {
+    check_safety_with(sys, &SatCheckOptions::default())
+}
+
+/// Decides whether some complete legal schedule of `sys` is
+/// non-serializable, returning a verified witness schedule if so.
+///
+/// Agrees with [`crate::oracle::decide_exhaustive`] on every system both
+/// can decide (the triad proptests pin this).
+pub fn check_safety_with(
+    sys: &TxnSystem,
+    opts: &SatCheckOptions,
+) -> Result<SafetyCheck, SatCheckError> {
+    let enc = Encoder::new(sys, opts)?;
+    let mut cnf = enc.cnf.clone();
+
+    // Same-entity sections of distinct transactions never overlap in a
+    // complete legal schedule: one must fully precede the other.
+    by_entity_pairs(&enc, |a, b| {
+        cnf.add_clause(vec![
+            enc.before(a.unlock_m, b.lock_m),
+            enc.before(b.unlock_m, a.lock_m),
+        ]);
+    });
+
+    // Conflict-edge candidates: ordered transaction pairs sharing a locked
+    // entity. sel(i→j) asserts the serialization graph has edge i → j.
+    let mut candidates: Vec<(usize, usize, Vec<EntityId>)> = Vec::new();
+    for i in 0..sys.len() {
+        for j in 0..sys.len() {
+            if i == j {
+                continue;
+            }
+            let shared = sys.shared_locked_entities(TxnId::from_idx(i), TxnId::from_idx(j));
+            if !shared.is_empty() {
+                candidates.push((i, j, shared));
+            }
+        }
+    }
+    if candidates.is_empty() {
+        // No two transactions conflict: the serialization graph is edgeless
+        // and every complete schedule serializable.
+        return Ok(SafetyCheck {
+            verdict: SatSafety::Safe,
+            stats: EncodingStats {
+                vars: cnf.num_vars,
+                clauses: cnf.clauses.len(),
+                ..Default::default()
+            },
+        });
+    }
+    let sel_base = cnf.num_vars;
+    cnf.num_vars += candidates.len();
+    let sel = |idx: usize| Var((sel_base + idx) as u32);
+
+    for (idx, (i, j, shared)) in candidates.iter().enumerate() {
+        // A selected edge must be realized by some shared entity whose
+        // section order runs i before j.
+        let mut clause = vec![Lit::neg(sel(idx))];
+        for &e in shared {
+            let si = enc.sections[enc.section_of[&(*i, e)]];
+            let sj = enc.sections[enc.section_of[&(*j, e)]];
+            clause.push(enc.before(si.unlock_m, sj.lock_m));
+        }
+        cnf.add_clause(clause);
+        // Every selected edge's tail has an incoming selected edge; any
+        // nonempty such set contains a directed cycle, and conversely an
+        // actual cycle selects itself.
+        let mut flow = vec![Lit::neg(sel(idx))];
+        for (kidx, (_, kj, _)) in candidates.iter().enumerate() {
+            if kj == i {
+                flow.push(Lit::pos(sel(kidx)));
+            }
+        }
+        cnf.add_clause(flow);
+    }
+    cnf.add_clause(
+        (0..candidates.len())
+            .map(|idx| Lit::pos(sel(idx)))
+            .collect(),
+    );
+
+    let mut solver = Solver::new(&cnf);
+    let result = solver.solve();
+    let stats = stats_of(&cnf, &solver);
+    match result {
+        SatResult::Unsat => Ok(SafetyCheck {
+            verdict: SatSafety::Safe,
+            stats,
+        }),
+        SatResult::Sat(model) => {
+            let schedule = enc.decode(&model, |_, _| true)?;
+            schedule
+                .validate_complete(sys)
+                .map_err(|e| SatCheckError::WitnessDecode(format!("illegal witness: {e}")))?;
+            if is_serializable(sys, &schedule) {
+                return Err(SatCheckError::WitnessDecode(
+                    "decoded schedule is serializable".into(),
+                ));
+            }
+            Ok(SafetyCheck {
+                verdict: SatSafety::Unsafe(schedule),
+                stats,
+            })
+        }
+    }
+}
+
+/// Decides deadlock reachability with default options. See
+/// [`check_deadlock_with`].
+pub fn check_deadlock(sys: &TxnSystem) -> Result<DeadlockCheck, SatCheckError> {
+    check_deadlock_with(sys, &SatCheckOptions::default())
+}
+
+/// Decides whether some legal prefix of `sys` stalls every remaining step
+/// (the oracle's `deadlock_reachable`), returning a verified prefix if so.
+pub fn check_deadlock_with(
+    sys: &TxnSystem,
+    opts: &SatCheckOptions,
+) -> Result<DeadlockCheck, SatCheckError> {
+    let enc = Encoder::new(sys, opts)?;
+    let mut cnf = enc.cnf.clone();
+
+    // Executed flag per step.
+    let mut offsets = Vec::with_capacity(sys.len());
+    let mut total = 0usize;
+    for t in sys.txns() {
+        offsets.push(total);
+        total += t.len();
+    }
+    let x_base = cnf.num_vars;
+    cnf.num_vars += total;
+    let x = |t: usize, s: StepId| Var((x_base + offsets[t] + s.idx()) as u32);
+    // Holder flag per section: h asserts the section's transaction holds
+    // the entity in the final state (locked, not yet unlocked).
+    let h_base = cnf.num_vars;
+    cnf.num_vars += enc.sections.len();
+    let h = |sec: usize| Var((h_base + sec) as u32);
+
+    for (t, txn) in sys.txns().iter().enumerate() {
+        for v in 0..txn.len() {
+            let s = StepId::from_idx(v);
+            // Downward closure: an executed step's DAG predecessors are
+            // executed.
+            for &p in txn.edge_graph().predecessors(v) {
+                cnf.add_clause(vec![Lit::neg(x(t, s)), Lit::pos(x(t, StepId::from_idx(p)))]);
+            }
+        }
+    }
+
+    by_entity_pairs(&enc, |a, b| {
+        let (la, ua) = (enc.milestones[a.lock_m], enc.milestones[a.unlock_m]);
+        let (lb, ub) = (enc.milestones[b.lock_m], enc.milestones[b.unlock_m]);
+        // If both locks executed, the sections are disjoint and ordered.
+        cnf.add_clause(vec![
+            Lit::neg(x(la.0, la.1)),
+            Lit::neg(x(lb.0, lb.1)),
+            enc.before(a.unlock_m, b.lock_m),
+            enc.before(b.unlock_m, a.lock_m),
+        ]);
+        // Cross-transaction closure: a section ordered before an executed
+        // lock has released (its unlock executed), in both directions.
+        cnf.add_clause(vec![
+            enc.before(a.unlock_m, b.lock_m).negated(),
+            Lit::neg(x(lb.0, lb.1)),
+            Lit::pos(x(ua.0, ua.1)),
+        ]);
+        cnf.add_clause(vec![
+            enc.before(b.unlock_m, a.lock_m).negated(),
+            Lit::neg(x(la.0, la.1)),
+            Lit::pos(x(ub.0, ub.1)),
+        ]);
+    });
+
+    for (idx, sec) in enc.sections.iter().enumerate() {
+        let l = enc.milestones[sec.lock_m];
+        let u = enc.milestones[sec.unlock_m];
+        cnf.add_clause(vec![Lit::neg(h(idx)), Lit::pos(x(l.0, l.1))]);
+        cnf.add_clause(vec![Lit::neg(h(idx)), Lit::neg(x(u.0, u.1))]);
+    }
+
+    // The stall condition: every step is executed, or missing a
+    // predecessor, or a lock blocked by some holder.
+    for (t, txn) in sys.txns().iter().enumerate() {
+        for v in 0..txn.len() {
+            let s = StepId::from_idx(v);
+            let mut clause = vec![Lit::pos(x(t, s))];
+            for &p in txn.edge_graph().predecessors(v) {
+                clause.push(Lit::neg(x(t, StepId::from_idx(p))));
+            }
+            let step = txn.step(s);
+            if step.kind == ActionKind::Lock {
+                for (idx, sec) in enc.sections.iter().enumerate() {
+                    if sec.txn != t && sec.entity == step.entity {
+                        clause.push(Lit::pos(h(idx)));
+                    }
+                }
+            }
+            cnf.add_clause(clause);
+        }
+    }
+
+    // ... and at least one step is missing, else the state is complete.
+    let mut incomplete = Vec::with_capacity(total);
+    for (t, txn) in sys.txns().iter().enumerate() {
+        for v in 0..txn.len() {
+            incomplete.push(Lit::neg(x(t, StepId::from_idx(v))));
+        }
+    }
+    cnf.add_clause(incomplete);
+
+    let mut solver = Solver::new(&cnf);
+    let result = solver.solve();
+    let stats = stats_of(&cnf, &solver);
+    match result {
+        SatResult::Unsat => Ok(DeadlockCheck {
+            deadlock: None,
+            stats,
+        }),
+        SatResult::Sat(model) => {
+            let executed = |t: usize, s: StepId| model[x(t, s).idx()];
+            let prefix = enc.decode(&model, executed)?;
+            prefix
+                .validate_prefix(sys)
+                .map_err(|e| SatCheckError::WitnessDecode(format!("illegal prefix: {e}")))?;
+            verify_stalled(sys, &prefix)?;
+            Ok(DeadlockCheck {
+                deadlock: Some(prefix),
+                stats,
+            })
+        }
+    }
+}
+
+/// Invokes `f` on every unordered pair of same-entity sections of
+/// distinct transactions.
+fn by_entity_pairs(enc: &Encoder<'_>, mut f: impl FnMut(Section, Section)) {
+    for (ai, a) in enc.sections.iter().enumerate() {
+        for b in enc.sections.iter().skip(ai + 1) {
+            if a.entity == b.entity && a.txn != b.txn {
+                f(*a, *b);
+            }
+        }
+    }
+}
+
+/// Oracle-style stall recheck: after `prefix`, the system is incomplete
+/// and no remaining step of any transaction is enabled.
+fn verify_stalled(sys: &TxnSystem, prefix: &Schedule) -> Result<(), SatCheckError> {
+    let mut done: Vec<Vec<bool>> = sys.txns().iter().map(|t| vec![false; t.len()]).collect();
+    for ss in prefix.steps() {
+        done[ss.txn.idx()][ss.step.idx()] = true;
+    }
+    let holds = |j: usize, e: EntityId| -> bool {
+        let t = sys.txn(TxnId::from_idx(j));
+        t.lock_step(e)
+            .zip(t.unlock_step(e))
+            .is_some_and(|(l, u)| done[j][l.idx()] && !done[j][u.idx()])
+    };
+    let mut any_remaining = false;
+    for (i, t) in sys.txns().iter().enumerate() {
+        for v in 0..t.len() {
+            if done[i][v] {
+                continue;
+            }
+            any_remaining = true;
+            let s = StepId::from_idx(v);
+            if t.edge_graph().predecessors(v).iter().any(|&p| !done[i][p]) {
+                continue; // not yet reachable, vacuously disabled
+            }
+            let step = t.step(s);
+            if step.kind != ActionKind::Lock {
+                return Err(SatCheckError::WitnessDecode(format!(
+                    "non-lock step {s} of T{i} is enabled after the prefix"
+                )));
+            }
+            if !(0..sys.len()).any(|j| j != i && holds(j, step.entity)) {
+                return Err(SatCheckError::WitnessDecode(format!(
+                    "lock step {s} of T{i} is uncontended after the prefix"
+                )));
+            }
+        }
+    }
+    if !any_remaining {
+        return Err(SatCheckError::WitnessDecode(
+            "prefix is a complete schedule, not a deadlock".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Finds a *maximum* certifiable transaction set by iterated SAT and
+/// packages it as an [`AvoidPlan`], next to the greedy baseline count.
+///
+/// A set is certifiable iff the union of its members'
+/// [`hold_request_edges`] admits a total entity order (acyclicity ⇔
+/// embeddability in a total order): one selection variable per
+/// transaction, one ordering variable per entity pair, transitivity, and
+/// `selected → every edge ascends`. The cardinality bound walks upward
+/// from the greedy count until UNSAT; the last satisfiable selection is
+/// optimal.
+pub fn synthesize_optimal(sys: &TxnSystem) -> OptimalCertificate {
+    let k = sys.len();
+    let n_e = sys.db().entity_count();
+    let greedy = AvoidPlan::synthesize(sys);
+    let greedy_count = greedy.certified_count();
+
+    let edges: Vec<Vec<(EntityId, EntityId)>> = sys.txns().iter().map(hold_request_edges).collect();
+
+    // Variables: s_t (selection) then r(x<y) (entity order).
+    let rank_base = k;
+    let rank = |a: usize, b: usize| -> Var {
+        debug_assert!(a < b);
+        Var((rank_base + a * (2 * n_e - a - 1) / 2 + (b - a - 1)) as u32)
+    };
+    let before_e = |a: EntityId, b: EntityId| -> Lit {
+        if a.idx() < b.idx() {
+            Lit::pos(rank(a.idx(), b.idx()))
+        } else {
+            Lit::neg(rank(b.idx(), a.idx()))
+        }
+    };
+    let mut base = Cnf::new(k + n_e * n_e.saturating_sub(1) / 2);
+    for a in 0..n_e {
+        for b in (a + 1)..n_e {
+            for c in (b + 1)..n_e {
+                let (ab, bc, ac) = (
+                    before_e(EntityId::from_idx(a), EntityId::from_idx(b)),
+                    before_e(EntityId::from_idx(b), EntityId::from_idx(c)),
+                    before_e(EntityId::from_idx(a), EntityId::from_idx(c)),
+                );
+                base.add_clause(vec![ab.negated(), bc.negated(), ac]);
+                base.add_clause(vec![ab, bc, ac.negated()]);
+            }
+        }
+    }
+    for (t, tedges) in edges.iter().enumerate() {
+        for &(xe, ye) in tedges {
+            base.add_clause(vec![Lit::neg(Var(t as u32)), before_e(xe, ye)]);
+        }
+    }
+    let s_lits: Vec<Lit> = (0..k).map(|t| Lit::pos(Var(t as u32))).collect();
+
+    let mut best: Option<Vec<TxnId>> = None;
+    let mut sat_calls = 0usize;
+    for target in (greedy_count + 1)..=k {
+        let mut cnf = base.clone();
+        at_least_k(&mut cnf, &s_lits, target);
+        sat_calls += 1;
+        match kplock_sat::solve(&cnf) {
+            SatResult::Sat(model) => {
+                let selected: Vec<TxnId> =
+                    (0..k).filter(|&t| model[t]).map(TxnId::from_idx).collect();
+                debug_assert!(selected.len() >= target);
+                best = Some(selected);
+            }
+            SatResult::Unsat => break,
+        }
+    }
+
+    match best {
+        Some(selected) => {
+            let optimal_count = selected.len();
+            let plan = AvoidPlan::synthesize_restricted(sys, &selected);
+            // Restricted synthesis adds candidates greedily, but every
+            // subset of a jointly-acyclic set is jointly acyclic, so it
+            // certifies all of them.
+            debug_assert_eq!(plan.certified_count(), optimal_count);
+            OptimalCertificate {
+                plan,
+                greedy_count,
+                optimal_count,
+                sat_calls,
+            }
+        }
+        None => OptimalCertificate {
+            plan: greedy,
+            greedy_count,
+            optimal_count: greedy_count,
+            sat_calls,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{decide_exhaustive, OracleOptions, OracleOutcome};
+    use kplock_model::{Database, TxnBuilder};
+
+    fn sys_of(scripts: &[&str]) -> TxnSystem {
+        let db = Database::from_spec(&[("x", 0), ("y", 1), ("z", 0)]);
+        let txns = scripts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut b = TxnBuilder::new(&db, format!("T{i}"));
+                b.script(s).expect("script");
+                b.build().expect("acyclic")
+            })
+            .collect();
+        TxnSystem::new(db, txns)
+    }
+
+    #[test]
+    fn opposed_two_phase_pair_is_safe_but_deadlocks() {
+        let sys = sys_of(&["Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux"]);
+        let safety = check_safety(&sys).unwrap();
+        assert!(safety.verdict.is_safe());
+        let dl = check_deadlock(&sys).unwrap();
+        let prefix = dl.deadlock.expect("opposed lock orders deadlock");
+        assert!(prefix.validate_prefix(&sys).is_ok());
+        let report = decide_exhaustive(&sys, &OracleOptions::default());
+        assert!(matches!(report.outcome, OracleOutcome::Safe));
+        assert!(report.deadlock_reachable);
+    }
+
+    #[test]
+    fn aligned_two_phase_pair_is_safe_and_deadlock_free() {
+        let sys = sys_of(&["Lx Ly x y Ux Uy", "Lx Ly x y Ux Uy"]);
+        let safety = check_safety(&sys).unwrap();
+        assert!(safety.verdict.is_safe());
+        let dl = check_deadlock(&sys).unwrap();
+        assert!(dl.deadlock.is_none());
+    }
+
+    #[test]
+    fn early_unlock_pair_is_unsafe_with_verified_witness() {
+        // Classic non-2PL anomaly: both transactions release x before
+        // touching y, so the sections can interleave into a cycle.
+        let sys = sys_of(&["Lx x Ux Ly y Uy", "Lx x Ux Ly y Uy"]);
+        let safety = check_safety(&sys).unwrap();
+        let SatSafety::Unsafe(w) = safety.verdict else {
+            panic!("early unlock must be unsafe");
+        };
+        w.validate_complete(&sys).unwrap();
+        assert!(!is_serializable(&sys, &w));
+        let report = decide_exhaustive(&sys, &OracleOptions::default());
+        assert!(matches!(report.outcome, OracleOutcome::Unsafe(_)));
+    }
+
+    #[test]
+    fn disjoint_transactions_are_trivially_safe() {
+        let sys = sys_of(&["Lx x Ux", "Ly y Uy"]);
+        let safety = check_safety(&sys).unwrap();
+        assert!(safety.verdict.is_safe());
+        assert_eq!(safety.stats.decisions, 0);
+        assert!(check_deadlock(&sys).unwrap().deadlock.is_none());
+    }
+
+    #[test]
+    fn three_way_rotation_deadlocks_but_stays_safe() {
+        let sys = sys_of(&["Lx Lz x z Ux Uz", "Lz Ly z y Uz Uy", "Ly Lx y x Uy Ux"]);
+        assert!(check_safety(&sys).unwrap().verdict.is_safe());
+        let dl = check_deadlock(&sys).unwrap();
+        assert!(dl.deadlock.is_some());
+        let report = decide_exhaustive(&sys, &OracleOptions::default());
+        assert!(matches!(report.outcome, OracleOutcome::Safe));
+        assert!(report.deadlock_reachable);
+    }
+
+    #[test]
+    fn shared_modes_are_refused() {
+        let db = Database::from_spec(&[("x", 0)]);
+        let t = {
+            let mut b = TxnBuilder::new(&db, "T0");
+            b.script("SLx rx Ux").unwrap();
+            b.build().unwrap()
+        };
+        let sys = TxnSystem::new(db, vec![t]);
+        assert!(matches!(
+            check_safety(&sys),
+            Err(SatCheckError::SharedMode { .. })
+        ));
+    }
+
+    #[test]
+    fn milestone_cap_is_enforced() {
+        let sys = sys_of(&["Lx Ly x y Ux Uy"]);
+        let opts = SatCheckOptions { max_milestones: 2 };
+        assert!(matches!(
+            check_safety_with(&sys, &opts),
+            Err(SatCheckError::TooLarge {
+                milestones: 4,
+                cap: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn optimal_certificate_beats_greedy_on_opposed_family() {
+        // T0 ascends x→y; T1, T2 descend y→x. Greedy (declaration order)
+        // keeps only T0; the optimum drops T0 and keeps both descenders.
+        let sys = sys_of(&["Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", "Ly Lx y x Uy Ux"]);
+        let opt = synthesize_optimal(&sys);
+        assert_eq!(opt.greedy_count, 1);
+        assert_eq!(opt.optimal_count, 2);
+        assert_eq!(opt.plan.certified_count(), 2);
+        opt.plan.verify(&sys).unwrap();
+        assert!(opt.sat_calls >= 2);
+    }
+
+    #[test]
+    fn optimal_matches_greedy_when_greedy_is_already_optimal() {
+        let sys = sys_of(&["Lx Ly x y Ux Uy", "Lx Ly x y Ux Uy"]);
+        let opt = synthesize_optimal(&sys);
+        assert_eq!(opt.greedy_count, 2);
+        assert_eq!(opt.optimal_count, 2);
+        assert!(opt.plan.fully_certified());
+    }
+}

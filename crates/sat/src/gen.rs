@@ -23,9 +23,23 @@ impl XorShift {
         x.wrapping_mul(0x2545F4914F6CDD1D)
     }
 
-    /// Uniform value in `0..n` (n > 0).
+    /// Uniform value in `0..n` (n > 0), bias-free.
+    ///
+    /// Plain `next_u64() % n` over-weights the low residues whenever `n`
+    /// does not divide `2^64` (by at most one part in `2^64 / n`, tiny but
+    /// real). Rejection sampling inside the largest multiple-of-`n` zone
+    /// makes every residue exactly equally likely; the retry probability is
+    /// below `n / 2^64`, so the loop is effectively a single draw.
     pub fn below(&mut self, n: usize) -> usize {
-        (self.next_u64() % n as u64) as usize
+        assert!(n > 0, "below(0) is meaningless");
+        let n = n as u64;
+        let zone = (u64::MAX / n) * n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return (v % n) as usize;
+            }
+        }
     }
 
     /// Uniform boolean.

@@ -27,6 +27,7 @@
 //! }
 //! ```
 
+pub mod card;
 pub mod cnf;
 pub mod dimacs;
 pub mod dpll;
@@ -34,6 +35,7 @@ pub mod gen;
 pub mod models;
 pub mod restricted;
 
+pub use card::{at_least_k, at_most_k};
 pub use cnf::{Clause, Cnf, Lit, Var};
 pub use dpll::{solve, solve_brute_force, SatResult, Solver};
 pub use gen::{random_kcnf, random_restricted, XorShift};

@@ -115,6 +115,7 @@ pub mod history;
 pub mod lock_table;
 pub mod metrics;
 pub mod probe;
+pub mod replay;
 pub mod threaded;
 
 pub use config::{
@@ -129,4 +130,5 @@ pub use history::{audit, Audit, History, HistoryEvent};
 pub use lock_table::SiteTable;
 pub use metrics::Metrics;
 pub use probe::{choose_victim, ProbeMsg, SiteProbeState, Stamp};
+pub use replay::{replay_deadlock, replay_violation, DeadlockEvidence, ReplayError};
 pub use threaded::{run_threaded, ThreadedConfig, ThreadedReport, ThreadedResolution};

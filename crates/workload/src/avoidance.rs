@@ -106,6 +106,39 @@ pub fn certified_mix(
     TxnSystem::new(db, txns)
 }
 
+/// The greedy-conservatism family: one ascending transaction declared
+/// *first*, then `descending` transactions all using the same descending
+/// lock order. Declaration-order greedy synthesis
+/// ([`AvoidPlan::synthesize`]) admits the ascending transaction and then
+/// rejects every descender (each closes a cycle with it), certifying
+/// exactly 1; the optimum drops the lone ascender and certifies all
+/// `descending` mutually-consistent transactions.
+/// `kplock_core::sat_check::synthesize_optimal` finds that optimum, and
+/// experiments table D5 sweeps this family to quantify the gap.
+///
+/// Two entities on `sites` sites (1 or 2), synchronized-2PL scripts,
+/// RNG-free; safe but deadlock-prone (opposed lock orders), like the
+/// rotated tail of [`certified_mix`].
+pub fn opposed_mix(descending: usize, sites: usize) -> TxnSystem {
+    assert!(descending >= 1, "need at least one descending transaction");
+    assert!(
+        sites == 1 || sites == 2,
+        "two entities spread over at most two sites"
+    );
+    let db = Database::from_spec(&[("x", 0), ("y", sites - 1)]);
+    let build = |tag: String, order: [&str; 2]| {
+        let script = format!("L{a} L{b} {a} {b} U{a} U{b}", a = order[0], b = order[1]);
+        let mut b = TxnBuilder::new(&db, tag);
+        b.script(&script).expect("fixed names");
+        b.build().expect("totally ordered script")
+    };
+    let mut txns = vec![build("A".into(), ["x", "y"])];
+    for t in 0..descending {
+        txns.push(build(format!("D{}", t + 1), ["y", "x"]));
+    }
+    TxnSystem::new(db, txns)
+}
+
 /// Sweeps the certified fraction on a fixed offered load: for each entry
 /// of `certified_counts`, a [`certified_mix`] system with that many
 /// ascending transactions (and `txns - count` rotated ones) plus a plan
@@ -163,6 +196,23 @@ mod tests {
         let again = certified_mix(6, 2, 3, 3);
         for (a, b) in s.txns().iter().zip(again.txns()) {
             assert_eq!(a.steps(), b.steps());
+        }
+    }
+
+    #[test]
+    fn opposed_mix_greedy_gap_is_by_construction() {
+        for k in 1..=4 {
+            let sys = opposed_mix(k, 2);
+            sys.validate(Level::Strict).unwrap();
+            assert_eq!(sys.len(), k + 1);
+            // Greedy keeps only the first-declared ascender...
+            let greedy = AvoidPlan::synthesize(&sys);
+            assert_eq!(greedy.certified_count(), 1);
+            // ...while the descenders are mutually consistent.
+            let descenders: Vec<TxnId> = (1..=k).map(TxnId::from_idx).collect();
+            let all = AvoidPlan::synthesize_restricted(&sys, &descenders);
+            assert_eq!(all.certified_count(), k);
+            all.verify(&sys).unwrap();
         }
     }
 

@@ -37,7 +37,7 @@ pub mod scenarios;
 pub mod suite;
 pub mod txn_gen;
 
-pub use avoidance::{avoid_mix_sweep, certified_mix, AvoidScenario};
+pub use avoidance::{avoid_mix_sweep, certified_mix, opposed_mix, AvoidScenario};
 pub use fault::{fault_plan_ladder, fault_sweep, FaultScenario, FAULT_ARMS, FAULT_ARMS_WITH_AVOID};
 pub use figures::{fig1, fig2, fig3, fig5};
 pub use reduction_instances::{fig8_formula, fig8_reduction, random_instance, unsat_restricted};

@@ -1,4 +1,4 @@
-//! Smoke tests covering the core path of each of the seven `examples/`
+//! Smoke tests covering the core path of each of the eight `examples/`
 //! mains, so the examples cannot silently rot. Each test exercises the same
 //! API sequence as its example (with trimmed iteration counts) and asserts
 //! the example's own invariants; CI additionally executes the example
@@ -287,6 +287,44 @@ fn paper_figures_core_path() {
         matches!(a5.verdict, SafetyVerdict::Safe(_)),
         "Fig. 5: yet the system is safe"
     );
+}
+
+/// Core path of `examples/exact_check.rs`: the SAT checker's unsafety
+/// witness replays to a non-serializable history, its deadlock prefix
+/// replays to a waits-for cycle, and `synthesize_optimal` beats greedy
+/// on the opposed family.
+#[test]
+fn exact_check_core_path() {
+    use kplock::core::{check_deadlock, check_safety, synthesize_optimal, SatSafety};
+    use kplock::sim::{replay_deadlock, replay_violation};
+    use kplock::workload::opposed_mix;
+
+    let db = Database::from_spec(&[("x", 0), ("y", 1)]);
+    let txns = (0..2)
+        .map(|i| {
+            let mut b = TxnBuilder::new(&db, format!("E{i}"));
+            b.script("Lx x Ux Ly y Uy").unwrap();
+            b.build().unwrap()
+        })
+        .collect();
+    let sys = TxnSystem::new(db, txns);
+    let report = check_safety(&sys).expect("encodes");
+    let SatSafety::Unsafe(witness) = &report.verdict else {
+        panic!("early unlock must be unsafe");
+    };
+    let audit = replay_violation(&sys, witness).expect("witness replays");
+    assert!(audit.legal.is_ok() && !audit.serializable);
+
+    let sys = opposed_mix(2, 2);
+    assert!(check_safety(&sys).expect("encodes").verdict.is_safe());
+    let dl = check_deadlock(&sys).expect("encodes");
+    let prefix = dl.deadlock.as_ref().expect("deadlock reachable");
+    let evidence = replay_deadlock(&sys, prefix).expect("prefix replays");
+    assert!(evidence.cycle.len() >= 2);
+
+    let opt = synthesize_optimal(&sys);
+    assert!(opt.optimal_count > opt.greedy_count);
+    opt.plan.verify(&sys).expect("optimal plan verifies");
 }
 
 /// Core path of `examples/table_bench.rs`: a neutral queue table is a

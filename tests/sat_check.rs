@@ -1,0 +1,120 @@
+//! The triad property: three independent deciders must agree on every
+//! random small system.
+//!
+//! * `decide_exhaustive` — the oracle, brute-force interleaving search;
+//! * `check_safety` / `check_deadlock` — the Theorem-3-converse SAT
+//!   encoding decided by our DPLL;
+//! * `AvoidPlan::synthesize` — the greedy polynomial certificate, whose
+//!   fully-certified verdict is a *sufficient* condition the other two
+//!   must never contradict.
+//!
+//! On top of verdict agreement, every `Unsafe` answer must carry a
+//! witness that replays through the per-site lock tables to a legal,
+//! non-serializable history, and every deadlock answer a prefix that
+//! replays to a waits-for cycle — the SAT checker never gets to be
+//! "right" by accident.
+
+use kplock::core::policy::LockStrategy;
+use kplock::core::{
+    check_deadlock, check_safety, decide_exhaustive, synthesize_optimal, OracleOptions,
+    OracleOutcome, SatSafety,
+};
+use kplock::sim::{replay_deadlock, replay_violation, AvoidPlan};
+use kplock::workload::{random_system, WorkloadParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Oracle, SAT checker, and greedy plan agree on random systems; SAT
+    /// witnesses replay to real violations/stalls. Sizes stay modest not
+    /// for the solver's sake (clause learning handles far bigger) but for
+    /// the oracle's: it explores interleavings outright, and the triad
+    /// only bites where the oracle actually finishes.
+    #[test]
+    fn oracle_sat_and_greedy_agree(
+        seed in 0u64..10_000,
+        sites in 1usize..4,
+        txns in 2usize..5,
+        steps_per_txn in 4usize..7,
+        strategy_idx in 0usize..3,
+    ) {
+        let strategy = [
+            LockStrategy::Minimal,
+            LockStrategy::TwoPhaseLoose,
+            LockStrategy::TwoPhaseSync,
+        ][strategy_idx];
+        let sys = random_system(&WorkloadParams {
+            seed,
+            sites,
+            entities_per_site: 2,
+            transactions: txns,
+            steps_per_txn,
+            cross_edge_percent: 20,
+            read_percent: 0, // exclusive-only: the checker's domain
+            strategy,
+            ..Default::default()
+        });
+
+        let safety = check_safety(&sys)
+            .expect("exclusive-only generated systems must encode");
+        let deadlock = check_deadlock(&sys)
+            .expect("exclusive-only generated systems must encode");
+
+        // Every verdict ships replayable evidence.
+        if let SatSafety::Unsafe(witness) = &safety.verdict {
+            let audit = replay_violation(&sys, witness)
+                .unwrap_or_else(|e| panic!("seed {seed}: witness must replay: {e}"));
+            prop_assert!(audit.legal.is_ok());
+            prop_assert!(!audit.serializable);
+        }
+        if let Some(prefix) = &deadlock.deadlock {
+            let evidence = replay_deadlock(&sys, prefix)
+                .unwrap_or_else(|e| panic!("seed {seed}: prefix must replay: {e}"));
+            prop_assert!(evidence.cycle.len() >= 2);
+        }
+
+        // Oracle cross-examination (it fully explores these sizes).
+        let report = decide_exhaustive(&sys, &OracleOptions::default());
+        match report.outcome {
+            OracleOutcome::Safe => {
+                prop_assert!(
+                    safety.verdict.is_safe(),
+                    "seed {}: oracle safe, SAT unsafe", seed
+                );
+                // A completed Safe exploration also decides deadlock
+                // reachability exactly.
+                prop_assert_eq!(
+                    deadlock.deadlock.is_some(),
+                    report.deadlock_reachable,
+                    "seed {}: deadlock verdicts disagree", seed
+                );
+            }
+            OracleOutcome::Unsafe(_) => {
+                prop_assert!(
+                    !safety.verdict.is_safe(),
+                    "seed {}: oracle unsafe, SAT safe", seed
+                );
+            }
+            OracleOutcome::Aborted => {}
+        }
+
+        // Greedy is a sufficient condition: a fully-certified plan means
+        // no reachable deadlock and (under sync-2PL) safety; the exact
+        // deciders must not contradict it.
+        let greedy = AvoidPlan::synthesize(&sys);
+        prop_assert!(greedy.verify(&sys).is_ok());
+        if greedy.fully_certified() {
+            prop_assert!(
+                deadlock.deadlock.is_none(),
+                "seed {}: certified set reached a deadlock", seed
+            );
+        }
+
+        // And the iterated-SAT optimum dominates greedy, verifiably.
+        let opt = synthesize_optimal(&sys);
+        prop_assert!(opt.optimal_count >= opt.greedy_count);
+        prop_assert_eq!(opt.greedy_count, greedy.certified_count());
+        prop_assert!(opt.plan.verify(&sys).is_ok());
+    }
+}
