@@ -1,0 +1,69 @@
+//! Experiment D6 (timing side): multi-granularity locking — simulator
+//! cost of scan traffic under flat vs hierarchical locking, and the
+//! workload-materialization cost of the two-level catalog.
+//!
+//! The lock-operation *counts* behind the D6 table are deterministic and
+//! pinned by `tests/hierarchy.rs` and the `kplock-bench` `--check` gate;
+//! this bench tracks the wall-clock side on a smaller catalog so the
+//! smoke run stays fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplock_model::hierarchy::Granularity;
+use kplock_sim::{run_with_arrivals, SimConfig};
+use kplock_workload::{hierarchy_system, AccessProfile, HierarchyParams};
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let p = HierarchyParams {
+        profile: AccessProfile::Scan,
+        files: 16,
+        records_per_file: 128,
+        sites: 4,
+        transactions: 8,
+        zipf_theta: 0.6,
+        arrival_gap: 40,
+        seed: 3,
+    };
+    let arms = [
+        ("flat", Granularity::Flat),
+        (
+            "hier16",
+            Granularity::Hierarchical {
+                escalation_threshold: 16,
+            },
+        ),
+        (
+            "hier2",
+            Granularity::Hierarchical {
+                escalation_threshold: 2,
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("hierarchy_scan_sim");
+    group.sample_size(10);
+    for (label, g) in arms {
+        let sc = hierarchy_system(&p, g);
+        group.bench_with_input(BenchmarkId::new("run", label), &sc, |b, sc| {
+            b.iter(|| {
+                run_with_arrivals(
+                    std::hint::black_box(&sc.system),
+                    &SimConfig::default(),
+                    &sc.arrivals,
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hierarchy_materialize");
+    group.sample_size(10);
+    for (label, g) in arms {
+        group.bench_with_input(BenchmarkId::new("build", label), &g, |b, &g| {
+            b.iter(|| hierarchy_system(std::hint::black_box(&p), g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

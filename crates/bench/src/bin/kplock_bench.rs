@@ -121,6 +121,7 @@ fn main() {
     hot_loop_suite(&mut records, &scale);
     sim_suite(&mut records, &scale);
     threaded_suite(&mut records, &scale);
+    hierarchy_suite(&mut records);
 
     println!(
         "{:<38} {:>12} {:>9} {:>9} {:>9}",
@@ -534,6 +535,134 @@ fn threaded_record(
 }
 
 // ---------------------------------------------------------------------
+// Suite: hierarchy — multi-granularity locking at 10⁵ records (D6).
+// ---------------------------------------------------------------------
+
+/// Scan traffic over a 100-file × 1000-record catalog, flat vs
+/// hierarchical, with and without a lossy fault plan. One run per
+/// configuration in every mode: the headline number (`ops` = total lock
+/// requests serviced by the sites) is fully deterministic, so the
+/// `--check` gate pins it *exactly* and additionally enforces the ≥5×
+/// flat-vs-hierarchical ratio from the D6 acceptance bar. The invariant
+/// audit (full-matrix co-holder exclusion) is armed on every run.
+fn hierarchy_suite(records: &mut Vec<BenchRecord>) {
+    use kplock_model::hierarchy::Granularity;
+    use kplock_sim::run_with_arrivals;
+    use kplock_workload::{hierarchy_system, AccessProfile, HierarchyParams};
+    let p = HierarchyParams {
+        profile: AccessProfile::Scan,
+        files: 100,
+        records_per_file: 1000,
+        sites: 4,
+        transactions: 10,
+        zipf_theta: 0.6,
+        arrival_gap: 50,
+        seed: 3,
+    };
+    let arms = [
+        ("flat", Granularity::Flat),
+        (
+            "hier16",
+            Granularity::Hierarchical {
+                escalation_threshold: 16,
+            },
+        ),
+    ];
+    for (glabel, g) in arms {
+        let sc = hierarchy_system(&p, g);
+        for (faults, flabel) in [
+            (FaultPlan::none(), "none"),
+            (FaultPlan::lossy(7, 0.05, 0.02, 0.10), "lossy"),
+        ] {
+            let cfg = SimConfig {
+                latency: LatencyModel::Fixed(5),
+                seed: 17,
+                faults,
+                invariant_audit: true,
+                max_time: 20_000_000,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let report = run_with_arrivals(&sc.system, &cfg, &sc.arrivals).expect("valid config");
+            let elapsed = t0.elapsed();
+            assert!(report.finished(), "hier/{glabel}/{flabel} did not finish");
+            report
+                .audit
+                .legal
+                .as_ref()
+                .unwrap_or_else(|e| panic!("hier/{glabel}/{flabel}: illegal schedule: {e}"));
+            records.push(BenchRecord {
+                id: format!("hier/scan1e5/{glabel}/{flabel}"),
+                suite: "hierarchy".to_string(),
+                workload: "scan1e5".to_string(),
+                table: glabel.to_string(),
+                threads: 1,
+                shards: p.sites as u32,
+                resolution: "periodic".to_string(),
+                fault_plan: flabel.to_string(),
+                ops: report.metrics.lock_requests,
+                elapsed_ms: elapsed.as_secs_f64() * 1e3,
+                throughput_ops_per_s: report.metrics.lock_requests as f64 / elapsed.as_secs_f64(),
+                p50_us: 0.0,
+                p99_us: 0.0,
+                p999_us: 0.0,
+                restarts: report.metrics.aborts as u64,
+                probe_messages: report.metrics.probe_messages,
+            });
+        }
+    }
+}
+
+/// The hierarchy side of the gate: lock-request counts are deterministic,
+/// so any drift against the baseline is a real behavior change (workload
+/// generation, escalation policy, or admission), and the flat arm must
+/// need ≥5× the lock requests of the hierarchical arm.
+fn check_hierarchy(baseline: &[BenchRecord], current: &[BenchRecord]) -> Result<String, String> {
+    let mut errors = Vec::new();
+    let mut pinned = 0;
+    for cur in current.iter().filter(|r| r.suite == "hierarchy") {
+        if let Some(base) = baseline.iter().find(|b| b.id == cur.id) {
+            pinned += 1;
+            if base.ops != cur.ops {
+                errors.push(format!(
+                    "  {}: lock-request count drifted from the baseline ({} -> {})",
+                    cur.id, base.ops, cur.ops
+                ));
+            }
+        }
+    }
+    let find = |table: &str| {
+        current
+            .iter()
+            .find(|r| r.suite == "hierarchy" && r.table == table && r.fault_plan == "none")
+            .map(|r| r.ops)
+    };
+    match (find("flat"), find("hier16")) {
+        (Some(flat), Some(hier)) if flat < 5 * hier => errors.push(format!(
+            "  hier/scan1e5: flat/hier lock-request ratio {:.1}x is below the 5x acceptance bar \
+             (flat {flat}, hier {hier})",
+            flat as f64 / hier as f64
+        )),
+        (Some(flat), Some(hier)) => {
+            return if errors.is_empty() {
+                Ok(format!(
+                    "hierarchy gate OK: {pinned} pinned records, flat/hier ratio {:.1}x (≥5x)",
+                    flat as f64 / hier as f64
+                ))
+            } else {
+                Err(errors.join("\n"))
+            }
+        }
+        _ => errors.push("  hier/scan1e5: flat or hier16 record missing from this run".to_string()),
+    }
+    if errors.is_empty() {
+        Ok(format!("hierarchy gate OK: {pinned} pinned records"))
+    } else {
+        Err(errors.join("\n"))
+    }
+}
+
+// ---------------------------------------------------------------------
 // Shared measurement plumbing.
 // ---------------------------------------------------------------------
 
@@ -621,18 +750,27 @@ fn check_against(
             format!("  {id}: {r:.3}x vs baseline (floor {floor:.3}x, median {median:.3}x)")
         })
         .collect();
-    if failures.is_empty() {
-        Ok(format!(
-            "perf gate OK: {} records, median ratio {median:.3}x, floor {floor:.3}x",
+    // The hierarchy records gate on *determinism* and the ≥5× ratio, not
+    // throughput — counts are machine-independent, so no tolerance.
+    let hierarchy = check_hierarchy(&baseline, current);
+    match (failures.is_empty(), hierarchy) {
+        (true, Ok(hsummary)) => Ok(format!(
+            "perf gate OK: {} records, median ratio {median:.3}x, floor {floor:.3}x\n{hsummary}",
             ratios.len()
-        ))
-    } else {
-        Err(format!(
-            "{} of {} records regressed more than {:.0}% below the median ratio {median:.3}x:\n{}",
-            failures.len(),
-            ratios.len(),
-            tolerance * 100.0,
-            failures.join("\n")
-        ))
+        )),
+        (true, Err(herr)) => Err(format!("hierarchy gate failed:\n{herr}")),
+        (false, hierarchy) => {
+            let mut msg = format!(
+                "{} of {} records regressed more than {:.0}% below the median ratio {median:.3}x:\n{}",
+                failures.len(),
+                ratios.len(),
+                tolerance * 100.0,
+                failures.join("\n")
+            );
+            if let Err(herr) = hierarchy {
+                msg.push_str(&format!("\nhierarchy gate failed:\n{herr}"));
+            }
+            Err(msg)
+        }
     }
 }

@@ -70,6 +70,7 @@
 //! assert_eq!(m.table().holds(b, 3), Some(LockMode::Exclusive));
 //! ```
 
+mod admission;
 pub mod deadlock;
 pub mod error;
 pub mod lease;

@@ -42,6 +42,7 @@
 //! Both knobs are off by default; a default-constructed `QueueTable` is
 //! FIFO-equivalent by construction.
 
+use crate::admission;
 use crate::error::LockError;
 use crate::lock_table::{Bias, LockTable};
 use crate::prevent::{PreventionOutcome, PreventionScheme, Priority};
@@ -353,11 +354,31 @@ impl<O: Copy + Eq + Ord + Hash> QueueTable<O> {
         }
     }
 
-    fn all_holders_shared(&self, si: u32) -> bool {
+    /// True iff `mode` is compatible with every current holder — the
+    /// arena-cursor twin of the shared admission helper; every question
+    /// still routes through the one matrix
+    /// ([`LockMode::compatible_with`]). On the `S`/`X` fragment this is
+    /// the old `all_holders_shared` check.
+    fn holders_compatible_with(&self, si: u32, mode: LockMode) -> bool {
         let mut id = self.estates[si as usize].holders.head;
         while id != NIL {
             let n = &self.nodes[id as usize];
-            if n.mode != LockMode::Shared {
+            if !mode.compatible_with(n.mode) {
+                return false;
+            }
+            id = n.next;
+        }
+        true
+    }
+
+    /// True iff holder `owner` could be granted `target` right now: the
+    /// join target is compatible with every *other* holder (for `S → X`:
+    /// sole holder).
+    fn upgrade_admissible(&self, si: u32, owner: O, target: LockMode) -> bool {
+        let mut id = self.estates[si as usize].holders.head;
+        while id != NIL {
+            let n = &self.nodes[id as usize];
+            if n.owner != owner && !target.compatible_with(n.mode) {
                 return false;
             }
             id = n.next;
@@ -369,14 +390,16 @@ impl<O: Copy + Eq + Ord + Hash> QueueTable<O> {
     // Admission (mirrors `FifoTable::try_admit` exactly).
     // ------------------------------------------------------------------
 
-    /// `Ok(None)` = granted; `Ok(Some(upgrade))` = must wait.
+    /// `Ok(None)` = granted; `Ok(Some(None))` = must wait as a fresh
+    /// request; `Ok(Some(Some(target)))` = must wait as an upgrade to the
+    /// lattice-join `target`.
     fn try_admit(
         &mut self,
         si: u32,
         e: EntityId,
         o: O,
         mode: LockMode,
-    ) -> Result<Option<bool>, LockError> {
+    ) -> Result<Option<Option<LockMode>>, LockError> {
         let st = self.estates[si as usize];
         if self.find_in(st.queue, o).is_some() || self.find_in(st.upgrades, o).is_some() {
             return Err(LockError::AlreadyQueued { entity: e });
@@ -386,20 +409,20 @@ impl<O: Copy + Eq + Ord + Hash> QueueTable<O> {
             if held.covers(mode) {
                 return Ok(None);
             }
-            // Upgrade S -> X, in place when sole holder.
-            if st.holders.len == 1 {
-                self.nodes[hid as usize].mode = LockMode::Exclusive;
+            // Upgrade to the lattice join, in place when the target is
+            // compatible with every *other* holder (for `S → X`: sole
+            // holder).
+            let target = held.join(mode);
+            if self.upgrade_admissible(si, o, target) {
+                self.nodes[hid as usize].mode = target;
                 return Ok(None);
             }
-            return Ok(Some(true));
+            return Ok(Some(Some(target)));
         }
         let grantable = if st.holders.len == 0 {
             st.queue.len == 0
         } else {
-            mode == LockMode::Shared
-                && st.upgrades.len == 0
-                && st.queue.len == 0
-                && self.all_holders_shared(si)
+            st.upgrades.len == 0 && st.queue.len == 0 && self.holders_compatible_with(si, mode)
         };
         if grantable {
             let id = self.alloc_node(o, mode);
@@ -407,7 +430,7 @@ impl<O: Copy + Eq + Ord + Hash> QueueTable<O> {
             self.owned_insert(o, e);
             Ok(None)
         } else {
-            Ok(Some(false))
+            Ok(Some(None))
         }
     }
 
@@ -422,9 +445,7 @@ impl<O: Copy + Eq + Ord + Hash> QueueTable<O> {
         if st.holders.len == 0 {
             true
         } else {
-            self.nodes[id as usize].mode == LockMode::Shared
-                && st.upgrades.len == 0
-                && self.all_holders_shared(si)
+            st.upgrades.len == 0 && self.holders_compatible_with(si, self.nodes[id as usize].mode)
         }
     }
 
@@ -467,7 +488,7 @@ impl<O: Copy + Eq + Ord + Hash> QueueTable<O> {
             Bias::WriterPreference => {
                 // When the lock falls free, serve the first queued writer
                 // even past earlier readers; otherwise strict FIFO.
-                if st.holders.len == 0 && self.nodes[front as usize].mode == LockMode::Shared {
+                if st.holders.len == 0 && self.nodes[front as usize].mode != LockMode::Exclusive {
                     let mut id = st.queue.head;
                     while id != NIL {
                         let n = &self.nodes[id as usize];
@@ -486,15 +507,16 @@ impl<O: Copy + Eq + Ord + Hash> QueueTable<O> {
                     return Some(front);
                 }
                 // Front is blocked (a writer, typically): pull any later
-                // reader forward while the holder set stays all-shared.
-                if st.upgrades.len == 0 && st.holders.len > 0 && self.all_holders_shared(si) {
+                // compatible request forward while the holder set admits
+                // it (for `S`/`X`: later readers past a queued writer).
+                if st.upgrades.len == 0 && st.holders.len > 0 {
                     let mut id = st.queue.head;
                     while id != NIL {
-                        let n = &self.nodes[id as usize];
-                        if n.mode == LockMode::Shared {
+                        let m = self.nodes[id as usize].mode;
+                        if self.holders_compatible_with(si, m) {
                             return Some(id);
                         }
-                        id = n.next;
+                        id = self.nodes[id as usize].next;
                     }
                 }
                 None
@@ -502,21 +524,36 @@ impl<O: Copy + Eq + Ord + Hash> QueueTable<O> {
         }
     }
 
-    /// Grants whatever the state now admits: a sole-holder upgrade first,
-    /// then queue candidates per bias/topology (strict FIFO by default).
-    /// Appends `(owner, mode)` grants to `out`.
+    /// Grants whatever the state now admits: admissible pending upgrades
+    /// first (for `S → X`: a sole-holder upgrade), then queue candidates
+    /// per bias/topology (strict FIFO by default). Appends
+    /// `(owner, mode)` grants to `out`.
     fn promote(&mut self, si: u32, e: EntityId, from_cohort: Option<u32>, out: &mut Grants<O>) {
         loop {
             let st = self.estates[si as usize];
-            // Sole-holder upgrade is always served first.
-            if st.upgrades.len > 0 && st.holders.len == 1 {
-                let hid = st.holders.head;
-                let howner = self.nodes[hid as usize].owner;
-                if let Some(uid) = self.find_in(st.upgrades, howner) {
-                    self.nodes[hid as usize].mode = LockMode::Exclusive;
-                    self.unlink(si, Part::Upgrades, uid);
-                    self.free_node(uid);
-                    out.push((howner, LockMode::Exclusive));
+            // Admissible upgrades are always served first, FIFO among
+            // themselves; upgrade nodes carry their join target as mode.
+            if st.upgrades.len > 0 {
+                let mut uid = st.upgrades.head;
+                let mut served = false;
+                while uid != NIL {
+                    let (uowner, target) = {
+                        let n = &self.nodes[uid as usize];
+                        (n.owner, n.mode)
+                    };
+                    if self.upgrade_admissible(si, uowner, target) {
+                        if let Some(hid) = self.find_in(st.holders, uowner) {
+                            self.nodes[hid as usize].mode = target;
+                        }
+                        self.unlink(si, Part::Upgrades, uid);
+                        self.free_node(uid);
+                        out.push((uowner, target));
+                        served = true;
+                        break;
+                    }
+                    uid = self.nodes[uid as usize].next;
+                }
+                if served {
                     continue;
                 }
             }
@@ -554,13 +591,13 @@ impl<O: Copy + Eq + Ord + Hash> QueueTable<O> {
                 return Err(err);
             }
             Ok(None) => Acquire::Granted,
-            Ok(Some(true)) => {
-                // Upgrade nodes carry the mode being requested (X).
-                let id = self.alloc_node(o, LockMode::Exclusive);
+            Ok(Some(Some(target))) => {
+                // Upgrade nodes carry the join target being requested.
+                let id = self.alloc_node(o, target);
                 self.push_back(si, Part::Upgrades, id);
                 Acquire::Queued
             }
-            Ok(Some(false)) => {
+            Ok(Some(None)) => {
                 let id = self.alloc_node(o, mode);
                 self.push_back(si, Part::Queue, id);
                 Acquire::Queued
@@ -601,7 +638,7 @@ impl<O: Copy + Eq + Ord + Hash> QueueTable<O> {
             obstacles.push(self.nodes[id as usize].owner);
             id = self.nodes[id as usize].next;
         }
-        if !upgrade {
+        if upgrade.is_none() {
             // Queued waiters are obstacles for fresh requests only; an
             // upgrade is served ahead of the queue (see FifoTable docs).
             let mut id = st.queue.head;
@@ -615,8 +652,8 @@ impl<O: Copy + Eq + Ord + Hash> QueueTable<O> {
         obstacles.dedup();
         let mine = prio(o);
         let admit = |table: &mut Self| {
-            if upgrade {
-                let id = table.alloc_node(o, LockMode::Exclusive);
+            if let Some(target) = upgrade {
+                let id = table.alloc_node(o, target);
                 table.push_back(si, Part::Upgrades, id);
             } else {
                 let id = table.alloc_node(o, mode);
@@ -945,26 +982,29 @@ impl<O: Copy + Eq + Ord + Hash> QueueTable<O> {
                 }
                 reachable += count;
             }
-            let mut x = 0;
+            let mut modes = Vec::new();
             let mut id = st.holders.head;
             while id != NIL {
-                let n = &self.nodes[id as usize];
-                if n.mode == LockMode::Exclusive {
-                    x += 1;
-                }
-                id = n.next;
+                modes.push(self.nodes[id as usize].mode);
+                id = self.nodes[id as usize].next;
             }
-            if x > 1 {
-                return Err(format!("{e}: {x} exclusive holders"));
-            }
-            if x == 1 && st.holders.len > 1 {
-                return Err(format!("{e}: exclusive alongside shared holders"));
+            if let Some((a, b)) = admission::incompatible_pair(&modes) {
+                return Err(format!("{e}: incompatible co-held modes {a}+{b}"));
             }
             let mut id = st.upgrades.head;
             while id != NIL {
-                let u = self.nodes[id as usize].owner;
-                if self.find_in(st.holders, u).is_none() {
+                let (u, target) = {
+                    let n = &self.nodes[id as usize];
+                    (n.owner, n.mode)
+                };
+                let Some(hid) = self.find_in(st.holders, u) else {
                     return Err(format!("{e}: upgrader is not a holder"));
+                };
+                let held = self.nodes[hid as usize].mode;
+                if held.covers(target) {
+                    return Err(format!(
+                        "{e}: pending upgrade to {target} already covered by held {held}"
+                    ));
                 }
                 id = self.nodes[id as usize].next;
             }

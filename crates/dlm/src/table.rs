@@ -31,6 +31,7 @@
 //!   detect (see [`crate::WaitForGraph`]) and resolve by aborting one.
 //! * Protocol violations return [`LockError`]; nothing panics.
 
+use crate::admission;
 use crate::error::LockError;
 use crate::prevent::{PreventionOutcome, PreventionScheme, Priority};
 use kplock_model::{EntityId, LockMode};
@@ -75,8 +76,9 @@ struct LockState<O> {
     /// Current holders with their modes (one exclusive, or any number
     /// shared).
     holders: Vec<(O, LockMode)>,
-    /// Shared holders waiting to upgrade to exclusive.
-    upgrades: Vec<O>,
+    /// Holders waiting to upgrade, with the lattice-join target mode
+    /// each will be granted (for an `S → X` upgrade: `X`).
+    upgrades: Vec<(O, LockMode)>,
     /// FIFO wait queue.
     queue: VecDeque<(O, LockMode)>,
 }
@@ -157,9 +159,10 @@ enum Admission {
         newly: bool,
     },
     MustWait {
-        /// True when `o` already holds the lock and is upgrading: it would
-        /// join `upgrades`, not the queue, and is served ahead of it.
-        upgrade: bool,
+        /// `Some(target)` when `o` already holds the lock and is upgrading
+        /// to the lattice join `target`: it would join `upgrades`, not the
+        /// queue, and is served ahead of it.
+        upgrade: Option<LockMode>,
     },
 }
 
@@ -181,33 +184,39 @@ impl<O: Copy + Eq + Ord + Hash> FifoTable<O> {
         o: O,
         mode: LockMode,
     ) -> Result<Admission, LockError> {
-        if st.queue.iter().any(|&(w, _)| w == o) || st.upgrades.contains(&o) {
+        if st.queue.iter().any(|&(w, _)| w == o) || st.upgrades.iter().any(|&(u, _)| u == o) {
             return Err(LockError::AlreadyQueued { entity: e });
         }
         if let Some(held) = st.holders.iter().find(|&&(h, _)| h == o).map(|&(_, m)| m) {
             if held.covers(mode) {
                 return Ok(Admission::Granted { newly: false });
             }
-            // Upgrade S -> X, in place when sole holder.
-            if st.holders.len() == 1 {
-                st.holders[0].1 = LockMode::Exclusive;
+            // Upgrade to the lattice join, in place when the target is
+            // compatible with every *other* holder (for `S → X`: sole
+            // holder; for e.g. `IS → IX` next to `IS` co-holders: always).
+            let target = held.join(mode);
+            if admission::upgrade_admissible(o, target, st.holders.iter().copied()) {
+                for h in st.holders.iter_mut().filter(|h| h.0 == o) {
+                    h.1 = target;
+                }
                 return Ok(Admission::Granted { newly: false });
             }
-            return Ok(Admission::MustWait { upgrade: true });
+            return Ok(Admission::MustWait {
+                upgrade: Some(target),
+            });
         }
         let grantable = if st.holders.is_empty() {
             st.queue.is_empty()
         } else {
-            mode == LockMode::Shared
-                && st.upgrades.is_empty()
+            st.upgrades.is_empty()
                 && st.queue.is_empty()
-                && st.holders.iter().all(|&(_, m)| m == LockMode::Shared)
+                && admission::compatible_with_all(mode, st.holders.iter().map(|&(_, m)| m))
         };
         if grantable {
             st.holders.push((o, mode));
             Ok(Admission::Granted { newly: true })
         } else {
-            Ok(Admission::MustWait { upgrade: false })
+            Ok(Admission::MustWait { upgrade: None })
         }
     }
 
@@ -275,11 +284,13 @@ impl<O: Copy + Eq + Ord + Hash> FifoTable<O> {
                 }
                 Acquire::Granted
             }
-            Ok(Admission::MustWait { upgrade: true }) => {
-                st.upgrades.push(o);
+            Ok(Admission::MustWait {
+                upgrade: Some(target),
+            }) => {
+                st.upgrades.push((o, target));
                 Acquire::Queued
             }
-            Ok(Admission::MustWait { upgrade: false }) => {
+            Ok(Admission::MustWait { upgrade: None }) => {
                 st.queue.push_back((o, mode));
                 Acquire::Queued
             }
@@ -345,9 +356,9 @@ impl<O: Copy + Eq + Ord + Hash> FifoTable<O> {
             .holders
             .iter()
             .map(|&(h, _)| h)
-            .chain(st.upgrades.iter().copied())
+            .chain(st.upgrades.iter().map(|&(u, _)| u))
             .collect();
-        if !upgrade {
+        if upgrade.is_none() {
             // An upgrader only ever waits on the other holders (and
             // competing upgraders — a genuine upgrade-vs-upgrade cycle);
             // the queue is served after it, so queued waiters are
@@ -359,8 +370,8 @@ impl<O: Copy + Eq + Ord + Hash> FifoTable<O> {
         obstacles.dedup();
         let mine = prio(o);
         let admit = |st: &mut LockState<O>| {
-            if upgrade {
-                st.upgrades.push(o);
+            if let Some(target) = upgrade {
+                st.upgrades.push((o, target));
             } else {
                 st.queue.push_back((o, mode));
             }
@@ -389,19 +400,22 @@ impl<O: Copy + Eq + Ord + Hash> FifoTable<O> {
         Ok(outcome)
     }
 
-    /// Grants whatever the state now admits: a sole-holder upgrade first,
-    /// then the longest compatible prefix of the FIFO queue.
+    /// Grants whatever the state now admits: admissible pending upgrades
+    /// first (an upgrade is grantable when its join target is compatible
+    /// with every *other* holder — for `S → X`, when the upgrader is the
+    /// sole holder), then the longest compatible prefix of the FIFO queue.
     fn promote(st: &mut LockState<O>) -> Grants<O> {
         let mut out = Vec::new();
         loop {
-            if !st.upgrades.is_empty()
-                && st.holders.len() == 1
-                && st.upgrades.contains(&st.holders[0].0)
-            {
-                let u = st.holders[0].0;
-                st.holders[0].1 = LockMode::Exclusive;
-                st.upgrades.retain(|&x| x != u);
-                out.push((u, LockMode::Exclusive));
+            if let Some(i) = (0..st.upgrades.len()).find(|&i| {
+                let (u, target) = st.upgrades[i];
+                admission::upgrade_admissible(u, target, st.holders.iter().copied())
+            }) {
+                let (u, target) = st.upgrades.remove(i);
+                for h in st.holders.iter_mut().filter(|h| h.0 == u) {
+                    h.1 = target;
+                }
+                out.push((u, target));
                 continue;
             }
             let Some(&(w, m)) = st.queue.front() else {
@@ -410,9 +424,8 @@ impl<O: Copy + Eq + Ord + Hash> FifoTable<O> {
             let ok = if st.holders.is_empty() {
                 true
             } else {
-                m == LockMode::Shared
-                    && st.upgrades.is_empty()
-                    && st.holders.iter().all(|&(_, hm)| hm == LockMode::Shared)
+                st.upgrades.is_empty()
+                    && admission::compatible_with_all(m, st.holders.iter().map(|&(_, hm)| hm))
             };
             if !ok {
                 break;
@@ -438,7 +451,7 @@ impl<O: Copy + Eq + Ord + Hash> FifoTable<O> {
         if st.holders.len() == before {
             return Err(LockError::NotHolder { entity: e });
         }
-        st.upgrades.retain(|&x| x != o);
+        st.upgrades.retain(|&(u, _)| u != o);
         let grants = Self::promote(st);
         Self::owned_remove(&mut self.owned, o, e);
         for &(w, _) in &grants {
@@ -494,7 +507,7 @@ impl<O: Copy + Eq + Ord + Hash> FifoTable<O> {
             let st = self.states.get_mut(&e).expect("contended index entry");
             let before = st.queue.len() + st.upgrades.len();
             st.queue.retain(|&(w, _)| w != o);
-            st.upgrades.retain(|&x| x != o);
+            st.upgrades.retain(|&(u, _)| u != o);
             if st.queue.len() + st.upgrades.len() == before {
                 continue;
             }
@@ -536,7 +549,7 @@ impl<O: Copy + Eq + Ord + Hash> FifoTable<O> {
                 out.push((w, h));
             }
         }
-        for &u in &st.upgrades {
+        for &(u, _) in &st.upgrades {
             for &(h, _) in &st.holders {
                 if h != u {
                     out.push((u, h));
@@ -570,7 +583,7 @@ impl<O: Copy + Eq + Ord + Hash> FifoTable<O> {
             let st = &self.states[e];
             if st.queue.iter().any(|&(w, _)| w == o) {
                 out.extend(st.holders.iter().map(|&(h, _)| h));
-            } else if st.upgrades.contains(&o) {
+            } else if st.upgrades.iter().any(|&(u, _)| u == o) {
                 out.extend(st.holders.iter().filter(|&&(h, _)| h != o).map(|&(h, _)| h));
             }
         }
@@ -586,9 +599,9 @@ impl<O: Copy + Eq + Ord + Hash> FifoTable<O> {
     /// grant will come through the queue), where [`ModeTable::request`]
     /// would report it as a protocol error.
     pub fn is_waiting(&self, e: EntityId, o: O) -> bool {
-        self.states
-            .get(&e)
-            .is_some_and(|st| st.queue.iter().any(|&(w, _)| w == o) || st.upgrades.contains(&o))
+        self.states.get(&e).is_some_and(|st| {
+            st.queue.iter().any(|&(w, _)| w == o) || st.upgrades.iter().any(|&(u, _)| u == o)
+        })
     }
 
     /// Releases `o`'s lock on `e` if it holds one; a no-op (empty grant
@@ -619,9 +632,9 @@ impl<O: Copy + Eq + Ord + Hash> FifoTable<O> {
             .holders
             .iter()
             .map(|&(h, _)| h)
-            .chain(st.upgrades.iter().copied())
+            .chain(st.upgrades.iter().map(|&(u, _)| u))
             .collect();
-        if !st.upgrades.contains(&o) {
+        if !st.upgrades.iter().any(|&(u, _)| u == o) {
             out.extend(st.queue.iter().map(|&(w, _)| w));
         }
         out.retain(|&x| x != o);
@@ -641,25 +654,25 @@ impl<O: Copy + Eq + Ord + Hash> FifoTable<O> {
         self.states.is_empty()
     }
 
-    /// Checks the table's structural invariants (for tests): S/X exclusion,
-    /// at most one exclusive holder, upgraders are holders, no
-    /// holder-and-waiter owners.
+    /// Checks the table's structural invariants (for tests): pairwise
+    /// mode compatibility of all co-held locks (the full IS/IX/S/SIX/X
+    /// matrix — catches `S+IX` and `SIX+SIX` as well as `S+X` and
+    /// double-`X`), upgraders are holders with strictly stronger targets,
+    /// no holder-and-waiter owners.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (e, st) in &self.states {
-            let x = st
-                .holders
-                .iter()
-                .filter(|&&(_, m)| m == LockMode::Exclusive)
-                .count();
-            if x > 1 {
-                return Err(format!("{e}: {x} exclusive holders"));
+            let modes: Vec<LockMode> = st.holders.iter().map(|&(_, m)| m).collect();
+            if let Some((a, b)) = admission::incompatible_pair(&modes) {
+                return Err(format!("{e}: incompatible co-held modes {a}+{b}"));
             }
-            if x == 1 && st.holders.len() > 1 {
-                return Err(format!("{e}: exclusive alongside shared holders"));
-            }
-            for &u in &st.upgrades {
-                if !st.holders.iter().any(|&(h, _)| h == u) {
+            for &(u, target) in &st.upgrades {
+                let Some(&(_, held)) = st.holders.iter().find(|&&(h, _)| h == u) else {
                     return Err(format!("{e}: upgrader is not a holder"));
+                };
+                if held.covers(target) {
+                    return Err(format!(
+                        "{e}: pending upgrade to {target} already covered by held {held}"
+                    ));
                 }
             }
             for &(w, _) in &st.queue {

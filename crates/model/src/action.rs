@@ -15,55 +15,179 @@ pub enum ActionKind {
     Unlock,
 }
 
-/// Access mode of a step — the reader–writer generalization of the paper's
-/// exclusive-only locks.
+/// Access mode of a step — the multi-granularity generalization of the
+/// paper's exclusive-only locks.
 ///
 /// The paper's model has a single lock mode (every update is a
 /// read-then-write, so every lock is a write lock). Production lock
-/// managers distinguish *shared* (read) from *exclusive* (write) access:
-/// any number of shared holders may coexist, an exclusive holder excludes
-/// everyone else. [`Compatibility`](LockMode::compatible_with) is the
-/// standard S/X matrix.
+/// managers distinguish *shared* (read) from *exclusive* (write) access,
+/// and hierarchical (multi-granularity) managers add *intention* modes
+/// taken on an ancestor before explicit child locks: the classical
+/// five-mode lattice
+///
+/// ```text
+///            X
+///            |
+///           SIX
+///          /   \
+///         S     IX
+///          \   /
+///           IS
+/// ```
+///
+/// where `IS`/`IX` announce explicit shared/exclusive locks further down
+/// the hierarchy, `S`/`X` grant read/write access to the whole subtree,
+/// and `SIX = S ∨ IX` reads the whole subtree while writing selected
+/// children under explicit `X` locks. Every mode question routes through
+/// **one** compatibility matrix ([`LockMode::compatible_with`]) plus the
+/// lattice join ([`LockMode::join`]); [`LockMode::covers`] is the induced
+/// partial order (`a covers b ⇔ a ∨ b = a`), so none of the layers above
+/// can drift from the matrix.
 ///
 /// On a [`ActionKind::Lock`] step the mode is the lock mode requested; on
 /// an [`ActionKind::Update`] step `Shared` marks a pure read (no write) —
 /// two `Shared` accesses of the same entity do not conflict for
-/// serializability. `Unlock` steps carry a mode for uniformity, but it is
-/// ignored. The default everywhere is [`LockMode::Exclusive`], which makes
-/// every paper-model construction behave exactly as before the modes were
-/// introduced.
+/// serializability (updates only ever carry `S`/`X`; intention modes
+/// appear on lock/unlock steps). `Unlock` steps carry a mode for
+/// uniformity, but it is ignored. The default everywhere is
+/// [`LockMode::Exclusive`], which makes every paper-model construction
+/// behave exactly as before the modes were introduced.
+///
+/// The derive-`Ord` variant order is *not* the lattice order (`IX` and
+/// `S` are lattice-incomparable) — it exists for sorting and map keys and
+/// keeps the pre-lattice invariant `Shared < Exclusive`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LockMode {
-    /// Read access: compatible with other shared holders.
+    /// Intention-shared: explicit `S`/`IS` locks will be taken on
+    /// descendants. Compatible with everything but `X`.
+    IntentionShared,
+    /// Intention-exclusive: explicit `X` (or any) locks will be taken on
+    /// descendants. Compatible with the intention modes only.
+    IntentionExclusive,
+    /// Read access to the whole subtree: compatible with other shared and
+    /// intention-shared holders.
     Shared,
-    /// Read-write access: compatible with nothing.
+    /// `S + IX`: reads the whole subtree and will write selected
+    /// descendants. Compatible with `IS` only.
+    SharedIntentionExclusive,
+    /// Read-write access to the whole subtree: compatible with nothing.
     #[default]
     Exclusive,
 }
 
+/// Matrix/table index of a mode (stable: the declaration order).
+const fn midx(m: LockMode) -> usize {
+    match m {
+        LockMode::IntentionShared => 0,
+        LockMode::IntentionExclusive => 1,
+        LockMode::Shared => 2,
+        LockMode::SharedIntentionExclusive => 3,
+        LockMode::Exclusive => 4,
+    }
+}
+
+/// The one compatibility matrix (symmetric): rows/columns in declaration
+/// order `IS, IX, S, SIX, X`.
+const COMPAT: [[bool; 5]; 5] = [
+    //            IS     IX     S      SIX    X
+    /* IS  */
+    [true, true, true, true, false],
+    /* IX  */ [true, true, false, false, false],
+    /* S   */ [true, false, true, false, false],
+    /* SIX */ [true, false, false, false, false],
+    /* X   */ [false, false, false, false, false],
+];
+
+/// The lattice join (least upper bound); notably `IX ∨ S = SIX`.
+const JOIN: [[LockMode; 5]; 5] = {
+    use LockMode::{
+        Exclusive as X, IntentionExclusive as IX, IntentionShared as IS, Shared as S,
+        SharedIntentionExclusive as SIX,
+    };
+    [
+        //           IS   IX   S    SIX  X
+        /* IS  */ [IS, IX, S, SIX, X],
+        /* IX  */ [IX, IX, SIX, SIX, X],
+        /* S   */ [S, SIX, S, SIX, X],
+        /* SIX */ [SIX, SIX, SIX, SIX, X],
+        /* X   */ [X, X, X, X, X],
+    ]
+};
+
 impl LockMode {
-    /// The S/X compatibility matrix: two modes are compatible iff both are
-    /// [`LockMode::Shared`].
+    /// All five modes, in declaration (matrix) order — for sweeps and
+    /// property tests.
+    pub const ALL: [LockMode; 5] = [
+        LockMode::IntentionShared,
+        LockMode::IntentionExclusive,
+        LockMode::Shared,
+        LockMode::SharedIntentionExclusive,
+        LockMode::Exclusive,
+    ];
+
+    /// The multi-granularity compatibility matrix. Restricted to `S`/`X`
+    /// this is the classical reader–writer matrix (two modes compatible
+    /// iff both shared).
     pub fn compatible_with(self, other: LockMode) -> bool {
-        self == LockMode::Shared && other == LockMode::Shared
+        COMPAT[midx(self)][midx(other)]
     }
 
-    /// True iff holding `self` already grants everything `req` asks for
-    /// (`X` covers `S` and `X`; `S` covers only `S`).
+    /// The lattice join (least upper bound): the weakest single mode that
+    /// grants everything both operands grant. Used as the upgrade target
+    /// when an owner holding `self` requests `other` — notably
+    /// `IX ∨ S = SIX`, the only non-trivial join.
+    pub fn join(self, other: LockMode) -> LockMode {
+        JOIN[midx(self)][midx(other)]
+    }
+
+    /// True iff holding `self` already grants everything `req` asks for:
+    /// the lattice partial order, derived from the join
+    /// (`self ∨ req == self`). Restricted to `S`/`X` this is the old rule
+    /// (`X` covers both, `S` covers only `S`).
     pub fn covers(self, req: LockMode) -> bool {
-        self == LockMode::Exclusive || req == LockMode::Shared
+        self.join(req) == self
     }
 
-    /// True for a write (exclusive) access.
+    /// True for a mode that grants or intends writes (`X`, `SIX`, `IX`).
+    /// For the `S`/`X` modes updates actually carry, this is exactly
+    /// "is an exclusive access".
     pub fn is_write(self) -> bool {
-        self == LockMode::Exclusive
+        matches!(
+            self,
+            LockMode::Exclusive | LockMode::SharedIntentionExclusive | LockMode::IntentionExclusive
+        )
+    }
+
+    /// True for the pure intention modes (`IS`, `IX`), which grant no
+    /// access of their own — they only announce explicit locks below.
+    pub fn is_intention(self) -> bool {
+        matches!(
+            self,
+            LockMode::IntentionShared | LockMode::IntentionExclusive
+        )
+    }
+
+    /// True iff holding `self` on a *parent* entity already covers an
+    /// access of mode `access` to one of its children, with no explicit
+    /// child lock: `X` covers any child access, `S` and `SIX` cover child
+    /// reads (the `S` half reads the whole subtree), and the pure
+    /// intention modes cover nothing — they merely announce child locks.
+    pub fn shields_child(self, access: LockMode) -> bool {
+        match self {
+            LockMode::Exclusive => true,
+            LockMode::Shared | LockMode::SharedIntentionExclusive => access == LockMode::Shared,
+            LockMode::IntentionShared | LockMode::IntentionExclusive => false,
+        }
     }
 }
 
 impl fmt::Display for LockMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            LockMode::IntentionShared => write!(f, "IS"),
+            LockMode::IntentionExclusive => write!(f, "IX"),
             LockMode::Shared => write!(f, "S"),
+            LockMode::SharedIntentionExclusive => write!(f, "SIX"),
             LockMode::Exclusive => write!(f, "X"),
         }
     }
@@ -133,14 +257,16 @@ impl Step {
     }
 
     /// Paper-style label, e.g. `Lx`, `Ux` or `x`, given the entity's name;
-    /// shared-mode steps get an `S`/`r` marker (`SLx`, `rx`).
+    /// shared-mode steps get an `S`/`r` marker (`SLx`, `rx`) and
+    /// intention-mode locks a full mode prefix (`ISLx`, `IXLx`, `SIXLx`).
     pub fn label(&self, entity_name: &str) -> String {
         match (self.kind, self.mode) {
             (ActionKind::Lock, LockMode::Exclusive) => format!("L{entity_name}"),
             (ActionKind::Lock, LockMode::Shared) => format!("SL{entity_name}"),
+            (ActionKind::Lock, m) => format!("{m}L{entity_name}"),
             (ActionKind::Unlock, _) => format!("U{entity_name}"),
-            (ActionKind::Update, LockMode::Exclusive) => entity_name.to_string(),
             (ActionKind::Update, LockMode::Shared) => format!("r{entity_name}"),
+            (ActionKind::Update, _) => entity_name.to_string(),
         }
     }
 }
@@ -198,5 +324,86 @@ mod tests {
         assert!(Exclusive.is_write());
         assert!(!Shared.is_write());
         assert_eq!(format!("{Shared}/{Exclusive}"), "S/X");
+    }
+
+    #[test]
+    fn intention_matrix_rows() {
+        use LockMode::*;
+        // IS goes with everything but X.
+        for m in [
+            IntentionShared,
+            IntentionExclusive,
+            Shared,
+            SharedIntentionExclusive,
+        ] {
+            assert!(IntentionShared.compatible_with(m), "{m}");
+        }
+        assert!(!IntentionShared.compatible_with(Exclusive));
+        // IX goes with the intention modes only.
+        assert!(IntentionExclusive.compatible_with(IntentionExclusive));
+        assert!(!IntentionExclusive.compatible_with(Shared));
+        assert!(!IntentionExclusive.compatible_with(SharedIntentionExclusive));
+        // SIX goes with IS only; X with nothing.
+        assert!(SharedIntentionExclusive.compatible_with(IntentionShared));
+        assert!(!SharedIntentionExclusive.compatible_with(SharedIntentionExclusive));
+        for m in LockMode::ALL {
+            assert!(!Exclusive.compatible_with(m), "{m}");
+        }
+    }
+
+    #[test]
+    fn join_is_the_lattice_lub() {
+        use LockMode::*;
+        assert_eq!(IntentionExclusive.join(Shared), SharedIntentionExclusive);
+        assert_eq!(Shared.join(IntentionExclusive), SharedIntentionExclusive);
+        assert_eq!(IntentionShared.join(Shared), Shared);
+        assert_eq!(SharedIntentionExclusive.join(Exclusive), Exclusive);
+        for m in LockMode::ALL {
+            assert_eq!(m.join(m), m, "idempotent");
+            assert_eq!(m.join(Exclusive), Exclusive, "X is top");
+            assert_eq!(m.join(IntentionShared), m, "IS is bottom");
+            assert!(m.covers(m) && m.covers(IntentionShared));
+            assert!(Exclusive.covers(m));
+        }
+        // IX and S are incomparable.
+        assert!(!IntentionExclusive.covers(Shared));
+        assert!(!Shared.covers(IntentionExclusive));
+    }
+
+    #[test]
+    fn intention_and_shield_predicates() {
+        use LockMode::*;
+        assert!(IntentionShared.is_intention() && IntentionExclusive.is_intention());
+        assert!(!Shared.is_intention() && !SharedIntentionExclusive.is_intention());
+        assert!(IntentionExclusive.is_write() && SharedIntentionExclusive.is_write());
+        assert!(!IntentionShared.is_write());
+        // Shielding: X covers any child access, S/SIX cover child reads,
+        // intention modes cover nothing.
+        assert!(Exclusive.shields_child(Exclusive) && Exclusive.shields_child(Shared));
+        assert!(Shared.shields_child(Shared) && !Shared.shields_child(Exclusive));
+        assert!(SharedIntentionExclusive.shields_child(Shared));
+        assert!(!SharedIntentionExclusive.shields_child(Exclusive));
+        assert!(!IntentionExclusive.shields_child(Shared));
+        assert!(!IntentionShared.shields_child(Shared));
+        assert_eq!(
+            format!("{IntentionShared}/{IntentionExclusive}/{SharedIntentionExclusive}"),
+            "IS/IX/SIX"
+        );
+    }
+
+    #[test]
+    fn intention_lock_labels() {
+        use LockMode::*;
+        let e = EntityId(0);
+        assert_eq!(Step::lock(e).with_mode(IntentionShared).label("x"), "ISLx");
+        assert_eq!(
+            Step::lock(e).with_mode(IntentionExclusive).label("x"),
+            "IXLx"
+        );
+        assert_eq!(
+            Step::lock(e).with_mode(SharedIntentionExclusive).label("x"),
+            "SIXLx"
+        );
+        assert_eq!(Step::unlock(e).with_mode(IntentionShared).label("x"), "Ux");
     }
 }

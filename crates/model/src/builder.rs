@@ -5,7 +5,7 @@
 //! insertion order. Cross-site precedences are added explicitly with
 //! [`TxnBuilder::edge`] or implicitly by [`TxnBuilder::chain`].
 
-use crate::action::Step;
+use crate::action::{LockMode, Step};
 use crate::entity::Database;
 use crate::error::ModelError;
 use crate::ids::{SiteId, StepId};
@@ -54,6 +54,12 @@ impl<'a> TxnBuilder<'a> {
     /// Appends a shared (read) `lock name`.
     pub fn lock_shared(&mut self, name: &str) -> Result<StepId, ModelError> {
         Ok(self.push(Step::lock_shared(self.db.entity(name)?)))
+    }
+
+    /// Appends `lock name` in an explicit mode — the way to take intention
+    /// (`IS`/`IX`/`SIX`) locks on hierarchy parents.
+    pub fn lock_mode(&mut self, name: &str, mode: LockMode) -> Result<StepId, ModelError> {
+        Ok(self.push(Step::lock(self.db.entity(name)?).with_mode(mode)))
     }
 
     /// Appends `update name`.

@@ -2,16 +2,26 @@
 //!
 //! A distributed database is the paper's triple `D = (E, m, σ)`: a set of
 //! entities, a number of sites, and the *stored-at* function `σ : E → sites`.
+//!
+//! Entities may optionally form a **two-level hierarchy**: an entity can
+//! declare one parent (a file/relation over its records), and intention
+//! modes ([`crate::LockMode`]) on the parent then announce fine-grained
+//! locks below it. Flat databases — every constructor except
+//! [`Database::add_child`] — have no parent links and behave exactly as
+//! before.
 
 use crate::error::ModelError;
 use crate::ids::{EntityId, SiteId};
 use std::collections::HashMap;
 
-/// A distributed database schema: named entities, each stored at one site.
+/// A distributed database schema: named entities, each stored at one site,
+/// optionally arranged in a two-level parent/child hierarchy.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
     names: Vec<String>,
     sites: Vec<SiteId>,
+    parents: Vec<Option<EntityId>>,
+    children: HashMap<EntityId, Vec<EntityId>>,
     by_name: HashMap<String, EntityId>,
     site_count: usize,
 }
@@ -35,14 +45,55 @@ impl Database {
         let id = EntityId::from_idx(self.names.len());
         self.names.push(name.to_string());
         self.sites.push(site);
+        self.parents.push(None);
         self.by_name.insert(name.to_string(), id);
         self.site_count = self.site_count.max(site.idx() + 1);
+        id
+    }
+
+    /// Registers a new entity `name` stored at `site` as a child of
+    /// `parent`, making the database hierarchical.
+    ///
+    /// # Panics
+    /// Panics on a duplicate name, an unknown parent, or a parent that is
+    /// itself a child (the hierarchy is two-level by construction).
+    pub fn add_child(&mut self, name: &str, site: SiteId, parent: EntityId) -> EntityId {
+        assert!(parent.idx() < self.names.len(), "unknown parent {parent}");
+        assert!(
+            self.parents[parent.idx()].is_none(),
+            "parent {parent} is itself a child; the hierarchy is two-level"
+        );
+        let id = self.add_entity(name, site);
+        self.parents[id.idx()] = Some(parent);
+        self.children.entry(parent).or_default().push(id);
         id
     }
 
     /// The paper's stored-at function `σ`.
     pub fn site_of(&self, e: EntityId) -> SiteId {
         self.sites[e.idx()]
+    }
+
+    /// The entity's parent, if the database is hierarchical and `e` is a
+    /// child.
+    pub fn parent_of(&self, e: EntityId) -> Option<EntityId> {
+        self.parents[e.idx()]
+    }
+
+    /// The children of `p`, in registration order (empty for leaves and for
+    /// flat databases).
+    pub fn children_of(&self, p: EntityId) -> &[EntityId] {
+        self.children.get(&p).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of children under `p`.
+    pub fn child_count(&self, p: EntityId) -> usize {
+        self.children.get(&p).map_or(0, Vec::len)
+    }
+
+    /// True when any entity declares a parent.
+    pub fn is_hierarchical(&self) -> bool {
+        !self.children.is_empty()
     }
 
     /// Entity name for display.
@@ -130,6 +181,30 @@ mod tests {
         let at0: Vec<_> = db.entities_at(SiteId(0)).collect();
         assert_eq!(at0.len(), 2);
         assert_eq!(db.site_count(), 2);
+    }
+
+    #[test]
+    fn two_level_hierarchy() {
+        let mut db = Database::new();
+        let f = db.add_entity("f", SiteId(0));
+        let r0 = db.add_child("f/0", SiteId(0), f);
+        let r1 = db.add_child("f/1", SiteId(0), f);
+        assert!(db.is_hierarchical());
+        assert_eq!(db.parent_of(f), None);
+        assert_eq!(db.parent_of(r0), Some(f));
+        assert_eq!(db.children_of(f), &[r0, r1]);
+        assert_eq!(db.child_count(f), 2);
+        assert_eq!(db.child_count(r0), 0);
+        assert!(!Database::from_spec(&[("x", 0)]).is_hierarchical());
+    }
+
+    #[test]
+    #[should_panic(expected = "two-level")]
+    fn three_level_hierarchy_rejected() {
+        let mut db = Database::new();
+        let f = db.add_entity("f", SiteId(0));
+        let r = db.add_child("f/0", SiteId(0), f);
+        db.add_child("f/0/0", SiteId(0), r);
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Multi-granularity locking policy over the two-level entity hierarchy.
+//!
+//! A transaction touching records under a file can lock each record
+//! individually (announcing itself at the file with an *intention* mode),
+//! or lock the whole file coarsely and skip the per-record locks. The
+//! [`Granularity`] policy decides between them by **count-triggered
+//! escalation**: once a transaction touches at least
+//! `escalation_threshold` children of one parent, the per-child locks are
+//! traded for one coarse parent lock. [`plan_parent`] is the pure decision
+//! function; [`child_mode_under`] says which child locks (if any) are
+//! still required under the chosen parent mode, via
+//! [`LockMode::shields_child`].
+//!
+//! The planner is deliberately mode-complete: read-only fans escalate to
+//! `S`, write fans to `X`, and a scan-all-update-few pattern lands on
+//! `SIX` (read coverage from `S`, per-child `X` locks announced by the
+//! `IX` half) — so every row of the compatibility matrix is reachable
+//! from real workloads.
+
+use crate::action::LockMode;
+
+/// Lock-granularity policy for a hierarchical database.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Granularity {
+    /// Ignore parent links: lock every entity directly, as a flat database
+    /// would. The default; bit-identical to the pre-hierarchy behavior.
+    #[default]
+    Flat,
+    /// Two-level locking: intention locks at parents, real locks at
+    /// children, escalating to a coarse parent lock once a transaction
+    /// touches `escalation_threshold` or more children of one parent.
+    Hierarchical {
+        /// Touched-child count at which per-child locking escalates to one
+        /// coarse parent lock. `u32::MAX` disables escalation.
+        escalation_threshold: u32,
+    },
+}
+
+impl Granularity {
+    /// True when parent links participate in locking.
+    pub fn is_hierarchical(self) -> bool {
+        matches!(self, Granularity::Hierarchical { .. })
+    }
+
+    /// The escalation threshold, if hierarchical.
+    pub fn escalation_threshold(self) -> Option<u32> {
+        match self {
+            Granularity::Flat => None,
+            Granularity::Hierarchical {
+                escalation_threshold,
+            } => Some(escalation_threshold),
+        }
+    }
+}
+
+/// Which child locks a transaction still needs under its parent lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChildLocks {
+    /// Every touched child is locked individually (`S` reads, `X` writes).
+    All,
+    /// Only written children are locked (`X`); the parent mode's shared
+    /// half already covers the reads.
+    WritesOnly,
+    /// No child locks: the parent lock is coarse and shields everything.
+    None,
+}
+
+/// A transaction's locking plan at one parent: the parent-lock mode and
+/// which child locks remain necessary under it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParentPlan {
+    /// Mode to request on the parent entity.
+    pub parent_mode: LockMode,
+    /// Child locks still required under that parent mode.
+    pub child_locks: ChildLocks,
+}
+
+/// Plans the parent lock for a transaction that reads `reads` and writes
+/// `writes` distinct children of one parent, escalating at `threshold`
+/// touched children.
+///
+/// * below threshold: `IS` (read-only) or `IX`, children locked
+///   individually;
+/// * at/over threshold, write-heavy (`writes ≥ threshold`): coarse `X`;
+/// * at/over threshold, read-only: coarse `S`;
+/// * at/over threshold with few writes (scan-and-update): `SIX` — the `S`
+///   half shields the reads, the `IX` half announces per-child `X` locks.
+pub fn plan_parent(reads: u32, writes: u32, threshold: u32) -> ParentPlan {
+    let touched = reads.saturating_add(writes);
+    if touched < threshold {
+        let parent_mode = if writes > 0 {
+            LockMode::IntentionExclusive
+        } else {
+            LockMode::IntentionShared
+        };
+        return ParentPlan {
+            parent_mode,
+            child_locks: ChildLocks::All,
+        };
+    }
+    if writes == 0 {
+        ParentPlan {
+            parent_mode: LockMode::Shared,
+            child_locks: ChildLocks::None,
+        }
+    } else if writes >= threshold {
+        ParentPlan {
+            parent_mode: LockMode::Exclusive,
+            child_locks: ChildLocks::None,
+        }
+    } else {
+        ParentPlan {
+            parent_mode: LockMode::SharedIntentionExclusive,
+            child_locks: ChildLocks::WritesOnly,
+        }
+    }
+}
+
+/// The child-lock mode still required for an access of mode `access`
+/// (`Shared` read / `Exclusive` write) under a parent held in
+/// `parent_mode` — `None` when the parent lock already shields it.
+pub fn child_mode_under(parent_mode: LockMode, access: LockMode) -> Option<LockMode> {
+    if parent_mode.shields_child(access) {
+        None
+    } else {
+        Some(access)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::*;
+
+    #[test]
+    fn granularity_accessors() {
+        assert!(!Granularity::Flat.is_hierarchical());
+        assert_eq!(Granularity::Flat.escalation_threshold(), None);
+        let g = Granularity::Hierarchical {
+            escalation_threshold: 8,
+        };
+        assert!(g.is_hierarchical());
+        assert_eq!(g.escalation_threshold(), Some(8));
+        assert_eq!(Granularity::default(), Granularity::Flat);
+    }
+
+    #[test]
+    fn plans_cover_every_parent_mode() {
+        // Below threshold: intention modes, all children locked.
+        assert_eq!(
+            plan_parent(3, 0, 8),
+            ParentPlan {
+                parent_mode: IntentionShared,
+                child_locks: ChildLocks::All
+            }
+        );
+        assert_eq!(
+            plan_parent(2, 1, 8),
+            ParentPlan {
+                parent_mode: IntentionExclusive,
+                child_locks: ChildLocks::All
+            }
+        );
+        // Escalated: coarse S / X, no child locks.
+        assert_eq!(
+            plan_parent(8, 0, 8),
+            ParentPlan {
+                parent_mode: Shared,
+                child_locks: ChildLocks::None
+            }
+        );
+        assert_eq!(
+            plan_parent(0, 8, 8),
+            ParentPlan {
+                parent_mode: Exclusive,
+                child_locks: ChildLocks::None
+            }
+        );
+        // Scan-and-update-few: SIX, only the writes keep child locks.
+        assert_eq!(
+            plan_parent(10, 2, 8),
+            ParentPlan {
+                parent_mode: SharedIntentionExclusive,
+                child_locks: ChildLocks::WritesOnly
+            }
+        );
+        // MAX threshold disables escalation entirely.
+        assert_eq!(
+            plan_parent(1_000_000, 1_000_000, u32::MAX).parent_mode,
+            IntentionExclusive
+        );
+    }
+
+    #[test]
+    fn child_modes_follow_shielding() {
+        // Intention parents shield nothing.
+        assert_eq!(child_mode_under(IntentionShared, Shared), Some(Shared));
+        assert_eq!(
+            child_mode_under(IntentionExclusive, Exclusive),
+            Some(Exclusive)
+        );
+        // S and SIX shield reads but not writes.
+        assert_eq!(child_mode_under(Shared, Shared), None);
+        assert_eq!(child_mode_under(SharedIntentionExclusive, Shared), None);
+        assert_eq!(
+            child_mode_under(SharedIntentionExclusive, Exclusive),
+            Some(Exclusive)
+        );
+        // X shields everything.
+        assert_eq!(child_mode_under(Exclusive, Shared), None);
+        assert_eq!(child_mode_under(Exclusive, Exclusive), None);
+    }
+
+    #[test]
+    fn plan_is_self_consistent() {
+        // Whatever the plan, every access it leaves unlocked must be
+        // shielded, and every access it locks must not need the lock twice.
+        for reads in 0..12u32 {
+            for writes in 0..12u32 {
+                let p = plan_parent(reads, writes, 8);
+                match p.child_locks {
+                    ChildLocks::None => {
+                        assert!(p.parent_mode.shields_child(Shared) || reads == 0);
+                        assert!(p.parent_mode.shields_child(Exclusive) || writes == 0);
+                    }
+                    ChildLocks::WritesOnly => {
+                        assert!(p.parent_mode.shields_child(Shared) || reads == 0);
+                        assert!(!p.parent_mode.shields_child(Exclusive));
+                    }
+                    ChildLocks::All => {
+                        assert!(!p.parent_mode.shields_child(Shared) || reads == 0);
+                        assert!(!p.parent_mode.shields_child(Exclusive));
+                    }
+                }
+            }
+        }
+    }
+}

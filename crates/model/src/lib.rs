@@ -32,6 +32,7 @@ pub mod display;
 pub mod entity;
 pub mod error;
 pub mod extensions;
+pub mod hierarchy;
 pub mod ids;
 pub mod projection;
 pub mod schedule;
@@ -45,6 +46,7 @@ pub use builder::TxnBuilder;
 pub use entity::Database;
 pub use error::ModelError;
 pub use extensions::{count_linear_extensions, linear_extensions, LinearExtensions};
+pub use hierarchy::{child_mode_under, plan_parent, ChildLocks, Granularity, ParentPlan};
 pub use ids::{EntityId, SiteId, StepId, TxnId};
 pub use projection::{projection_respects_site_orders, schedule_at_site, txn_site_order};
 pub use schedule::{Schedule, ScheduledStep};

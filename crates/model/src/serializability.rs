@@ -24,38 +24,60 @@ use std::collections::HashMap;
 ///
 /// An *access* of entity `x` by `T` is an `update x` step; if `T` locks `x`
 /// but never updates it (figure-style transactions), the lock section itself
-/// counts as a single access placed at the `lock x` step. Two accesses of
-/// the same entity by different transactions conflict unless **both** are
-/// reads ([`crate::action::LockMode::Shared`]); in the paper's exclusive-only
+/// counts as a single access placed at the `lock x` step — **unless** the
+/// lock is an intention mode (`IS`/`IX`), which only announces finer locks
+/// below `x` and touches no data itself. Two accesses of the same entity by
+/// different transactions conflict unless **both** are reads
+/// ([`crate::action::LockMode::Shared`]); in the paper's exclusive-only
 /// model every access is a write, so every same-entity pair conflicts.
+///
+/// On a hierarchical database a coarse (non-intention) parent section is a
+/// *direct* access of the parent, and every child update is additionally
+/// mapped up to its parent as an *indirect* access there: a coarse scan of
+/// a file conflicts with a record update under that file even though the
+/// two transactions name no common entity. Two indirect accesses never
+/// conflict with each other — their order is fixed by the child-level
+/// events that produced them. On a flat database every access is direct,
+/// reproducing the original construction exactly.
 pub fn serialization_graph(sys: &TxnSystem, schedule: &Schedule) -> DiGraph {
     let k = sys.len();
     let mut g = DiGraph::new(k);
-    // Per entity, the list of (position, txn, is_write) access events.
-    let mut accesses: HashMap<EntityId, Vec<(usize, TxnId, bool)>> = HashMap::new();
+    // Per entity, the list of (position, txn, is_write, is_direct) events.
+    let mut accesses: HashMap<EntityId, Vec<(usize, TxnId, bool, bool)>> = HashMap::new();
 
     for (pos, ss) in schedule.steps().iter().enumerate() {
         let txn = sys.txn(ss.txn);
         let step = txn.step(ss.step);
         let is_access = match step.kind {
             ActionKind::Update => true,
-            ActionKind::Lock => txn.update_steps(step.entity).is_empty(),
+            ActionKind::Lock => {
+                !step.mode.is_intention() && txn.update_steps(step.entity).is_empty()
+            }
             ActionKind::Unlock => false,
         };
-        if is_access {
-            accesses
-                .entry(step.entity)
-                .or_default()
-                .push((pos, ss.txn, step.mode.is_write()));
+        if !is_access {
+            continue;
+        }
+        accesses
+            .entry(step.entity)
+            .or_default()
+            .push((pos, ss.txn, step.mode.is_write(), true));
+        if step.kind == ActionKind::Update {
+            if let Some(p) = sys.db().parent_of(step.entity) {
+                accesses
+                    .entry(p)
+                    .or_default()
+                    .push((pos, ss.txn, step.mode.is_write(), false));
+            }
         }
     }
 
     for events in accesses.values() {
         for i in 0..events.len() {
             for j in (i + 1)..events.len() {
-                let (a, wa) = (events[i].1, events[i].2);
-                let (b, wb) = (events[j].1, events[j].2);
-                if a != b && (wa || wb) {
+                let (a, wa, da) = (events[i].1, events[i].2, events[i].3);
+                let (b, wb, db) = (events[j].1, events[j].2, events[j].3);
+                if a != b && (wa || wb) && (da || db) {
                     g.add_edge(a.idx(), b.idx());
                 }
             }
@@ -237,6 +259,84 @@ mod tests {
         ]);
         s.validate_complete(&sys).unwrap();
         assert!(!is_serializable(&sys, &s));
+    }
+
+    #[test]
+    fn intention_sections_do_not_conflict() {
+        use crate::action::LockMode;
+        use crate::ids::SiteId;
+        let mut db = Database::new();
+        db.add_entity("f", SiteId(0));
+        db.add_child("a", SiteId(0), db.entity("f").unwrap());
+        db.add_child("b", SiteId(0), db.entity("f").unwrap());
+        let mut txns = Vec::new();
+        for (name, child) in [("T1", "a"), ("T2", "b")] {
+            let mut b = TxnBuilder::new(&db, name);
+            b.lock_mode("f", LockMode::IntentionExclusive).unwrap();
+            b.lock(child).unwrap();
+            b.update(child).unwrap();
+            b.unlock(child).unwrap();
+            b.unlock("f").unwrap();
+            txns.push(b.build().unwrap());
+        }
+        let sys = TxnSystem::new(db, txns);
+        // Both IX sections overlap; the writes touch disjoint children.
+        // Intention locks announce, they do not access: serializable.
+        let s = sched(&[
+            (0, 0),
+            (1, 0),
+            (0, 1),
+            (1, 1),
+            (0, 2),
+            (1, 2),
+            (0, 3),
+            (1, 3),
+            (0, 4),
+            (1, 4),
+        ]);
+        s.validate_complete(&sys).unwrap();
+        assert!(is_serializable(&sys, &s));
+    }
+
+    #[test]
+    fn coarse_scan_conflicts_with_child_update() {
+        use crate::action::LockMode;
+        use crate::ids::SiteId;
+        let mut db = Database::new();
+        db.add_entity("f", SiteId(0));
+        db.add_child("a", SiteId(0), db.entity("f").unwrap());
+        // T1 scans the whole file under a coarse shared lock (figure-style,
+        // no update steps); T2 updates one record under IX + child X.
+        let t1 = {
+            let mut b = TxnBuilder::new(&db, "T1");
+            b.lock_shared("f").unwrap();
+            b.unlock("f").unwrap();
+            b.build().unwrap()
+        };
+        let t2 = {
+            let mut b = TxnBuilder::new(&db, "T2");
+            b.lock_mode("f", LockMode::IntentionExclusive).unwrap();
+            b.lock("a").unwrap();
+            b.update("a").unwrap();
+            b.unlock("a").unwrap();
+            b.unlock("f").unwrap();
+            b.build().unwrap()
+        };
+        let sys = TxnSystem::new(db, vec![t1, t2]);
+        // Scan first: the record update is ordered after it.
+        let s = sched(&[(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (1, 3), (1, 4)]);
+        s.validate_complete(&sys).unwrap();
+        assert_eq!(
+            equivalent_serial_order(&sys, &s).unwrap(),
+            vec![TxnId(0), TxnId(1)]
+        );
+        // Update first: the conflict flips with it.
+        let s = sched(&[(1, 0), (1, 1), (1, 2), (1, 3), (1, 4), (0, 0), (0, 1)]);
+        s.validate_complete(&sys).unwrap();
+        assert_eq!(
+            equivalent_serial_order(&sys, &s).unwrap(),
+            vec![TxnId(1), TxnId(0)]
+        );
     }
 
     #[test]

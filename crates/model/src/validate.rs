@@ -11,6 +11,13 @@
 //! Constraints 3–4 make the locking neither superfluous nor incorrect; they
 //! do not affect safety analysis, so [`Level::Locking`] skips them (the
 //! paper's own figures omit update steps for brevity).
+//!
+//! On a hierarchical database (see [`Database::add_child`]) constraints 3–4
+//! generalize: an update of a child is protected either by the child's own
+//! lock section or by a parent lock section whose mode
+//! [shields][crate::LockMode::shields_child] the access (a coarse `S`/`SIX`
+//! shields reads, `X` shields everything); and a parent lock section counts
+//! as non-empty when it protects an update of any of its children.
 
 use crate::action::ActionKind;
 use crate::entity::Database;
@@ -32,7 +39,7 @@ pub fn validate(db: &Database, t: &Transaction, level: Level) -> Result<(), Mode
     validate_site_totality(db, t)?;
     validate_lock_pairs(t)?;
     if level == Level::Strict {
-        validate_updates(t)?;
+        validate_updates(db, t)?;
     }
     Ok(())
 }
@@ -77,15 +84,31 @@ pub fn validate_lock_pairs(t: &Transaction) -> Result<(), ModelError> {
 /// inside its entity's lock section, *and* the lock's mode covers the
 /// update's (a write under a merely-shared lock is unprotected — two such
 /// sections could overlap and race).
-pub fn validate_updates(t: &Transaction) -> Result<(), ModelError> {
+///
+/// On a hierarchical database an update may instead be protected by a
+/// parent lock section whose mode shields the access, and a parent lock
+/// section is non-empty when it protects an update of any child.
+pub fn validate_updates(db: &Database, t: &Transaction) -> Result<(), ModelError> {
+    // Whether step `s` lies strictly inside entity `e`'s lock section.
+    let in_section = |e, s| {
+        let (Some(l), Some(u)) = (t.lock_step(e), t.unlock_step(e)) else {
+            return false;
+        };
+        t.precedes(l, s) && t.precedes(s, u)
+    };
     for e in t.locked_entities() {
-        let l = t.lock_step(e).expect("locked");
-        let u = t.unlock_step(e).expect("validated pair");
-        let updates = t.update_steps(e);
-        if !updates
-            .iter()
-            .any(|&s| t.precedes(l, s) && t.precedes(s, u))
-        {
+        let own = t.update_steps(e).iter().any(|&s| in_section(e, s));
+        // A parent section also counts as non-empty when an update of one
+        // of its children lies inside it.
+        let via_children = || {
+            t.step_ids().any(|s| {
+                let st = t.step(s);
+                st.kind == ActionKind::Update
+                    && db.parent_of(st.entity) == Some(e)
+                    && in_section(e, s)
+            })
+        };
+        if !own && !via_children() {
             return Err(ModelError::EmptyLockSection(e));
         }
     }
@@ -94,13 +117,16 @@ pub fn validate_updates(t: &Transaction) -> Result<(), ModelError> {
         if st.kind != ActionKind::Update {
             continue;
         }
-        let (Some(l), Some(u)) = (t.lock_step(st.entity), t.unlock_step(st.entity)) else {
-            return Err(ModelError::UnprotectedUpdate(s));
-        };
-        if !(t.precedes(l, s) && t.precedes(s, u)) {
-            return Err(ModelError::UnprotectedUpdate(s));
+        // Protected by the entity's own lock section...
+        if in_section(st.entity, s) && t.step(t.lock_step(st.entity).unwrap()).mode.covers(st.mode)
+        {
+            continue;
         }
-        if !t.step(l).mode.covers(st.mode) {
+        // ...or shielded by a covering parent lock section.
+        let shielded = db.parent_of(st.entity).is_some_and(|p| {
+            in_section(p, s) && t.step(t.lock_step(p).unwrap()).mode.shields_child(st.mode)
+        });
+        if !shielded {
             return Err(ModelError::UnprotectedUpdate(s));
         }
     }
@@ -216,6 +242,80 @@ mod tests {
             let t = b.build().unwrap();
             validate(&db, &t, Level::Strict).unwrap_or_else(|e| panic!("{script}: {e}"));
         }
+    }
+
+    #[test]
+    fn coarse_parent_lock_shields_child_updates() {
+        use crate::action::LockMode;
+        use crate::ids::SiteId;
+        let mut db = Database::new();
+        let f = db.add_entity("f", SiteId(0));
+        db.add_child("a", SiteId(0), f);
+        db.add_child("b", SiteId(0), f);
+        // Coarse X on the file: child updates need no locks of their own,
+        // and the parent section is non-empty *via* those child updates.
+        let mut b = TxnBuilder::new(&db, "T");
+        b.lock("f").unwrap();
+        b.update("a").unwrap();
+        b.update("b").unwrap();
+        b.unlock("f").unwrap();
+        let t = b.build().unwrap();
+        validate(&db, &t, Level::Strict).unwrap();
+        // Coarse S shields reads but not writes.
+        let mut b = TxnBuilder::new(&db, "T");
+        b.lock_shared("f").unwrap();
+        b.read("a").unwrap();
+        b.unlock("f").unwrap();
+        let t = b.build().unwrap();
+        validate(&db, &t, Level::Strict).unwrap();
+        let mut b = TxnBuilder::new(&db, "T");
+        b.lock_shared("f").unwrap();
+        b.update("a").unwrap();
+        b.unlock("f").unwrap();
+        let t = b.build().unwrap();
+        assert!(matches!(
+            validate(&db, &t, Level::Strict),
+            Err(ModelError::UnprotectedUpdate(_))
+        ));
+        // SIX shields the scan's reads; writes still carry child X locks.
+        let mut b = TxnBuilder::new(&db, "T");
+        b.lock_mode("f", LockMode::SharedIntentionExclusive)
+            .unwrap();
+        b.read("a").unwrap();
+        b.lock("b").unwrap();
+        b.update("b").unwrap();
+        b.unlock("b").unwrap();
+        b.unlock("f").unwrap();
+        let t = b.build().unwrap();
+        validate(&db, &t, Level::Strict).unwrap();
+    }
+
+    #[test]
+    fn intention_parent_lock_shields_nothing() {
+        use crate::action::LockMode;
+        use crate::ids::SiteId;
+        let mut db = Database::new();
+        let f = db.add_entity("f", SiteId(0));
+        db.add_child("a", SiteId(0), f);
+        // IX on the parent plus a child X lock is the well-formed shape...
+        let mut b = TxnBuilder::new(&db, "T");
+        b.lock_mode("f", LockMode::IntentionExclusive).unwrap();
+        b.lock("a").unwrap();
+        b.update("a").unwrap();
+        b.unlock("a").unwrap();
+        b.unlock("f").unwrap();
+        let t = b.build().unwrap();
+        validate(&db, &t, Level::Strict).unwrap();
+        // ...but IX alone does not protect the child update.
+        let mut b = TxnBuilder::new(&db, "T");
+        b.lock_mode("f", LockMode::IntentionExclusive).unwrap();
+        b.update("a").unwrap();
+        b.unlock("f").unwrap();
+        let t = b.build().unwrap();
+        assert!(matches!(
+            validate(&db, &t, Level::Strict),
+            Err(ModelError::UnprotectedUpdate(_))
+        ));
     }
 
     #[test]

@@ -227,11 +227,14 @@ pub struct SimConfig {
     /// Measurement-only (default `false`): after every event that can
     /// mutate a lock table (site events, coordinator events whose aborts
     /// release locks everywhere, deadlock scans, recoveries), assert
-    /// every site table's structural invariants (S/X exclusion, single
-    /// exclusive holder, upgraders hold, no holder-and-waiter owners) —
-    /// the safety harness the fault-injection property tests run under.
-    /// A violation is an engine bug and panics with the offending site
-    /// and tick.
+    /// every site table's structural invariants — full
+    /// compatibility-matrix exclusion over the `IS`/`IX`/`S`/`SIX`/`X`
+    /// lattice (pairwise-incompatible co-held modes such as `S`+`IX`,
+    /// `SIX`+`SIX` or `X`+anything, not just `S`/`X` exclusion),
+    /// upgraders hold with uncovered targets, no holder-and-waiter
+    /// owners — the safety harness the fault-injection property tests
+    /// run under. A violation is an engine bug and panics with the
+    /// offending site and tick.
     pub invariant_audit: bool,
     /// Which lock-table implementation backs every site (see
     /// [`kplock_dlm::TableSpec`]). The default, [`TableSpec::Fifo`],

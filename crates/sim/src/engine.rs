@@ -700,6 +700,11 @@ impl Engine<'_> {
                 if self.stale(inst) || self.already_serviced(inst, step) {
                     return;
                 }
+                // Every live lock request a site services — the work a
+                // lock manager actually performs, and the quantity
+                // hierarchical locking exists to shrink (one coarse parent
+                // lock replacing hundreds of per-record requests).
+                self.metrics.lock_requests += 1;
                 let mode = self.sys.txn(inst.txn).step(step).mode;
                 if let Some(scheme) = self.cfg.admission_scheme() {
                     self.on_prevented_lock_request(site, inst, entity, step, mode, scheme);
@@ -742,11 +747,21 @@ impl Engine<'_> {
                 debug_assert!(
                     {
                         let mode = self.sys.txn(inst.txn).step(step).mode;
+                        // Either the entity's own lock covers the access,
+                        // or (hierarchical databases) a coarse lock on the
+                        // parent — possibly held at another site — shields
+                        // it; see `LockMode::shields_child`.
                         self.sites[site.idx()]
                             .holds(entity, inst)
                             .is_some_and(|held| held.covers(mode))
+                            || self.sys.db().parent_of(entity).is_some_and(|p| {
+                                let ps = self.sys.db().site_of(p);
+                                self.sites[ps.idx()]
+                                    .holds(p, inst)
+                                    .is_some_and(|m| m.shields_child(mode))
+                            })
                     },
-                    "update without a covering lock"
+                    "update without a covering lock or parent shield"
                 );
                 self.record_step(inst, step);
                 self.send_to_coordinator(inst.txn, Payload::UpdateDone { inst, step });
@@ -1229,9 +1244,11 @@ impl Engine<'_> {
     }
 
     /// The [`SimConfig::invariant_audit`] harness: panics if any site's
-    /// table violates its structural invariants (S+X co-held, multiple
-    /// exclusive holders, a non-holder upgrader, an owner both holding
-    /// and waiting). Run after every event that can mutate a table —
+    /// table violates its structural invariants (any pairwise-incompatible
+    /// co-held mode pair under the full compatibility matrix — `S`+`X`,
+    /// `S`+`IX`, `X`+anything —, a non-holder upgrader, a pending upgrade
+    /// its holder already covers, an owner both holding and waiting). Run
+    /// after every event that can mutate a table —
     /// site events, coordinator events (whose aborts release locks at
     /// every site), deadlock scans and recoveries — so a violation names
     /// the exact tick it first became observable.

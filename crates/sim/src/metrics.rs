@@ -13,6 +13,11 @@ pub struct Metrics {
     pub messages: u64,
     /// Total ticks instances spent queued for locks.
     pub lock_wait_ticks: u64,
+    /// Lock requests serviced by sites (granted, queued, or rejected —
+    /// every live `LockRequest` a table processed, across all epochs).
+    /// The per-shard work hierarchical granularity trades away: a coarse
+    /// parent lock replaces one request per touched child.
+    pub lock_requests: u64,
     /// Deadlock cycles resolved.
     pub deadlocks_resolved: usize,
     /// Probe messages sent site-to-site ([`crate::DeadlockDetection::Probe`]

@@ -335,7 +335,7 @@ fn run_txn<T: LockTable<Instance>>(
     let t = sys.txn(txn);
     let mut rng = rand::thread_rng();
     for epoch in 0..cfg.max_attempts {
-        if attempt(txn, epoch, t, shared, cfg) {
+        if attempt(sys.db(), txn, epoch, t, shared, cfg) {
             return (true, epoch);
         }
         // Aborted: back off and retry.
@@ -347,6 +347,7 @@ fn run_txn<T: LockTable<Instance>>(
 }
 
 fn attempt<T: LockTable<Instance>>(
+    db: &kplock_model::Database,
     txn: TxnId,
     epoch: u32,
     t: &kplock_model::Transaction,
@@ -489,13 +490,22 @@ fn attempt<T: LockTable<Instance>>(
             }
             ActionKind::Update => {
                 let st = shared.table.lock_shard_index(shard);
-                debug_assert!(
-                    st.holds(step.entity, inst)
-                        .is_some_and(|held| held.covers(step.mode)),
-                    "update without a covering lock"
-                );
+                let covered = st
+                    .holds(step.entity, inst)
+                    .is_some_and(|held| held.covers(step.mode));
                 shared.record(txn, epoch, StepId::from_idx(v));
                 drop(st);
+                // On a hierarchical database a coarse parent lock shields
+                // the access instead; the parent may hash to another
+                // shard, so this check runs after the child's guard drops.
+                if cfg!(debug_assertions) && !covered {
+                    let shielded = db.parent_of(step.entity).is_some_and(|p| {
+                        let pst = shared.table.lock_shard_index(shared.table.shard_index(p));
+                        pst.holds(p, inst)
+                            .is_some_and(|m| m.shields_child(step.mode))
+                    });
+                    assert!(shielded, "update without a covering lock or parent shield");
+                }
             }
             ActionKind::Unlock => {
                 let mut st = shared.table.lock_shard_index(shard);

@@ -1,0 +1,449 @@
+//! Hierarchical (multi-granularity) workloads over a two-level catalog.
+//!
+//! A catalog of `files × records_per_file` entities — realistically sized,
+//! 10⁵–10⁶ records — with every record a child of its file
+//! ([`kplock_model::Database::add_child`]). Transactions arrive open-loop
+//! (seeded inter-arrival gaps, see [`HierarchyScenario::arrivals`]) and
+//! pick their file by a Zipfian draw, so hot files absorb most traffic.
+//!
+//! The same *logical* accesses are materialized under any
+//! [`Granularity`] arm: [`Granularity::Flat`] locks every touched record
+//! individually (the pre-hierarchy behavior, one lock request per
+//! record), while [`Granularity::Hierarchical`] plans one parent lock
+//! per transaction via [`plan_parent`] — intention modes below the
+//! escalation threshold, coarse `S`/`X`/`SIX` at or above it — and only
+//! the child locks the plan leaves necessary. [`hierarchy_sweep`] builds
+//! one scenario per arm from identical draws, so any difference in lock
+//! traffic or makespan is pure granularity policy.
+
+use crate::zipf::Zipf;
+use kplock_model::hierarchy::{plan_parent, ChildLocks, Granularity};
+use kplock_model::{Database, EntityId, LockMode, SiteId, Step, StepId, Transaction, TxnSystem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a transaction does once it has picked a file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessProfile {
+    /// A handful of record reads, occasionally one write — point queries.
+    /// Hierarchical arms stay below the escalation threshold (`IS`/`IX`).
+    ReadMostly,
+    /// A burst of record writes against the hot files. Crosses the
+    /// threshold when the burst is large enough (coarse `X`).
+    WriteHot,
+    /// Reads **every** record of the file plus a few writes — the case
+    /// hierarchical locking exists for: flat arms pay one lock per
+    /// record, hierarchical arms escalate to one `SIX` (or `S`) on the
+    /// file.
+    Scan,
+}
+
+/// Parameters for hierarchical workload generation.
+#[derive(Clone, Debug)]
+pub struct HierarchyParams {
+    /// Number of files (hierarchy parents), placed round-robin on sites.
+    pub files: usize,
+    /// Records per file; records live at their file's site. Total entity
+    /// count is `files * records_per_file` (+ the files themselves).
+    pub records_per_file: usize,
+    /// Number of sites.
+    pub sites: usize,
+    /// Number of transactions.
+    pub transactions: usize,
+    /// Zipfian skew of the file choice, in `[0, 1)`; `0.0` draws files
+    /// uniformly.
+    pub zipf_theta: f64,
+    /// The per-transaction access shape.
+    pub profile: AccessProfile,
+    /// Mean open-loop inter-arrival gap in simulator ticks; arrival `i`
+    /// is the sum of `i` seeded draws from `1..=2*gap` (gap `0` makes
+    /// every transaction arrive at tick 0, the closed-batch shape).
+    pub arrival_gap: u64,
+    /// RNG seed. Identical seeds make identical *logical* accesses under
+    /// every granularity arm.
+    pub seed: u64,
+}
+
+impl Default for HierarchyParams {
+    fn default() -> Self {
+        HierarchyParams {
+            files: 8,
+            records_per_file: 64,
+            sites: 2,
+            transactions: 16,
+            zipf_theta: 0.6,
+            profile: AccessProfile::ReadMostly,
+            arrival_gap: 40,
+            seed: 1,
+        }
+    }
+}
+
+/// One materialized arm of a hierarchical workload.
+#[derive(Clone, Debug)]
+pub struct HierarchyScenario {
+    /// Human-readable tag, e.g. `flat` or `hier(t=16)`.
+    pub name: String,
+    /// The granularity arm this system was materialized under.
+    pub granularity: Granularity,
+    /// The locked transaction system (over the two-level catalog).
+    pub system: TxnSystem,
+    /// Open-loop arrival tick per transaction, for
+    /// `kplock_sim::run_with_arrivals`.
+    pub arrivals: Vec<u64>,
+}
+
+/// Builds the two-level catalog: file `f<i>` at site `i % sites`, records
+/// `f<i>/r<j>` as its children at the same site.
+pub fn two_level_catalog(files: usize, records_per_file: usize, sites: usize) -> Database {
+    assert!(files > 0 && records_per_file > 0 && sites > 0);
+    let mut db = Database::new();
+    for i in 0..files {
+        let site = SiteId::from_idx(i % sites);
+        let f = db.add_entity(&format!("f{i}"), site);
+        for j in 0..records_per_file {
+            db.add_child(&format!("f{i}/r{j}"), site, f);
+        }
+    }
+    db
+}
+
+/// The logical accesses of one transaction: a file plus disjoint read and
+/// write record sets (indices within the file), before any locking
+/// decision.
+#[derive(Clone, Debug)]
+struct TxnAccess {
+    file: usize,
+    reads: Vec<usize>,
+    writes: Vec<usize>,
+}
+
+/// Draws `k` distinct record indices from `0..n` (k ≤ n), excluding
+/// `taken`, ascending.
+fn draw_distinct(rng: &mut StdRng, n: usize, k: usize, taken: &[usize]) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::with_capacity(k);
+    while out.len() < k {
+        let r = rng.gen_range(0..n);
+        if !taken.contains(&r) && !out.contains(&r) {
+            out.push(r);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// All the randomness of a workload, drawn once: the per-transaction
+/// logical accesses and the open-loop arrival ticks. Every granularity
+/// arm materializes from the same result.
+fn draw_accesses(p: &HierarchyParams) -> (Vec<TxnAccess>, Vec<u64>) {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let file_pick = (p.zipf_theta > 0.0).then(|| Zipf::new(p.files, p.zipf_theta));
+    let rpf = p.records_per_file;
+    let mut accesses = Vec::with_capacity(p.transactions);
+    let mut arrivals = Vec::with_capacity(p.transactions);
+    let mut clock = 0u64;
+    for _ in 0..p.transactions {
+        let file = match &file_pick {
+            Some(z) => z.sample(&mut rng),
+            None => rng.gen_range(0..p.files),
+        };
+        let (reads, writes) = match p.profile {
+            AccessProfile::ReadMostly => {
+                let writes = if rng.gen_range(0u32..100) < 20 {
+                    draw_distinct(&mut rng, rpf, 1.min(rpf), &[])
+                } else {
+                    Vec::new()
+                };
+                let nr = 4.min(rpf - writes.len());
+                (draw_distinct(&mut rng, rpf, nr, &writes), writes)
+            }
+            AccessProfile::WriteHot => {
+                let nw = 4.min(rpf);
+                (Vec::new(), draw_distinct(&mut rng, rpf, nw, &[]))
+            }
+            AccessProfile::Scan => {
+                let nw = 2.min(rpf.saturating_sub(1));
+                let writes = draw_distinct(&mut rng, rpf, nw, &[]);
+                let reads = (0..rpf).filter(|r| !writes.contains(r)).collect();
+                (reads, writes)
+            }
+        };
+        accesses.push(TxnAccess {
+            file,
+            reads,
+            writes,
+        });
+        if p.arrival_gap > 0 {
+            clock += rng.gen_range(1..=2 * p.arrival_gap);
+        }
+        arrivals.push(clock);
+    }
+    (accesses, arrivals)
+}
+
+/// Materializes one transaction under `g`. Everything lives at one site
+/// (a transaction touches one file), so a full chain of edges keeps the
+/// per-site total order; locking is two-phase (all locks, accesses, all
+/// unlocks) with children in ascending record order, so same-file
+/// transactions cannot deadlock among themselves.
+fn materialize(db: &Database, name: &str, a: &TxnAccess, g: Granularity) -> Transaction {
+    let file: EntityId = db.entity(&format!("f{}", a.file)).expect("catalog");
+    let rec = |j: &usize| -> EntityId { db.entity(&format!("f{}/r{j}", a.file)).expect("catalog") };
+    // Child locks are taken in ascending record order with reads and
+    // writes *merged* — a per-file total lock order, so same-file
+    // transactions cannot deadlock (and there are no cross-file cycles:
+    // a transaction touches exactly one file).
+    let merged_locks = |reads: &[usize], writes: &[usize]| -> Vec<(usize, bool)> {
+        let mut v: Vec<(usize, bool)> = reads
+            .iter()
+            .map(|&j| (j, false))
+            .chain(writes.iter().map(|&j| (j, true)))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let mut steps: Vec<Step> = Vec::new();
+    match g {
+        Granularity::Flat => {
+            // One lock per touched record, shared for reads.
+            for &(j, w) in &merged_locks(&a.reads, &a.writes) {
+                steps.push(if w {
+                    Step::lock(rec(&j))
+                } else {
+                    Step::lock_shared(rec(&j))
+                });
+            }
+            for j in &a.reads {
+                steps.push(Step::read(rec(j)));
+            }
+            for j in &a.writes {
+                steps.push(Step::update(rec(j)));
+            }
+            for j in a.reads.iter().chain(&a.writes) {
+                steps.push(Step::unlock(rec(j)));
+            }
+        }
+        Granularity::Hierarchical {
+            escalation_threshold,
+        } => {
+            let plan = plan_parent(
+                a.reads.len() as u32,
+                a.writes.len() as u32,
+                escalation_threshold,
+            );
+            steps.push(Step::lock(file).with_mode(plan.parent_mode));
+            let (lock_reads, lock_writes) = match plan.child_locks {
+                ChildLocks::All => (true, true),
+                ChildLocks::WritesOnly => (false, true),
+                ChildLocks::None => (false, false),
+            };
+            let locks = merged_locks(
+                if lock_reads { &a.reads } else { &[] },
+                if lock_writes { &a.writes } else { &[] },
+            );
+            for &(j, w) in &locks {
+                steps.push(if w {
+                    Step::lock(rec(&j))
+                } else {
+                    Step::lock_shared(rec(&j))
+                });
+            }
+            for j in &a.reads {
+                steps.push(Step::read(rec(j)));
+            }
+            for j in &a.writes {
+                steps.push(Step::update(rec(j)));
+            }
+            if lock_reads {
+                for j in &a.reads {
+                    steps.push(Step::unlock(rec(j)));
+                }
+            }
+            if lock_writes {
+                for j in &a.writes {
+                    steps.push(Step::unlock(rec(j)));
+                }
+            }
+            steps.push(Step::unlock(file));
+            debug_assert!(
+                lock_writes
+                    || a.writes.is_empty()
+                    || plan.parent_mode.shields_child(LockMode::Exclusive),
+                "unshielded writes must carry child locks"
+            );
+        }
+    }
+    let edges: Vec<(StepId, StepId)> = (1..steps.len())
+        .map(|i| (StepId::from_idx(i - 1), StepId::from_idx(i)))
+        .collect();
+    Transaction::new(name.to_string(), steps, edges).expect("chain is acyclic")
+}
+
+/// Generates one arm: the catalog, the locked system and the open-loop
+/// arrival ticks, all from `p.seed`.
+pub fn hierarchy_system(p: &HierarchyParams, g: Granularity) -> HierarchyScenario {
+    let db = two_level_catalog(p.files, p.records_per_file, p.sites);
+    let (accesses, arrivals) = draw_accesses(p);
+    let txns: Vec<Transaction> = accesses
+        .iter()
+        .enumerate()
+        .map(|(i, a)| materialize(&db, &format!("T{}", i + 1), a, g))
+        .collect();
+    let name = match g {
+        Granularity::Flat => "flat".to_string(),
+        Granularity::Hierarchical {
+            escalation_threshold,
+        } => format!("hier(t={escalation_threshold})"),
+    };
+    HierarchyScenario {
+        name,
+        granularity: g,
+        system: TxnSystem::new(db, txns),
+        arrivals,
+    }
+}
+
+/// Sweeps granularity arms over identical logical accesses: one scenario
+/// per entry of `arms`, every arm materialized from the same seeded
+/// draws, so lock-request counts and makespans are directly comparable.
+pub fn hierarchy_sweep(p: &HierarchyParams, arms: &[Granularity]) -> Vec<HierarchyScenario> {
+    arms.iter().map(|&g| hierarchy_system(p, g)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kplock_model::Level;
+
+    fn arms() -> [Granularity; 3] {
+        [
+            Granularity::Flat,
+            Granularity::Hierarchical {
+                escalation_threshold: 16,
+            },
+            Granularity::Hierarchical {
+                escalation_threshold: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn all_arms_are_well_formed_for_all_profiles() {
+        for profile in [
+            AccessProfile::ReadMostly,
+            AccessProfile::WriteHot,
+            AccessProfile::Scan,
+        ] {
+            let p = HierarchyParams {
+                profile,
+                transactions: 8,
+                ..Default::default()
+            };
+            for sc in hierarchy_sweep(&p, &arms()) {
+                sc.system
+                    .validate(Level::Strict)
+                    .unwrap_or_else(|e| panic!("{profile:?}/{}: {e}", sc.name));
+                assert_eq!(sc.arrivals.len(), 8);
+                assert!(sc.arrivals.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn arms_share_identical_logical_accesses() {
+        let p = HierarchyParams {
+            profile: AccessProfile::Scan,
+            transactions: 6,
+            ..Default::default()
+        };
+        let sweep = hierarchy_sweep(&p, &arms());
+        let updates = |sc: &HierarchyScenario| -> Vec<Vec<(EntityId, LockMode)>> {
+            sc.system
+                .txns()
+                .iter()
+                .map(|t| {
+                    t.steps()
+                        .iter()
+                        .filter(|s| s.kind == kplock_model::ActionKind::Update)
+                        .map(|s| (s.entity, s.mode))
+                        .collect()
+                })
+                .collect()
+        };
+        let base = updates(&sweep[0]);
+        for sc in &sweep[1..] {
+            assert_eq!(base, updates(sc), "{}", sc.name);
+        }
+        assert_eq!(sweep[0].arrivals, sweep[1].arrivals);
+    }
+
+    #[test]
+    fn scans_escalate_and_shrink_lock_steps() {
+        let p = HierarchyParams {
+            profile: AccessProfile::Scan,
+            files: 4,
+            records_per_file: 128,
+            transactions: 6,
+            ..Default::default()
+        };
+        let lock_steps = |sc: &HierarchyScenario| -> usize {
+            sc.system
+                .txns()
+                .iter()
+                .flat_map(|t| t.steps())
+                .filter(|s| s.kind == kplock_model::ActionKind::Lock)
+                .count()
+        };
+        let flat = hierarchy_system(&p, Granularity::Flat);
+        let hier = hierarchy_system(
+            &p,
+            Granularity::Hierarchical {
+                escalation_threshold: 16,
+            },
+        );
+        let (nf, nh) = (lock_steps(&flat), lock_steps(&hier));
+        // Flat: one lock per record (128/txn). Hierarchical: the scan
+        // escalates to one SIX on the file plus X locks on 2 writes.
+        assert!(
+            nf >= 5 * nh,
+            "expected ≥5× fewer lock steps hierarchically: flat {nf}, hier {nh}"
+        );
+        // And the escalated parent mode is SIX (reads + a few writes).
+        let t = &hier.system.txns()[0];
+        let first = t.step(StepId::from_idx(0));
+        assert_eq!(first.mode, LockMode::SharedIntentionExclusive);
+    }
+
+    #[test]
+    fn point_profiles_stay_intention_locked() {
+        let p = HierarchyParams {
+            profile: AccessProfile::ReadMostly,
+            ..Default::default()
+        };
+        let hier = hierarchy_system(
+            &p,
+            Granularity::Hierarchical {
+                escalation_threshold: 16,
+            },
+        );
+        for t in hier.system.txns() {
+            let first = t.step(StepId::from_idx(0));
+            assert!(
+                first.mode.is_intention(),
+                "{}: point access should take {} as intention",
+                t.name(),
+                first.mode
+            );
+        }
+    }
+
+    #[test]
+    fn zero_gap_arrivals_all_start_at_zero() {
+        let p = HierarchyParams {
+            arrival_gap: 0,
+            ..Default::default()
+        };
+        let sc = hierarchy_system(&p, Granularity::Flat);
+        assert!(sc.arrivals.iter().all(|&a| a == 0));
+    }
+}

@@ -32,15 +32,22 @@
 pub mod avoidance;
 pub mod fault;
 pub mod figures;
+pub mod hierarchy;
 pub mod reduction_instances;
 pub mod scenarios;
 pub mod suite;
 pub mod txn_gen;
+pub mod zipf;
 
 pub use avoidance::{avoid_mix_sweep, certified_mix, opposed_mix, AvoidScenario};
 pub use fault::{fault_plan_ladder, fault_sweep, FaultScenario, FAULT_ARMS, FAULT_ARMS_WITH_AVOID};
 pub use figures::{fig1, fig2, fig3, fig5};
+pub use hierarchy::{
+    hierarchy_sweep, hierarchy_system, two_level_catalog, AccessProfile, HierarchyParams,
+    HierarchyScenario,
+};
 pub use reduction_instances::{fig8_formula, fig8_reduction, random_instance, unsat_restricted};
 pub use scenarios::{hot_site_sweep, resolution_sweep, site_count_sweep, Scenario};
 pub use suite::{figure_corpus, regression_corpus, NamedSystem};
 pub use txn_gen::{make_database, random_pair, random_system, random_unlocked_txn, WorkloadParams};
+pub use zipf::Zipf;

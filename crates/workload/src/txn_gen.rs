@@ -5,6 +5,7 @@
 //! global step numbering, so the result is a dag), then locked by one of
 //! the strategies in `kplock_core::policy::insert`.
 
+use crate::zipf::Zipf;
 use kplock_core::policy::{insert_locks, LockStrategy};
 use kplock_model::{Database, ModelError, SiteId, Step, StepId, Transaction, TxnSystem};
 use rand::rngs::StdRng;
@@ -38,6 +39,13 @@ pub struct WorkloadParams {
     /// site). `0` (the default) makes no extra RNG draw, so existing seeds
     /// are unchanged.
     pub hot_site_percent: u32,
+    /// Zipfian skew of the entity choice *within* a site, in `[0, 1)`:
+    /// `0.0` (the default) keeps the original uniform `gen_range` draw
+    /// bit-for-bit, so existing seeds are unchanged; any positive theta
+    /// replaces that draw one-for-one with a [`Zipf`] rank draw (entity
+    /// `e<site>_0` hottest). Same guarded-knob contract as
+    /// [`WorkloadParams::read_percent`] / `hot_site_percent`.
+    pub zipf_theta: f64,
     /// How to lock the transactions.
     pub strategy: LockStrategy,
     /// RNG seed.
@@ -54,6 +62,7 @@ impl Default for WorkloadParams {
             cross_edge_percent: 30,
             read_percent: 0,
             hot_site_percent: 0,
+            zipf_theta: 0.0,
             strategy: LockStrategy::Minimal,
             seed: 1,
         }
@@ -84,6 +93,8 @@ pub fn random_unlocked_txn(
     let mut edges: Vec<(StepId, StepId)> = Vec::new();
     let mut last_at_site: Vec<Option<StepId>> = vec![None; p.sites];
     let mut prev: Option<StepId> = None;
+    // Zeta constants once per transaction; `sample` then costs one draw.
+    let zipf = (p.zipf_theta > 0.0).then(|| Zipf::new(p.entities_per_site, p.zipf_theta));
     for _ in 0..p.steps_per_txn {
         // Guarded extra draw, like `read_percent`: `hot_site_percent: 0`
         // consumes exactly the randomness it did before skew existed.
@@ -92,7 +103,12 @@ pub fn random_unlocked_txn(
         } else {
             rng.gen_range(0..p.sites)
         };
-        let idx = rng.gen_range(0..p.entities_per_site);
+        // Skew replaces the uniform index draw one-for-one; theta 0.0
+        // makes the exact pre-skew draw, keeping seeds bit-identical.
+        let idx = match &zipf {
+            Some(z) => z.sample(rng),
+            None => rng.gen_range(0..p.entities_per_site),
+        };
         let e = db
             .entity(&format!("e{site}_{idx}"))
             .expect("generated name");
@@ -230,6 +246,50 @@ mod tests {
         for (a, b) in base.txns().iter().zip(explicit.txns()) {
             assert_eq!(a.steps(), b.steps());
         }
+    }
+
+    #[test]
+    fn zero_zipf_theta_is_seed_identical_to_base() {
+        // The skew knob follows the guarded-draw contract: disabled, it
+        // makes no draw, so the generated system is bit-identical.
+        let base = random_system(&WorkloadParams::default());
+        let explicit = random_system(&WorkloadParams {
+            zipf_theta: 0.0,
+            ..Default::default()
+        });
+        for (a, b) in base.txns().iter().zip(explicit.txns()) {
+            assert_eq!(a.steps(), b.steps());
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_accesses_on_low_indices() {
+        let p = WorkloadParams {
+            zipf_theta: 0.95,
+            sites: 1,
+            entities_per_site: 64,
+            transactions: 20,
+            steps_per_txn: 16,
+            strategy: LockStrategy::TwoPhaseSync,
+            seed: 11,
+            ..Default::default()
+        };
+        let sys = random_system(&p);
+        sys.validate(Level::Strict).unwrap();
+        let hot = sys.db().entity("e0_0").unwrap();
+        let hot_hits: usize = sys
+            .txns()
+            .iter()
+            .flat_map(|t| t.steps())
+            .filter(|s| s.kind == kplock_model::ActionKind::Update && s.entity == hot)
+            .count();
+        let total = 20 * 16;
+        // Uniform would put ~1/64 of accesses on e0_0; theta 0.95 puts a
+        // large multiple of that there.
+        assert!(
+            hot_hits * 64 > total * 5,
+            "expected heavy skew onto e0_0, got {hot_hits}/{total}"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn main() {
         cross_edge_percent: 30,
         read_percent: 0,
         hot_site_percent: 0,
+        zipf_theta: 0.0,
         strategy,
         seed: 42,
     };

@@ -124,6 +124,7 @@ fn lock_manager_sim_core_path() {
         cross_edge_percent: 30,
         read_percent: 0,
         hot_site_percent: 0,
+        zipf_theta: 0.0,
         strategy: LockStrategy::TwoPhaseSync,
         seed: 42,
     });

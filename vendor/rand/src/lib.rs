@@ -47,9 +47,44 @@ pub trait Rng: RngCore {
         assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
         ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
     }
+
+    /// Sample a value of `T` from the standard distribution (uniform over
+    /// the type's range; `[0, 1)` for floats), mirroring `rand::Rng::gen`.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
 }
 
 impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable by [`Rng::gen`] (the shim's stand-in for `Standard:
+/// Distribution<T>`).
+pub trait StandardSample {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision, exactly one
+    /// `next_u64` per draw (the real crate's `Standard` float recipe).
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
 
 /// A range that knows how to draw a uniform sample of `T` from an RNG.
 pub trait SampleRange<T> {
