@@ -1,0 +1,88 @@
+//! Experiment D7 (timing side): delegated ownership — simulator cost of
+//! skewed read-heavy traffic with delegation off vs on, plus the price
+//! of a revocation-heavy handoff chain.
+//!
+//! The acquire/release message *counts* behind the D7 table are
+//! deterministic and pinned by the `kplock-bench` `--check` gate; this
+//! bench tracks the wall-clock side on a smaller workload so the smoke
+//! run stays fast. Delegation trades messages for ledger bookkeeping —
+//! the off/on pair shows the engine-time cost of that trade.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kplock_core::policy::LockStrategy;
+use kplock_sim::{run, DeadlockResolution, Delegation, LatencyModel, PreventionScheme, SimConfig};
+use kplock_workload::{hot_site_sweep, zipf_sweep, WorkloadParams};
+
+fn bench_delegation(c: &mut Criterion) {
+    let base = WorkloadParams {
+        seed: 42,
+        sites: 3,
+        entities_per_site: 12,
+        transactions: 6,
+        steps_per_txn: 8,
+        read_percent: 90,
+        strategy: LockStrategy::TwoPhaseSync,
+        ..Default::default()
+    };
+    let workloads = [
+        ("hot95", hot_site_sweep(&base, &[95]).pop().expect("one")),
+        ("zipf09", zipf_sweep(&base, &[0.9]).pop().expect("one")),
+    ];
+
+    let mut group = c.benchmark_group("delegation_sim");
+    group.sample_size(20);
+    for (wlabel, sc) in &workloads {
+        for (dlabel, delegation) in [("off", Delegation::Off), ("on", Delegation::On)] {
+            let cfg = SimConfig {
+                seed: 7,
+                latency: LatencyModel::Fixed(5),
+                resolution: DeadlockResolution::Prevent(PreventionScheme::WoundWait),
+                delegation,
+                max_time: 2_000_000,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(*wlabel, dlabel),
+                &(&sc.system, cfg),
+                |b, (sys, cfg)| b.iter(|| run(std::hint::black_box(sys), cfg)),
+            );
+        }
+    }
+    group.finish();
+
+    // The worst case for the ledger: every transaction wants the same
+    // write-hot entities, so retained grants are demanded back almost as
+    // soon as they are cached and the run is revocation-bound.
+    let storm = WorkloadParams {
+        seed: 42,
+        sites: 3,
+        entities_per_site: 2,
+        transactions: 6,
+        steps_per_txn: 6,
+        read_percent: 0,
+        strategy: LockStrategy::TwoPhaseSync,
+        ..Default::default()
+    };
+    let sc = hot_site_sweep(&storm, &[100]).pop().expect("one");
+    let mut group = c.benchmark_group("delegation_revocation_storm");
+    group.sample_size(20);
+    for (dlabel, delegation) in [("off", Delegation::Off), ("on", Delegation::On)] {
+        let cfg = SimConfig {
+            seed: 7,
+            latency: LatencyModel::Fixed(5),
+            resolution: DeadlockResolution::Prevent(PreventionScheme::WoundWait),
+            delegation,
+            max_time: 2_000_000,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("run", dlabel),
+            &(&sc.system, cfg),
+            |b, (sys, cfg)| b.iter(|| run(std::hint::black_box(sys), cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delegation);
+criterion_main!(benches);

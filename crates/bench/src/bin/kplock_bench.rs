@@ -122,6 +122,7 @@ fn main() {
     sim_suite(&mut records, &scale);
     threaded_suite(&mut records, &scale);
     hierarchy_suite(&mut records);
+    delegation_suite(&mut records);
 
     println!(
         "{:<38} {:>12} {:>9} {:>9} {:>9}",
@@ -500,6 +501,7 @@ fn threaded_record(
         max_backoff: Duration::from_millis(1),
         max_attempts: 1000,
         avoid: (resolution == ThreadedResolution::Avoid).then(|| AvoidPlan::synthesize(sys)),
+        delegation: false,
     };
     let mut ops = 0u64;
     let mut restarts = 0u64;
@@ -663,6 +665,144 @@ fn check_hierarchy(baseline: &[BenchRecord], current: &[BenchRecord]) -> Result<
 }
 
 // ---------------------------------------------------------------------
+// Suite: delegation — cached grants vs always-remote (D7).
+// ---------------------------------------------------------------------
+
+/// The D7 message-economy workloads: read-heavy skewed traffic (3 sites,
+/// 24 entities/site, 10 sync-2PL transactions × 10 steps, 90% reads) as
+/// a 95% hot-site mix and a θ=0.9 Zipfian mix, each run with delegation
+/// off and on under both prevention arms. `ops` is acquire/release
+/// traffic (`lock_traffic`) summed over 20 fixed sim seeds — fully
+/// deterministic, so the `--check` gate pins the counts exactly and
+/// enforces the ≥2× off/on reduction from the D7 acceptance bar on the
+/// headline arms (hot-site under wait-die, Zipfian under wound-wait).
+fn delegation_suite(records: &mut Vec<BenchRecord>) {
+    use kplock_core::policy::LockStrategy;
+    use kplock_sim::Delegation;
+    use kplock_workload::{hot_site_sweep, zipf_sweep, WorkloadParams};
+    let base = WorkloadParams {
+        seed: 42,
+        sites: 3,
+        entities_per_site: 24,
+        transactions: 10,
+        steps_per_txn: 10,
+        read_percent: 90,
+        strategy: LockStrategy::TwoPhaseSync,
+        ..Default::default()
+    };
+    let workloads = [
+        ("hot95", hot_site_sweep(&base, &[95]).pop().expect("one")),
+        ("zipf09", zipf_sweep(&base, &[0.9]).pop().expect("one")),
+    ];
+    let arms = [
+        (
+            "wound_wait",
+            DeadlockResolution::Prevent(PreventionScheme::WoundWait),
+        ),
+        (
+            "wait_die",
+            DeadlockResolution::Prevent(PreventionScheme::WaitDie),
+        ),
+    ];
+    for (wlabel, sc) in &workloads {
+        for (rlabel, resolution) in arms {
+            for (dlabel, delegation) in [("off", Delegation::Off), ("on", Delegation::On)] {
+                let mut traffic = 0u64;
+                let mut restarts = 0u64;
+                let mut lat_ns = Vec::new();
+                let t0 = Instant::now();
+                for seed in 0..20u64 {
+                    let cfg = SimConfig {
+                        seed,
+                        latency: LatencyModel::Fixed(5),
+                        resolution,
+                        delegation,
+                        max_time: 2_000_000,
+                        ..Default::default()
+                    };
+                    let r0 = Instant::now();
+                    let report = run(&sc.system, &cfg).expect("valid config");
+                    lat_ns.push(r0.elapsed().as_nanos() as u64);
+                    traffic += report.metrics.lock_traffic;
+                    restarts += report.metrics.aborts as u64;
+                }
+                let elapsed = t0.elapsed();
+                let (p50, p99, p999) = percentiles_us(lat_ns);
+                records.push(BenchRecord {
+                    id: format!("deleg/{wlabel}/{rlabel}/{dlabel}"),
+                    suite: "delegation".to_string(),
+                    workload: (*wlabel).to_string(),
+                    table: "default".to_string(),
+                    threads: 1,
+                    shards: 1,
+                    resolution: rlabel.to_string(),
+                    fault_plan: "none".to_string(),
+                    ops: traffic,
+                    elapsed_ms: elapsed.as_secs_f64() * 1e3,
+                    throughput_ops_per_s: traffic as f64 / elapsed.as_secs_f64(),
+                    p50_us: p50,
+                    p99_us: p99,
+                    p999_us: p999,
+                    restarts,
+                    probe_messages: 0,
+                });
+            }
+        }
+    }
+}
+
+/// The delegation side of the gate: acquire/release message counts are
+/// deterministic, so any drift against the baseline is a real behavior
+/// change (delegation protocol, workload generation, or admission), and
+/// delegation must keep cutting lock traffic ≥2× on each headline
+/// workload/arm pair.
+fn check_delegation(baseline: &[BenchRecord], current: &[BenchRecord]) -> Result<String, String> {
+    let mut errors = Vec::new();
+    let mut pinned = 0;
+    for cur in current.iter().filter(|r| r.suite == "delegation") {
+        if let Some(base) = baseline.iter().find(|b| b.id == cur.id) {
+            pinned += 1;
+            if base.ops != cur.ops {
+                errors.push(format!(
+                    "  {}: lock-traffic count drifted from the baseline ({} -> {})",
+                    cur.id, base.ops, cur.ops
+                ));
+            }
+        }
+    }
+    let find = |id: &str| {
+        current
+            .iter()
+            .find(|r| r.suite == "delegation" && r.id == id)
+            .map(|r| r.ops)
+    };
+    let mut ratios = Vec::new();
+    for (off_id, on_id) in [
+        ("deleg/hot95/wait_die/off", "deleg/hot95/wait_die/on"),
+        ("deleg/zipf09/wound_wait/off", "deleg/zipf09/wound_wait/on"),
+    ] {
+        match (find(off_id), find(on_id)) {
+            (Some(off), Some(on)) if off < 2 * on => errors.push(format!(
+                "  {on_id}: off/on lock-traffic ratio {:.2}x is below the 2x acceptance bar \
+                 (off {off}, on {on})",
+                off as f64 / on as f64
+            )),
+            (Some(off), Some(on)) => ratios.push(off as f64 / on as f64),
+            _ => errors.push(format!("  {off_id}: record missing from this run")),
+        }
+    }
+    if errors.is_empty() {
+        let shown: Vec<String> = ratios.iter().map(|r| format!("{r:.2}x")).collect();
+        Ok(format!(
+            "delegation gate OK: {pinned} pinned records, headline ratios [{}] (≥2x)",
+            shown.join(", ")
+        ))
+    } else {
+        Err(errors.join("\n"))
+    }
+}
+
+// ---------------------------------------------------------------------
 // Shared measurement plumbing.
 // ---------------------------------------------------------------------
 
@@ -750,27 +890,33 @@ fn check_against(
             format!("  {id}: {r:.3}x vs baseline (floor {floor:.3}x, median {median:.3}x)")
         })
         .collect();
-    // The hierarchy records gate on *determinism* and the ≥5× ratio, not
-    // throughput — counts are machine-independent, so no tolerance.
+    // The hierarchy and delegation records gate on *determinism* and
+    // their acceptance ratios, not throughput — counts are
+    // machine-independent, so no tolerance.
     let hierarchy = check_hierarchy(&baseline, current);
-    match (failures.is_empty(), hierarchy) {
-        (true, Ok(hsummary)) => Ok(format!(
-            "perf gate OK: {} records, median ratio {median:.3}x, floor {floor:.3}x\n{hsummary}",
+    let delegation = check_delegation(&baseline, current);
+    let mut problems = Vec::new();
+    if !failures.is_empty() {
+        problems.push(format!(
+            "{} of {} records regressed more than {:.0}% below the median ratio {median:.3}x:\n{}",
+            failures.len(),
+            ratios.len(),
+            tolerance * 100.0,
+            failures.join("\n")
+        ));
+    }
+    if let Err(herr) = &hierarchy {
+        problems.push(format!("hierarchy gate failed:\n{herr}"));
+    }
+    if let Err(derr) = &delegation {
+        problems.push(format!("delegation gate failed:\n{derr}"));
+    }
+    if let (true, Ok(hsummary), Ok(dsummary)) = (problems.is_empty(), &hierarchy, &delegation) {
+        Ok(format!(
+            "perf gate OK: {} records, median ratio {median:.3}x, floor {floor:.3}x\n{hsummary}\n{dsummary}",
             ratios.len()
-        )),
-        (true, Err(herr)) => Err(format!("hierarchy gate failed:\n{herr}")),
-        (false, hierarchy) => {
-            let mut msg = format!(
-                "{} of {} records regressed more than {:.0}% below the median ratio {median:.3}x:\n{}",
-                failures.len(),
-                ratios.len(),
-                tolerance * 100.0,
-                failures.join("\n")
-            );
-            if let Err(herr) = hierarchy {
-                msg.push_str(&format!("\nhierarchy gate failed:\n{herr}"));
-            }
-            Err(msg)
-        }
+        ))
+    } else {
+        Err(problems.join("\n"))
     }
 }

@@ -79,11 +79,27 @@ impl<O: Copy + Eq + Ord + Hash> LeaseTable<O> {
         Self::default()
     }
 
-    /// Records (or re-stamps — duplicated grant messages are idempotent
-    /// here) the lease backing `o`'s grant on `e`. An upgrade overwrites
-    /// the shared-mode entry with the exclusive one.
+    /// Records the lease backing `o`'s grant on `e`. An upgrade overwrites
+    /// the *mode* of an existing entry (shared → exclusive), and a changed
+    /// ttl takes effect — but the renewal clock keys off the **original**
+    /// grant tick: a duplicated or retransmitted grant message re-landing
+    /// here must not slide `granted_at` forward, or every duplication
+    /// silently extends the holder's outage survival (see
+    /// [`Lease::survives_outage`], whose last-renewal floor is the grant
+    /// tick).
     pub fn grant(&mut self, o: O, e: EntityId, mode: LockMode, lease: Lease) {
-        self.grants.insert((o, e), (mode, lease));
+        self.grants
+            .entry((o, e))
+            .and_modify(|(m, l)| {
+                *m = mode;
+                l.ttl = lease.ttl;
+            })
+            .or_insert((mode, lease));
+    }
+
+    /// The lease backing `o`'s grant on `e`, if one is recorded.
+    pub fn lease_of(&self, o: O, e: EntityId) -> Option<Lease> {
+        self.grants.get(&(o, e)).map(|&(_, l)| l)
     }
 
     /// Removes the lease backing `o`'s grant on `e` (a release). Missing
@@ -124,6 +140,152 @@ impl<O: Copy + Eq + Ord + Hash> LeaseTable<O> {
     /// Forgets everything (a fresh run).
     pub fn clear(&mut self) {
         self.grants.clear();
+    }
+}
+
+/// One delegated grant in a [`DelegationLedger`]: the lease the owner
+/// handed out with the cached grant, and whether a revocation is in
+/// flight for it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DelegationEntry {
+    /// The lease stamped on the delegated grant — the fence a crashed or
+    /// unresponsive delegate is bounded by. Preserved across re-grants
+    /// like [`LeaseTable::grant`] preserves its clock: a duplicated grant
+    /// message must not extend the delegation.
+    pub lease: Lease,
+    /// A revocation has been sent and its acknowledgement is pending; the
+    /// entry drains when the ack lands (or the delegate aborts).
+    pub revoking: bool,
+}
+
+/// The owning site's half of delegated lock ownership: which grants have
+/// been handed to a remote cache under a [`Lease`], keyed by
+/// `(delegate, entity)` like the [`LeaseTable`] it complements.
+///
+/// A delegated grant stays *held* in the owner's lock table (the hold is
+/// the cache's collateral); this ledger records that the release
+/// authority moved to the delegate, so a later conflicting request knows
+/// to send a revocation — and a crash knows which holds are cache
+/// residue nobody will ever release (see the engine's crash path). Like
+/// [`LeaseTable`], this is mechanism only: *when* to delegate, revoke or
+/// drain is the caller's policy.
+#[derive(Clone, Debug)]
+pub struct DelegationLedger<O> {
+    entries: HashMap<(O, EntityId), DelegationEntry>,
+}
+
+impl<O> Default for DelegationLedger<O> {
+    fn default() -> Self {
+        DelegationLedger {
+            entries: HashMap::new(),
+        }
+    }
+}
+
+impl<O: Copy + Eq + Ord + Hash> DelegationLedger<O> {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `o`'s grant on `e` is delegated under `lease`, and
+    /// returns the lease actually in force. A fresh delegation stores
+    /// `lease` as given; a re-delegation (a duplicated or retransmitted
+    /// grant re-landing) keeps the **original** `granted_at` — the
+    /// returned lease is what the grant message should carry, so every
+    /// delivery of the same delegation advertises the same clock — and
+    /// clears no revocation state (a revoke in flight stays in flight).
+    pub fn delegate(&mut self, o: O, e: EntityId, lease: Lease) -> Lease {
+        let entry = self
+            .entries
+            .entry((o, e))
+            .and_modify(|d| d.lease.ttl = lease.ttl)
+            .or_insert(DelegationEntry {
+                lease,
+                revoking: false,
+            });
+        entry.lease
+    }
+
+    /// True when `o`'s grant on `e` is delegated (revoking or not).
+    pub fn is_delegated(&self, o: O, e: EntityId) -> bool {
+        self.entries.contains_key(&(o, e))
+    }
+
+    /// True when a revocation for `o`'s delegation on `e` is in flight.
+    pub fn is_revoking(&self, o: O, e: EntityId) -> bool {
+        self.entries.get(&(o, e)).is_some_and(|d| d.revoking)
+    }
+
+    /// Marks `o`'s delegation on `e` as revoking. Returns `true` when
+    /// this call newly started the revocation — the caller should send
+    /// the revoke message exactly when it gets `true` (re-sends under
+    /// loss are the caller's retransmission policy, keyed off
+    /// [`DelegationLedger::is_revoking`]). `false` for an absent entry.
+    pub fn start_revoke(&mut self, o: O, e: EntityId) -> bool {
+        match self.entries.get_mut(&(o, e)) {
+            Some(d) if !d.revoking => {
+                d.revoking = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Removes `o`'s delegation on `e` (the drain: a revoke ack landed,
+    /// the delegate aborted, or the owner re-granted without delegating).
+    /// Returns whether an entry existed — duplicated acks are no-ops.
+    pub fn remove(&mut self, o: O, e: EntityId) -> bool {
+        self.entries.remove(&(o, e)).is_some()
+    }
+
+    /// Re-keys `o`'s delegation on `e` to `new` (the delegate restarted
+    /// and kept its uncontested cache across the epoch bump), preserving
+    /// the lease. Returns whether an entry moved; revoking entries are
+    /// the caller's responsibility to drain, not re-key.
+    pub fn rekey(&mut self, o: O, new: O, e: EntityId) -> bool {
+        match self.entries.remove(&(o, e)) {
+            Some(d) => {
+                debug_assert!(!d.revoking, "revoking delegations drain, not re-key");
+                self.entries.insert((new, e), d);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops every delegation held by `o` (the delegate aborted without
+    /// retention, or a crash scrubbed it).
+    pub fn drop_owner(&mut self, o: O) {
+        self.entries.retain(|&(h, _), _| h != o);
+    }
+
+    /// The full ledger in deterministic `(entity, owner)` order, each
+    /// entry `(owner, entity, lease, revoking)` — what a crash walks to
+    /// clear both sides.
+    pub fn entries(&self) -> Vec<(O, EntityId, Lease, bool)> {
+        let mut v: Vec<(O, EntityId, Lease, bool)> = self
+            .entries
+            .iter()
+            .map(|(&(o, e), &d)| (o, e, d.lease, d.revoking))
+            .collect();
+        v.sort_by_key(|&(o, e, _, _)| (e, o));
+        v
+    }
+
+    /// Number of live delegations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is delegated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Forgets everything (a crash wiping the owner's soft state).
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 }
 
@@ -169,13 +331,102 @@ mod tests {
         t.release(1, b);
         t.release(1, b);
         assert_eq!(t.len(), 2);
-        // An upgrade re-stamps in place.
+        // An upgrade re-modes in place but keeps the original grant tick:
+        // the renewal clock never slides forward on a re-grant.
         t.grant(2, b, X, Lease::new(9, 10));
-        assert_eq!(t.entries()[1], (2, b, X, Lease::new(9, 10)));
+        assert_eq!(t.entries()[1], (2, b, X, Lease::new(3, 10)));
+        assert_eq!(t.lease_of(2, b), Some(Lease::new(3, 10)));
         // Abort scrubs the owner everywhere.
         t.drop_owner(1);
-        assert_eq!(t.entries(), vec![(2, b, X, Lease::new(9, 10))]);
+        assert_eq!(t.entries(), vec![(2, b, X, Lease::new(3, 10))]);
         t.clear();
         assert!(t.is_empty());
+        assert_eq!(t.lease_of(2, b), None);
+    }
+
+    #[test]
+    fn duplicated_grants_do_not_extend_the_lease() {
+        // The outage-survival bug this guards: a grant at tick 0 with
+        // ttl 100 is duplicated on the wire and the copy re-lands at
+        // tick 90, *after* an outage began at 85. If the re-grant
+        // re-stamped `granted_at`, the renewal floor would move to 90
+        // and an outage of 85..190 (survival charged from the floor:
+        // 100 ticks against a 100-tick ttl) would be survived — the
+        // duplicate manufactured 5 ticks of validity out of thin air.
+        // The renewal clock must key off the original grant.
+        let mut t: LeaseTable<u32> = LeaseTable::new();
+        let a = EntityId(0);
+        t.grant(1, a, X, Lease::new(0, 100));
+        t.grant(1, a, X, Lease::new(90, 100)); // the duplicate re-lands
+        let lease = t.lease_of(1, a).unwrap();
+        assert_eq!(lease, Lease::new(0, 100));
+        assert!(
+            Lease::new(90, 100).survives_outage(85, 190),
+            "the slid clock would survive"
+        );
+        assert!(!lease.survives_outage(85, 190), "no manufactured renewal");
+        // A release followed by a *fresh* grant is a new lease, though:
+        // renewal by explicit re-acquire is the legitimate path.
+        t.release(1, a);
+        t.grant(1, a, X, Lease::new(90, 100));
+        assert_eq!(t.lease_of(1, a), Some(Lease::new(90, 100)));
+        assert!(t.lease_of(1, a).unwrap().survives_outage(85, 190));
+    }
+
+    #[test]
+    fn delegation_ledger_lifecycle() {
+        let mut d: DelegationLedger<u32> = DelegationLedger::new();
+        let (a, b) = (EntityId(0), EntityId(1));
+        assert!(d.is_empty());
+        // Delegate: fresh entries store the given lease.
+        assert_eq!(d.delegate(1, a, Lease::new(5, 50)), Lease::new(5, 50));
+        assert_eq!(d.delegate(2, b, Lease::new(7, 50)), Lease::new(7, 50));
+        assert!(d.is_delegated(1, a) && !d.is_revoking(1, a));
+        assert!(!d.is_delegated(1, b));
+        assert_eq!(d.len(), 2);
+        // A re-delegation (duplicated grant) keeps the original clock and
+        // hands it back for the wire.
+        assert_eq!(d.delegate(1, a, Lease::new(40, 50)), Lease::new(5, 50));
+        // Revocation: started exactly once; re-starts report false so the
+        // caller knows the first send already happened.
+        assert!(d.start_revoke(1, a));
+        assert!(!d.start_revoke(1, a), "already revoking");
+        assert!(d.is_revoking(1, a));
+        assert!(!d.start_revoke(9, a), "absent entries cannot revoke");
+        // A re-delegation mid-revoke does not cancel the revoke.
+        d.delegate(1, a, Lease::new(45, 50));
+        assert!(d.is_revoking(1, a));
+        // Drain: removal is idempotent.
+        assert!(d.remove(1, a));
+        assert!(!d.remove(1, a));
+        assert!(!d.is_delegated(1, a));
+        // Deterministic (entity, owner) order.
+        d.delegate(3, a, Lease::new(9, 0));
+        assert_eq!(
+            d.entries(),
+            vec![
+                (3, a, Lease::new(9, 0), false),
+                (2, b, Lease::new(7, 50), false)
+            ]
+        );
+        d.drop_owner(2);
+        assert_eq!(d.len(), 1);
+        d.clear();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn delegation_rekey_preserves_the_lease() {
+        // The abort-retention path: the delegate restarts (epoch bump)
+        // and keeps its uncontested cache; the ledger follows the new
+        // owner key without touching the lease clock.
+        let mut d: DelegationLedger<u32> = DelegationLedger::new();
+        let a = EntityId(0);
+        d.delegate(1, a, Lease::new(5, 50));
+        assert!(d.rekey(1, 2, a));
+        assert!(!d.is_delegated(1, a));
+        assert!(d.is_delegated(2, a));
+        assert_eq!(d.delegate(2, a, Lease::new(99, 50)), Lease::new(5, 50));
+        assert!(!d.rekey(1, 3, a), "old key is gone");
     }
 }

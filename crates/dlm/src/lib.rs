@@ -26,7 +26,11 @@
 //! stamps every grant with a [`Lease`] and mirrors the holder set in a
 //! [`LeaseTable`], so a recovering shard can rebuild exactly the grants
 //! whose leases survived the outage — and the caller knows which holders
-//! to fence or abort. [`ModeTable::is_waiting`] and
+//! to fence or abort. The same module's [`DelegationLedger`] records
+//! which grants have been handed to a remote cache as *delegated
+//! ownership* (the DLM-side half of client-side lock caching: the hold
+//! stays in the table, release authority moves to the delegate until a
+//! conflicting request revokes it). [`ModeTable::is_waiting`] and
 //! [`ModeTable::release_idempotent`] make duplicated or retransmitted
 //! request/release messages safe, the table-side half of running over an
 //! unreliable network.
@@ -83,7 +87,7 @@ pub mod table;
 
 pub use deadlock::WaitForGraph;
 pub use error::LockError;
-pub use lease::{Lease, LeaseTable};
+pub use lease::{DelegationEntry, DelegationLedger, Lease, LeaseTable};
 pub use lock_table::{Bias, LockTable, TableSpec};
 pub use manager::{Aborted, BatchReleased, LockManager, ManagedAcquire, Released};
 pub use prevent::{PreventionOutcome, PreventionScheme, Priority};

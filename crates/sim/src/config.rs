@@ -28,6 +28,30 @@ impl LatencyModel {
     }
 }
 
+/// Delegated lock ownership ([`SimConfig::delegation`]): may a site hand
+/// a coordinator a *cached grant*?
+///
+/// With delegation on, a site granting an uncontested lock also hands the
+/// coordinator release authority under a [`kplock_dlm::Lease`]: the
+/// coordinator's later re-acquires and releases of that entity are local
+/// cache operations costing **zero messages**
+/// ([`crate::Metrics::cache_hits`], [`crate::Metrics::messages_saved`]),
+/// until another transaction demands the entity and the owning site sends
+/// an epoch-validated revocation ([`crate::Metrics::revocations`]) that
+/// drains the cache entry back. `Off` (the default) changes no message
+/// flow and draws no randomness, so every fixed-seed pin stays
+/// bit-identical — the same guarded-knob contract every other axis keeps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Delegation {
+    /// Every acquire and release pays the round-trip to the owning site —
+    /// the paper's model, and the engine's original behavior bit for bit.
+    #[default]
+    Off,
+    /// Uncontested grants are delegated; re-acquires and releases of a
+    /// cached entity are local until a conflicting request revokes it.
+    On,
+}
+
 /// Which transaction to abort when a deadlock cycle is found.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum VictimPolicy {
@@ -242,6 +266,11 @@ pub struct SimConfig {
     /// swaps in the arena-allocated queue table with its bias and
     /// cohort-handoff knobs (grant-order-equivalent when neutral).
     pub table: TableSpec,
+    /// Delegated lock ownership (see [`Delegation`]): `Off` (the default)
+    /// reproduces every existing run bit for bit; `On` lets sites hand
+    /// coordinators cached grants whose re-acquires and releases are
+    /// message-free until revoked.
+    pub delegation: Delegation,
     /// The avoidance certificate, required (and only consulted) under
     /// [`DeadlockResolution::Avoid`]: synthesize one from the declared
     /// transaction set with [`AvoidPlan::synthesize`] (or
@@ -328,6 +357,7 @@ impl Default for SimConfig {
             faults: FaultPlan::none(),
             invariant_audit: false,
             table: TableSpec::default(),
+            delegation: Delegation::default(),
             avoid: None,
         }
     }

@@ -31,16 +31,16 @@
 //! from two seeded RNGs (latency and faults), so runs are reproducible
 //! either way.
 
-use crate::config::{ConfigError, DeadlockDetection, SimConfig};
-use crate::event::{EventKind, EventQueue, Instance, Payload, SimTime};
+use crate::config::{ConfigError, DeadlockDetection, Delegation, SimConfig};
+use crate::event::{DelegatedGrant, EventKind, EventQueue, Instance, Payload, SimTime};
 use crate::fault::FaultPlanError;
 use crate::history::{audit, Audit, History};
 use crate::lock_table::SiteTable;
 use crate::metrics::Metrics;
 use crate::probe::{self, ProbeMsg, SiteProbeState, Stamp};
-use kplock_dlm::{Lease, LeaseTable, PreventionOutcome, WaitForGraph};
+use kplock_dlm::{DelegationLedger, Lease, LeaseTable, PreventionOutcome, WaitForGraph};
 use kplock_graph::DiGraph;
-use kplock_model::{ActionKind, EntityId, SiteId, StepId, TxnId, TxnSystem};
+use kplock_model::{ActionKind, EntityId, LockMode, SiteId, StepId, TxnId, TxnSystem};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
@@ -139,6 +139,29 @@ fn admission_priority(
     }
 }
 
+/// One entry in a coordinator's delegated-grant cache
+/// ([`Delegation::On`] only): a cached grant on one entity, serviced
+/// locally until revoked. The site-side hold stays in the owner's table
+/// (the cache's collateral); this entry is the *release authority*.
+#[derive(Clone, Copy, Debug)]
+struct CacheEntry {
+    /// The instance the grant (and the site-side hold) belongs to; abort
+    /// retention re-keys it alongside the site's ledger and table.
+    inst: Instance,
+    /// The delegated mode — local re-acquires must be covered by it.
+    mode: LockMode,
+    /// The delegation's fence; an expired entry must not be trusted
+    /// (the coordinator drops it and goes remote).
+    lease: Lease,
+    /// A lock step is live on the entity (locked locally or remotely,
+    /// matching unlock not yet serviced). An in-use entry defers its
+    /// revocation drain to the unlock.
+    in_use: bool,
+    /// A revocation arrived mid-use; the drain (entry removal +
+    /// [`Payload::RevokeAck`]) rides the upcoming local unlock.
+    revoke_pending: bool,
+}
+
 struct Engine<'a> {
     sys: &'a TxnSystem,
     cfg: &'a SimConfig,
@@ -180,6 +203,30 @@ struct Engine<'a> {
     leases: Vec<LeaseTable<Instance>>,
     /// Whether leases are being tracked (the plan has crashes).
     track_leases: bool,
+    /// Whether delegated lock ownership is on ([`Delegation::On`]).
+    /// Every delegation code path is gated on this flag, so `Off` runs
+    /// are message-for-message identical to the pre-delegation engine.
+    delegation: bool,
+    /// Per-transaction delegated-grant caches (delegation only): the
+    /// coordinator half of decoupled ownership. Keyed by entity — one
+    /// cached grant per entity per coordinator.
+    caches: Vec<HashMap<EntityId, CacheEntry>>,
+    /// Per-site delegation ledgers (delegation only): the owning site's
+    /// record of which holds have their release authority delegated —
+    /// what a conflicting request consults to send revocations, and what
+    /// a crash walks to clear both sides.
+    delegations: Vec<DelegationLedger<Instance>>,
+    /// Revocations that overtook their delegated grant ack on the wire
+    /// (the revoke can draw a shorter latency than the earlier-sent
+    /// grant): remembered per coordinator and applied when the ack
+    /// lands — the entry is born `revoke_pending` and drains at the
+    /// local unlock. Keyed by entity, valued by the revoked instance.
+    deferred_revokes: Vec<HashMap<EntityId, Instance>>,
+    /// Per-site boot epoch, bumped at every crash. Delegated grants carry
+    /// the grant-time boot ([`DelegatedGrant::boot`]); a coordinator
+    /// refuses to cache a grant from an older boot, since the crash
+    /// cleared the site's ledger (see `on_crash`).
+    boot: Vec<u32>,
     /// Steps already recorded in the history, so a duplicated or
     /// retransmitted request re-acknowledges without re-recording.
     /// Consulted only on fault-injected runs.
@@ -283,6 +330,11 @@ pub fn run_with_arrivals(
         crash_at: vec![0; sys.db().site_count()],
         leases: vec![LeaseTable::new(); sys.db().site_count()],
         track_leases: !cfg.faults.crashes.is_empty(),
+        delegation: cfg.delegation == Delegation::On,
+        caches: vec![HashMap::new(); sys.len()],
+        delegations: vec![DelegationLedger::new(); sys.db().site_count()],
+        deferred_revokes: vec![HashMap::new(); sys.len()],
+        boot: vec![0; sys.db().site_count()],
         recorded: HashSet::new(),
         history: History::default(),
         metrics: Metrics {
@@ -472,6 +524,23 @@ impl Engine<'_> {
     /// fault-free engine.
     fn transmit(&mut self, ev: EventKind) {
         self.metrics.messages += 1;
+        // Acquire/release traffic, metered separately: the quantity
+        // delegated ownership reduces (pure counting — no RNG draw and
+        // no flow change, so fixed-seed pins are untouched).
+        if let EventKind::ToSite(_, p) | EventKind::ToCoordinator(_, p) = &ev {
+            if matches!(
+                p,
+                Payload::LockRequest { .. }
+                    | Payload::LockGranted { .. }
+                    | Payload::LockRejected { .. }
+                    | Payload::UnlockRequest { .. }
+                    | Payload::UnlockDone { .. }
+                    | Payload::Revoke { .. }
+                    | Payload::RevokeAck { .. }
+            ) {
+                self.metrics.lock_traffic += 1;
+            }
+        }
         let at = self.now + self.latency();
         let f = &self.cfg.faults;
         if !f.channel_faults() {
@@ -522,6 +591,23 @@ impl Engine<'_> {
         };
         let step = self.sys.txn(txn).step(StepId::from_idx(v));
         let site = self.sys.db().site_of(step.entity);
+        if self.delegation {
+            // The delegated fast path: a cached grant services the lock
+            // or unlock locally — zero wire messages, no site table
+            // consulted, the ack a local-latency self-delivery.
+            let hit = match step.kind {
+                ActionKind::Lock => {
+                    self.try_cached_lock(txn, inst, step.entity, StepId::from_idx(v))
+                }
+                ActionKind::Unlock => {
+                    self.try_cached_unlock(txn, inst, step.entity, StepId::from_idx(v))
+                }
+                ActionKind::Update => false,
+            };
+            if hit {
+                return;
+            }
+        }
         let payload = match step.kind {
             ActionKind::Lock => Payload::LockRequest {
                 inst,
@@ -540,6 +626,110 @@ impl Engine<'_> {
             },
         };
         self.send_to_site(site, payload);
+    }
+
+    /// Services a lock step from the delegated cache if a covering,
+    /// unexpired entry for the current epoch exists: the entry is marked
+    /// in-use *synchronously* (so a revocation landing before the local
+    /// ack still defers its drain to the unlock), the step recorded, and
+    /// the ack self-delivered after `local_step_time` — two wire messages
+    /// saved. Returns whether the cache hit.
+    fn try_cached_lock(
+        &mut self,
+        txn: TxnId,
+        inst: Instance,
+        entity: EntityId,
+        step: StepId,
+    ) -> bool {
+        let mode = self.sys.txn(txn).step(step).mode;
+        let Some(entry) = self.caches[txn.idx()].get_mut(&entity) else {
+            return false;
+        };
+        if entry.inst != inst || !entry.mode.covers(mode) {
+            // A stray epoch, or an upgrade the cached mode cannot cover:
+            // go remote (the site re-grants idempotently if we hold).
+            return false;
+        }
+        if entry.lease.ttl != 0 && self.now > entry.lease.granted_at + entry.lease.ttl {
+            // The lease lapsed: a cache must not be trusted past its
+            // fence. Drop the entry and go remote — a one-way degrade;
+            // only an explicit re-grant renews (satellite of the
+            // duplicated-grant rule: nothing local slides the clock).
+            self.caches[txn.idx()].remove(&entity);
+            return false;
+        }
+        entry.in_use = true;
+        let (cached_mode, cached_lease) = (entry.mode, entry.lease);
+        self.record_step(inst, step);
+        self.metrics.cache_hits += 1;
+        self.metrics.messages_saved += 2;
+        let delegated = Some(DelegatedGrant {
+            mode: cached_mode,
+            lease: cached_lease,
+            boot: self.boot[self.sys.db().site_of(entity).idx()],
+        });
+        self.queue.push(
+            self.now + self.cfg.local_step_time,
+            EventKind::ToCoordinator(
+                txn,
+                Payload::LockGranted {
+                    inst,
+                    entity,
+                    step,
+                    delegated,
+                },
+            ),
+        );
+        true
+    }
+
+    /// Services an unlock step from the delegated cache: the entry goes
+    /// idle (or, with a revocation pending, drains — removal plus a
+    /// [`Payload::RevokeAck`] so the owner releases the hold), the step
+    /// is recorded, and the ack self-delivered. A duplicate of an
+    /// already-serviced local unlock just re-acknowledges. Returns
+    /// whether the cache serviced the step.
+    fn try_cached_unlock(
+        &mut self,
+        txn: TxnId,
+        inst: Instance,
+        entity: EntityId,
+        step: StepId,
+    ) -> bool {
+        let Some(entry) = self.caches[txn.idx()].get_mut(&entity) else {
+            return false;
+        };
+        if entry.inst != inst {
+            return false;
+        }
+        if entry.in_use {
+            entry.in_use = false;
+            if entry.revoke_pending {
+                let entry = self.caches[txn.idx()]
+                    .remove(&entity)
+                    .expect("entry present");
+                // The request stayed local; only the drain ack crossed
+                // the wire (and it doubles as the release).
+                self.metrics.messages_saved += 1;
+                let site = self.sys.db().site_of(entity);
+                self.send_to_site(
+                    site,
+                    Payload::RevokeAck {
+                        inst: entry.inst,
+                        entity,
+                    },
+                );
+            } else {
+                self.metrics.messages_saved += 2;
+            }
+        }
+        self.record_step(inst, step);
+        self.metrics.cache_hits += 1;
+        self.queue.push(
+            self.now + self.cfg.local_step_time,
+            EventKind::ToCoordinator(txn, Payload::UnlockDone { inst, step }),
+        );
+        true
     }
 
     /// True when `inst` belongs to an epoch that has been aborted: its
@@ -694,6 +884,66 @@ impl Engine<'_> {
         );
     }
 
+    /// Decides whether a grant of `entity` to `inst` is *delegated*:
+    /// uncontested entities (no waiter, no pending upgrade) hand their
+    /// release authority to the coordinator under a lease; contested or
+    /// mid-revocation grants stay plain, so the waiters' demand keeps its
+    /// ordinary remote path. A re-grant of an existing delegation (a
+    /// duplicated or retransmitted request) re-advertises the **original**
+    /// lease clock. Called at every grant site that sends a
+    /// [`Payload::LockGranted`].
+    fn maybe_delegate(
+        &mut self,
+        site: SiteId,
+        inst: Instance,
+        entity: EntityId,
+    ) -> Option<DelegatedGrant> {
+        if !self.delegation {
+            return None;
+        }
+        let s = site.idx();
+        if !self.sites[s].entity_waits_for(entity).is_empty()
+            || self.delegations[s].is_revoking(inst, entity)
+        {
+            // Contested, or a revocation is still draining: granting
+            // plainly keeps exactly one authority over the hold.
+            return None;
+        }
+        let mode = self.sites[s]
+            .holds(entity, inst)
+            .expect("a granted lock is held");
+        let lease = self.delegations[s].delegate(
+            inst,
+            entity,
+            Lease::new(self.now, self.cfg.faults.lease_ttl),
+        );
+        Some(DelegatedGrant {
+            mode,
+            lease,
+            boot: self.boot[s],
+        })
+    }
+
+    /// A conflicting request by `inst` demands `entity`: revoke every
+    /// delegated hold standing in its way. The first demand sends the
+    /// revocation; under faults, later demands (the requester's own
+    /// retransmissions) re-send a still-pending one — revocation's
+    /// loss recovery rides the demander's timer, like wound re-derivation.
+    fn demand(&mut self, site: SiteId, inst: Instance, entity: EntityId) {
+        if !self.delegation {
+            return;
+        }
+        let s = site.idx();
+        for h in self.sites[s].conflicts_of(entity, inst) {
+            if self.delegations[s].start_revoke(h, entity) {
+                self.metrics.revocations += 1;
+                self.send_to_coordinator(h.txn, Payload::Revoke { inst: h, entity });
+            } else if self.cfg.faults.any() && self.delegations[s].is_revoking(h, entity) {
+                self.send_to_coordinator(h.txn, Payload::Revoke { inst: h, entity });
+            }
+        }
+    }
+
     fn on_site(&mut self, site: SiteId, payload: Payload) {
         match payload {
             Payload::LockRequest { inst, entity, step } => {
@@ -722,12 +972,24 @@ impl Engine<'_> {
                         self.probe_state[site.idx()].forget(entity);
                         self.edges_changed(site, entity);
                     }
+                    // Likewise any revocation the original demand sent
+                    // may have been lost: re-demand re-sends it.
+                    self.demand(site, inst, entity);
                     return;
                 }
                 if self.sites[site.idx()].request(entity, inst, mode) {
                     self.note_grant(site, inst, entity);
                     self.record_step(inst, step);
-                    self.send_to_coordinator(inst.txn, Payload::LockGranted { inst, entity, step });
+                    let delegated = self.maybe_delegate(site, inst, entity);
+                    self.send_to_coordinator(
+                        inst.txn,
+                        Payload::LockGranted {
+                            inst,
+                            entity,
+                            step,
+                            delegated,
+                        },
+                    );
                 } else {
                     self.pending_lock_step.insert((inst, entity), step);
                     // `or_insert`: on clean runs the key is never live
@@ -738,6 +1000,9 @@ impl Engine<'_> {
                     // after this handler returns; Probe launches its
                     // chase from inside `edges_changed`.
                     self.edges_changed(site, entity);
+                    // If any obstacle's grant is delegated, its cache
+                    // must drain before this wait can end: revoke it.
+                    self.demand(site, inst, entity);
                 }
             }
             Payload::UpdateRequest { inst, entity, step } => {
@@ -787,8 +1052,37 @@ impl Engine<'_> {
                 if self.track_leases {
                     self.leases[site.idx()].release(inst, entity);
                 }
+                if self.delegation {
+                    // A full remote release retires any delegation record
+                    // with the hold: a later re-acquire is a *fresh*
+                    // delegation (fresh lease clock), and a revocation ack
+                    // still in flight must find nothing left to drain.
+                    self.delegations[site.idx()].remove(inst, entity);
+                }
                 self.edges_changed(site, entity);
                 self.send_to_coordinator(inst.txn, Payload::UnlockDone { inst, step });
+                for (n, _) in grants {
+                    self.grant_queued(n, entity);
+                }
+            }
+            Payload::RevokeAck { inst, entity } => {
+                // The drain ack: only an *awaited* revocation releases the
+                // hold. A duplicated or outdated ack (the entry already
+                // drained elsewhere, or a fresh delegation replaced it)
+                // must not release a hold some cache still claims.
+                if !self.delegations[site.idx()].is_revoking(inst, entity) {
+                    return;
+                }
+                self.delegations[site.idx()].remove(inst, entity);
+                let grants = if self.cfg.faults.any() {
+                    self.sites[site.idx()].release_idempotent(entity, inst)
+                } else {
+                    self.sites[site.idx()].release(entity, inst)
+                };
+                if self.track_leases {
+                    self.leases[site.idx()].release(inst, entity);
+                }
+                self.edges_changed(site, entity);
                 for (n, _) in grants {
                     self.grant_queued(n, entity);
                 }
@@ -832,6 +1126,9 @@ impl Engine<'_> {
                     self.send_to_coordinator(victim.txn, Payload::Wound { victim });
                 }
             }
+            // And any revocation the original demand sent may have been
+            // lost too: re-demand re-sends it.
+            self.demand(site, inst, entity);
             return;
         }
         // Split borrows: the table mutates while the priority closure
@@ -848,11 +1145,21 @@ impl Engine<'_> {
             PreventionOutcome::Granted => {
                 self.note_grant(site, inst, entity);
                 self.record_step(inst, step);
-                self.send_to_coordinator(inst.txn, Payload::LockGranted { inst, entity, step });
+                let delegated = self.maybe_delegate(site, inst, entity);
+                self.send_to_coordinator(
+                    inst.txn,
+                    Payload::LockGranted {
+                        inst,
+                        entity,
+                        step,
+                        delegated,
+                    },
+                );
             }
             PreventionOutcome::Queued => {
                 self.pending_lock_step.insert((inst, entity), step);
                 self.waiting_since.entry((inst, entity)).or_insert(self.now);
+                self.demand(site, inst, entity);
             }
             PreventionOutcome::Wounded(victims) => {
                 // The elder waits in the queue like any blocked request;
@@ -864,12 +1171,20 @@ impl Engine<'_> {
                 for victim in victims {
                     self.send_to_coordinator(victim.txn, Payload::Wound { victim });
                 }
+                // Older delegated holders are not wounded; their caches
+                // must still drain for this wait to end.
+                self.demand(site, inst, entity);
             }
             PreventionOutcome::Rejected => {
                 // Wait-die / no-wait: the requester was not queued; tell
                 // its coordinator to restart it (with its original birth
                 // stamp, so it ages toward invulnerability).
                 self.send_to_coordinator(inst.txn, Payload::LockRejected { inst, entity, step });
+                // The rejected requester will retry after its restart
+                // backoff; demanding now drains the delegated obstacle
+                // in the meantime, or the retry spins forever against a
+                // hold whose owner sees no reason to release it.
+                self.demand(site, inst, entity);
             }
         }
     }
@@ -897,7 +1212,16 @@ impl Engine<'_> {
         }
         self.note_grant(site, inst, entity);
         self.record_step(inst, step);
-        self.send_to_coordinator(inst.txn, Payload::LockGranted { inst, entity, step });
+        let delegated = self.maybe_delegate(site, inst, entity);
+        self.send_to_coordinator(
+            inst.txn,
+            Payload::LockGranted {
+                inst,
+                entity,
+                step,
+                delegated,
+            },
+        );
     }
 
     fn on_coordinator(&mut self, txn: TxnId, payload: Payload) {
@@ -932,25 +1256,42 @@ impl Engine<'_> {
                 }
                 return;
             }
+            Payload::Revoke { inst, entity } => {
+                self.on_revoke(txn, inst, entity);
+                return;
+            }
             _ => {}
         }
-        let (inst, step) = match payload {
-            Payload::LockGranted { inst, step, .. }
-            | Payload::UpdateDone { inst, step }
-            | Payload::UnlockDone { inst, step } => (inst, step),
+        let (inst, step, granted_entity) = match payload {
+            Payload::LockGranted {
+                inst,
+                step,
+                entity,
+                delegated,
+            } => (inst, step, Some((entity, delegated))),
+            Payload::UpdateDone { inst, step } | Payload::UnlockDone { inst, step } => {
+                (inst, step, None)
+            }
             _ => unreachable!("site payload at coordinator"),
         };
         if self.stale(inst) {
             return;
         }
-        let c = &mut self.coords[txn.idx()];
-        if c.done[step.idx()] {
+        if self.coords[txn.idx()].done[step.idx()] {
             // A duplicated acknowledgement: the first copy's effects are
             // in. In particular a duplicated *final* ack must not commit
             // (and count) the transaction twice. Unreachable on clean
-            // runs, where every ack is delivered exactly once.
+            // runs, where every ack is delivered exactly once. Checked
+            // *before* the cache upkeep below: a duplicated delegated
+            // grant must not resurrect an entry a revocation drained.
             return;
         }
+        if self.delegation {
+            if let Some((entity, delegated)) = granted_entity {
+                self.note_cached_grant(txn, inst, entity, delegated);
+            }
+        }
+        let c = &mut self.coords[txn.idx()];
         c.done[step.idx()] = true;
         if c.done.iter().all(|&d| d) {
             c.committed = true;
@@ -959,6 +1300,140 @@ impl Engine<'_> {
             return;
         }
         self.issue_ready(txn);
+    }
+
+    /// Maintains the delegated cache from a fresh (non-duplicate,
+    /// current-epoch) lock acknowledgement. A delegated grant from the
+    /// site's **current** boot is cached (or refreshed — preserving any
+    /// pending revocation); a plain grant, or a delegated one from an
+    /// older boot (the site crashed while the ack flew, wiping its
+    /// ledger), clears the slot — that entity's lifecycle is remote. A
+    /// revocation that overtook this ack on the wire is applied now: the
+    /// entry is born draining.
+    fn note_cached_grant(
+        &mut self,
+        txn: TxnId,
+        inst: Instance,
+        entity: EntityId,
+        delegated: Option<DelegatedGrant>,
+    ) {
+        let site = self.sys.db().site_of(entity);
+        let deferred = self.deferred_revokes[txn.idx()].remove(&entity);
+        match delegated {
+            Some(g) if g.boot == self.boot[site.idx()] => {
+                let cache = &mut self.caches[txn.idx()];
+                match cache.get_mut(&entity) {
+                    Some(entry) if entry.inst == inst => {
+                        entry.mode = g.mode;
+                        entry.lease = g.lease;
+                        entry.in_use = true;
+                        // `revoke_pending` is preserved: a refresh must
+                        // not lose a drain the unlock owes the site.
+                        entry.revoke_pending |= deferred == Some(inst);
+                    }
+                    _ => {
+                        cache.insert(
+                            entity,
+                            CacheEntry {
+                                inst,
+                                mode: g.mode,
+                                lease: g.lease,
+                                in_use: true,
+                                revoke_pending: deferred == Some(inst),
+                            },
+                        );
+                    }
+                }
+            }
+            _ => {
+                // Plain (or pre-crash) grant: nothing is cached, so a
+                // deferred revocation's premise is void too — the remote
+                // unlock will release the hold through its own path.
+                self.caches[txn.idx()].remove(&entity);
+            }
+        }
+    }
+
+    /// True when `txn`'s *current epoch* has an issued, unacknowledged
+    /// lock step on `entity` — a grant ack may be in flight.
+    fn lock_in_flight(&self, txn: TxnId, entity: EntityId) -> bool {
+        let c = &self.coords[txn.idx()];
+        let t = self.sys.txn(txn);
+        (0..t.len()).any(|v| {
+            let st = t.step(StepId::from_idx(v));
+            st.kind == ActionKind::Lock && st.entity == entity && c.issued[v] && !c.done[v]
+        })
+    }
+
+    /// True when `txn`'s current epoch holds `entity` through the
+    /// *remote* protocol: a lock step acknowledged, the matching unlock
+    /// not yet. In that state a revocation must not be answered with a
+    /// release-granting ack — the remote unlock frees the hold itself.
+    fn holds_remotely(&self, txn: TxnId, entity: EntityId) -> bool {
+        let c = &self.coords[txn.idx()];
+        let t = self.sys.txn(txn);
+        let mut locked = false;
+        let mut unlocked = false;
+        for v in 0..t.len() {
+            let st = t.step(StepId::from_idx(v));
+            if st.entity != entity {
+                continue;
+            }
+            match st.kind {
+                ActionKind::Lock => locked |= c.done[v],
+                ActionKind::Unlock => unlocked |= c.done[v],
+                ActionKind::Update => {}
+            }
+        }
+        locked && !unlocked
+    }
+
+    /// A revocation reached the delegate's coordinator. Deliberately *no*
+    /// stale-epoch or commit guard on the cache lookup: revocation
+    /// targets the cache slot, which outlives epochs (abort retention
+    /// re-keys it) and commits (an idle entry is residue that must still
+    /// drain). The subtle arm is a revoke that **overtook its own grant
+    /// ack** on the wire — answered by deferring, not acking, or the site
+    /// would release a hold the late-arriving ack then caches.
+    fn on_revoke(&mut self, txn: TxnId, inst: Instance, entity: EntityId) {
+        let site = self.sys.db().site_of(entity);
+        if let Some(entry) = self.caches[txn.idx()].get_mut(&entity) {
+            if entry.inst == inst {
+                if entry.in_use {
+                    // Mid-use: the drain rides the upcoming local unlock.
+                    entry.revoke_pending = true;
+                } else {
+                    self.caches[txn.idx()].remove(&entity);
+                    self.send_to_site(site, Payload::RevokeAck { inst, entity });
+                }
+                return;
+            }
+        }
+        if self.stale(inst) {
+            // An old epoch's revocation: its cache died with the abort
+            // (or was re-keyed past it). Ack idempotently — the site
+            // ignores acks for revocations it is not awaiting.
+            self.send_to_site(site, Payload::RevokeAck { inst, entity });
+            return;
+        }
+        if self.lock_in_flight(txn, entity) {
+            // The revoke overtook the grant ack (a shorter latency draw).
+            // Remember it; `note_cached_grant` applies it when the ack
+            // lands, so the entry is born draining.
+            self.deferred_revokes[txn.idx()].insert(entity, inst);
+            return;
+        }
+        if self.holds_remotely(txn, entity) {
+            // Nothing cached and the hold's lifecycle is remote (e.g. a
+            // plain re-grant superseded the delegation): the remote
+            // unlock releases it; acking here would free a lock still in
+            // use. Under faults the demander re-sends until the unlock
+            // retires the ledger entry.
+            return;
+        }
+        // Nothing cached, nothing in flight, nothing held: a duplicated
+        // revoke whose drain already completed. Ack idempotently.
+        self.send_to_site(site, Payload::RevokeAck { inst, entity });
     }
 
     /// A probe-detected abort order reached the victim's coordinator. The
@@ -1089,6 +1564,19 @@ impl Engine<'_> {
             epoch: self.coords[txn.idx()].epoch,
         };
         self.metrics.aborts += 1;
+        if self.delegation {
+            // Retention: uncontested cached grants survive the restart —
+            // re-keyed to the successor epoch at the table, ledger, lease
+            // and cache, all synchronously — so the restarted epoch
+            // re-acquires them for free. This is where restart-heavy
+            // hot-spot workloads earn their cache hits. Contested or
+            // draining entries go down with the epoch.
+            self.retain_cache_on_abort(txn, old);
+            for d in &mut self.delegations {
+                d.drop_owner(old);
+            }
+            self.deferred_revokes[txn.idx()].clear();
+        }
         if self.track_leases {
             for leases in &mut self.leases {
                 leases.drop_owner(old);
@@ -1130,15 +1618,122 @@ impl Engine<'_> {
         );
     }
 
+    /// The abort-time half of delegated retention: every cache entry of
+    /// `old` over an entity that is uncontested (no waiter), not mid-
+    /// revocation, and whose site is up, is re-keyed — table hold, ledger
+    /// entry, lease and cache entry all move to the successor epoch in
+    /// one synchronous step, preserving the lease clock. Everything else
+    /// is dropped from the cache (the generic abort path below releases
+    /// the holds and scrubs the ledger).
+    fn retain_cache_on_abort(&mut self, txn: TxnId, old: Instance) {
+        let new = Instance {
+            txn,
+            epoch: old.epoch + 1,
+        };
+        let mut entities: Vec<EntityId> = self.caches[txn.idx()].keys().copied().collect();
+        entities.sort();
+        for e in entities {
+            let entry = self.caches[txn.idx()][&e];
+            let site = self.sys.db().site_of(e);
+            let s = site.idx();
+            let retain = entry.inst == old
+                && !self.down[s]
+                && !entry.revoke_pending
+                && !self.delegations[s].is_revoking(old, e)
+                && self.sites[s].entity_waits_for(e).is_empty()
+                && self.sites[s].holds(e, old).is_some();
+            if !retain {
+                self.caches[txn.idx()].remove(&e);
+                continue;
+            }
+            let grants = self.sites[s].release(e, old);
+            debug_assert!(grants.is_empty(), "uncontested releases grant nobody");
+            let granted = self.sites[s].request(e, new, entry.mode);
+            debug_assert!(granted, "re-keyed retention re-grants conflict-free");
+            let _ = (grants, granted);
+            self.delegations[s].rekey(old, new, e);
+            if self.track_leases {
+                self.leases[s].release(old, e);
+                self.leases[s].grant(new, e, entry.mode, entry.lease);
+            }
+            let entry = self.caches[txn.idx()].get_mut(&e).expect("entry present");
+            entry.inst = new;
+            entry.in_use = false;
+            entry.revoke_pending = false;
+        }
+    }
+
     /// A scheduled outage begins: the site's volatile state — lock table
     /// and probe memory — is wiped, and until recovery every delivery to
     /// it is dropped by the event loop. The lease ledger survives (it
     /// models durable grant records / client-held leases), anchoring
-    /// recovery.
+    /// recovery — except for delegated *cache residue*, which the crash
+    /// clears on **both** sides: the coordinator cache entries die here
+    /// (the site that backed them lost its ledger), and delegations whose
+    /// owner already recorded its unlock — idle entries and completed
+    /// drains — release their leases, so recovery cannot rebuild a hold
+    /// that only a dead cache claimed and that nobody would ever release.
+    /// Delegations whose lock section may still be open (mid-use, grant
+    /// ack in flight, lifecycle gone remote) keep their lease and rebuild
+    /// as plain holds, or expire and abort their owner — never silently
+    /// vanish, which would let recovery re-grant an entity whose first
+    /// holder's committed section is still open.
     fn on_crash(&mut self, site: SiteId) {
         let s = site.idx();
         self.down[s] = true;
         self.crash_at[s] = self.now;
+        self.boot[s] = self.boot[s].wrapping_add(1);
+        if self.delegation {
+            for (inst, e, _lease, revoking) in self.delegations[s].entries() {
+                let _ = revoking;
+                let t = inst.txn.idx();
+                let cached = match self.caches[t].get(&e) {
+                    Some(entry) if entry.inst == inst => {
+                        let in_use = entry.in_use;
+                        self.caches[t].remove(&e);
+                        Some(in_use)
+                    }
+                    _ => None,
+                };
+                // Keep the lease exactly when the owner's lock section
+                // may still be *open* at its coordinator — the lock was
+                // granted (and recorded) here, and no unlock has been
+                // recorded for it yet. Recovery then rebuilds the hold or
+                // aborts the expired owner, either way keeping the
+                // committed history exclusive. The section is open when
+                // the cached entry is mid-use, when the grant ack (or a
+                // deferred revocation) is still in flight — a *lost* ack
+                // still granted here — or when a plain re-grant moved the
+                // hold's lifecycle remote. It is closed (release the
+                // lease, nobody will ever unlock at this table) only for
+                // idle residue and completed drains whose ack died with
+                // the site: there the unlock is already on record.
+                let keep_lease = match cached {
+                    Some(in_use) => in_use,
+                    None => {
+                        !self.stale(inst)
+                            && !self.coords[t].committed
+                            && (self.lock_in_flight(inst.txn, e)
+                                || self.holds_remotely(inst.txn, e)
+                                || self.deferred_revokes[t].get(&e) == Some(&inst))
+                    }
+                };
+                if !keep_lease && self.track_leases {
+                    self.leases[s].release(inst, e);
+                }
+            }
+            self.delegations[s].clear();
+            // Any stray cache entry over this site's entities dies too
+            // (defensive: ledger and cache are kept in sync, but a crash
+            // must leave no cache claiming a wiped table).
+            let sys = self.sys;
+            for cache in &mut self.caches {
+                cache.retain(|&e, _| sys.db().site_of(e) != site);
+            }
+            for deferred in &mut self.deferred_revokes {
+                deferred.retain(|&e, _| sys.db().site_of(e) != site);
+            }
+        }
         self.sites[s] = SiteTable::new(self.cfg.table);
         self.probe_state[s].clear();
         // Sync the detectors to the wiped table: every wait edge this
@@ -2119,5 +2714,198 @@ mod tests {
             saw_anomaly,
             "an unsafe system should exhibit a non-serializable committed history"
         );
+    }
+
+    #[test]
+    fn delegation_halves_uncontested_lock_traffic() {
+        use crate::config::Delegation;
+        // Two disjoint transactions: every grant delegates and every
+        // unlock is serviced from the coordinator's cache. The acquire/
+        // release wire traffic must drop to at most half the remote
+        // baseline (the unlock round-trip vanishes), without a single
+        // revocation and without inflating site-side `lock_requests`.
+        let sys = pair("Lx x Ux", "Ly y Uy", &[("x", 0), ("y", 1)]);
+        let base = SimConfig {
+            latency: LatencyModel::Fixed(5),
+            invariant_audit: true,
+            ..Default::default()
+        };
+        let off = run(&sys, &base).unwrap();
+        let on_cfg = SimConfig {
+            delegation: Delegation::On,
+            ..base
+        };
+        let on = run(&sys, &on_cfg).unwrap();
+        assert_eq!(on.outcome, RunOutcome::Completed);
+        assert_eq!(on.metrics.committed, 2);
+        assert!(on.metrics.cache_hits >= 2, "each unlock is a local hit");
+        assert!(on.metrics.messages_saved >= 4, "2 wire messages per hit");
+        assert_eq!(on.metrics.revocations, 0, "nothing ever conflicts");
+        assert!(
+            on.metrics.lock_traffic * 2 <= off.metrics.lock_traffic,
+            "on {} vs off {}",
+            on.metrics.lock_traffic,
+            off.metrics.lock_traffic
+        );
+        assert!(on.metrics.messages < off.metrics.messages);
+        // Cache hits are zero-message ops, not site work: the site never
+        // saw the unlock, so it must not count anything for it.
+        assert_eq!(on.metrics.lock_requests, off.metrics.lock_requests);
+        on.audit.legal.as_ref().unwrap();
+        assert!(on.audit.serializable);
+        // The delegated path replays bit-identically like every arm.
+        let on2 = run(&sys, &on_cfg).unwrap();
+        assert_eq!(on.metrics, on2.metrics);
+        assert_eq!(on.committed_epoch, on2.committed_epoch);
+    }
+
+    #[test]
+    fn revocation_drains_the_delegated_entry_to_the_demander() {
+        use crate::config::Delegation;
+        // Both transactions want x. The first grant delegates; the second
+        // request finds the entity delegated and the site demands it back
+        // (one Revoke). The holder finishes its section, drains the entry
+        // on unlock (the RevokeAck doubles as the release), and the
+        // demander gets the lock — still serializable, still completing.
+        let sys = pair("Lx x Ux", "Lx x Ux", &[("x", 0)]);
+        let cfg = SimConfig {
+            latency: LatencyModel::Fixed(5),
+            delegation: Delegation::On,
+            invariant_audit: true,
+            ..Default::default()
+        };
+        let r = run(&sys, &cfg).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert_eq!(r.metrics.committed, 2);
+        assert!(
+            r.metrics.revocations >= 1,
+            "the conflicting request must demand the entity back"
+        );
+        r.audit.legal.as_ref().unwrap();
+        assert!(r.audit.serializable);
+        let r2 = run(&sys, &cfg).unwrap();
+        assert_eq!(r.metrics, r2.metrics);
+    }
+
+    #[test]
+    fn delegation_resolves_the_guaranteed_deadlock_on_every_arm() {
+        use crate::config::{DeadlockResolution, Delegation, PreventionScheme};
+        // The opposite-order deadlock with delegation on, across all six
+        // resolution arms: revocation must interoperate with detection
+        // aborts and with wounds/dies/rejections without wedging anything.
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 1)]);
+        let arms: Vec<DeadlockResolution> = vec![
+            DeadlockDetection::Periodic.into(),
+            DeadlockDetection::OnBlock.into(),
+            DeadlockDetection::Probe.into(),
+            PreventionScheme::WoundWait.into(),
+            PreventionScheme::WaitDie.into(),
+            PreventionScheme::NoWait.into(),
+        ];
+        for resolution in arms {
+            let cfg = SimConfig {
+                latency: LatencyModel::Fixed(5),
+                delegation: Delegation::On,
+                resolution,
+                invariant_audit: true,
+                ..Default::default()
+            };
+            let r = run(&sys, &cfg).unwrap();
+            assert_eq!(r.outcome, RunOutcome::Completed, "{resolution:?}");
+            assert_eq!(r.metrics.committed, 2, "{resolution:?}");
+            r.audit.legal.as_ref().unwrap();
+            assert!(r.audit.serializable, "{resolution:?}");
+            let r2 = run(&sys, &cfg).unwrap();
+            assert_eq!(r.metrics, r2.metrics, "{resolution:?}");
+        }
+    }
+
+    #[test]
+    fn restart_retains_uncontested_delegations_for_free_reacquires() {
+        use crate::config::{Delegation, VictimPolicy};
+        // T2 holds an uncontested z (delegated) and then deadlocks with
+        // T1 over x/y. When T2 is chosen as victim its z entry is neither
+        // demanded nor revoking, so the abort re-keys it to the next
+        // epoch in place: the restarted T2 re-acquires z from its own
+        // cache, zero messages — a *lock-side* cache hit, which 2PL
+        // scripts can otherwise never produce in a single epoch.
+        let db = Database::from_spec(&[("x", 0), ("y", 1), ("z", 2)]);
+        let mut b1 = TxnBuilder::new(&db, "T1");
+        // The update on x delays T1's Ly past T2's, so the cycle forms.
+        b1.script("Lx x Ly y Ux Uy").unwrap();
+        let t1 = b1.build().unwrap();
+        let mut b2 = TxnBuilder::new(&db, "T2");
+        b2.script("Lz Ly Lx z y x Uz Uy Ux").unwrap();
+        let t2 = b2.build().unwrap();
+        let sys = TxnSystem::new(db, vec![t1, t2]);
+        let cfg = SimConfig {
+            latency: LatencyModel::Fixed(5),
+            delegation: Delegation::On,
+            victim_policy: VictimPolicy::Youngest,
+            invariant_audit: true,
+            ..Default::default()
+        };
+        let off = run(
+            &sys,
+            &SimConfig {
+                delegation: Delegation::Off,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        let r = run(&sys, &cfg).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert_eq!(r.metrics.committed, 2);
+        assert!(r.metrics.deadlocks_resolved >= 1, "the cycle must form");
+        assert!(
+            r.metrics.cache_hits > r.metrics.committed as u64,
+            "beyond the per-commit unlock hits there must be a retained \
+             re-acquire: {} hits",
+            r.metrics.cache_hits
+        );
+        assert!(r.metrics.lock_traffic < off.metrics.lock_traffic);
+        r.audit.legal.as_ref().unwrap();
+        assert!(r.audit.serializable);
+    }
+
+    #[test]
+    fn crash_wipes_delegations_on_both_sides_and_the_run_recovers() {
+        use crate::config::Delegation;
+        use crate::fault::{FaultPlan, SiteCrash};
+        // Site 0 crashes for longer than the lease ttl with delegation
+        // on. The wipe must clear the site's delegation ledger AND the
+        // coordinators' cache entries for site-0 entities together — a
+        // survivor on either side alone would let recovery re-grant an
+        // entity a dead cache still claims, or let a dead cache service
+        // an entity the rebuilt table gave to someone else. The run must
+        // complete with a clean per-step invariant audit either way.
+        let sys = pair("Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux", &[("x", 0), ("y", 1)]);
+        for lease_ttl in [10, 0] {
+            let cfg = SimConfig {
+                latency: LatencyModel::Fixed(5),
+                delegation: Delegation::On,
+                invariant_audit: true,
+                faults: FaultPlan {
+                    retransmit_after: 100,
+                    lease_ttl,
+                    crashes: vec![SiteCrash {
+                        site: 0,
+                        at: 12,
+                        down_for: 60,
+                    }],
+                    ..FaultPlan::none()
+                },
+                max_time: 500_000,
+                ..Default::default()
+            };
+            let r = run(&sys, &cfg).unwrap();
+            assert_eq!(r.outcome, RunOutcome::Completed, "ttl {lease_ttl}");
+            assert_eq!(r.metrics.committed, 2, "ttl {lease_ttl}");
+            assert_eq!(r.metrics.recoveries, 1, "ttl {lease_ttl}");
+            r.audit.legal.as_ref().unwrap();
+            assert!(r.audit.serializable, "ttl {lease_ttl}");
+            let r2 = run(&sys, &cfg).unwrap();
+            assert_eq!(r.metrics, r2.metrics, "ttl {lease_ttl}");
+        }
     }
 }

@@ -1,7 +1,8 @@
 //! The deterministic event queue.
 
 use crate::probe::ProbeMsg;
-use kplock_model::{EntityId, SiteId, StepId, TxnId};
+use kplock_dlm::Lease;
+use kplock_model::{EntityId, LockMode, SiteId, StepId, TxnId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -15,6 +16,27 @@ pub struct Instance {
     pub txn: TxnId,
     /// Restart count (0 for the first attempt).
     pub epoch: u32,
+}
+
+/// A delegated grant riding on [`Payload::LockGranted`]
+/// ([`crate::Delegation::On`] only): the coordinator may cache it and
+/// service later re-acquires and releases of the entity locally, with
+/// zero messages, until the site revokes ([`Payload::Revoke`]) or the
+/// lease expires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DelegatedGrant {
+    /// The delegated (held) mode — local re-acquires must be covered.
+    pub mode: LockMode,
+    /// The lease fencing the delegation; its clock keys off the
+    /// *original* grant, so a duplicated grant message advertises the
+    /// same expiry as the first.
+    pub lease: Lease,
+    /// The owning site's boot epoch at grant time. A coordinator only
+    /// caches a grant from the site's **current** boot: a crash wipes the
+    /// site's delegation ledger, so a delegated ack that was in flight
+    /// across the outage must degrade to a plain grant — the rebuilt
+    /// (or expired) hold follows the ordinary remote lifecycle.
+    pub boot: u32,
 }
 
 /// Messages between coordinators and sites.
@@ -37,6 +59,11 @@ pub enum Payload {
         entity: EntityId,
         /// The lock step id.
         step: StepId,
+        /// `Some` when the grant is *delegated* ([`crate::Delegation::On`],
+        /// uncontested entity); see [`DelegatedGrant`]. `None` is a plain
+        /// remote grant and *clears* any stale cache entry for `entity`
+        /// (e.g. after a contested re-grant).
+        delegated: Option<DelegatedGrant>,
     },
     /// Coordinator asks the site to apply an update step.
     UpdateRequest {
@@ -108,6 +135,29 @@ pub enum Payload {
     Wound {
         /// The wounded instance.
         victim: Instance,
+    },
+    /// Site → coordinator ([`crate::Delegation::On`] only): another
+    /// instance demands `entity`, so the delegated cache entry must
+    /// drain back. Delivered like wounds — retransmitted while the
+    /// demand persists under loss, idempotent on duplication (a
+    /// coordinator with no matching entry acks anyway) — and epoch-free:
+    /// revocation targets the cache slot, which outlives commits and
+    /// restarts, so even a committed coordinator's residue must drain.
+    Revoke {
+        /// The delegate holding the cached grant.
+        inst: Instance,
+        /// The demanded entity.
+        entity: EntityId,
+    },
+    /// Coordinator → site: the cache entry for `entity` is gone (drained
+    /// on revocation, or never existed — the idempotent ack to a
+    /// duplicated [`Payload::Revoke`]); the site may release the
+    /// underlying hold and grant the demanding waiter.
+    RevokeAck {
+        /// The (former) delegate.
+        inst: Instance,
+        /// The drained entity.
+        entity: EntityId,
     },
 }
 

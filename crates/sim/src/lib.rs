@@ -119,12 +119,12 @@ pub mod replay;
 pub mod threaded;
 
 pub use config::{
-    AvoidPlan, Bias, ConfigError, DeadlockDetection, DeadlockResolution, LatencyModel,
+    AvoidPlan, Bias, ConfigError, DeadlockDetection, DeadlockResolution, Delegation, LatencyModel,
     PreventionScheme, SimConfig, TableSpec, VictimPolicy,
 };
 pub use driver::{draw_arrivals, run_open_loop, ArrivalConfig};
 pub use engine::{run, run_with_arrivals, RunOutcome, SimReport};
-pub use event::{EventKind, EventQueue, Instance, Payload, SimTime};
+pub use event::{DelegatedGrant, EventKind, EventQueue, Instance, Payload, SimTime};
 pub use fault::{FaultPlan, FaultPlanError, SiteCrash};
 pub use history::{audit, Audit, History, HistoryEvent};
 pub use lock_table::SiteTable;

@@ -63,6 +63,30 @@ pub struct Metrics {
     /// separately counted in [`Metrics::messages`] (the sender paid for
     /// one send); this counter is the duplication overhead itself.
     pub messages_duplicated: u64,
+    /// Acquire/release wire traffic: `LockRequest`, `LockGranted`,
+    /// `LockRejected`, `UnlockRequest`, `UnlockDone`, `Revoke` and
+    /// `RevokeAck` messages actually sent. A **subset** of
+    /// [`Metrics::messages`] (which also counts updates, probes, wounds
+    /// and aborts) — this is the quantity delegated ownership
+    /// ([`crate::Delegation::On`]) reduces, and the one the D7 table and
+    /// the `BENCH_10` gate compare across modes. Cache-hit operations
+    /// contribute zero here by construction.
+    pub lock_traffic: u64,
+    /// Lock or unlock steps serviced from the coordinator's delegated
+    /// cache ([`crate::Delegation::On`]): zero messages crossed the wire
+    /// and no site table was consulted. Not counted in
+    /// [`Metrics::lock_requests`] — no site serviced anything.
+    pub cache_hits: u64,
+    /// Revocations initiated by sites: a conflicting request demanded an
+    /// entity whose grant was delegated, so a [`crate::Payload::Revoke`]
+    /// was first sent (retransmissions of a still-pending revocation are
+    /// not re-counted; they are still wire messages).
+    pub revocations: u64,
+    /// Wire messages the delegated cache avoided: 2 per cache-hit step
+    /// (the request and its ack) minus any ack a drain piggybacked. A
+    /// derived what-if counter — *not* included in [`Metrics::messages`],
+    /// which only ever counts messages actually sent.
+    pub messages_saved: u64,
     /// Holders that lost a lock to an outage: their lease
     /// ([`kplock_dlm::Lease`]) expired before the site recovered, so the
     /// rebuilt table excludes them and their instances are aborted.

@@ -18,7 +18,12 @@
 //! under [`ThreadedResolution::Prevent`] — never allowed to form:
 //! timestamp-ordering prevention decides wait/wound/die inside the shard,
 //! wounds are delivered as per-transaction flags plus a targeted wakeup
-//! of the victim's slot, and no timeout heuristic is needed.
+//! of the victim's slot, and no timeout heuristic is needed. With
+//! [`ThreadedConfig::delegation`] on, an aborting attempt retains every
+//! uncontested hold and the retry re-owns each one with a single
+//! shard-guarded re-key — the Lock step becomes a cache hit
+//! ([`ThreadedReport::cache_hits`]) and the targeted-wakeup design is
+//! untouched: surrendered entries wake exactly their grantees.
 //!
 //! This runner is *non*-deterministic by nature — it exists to show the
 //! phenomena under genuine concurrency; the discrete-event engine in
@@ -90,6 +95,18 @@ pub struct ThreadedConfig {
     /// [`run_threaded`] additionally checks it covers exactly the system's
     /// transactions).
     pub avoid: Option<AvoidPlan>,
+    /// Delegated ownership across attempts (the threaded analogue of
+    /// [`crate::Delegation::On`]): an aborting attempt *retains* every
+    /// hold nothing is queued behind, and the retry re-owns each retained
+    /// entry with a single shard-guarded re-key instead of a fresh
+    /// acquire — the Lock step becomes a cache hit
+    /// ([`ThreadedReport::cache_hits`]). Contested entries are
+    /// surrendered at abort (or at revalidation, if the demand arrived
+    /// during backoff) with the usual *targeted* grantee wakeups — the
+    /// fast path never broadcasts and never skips a `notify_one` a
+    /// waiter is owed. Off (the default) is byte-for-byte the old
+    /// release-everything behaviour.
+    pub delegation: bool,
 }
 
 impl ThreadedConfig {
@@ -136,6 +153,7 @@ impl Default for ThreadedConfig {
             resolution: ThreadedResolution::default(),
             table: TableSpec::default(),
             avoid: None,
+            delegation: false,
         }
     }
 }
@@ -155,6 +173,10 @@ pub struct ThreadedReport {
     /// epoch (the old report fed `max_attempts` in as if it were a
     /// committed epoch).
     pub committed_epoch: Vec<Option<u32>>,
+    /// Lock steps satisfied from a retained (delegated) entry instead of
+    /// a fresh table acquire. Zero unless [`ThreadedConfig::delegation`]
+    /// is on and some attempt aborted with uncontested holds.
+    pub cache_hits: u64,
 }
 
 /// A transaction's wakeup slot: granters set the flag and `notify_one`;
@@ -176,6 +198,9 @@ struct Shared<T> {
     /// free, exactly like the simulator's epoch validation.
     wounded: Vec<AtomicU64>,
     seq: AtomicU64,
+    /// Lock steps served from retained (delegated) entries; see
+    /// [`ThreadedReport::cache_hits`].
+    cache_hits: AtomicU64,
     events: parking_lot::Mutex<Vec<(u64, TxnId, u32, StepId)>>,
 }
 
@@ -286,6 +311,7 @@ fn run_generic<T: LockTable<Instance> + Send>(
             .collect(),
         wounded: (0..sys.len()).map(|_| AtomicU64::new(0)).collect(),
         seq: AtomicU64::new(0),
+        cache_hits: AtomicU64::new(0),
         events: parking_lot::Mutex::new(Vec::new()),
     });
 
@@ -322,6 +348,7 @@ fn run_generic<T: LockTable<Instance> + Send>(
         aborts,
         finished,
         committed_epoch,
+        cache_hits: shared.cache_hits.load(Ordering::SeqCst),
     })
 }
 
@@ -334,8 +361,12 @@ fn run_txn<T: LockTable<Instance>>(
 ) -> (bool, u32) {
     let t = sys.txn(txn);
     let mut rng = rand::thread_rng();
+    // Delegated entries retained across attempts: entities still held in
+    // the table under the *previous* (aborted) epoch's instance, pending
+    // revalidation by the next attempt. Empty unless `cfg.delegation`.
+    let mut cache: Vec<EntityId> = Vec::new();
     for epoch in 0..cfg.max_attempts {
-        if attempt(sys.db(), txn, epoch, t, shared, cfg) {
+        if attempt(sys.db(), txn, epoch, t, shared, cfg, &mut cache) {
             return (true, epoch);
         }
         // Aborted: back off and retry.
@@ -343,7 +374,117 @@ fn run_txn<T: LockTable<Instance>>(
             rng.gen_range(0..=cfg.max_backoff.as_micros() as u64),
         ));
     }
+    if cfg.delegation && !cache.is_empty() {
+        // Budget exhausted with retained residue: give it all back (the
+        // entries are keyed under the final attempt's instance) so the
+        // failure never strands a hold, waking exactly the grantees.
+        let inst = Instance {
+            txn,
+            epoch: cfg.max_attempts - 1,
+        };
+        for (_e, grants) in shared.table.release_all(inst) {
+            shared.notify_grants(&grants);
+        }
+    }
     (false, cfg.max_attempts)
+}
+
+/// Abort-time retention probe for one held entity: keep the hold —
+/// still keyed under the aborting (now dead) instance — when nothing is
+/// queued behind it, surrender it otherwise. Granted demanders get the
+/// usual targeted wakeups once the shard guard drops; retention never
+/// broadcasts.
+fn retain_or_release<T: LockTable<Instance>>(
+    shared: &Shared<T>,
+    e: EntityId,
+    inst: Instance,
+) -> bool {
+    let mut st = shared.table.lock_shard_index(shared.table.shard_index(e));
+    if st.holds(e, inst).is_none() {
+        return false;
+    }
+    if st.entity_waits_for(e).is_empty() {
+        return true;
+    }
+    let grants = st.release(e, inst).expect("we hold it");
+    drop(st);
+    shared.notify_grants(&grants);
+    false
+}
+
+/// Revalidates one retained entry at attempt start: re-keys the hold
+/// from the aborted instance to the new one iff the entity is still
+/// idle after our release (release + instant re-own under one shard
+/// guard, so nobody can slip between). A contested entry — a demand
+/// arrived during backoff — is surrendered instead and each grantee
+/// woken individually, exactly like a release on the normal path.
+fn rekey<T: LockTable<Instance>>(
+    shared: &Shared<T>,
+    cfg: &ThreadedConfig,
+    e: EntityId,
+    from: Instance,
+    to: Instance,
+) -> bool {
+    let mut st = shared.table.lock_shard_index(shared.table.shard_index(e));
+    let Some(mode) = st.holds(e, from) else {
+        return false;
+    };
+    let grants = st.release(e, from).expect("retained hold");
+    if grants.is_empty() && st.holders(e).is_empty() && st.entity_waits_for(e).is_empty() {
+        // The entity is idle, so re-owning it is an instant grant under
+        // either admission API: no wait is admitted and nobody wounded.
+        let granted = match cfg.admission_scheme() {
+            None => matches!(st.acquire(e, to, mode).expect("protocol"), Acquire::Granted),
+            Some(scheme) => matches!(
+                st.acquire_with_priority(e, to, mode, scheme, &|o| threaded_priority(cfg, o))
+                    .expect("protocol"),
+                PreventionOutcome::Granted
+            ),
+        };
+        if granted {
+            return true;
+        }
+        // Unreachable for an idle entity; surrender defensively rather
+        // than leave a queued request we will never park on.
+        let cancelled = st.cancel_waits(to);
+        drop(st);
+        for (_e, grants) in &cancelled.granted {
+            shared.notify_grants(grants);
+        }
+        false
+    } else {
+        drop(st);
+        shared.notify_grants(&grants);
+        false
+    }
+}
+
+/// Ends an attempt: under delegation, holds nothing is queued behind
+/// are retained into `cache` (keyed under the dead instance until the
+/// retry re-keys them); everything else — and, with delegation off,
+/// everything — is released with a targeted notify per grantee.
+fn abort_attempt<T: LockTable<Instance>>(
+    shared: &Shared<T>,
+    cfg: &ThreadedConfig,
+    inst: Instance,
+    held: &mut Vec<EntityId>,
+    cache: &mut Vec<EntityId>,
+) {
+    if cfg.delegation {
+        let candidates: Vec<EntityId> = cache.drain(..).chain(held.drain(..)).collect();
+        for e in candidates {
+            if retain_or_release(shared, e, inst) {
+                cache.push(e);
+            }
+        }
+    } else {
+        held.clear();
+        // Wake only the transactions actually granted something by our
+        // releases — a targeted notify per grantee, never a broadcast.
+        for (_e, grants) in shared.table.release_all(inst) {
+            shared.notify_grants(&grants);
+        }
+    }
 }
 
 fn attempt<T: LockTable<Instance>>(
@@ -353,18 +494,24 @@ fn attempt<T: LockTable<Instance>>(
     t: &kplock_model::Transaction,
     shared: &Shared<T>,
     cfg: &ThreadedConfig,
+    cache: &mut Vec<EntityId>,
 ) -> bool {
     let inst = Instance { txn, epoch };
+    // Revalidate the retained cache before anything can block: each
+    // entry is re-keyed to this attempt's instance or surrendered, so
+    // the attempt never waits while holding a dead-epoch entry (wounds
+    // target live instances only — a stale hold that outlived a block
+    // would be unwoundable and could wedge the prevention arms).
+    if cfg.delegation && !cache.is_empty() {
+        debug_assert!(epoch > 0, "nothing can be retained before the first abort");
+        let old = Instance {
+            txn,
+            epoch: epoch - 1,
+        };
+        cache.retain(|&e| rekey(shared, cfg, e, old, inst));
+    }
     let mut done = vec![false; t.len()];
     let mut held: Vec<EntityId> = Vec::new();
-    let abort = |held: &mut Vec<EntityId>| {
-        held.clear();
-        // Wake only the transactions actually granted something by our
-        // releases — a targeted notify per grantee, never a broadcast.
-        for (_e, grants) in shared.table.release_all(inst) {
-            shared.notify_grants(&grants);
-        }
-    };
 
     // Execute steps as they become ready (single-threaded within a
     // transaction; parallel across transactions).
@@ -372,7 +519,7 @@ fn attempt<T: LockTable<Instance>>(
         // A running victim notices its wound at step boundaries; a blocked
         // one is woken through its waiter slot by the wounder.
         if cfg.admission_scheme().is_some() && shared.is_wounded(inst) {
-            abort(&mut held);
+            abort_attempt(shared, cfg, inst, &mut held, cache);
             return false;
         }
         let Some(v) = (0..t.len())
@@ -384,6 +531,29 @@ fn attempt<T: LockTable<Instance>>(
         let shard = shared.table.shard_index(step.entity);
         match step.kind {
             ActionKind::Lock => {
+                // Delegated fast path: a retained entry revalidated at
+                // attempt start is already held under this instance, so
+                // the "acquire" is a record under the shard guard — no
+                // queueing, and no wakeup owed to anyone.
+                if cfg.delegation {
+                    if let Some(pos) = cache.iter().position(|&e| e == step.entity) {
+                        cache.swap_remove(pos);
+                        let st = shared.table.lock_shard_index(shard);
+                        let cached = st
+                            .holds(step.entity, inst)
+                            .is_some_and(|m| m.covers(step.mode));
+                        if cached {
+                            held.push(step.entity);
+                            shared.record(txn, epoch, StepId::from_idx(v));
+                            shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        drop(st);
+                        if cached {
+                            done[v] = true;
+                            continue;
+                        }
+                    }
+                }
                 // Clear any stale wakeup before the request goes in: every
                 // grant of *this* request happens under the shard guard we
                 // are about to take, so it cannot race past this reset.
@@ -418,7 +588,7 @@ fn attempt<T: LockTable<Instance>>(
                                 // Wait-die / no-wait: we die, keeping our
                                 // priority for the retry.
                                 drop(st);
-                                abort(&mut held);
+                                abort_attempt(shared, cfg, inst, &mut held, cache);
                                 return false;
                             }
                         }
@@ -462,7 +632,7 @@ fn attempt<T: LockTable<Instance>>(
                             for (_e, grants) in &cancelled.granted {
                                 shared.notify_grants(grants);
                             }
-                            abort(&mut held);
+                            abort_attempt(shared, cfg, inst, &mut held, cache);
                             return false;
                         }
                         if st.holds(step.entity, inst).is_some() {
@@ -481,7 +651,7 @@ fn attempt<T: LockTable<Instance>>(
                             for (_e, grants) in &cancelled.granted {
                                 shared.notify_grants(grants);
                             }
-                            abort(&mut held);
+                            abort_attempt(shared, cfg, inst, &mut held, cache);
                             return false;
                         }
                         drop(st);
@@ -824,6 +994,88 @@ mod tests {
         let r = run_threaded(&s, &cfg).unwrap();
         assert!(r.finished);
         assert!(r.audit.serializable);
+    }
+
+    #[test]
+    fn threaded_delegation_turns_retries_into_cache_hits() {
+        // Each transaction locks a private entity first, then fights over
+        // `x` under no-wait: every rejection aborts while holding the
+        // private entity — always uncontested, so always retained — and
+        // the retry's private Lock step must be a cache hit. The runner
+        // is nondeterministic (the threads may simply never collide), so
+        // the assertion is conditional: aborts imply hits.
+        let s = sys(
+            &["Lq Lx q x x x Uq Ux", "Lp Lx p x x x Up Ux"],
+            &[("q", 0), ("p", 0), ("x", 0)],
+        );
+        for table in specs() {
+            let cfg = ThreadedConfig {
+                resolution: ThreadedResolution::Prevent(PreventionScheme::NoWait),
+                lock_timeout: Duration::from_millis(2),
+                max_attempts: 1000,
+                delegation: true,
+                table,
+                ..Default::default()
+            };
+            for _ in 0..20 {
+                let r = run_threaded(&s, &cfg).unwrap();
+                assert!(r.finished);
+                r.audit.legal.as_ref().unwrap();
+                assert!(r.audit.serializable);
+                if r.aborts > 0 {
+                    assert!(
+                        r.cache_hits >= 1,
+                        "an abort retained the private entity, so the retry must hit"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_delegation_surrenders_contested_entries() {
+        // The deadlock-prone pair plus private entities, on every
+        // resolution flavour: retained entries the rival demands must be
+        // surrendered (at abort or at revalidation), so delegation never
+        // wedges a run that finished without it.
+        let s = sys(
+            &["Lq Lx Ly q x y Uq Ux Uy", "Lp Ly Lx p y x Up Uy Ux"],
+            &[("q", 0), ("p", 0), ("x", 0), ("y", 0)],
+        );
+        let resolutions = [
+            ThreadedResolution::TimeoutAbort,
+            ThreadedResolution::Prevent(PreventionScheme::WoundWait),
+            ThreadedResolution::Prevent(PreventionScheme::WaitDie),
+        ];
+        for table in specs() {
+            for resolution in resolutions {
+                let cfg = ThreadedConfig {
+                    resolution,
+                    lock_timeout: Duration::from_millis(5),
+                    max_attempts: 1000,
+                    delegation: true,
+                    table,
+                    ..Default::default()
+                };
+                for _ in 0..5 {
+                    let r = run_threaded(&s, &cfg).unwrap();
+                    assert!(r.finished, "{resolution:?} must not wedge under delegation");
+                    r.audit.legal.as_ref().unwrap();
+                    assert!(r.audit.serializable, "{resolution:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_delegation_off_reports_no_hits() {
+        let s = sys(
+            &["Lx Ly x y Ux Uy", "Ly Lx y x Uy Ux"],
+            &[("x", 0), ("y", 0)],
+        );
+        let r = run_threaded(&s, &ThreadedConfig::default()).unwrap();
+        assert!(r.finished);
+        assert_eq!(r.cache_hits, 0, "the counter only moves with the knob on");
     }
 
     #[test]

@@ -87,6 +87,29 @@ pub fn hot_site_sweep(base: &WorkloadParams, hot_percents: &[u32]) -> Vec<Scenar
         .collect()
 }
 
+/// Sweeps Zipfian skew over the entities *within* each site on a fixed
+/// topology: `thetas` are [`WorkloadParams::zipf_theta`] exponents
+/// (0 = uniform; θ ≥ 0.9 concentrates most accesses on each site's
+/// first few entities — the re-acquire-heavy regime where delegated
+/// lock ownership pays). [`Scenario::value`] carries `θ × 100`.
+pub fn zipf_sweep(base: &WorkloadParams, thetas: &[f64]) -> Vec<Scenario> {
+    thetas
+        .iter()
+        .map(|&theta| {
+            assert!(theta >= 0.0, "zipf_theta is a non-negative exponent");
+            let p = WorkloadParams {
+                zipf_theta: theta,
+                ..base.clone()
+            };
+            Scenario {
+                name: format!("zipf={theta}"),
+                value: (theta * 100.0) as usize,
+                system: random_system(&p),
+            }
+        })
+        .collect()
+}
+
 /// Sweeps site count on a fixed *rotated-lock-order* contention structure:
 /// `txns` synchronized-2PL transactions each lock the same `entities`
 /// entities, transaction `t` starting its lock order at entity `t` — every
@@ -213,6 +236,47 @@ mod tests {
         assert_eq!(shares[2], 1.0, "hot=100 puts every access on site 0");
         for sc in &sweep {
             sc.system.validate(Level::Strict).unwrap();
+        }
+    }
+
+    #[test]
+    fn zipf_sweep_concentrates_accesses_on_low_indices() {
+        let p = WorkloadParams {
+            sites: 2,
+            entities_per_site: 6,
+            transactions: 8,
+            steps_per_txn: 8,
+            ..base()
+        };
+        let sweep = zipf_sweep(&p, &[0.0, 0.9]);
+        assert_eq!(sweep[0].value, 0);
+        assert_eq!(sweep[1].value, 90);
+        assert_eq!(sweep[1].name, "zipf=0.9");
+        let low_share = |sc: &Scenario| -> f64 {
+            // Share of accesses on each site's first entity (global
+            // indices 0 and 6): Zipf rank 1 of 6.
+            let accesses: Vec<_> = sc
+                .system
+                .txns()
+                .iter()
+                .flat_map(|t| t.steps())
+                .filter(|s| s.kind == kplock_model::ActionKind::Update)
+                .map(|s| s.entity.0 as usize % 6)
+                .collect();
+            let low = accesses.iter().filter(|&&i| i == 0).count();
+            low as f64 / accesses.len() as f64
+        };
+        assert!(
+            low_share(&sweep[1]) > low_share(&sweep[0]),
+            "θ=0.9 must concentrate accesses on the first entities"
+        );
+        for sc in &sweep {
+            sc.system.validate(Level::Strict).unwrap();
+        }
+        // θ=0 is seed-identical to the base workload.
+        let plain = random_system(&p);
+        for (a, b) in plain.txns().iter().zip(sweep[0].system.txns()) {
+            assert_eq!(a.steps(), b.steps());
         }
     }
 

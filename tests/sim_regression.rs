@@ -9,7 +9,8 @@
 
 use kplock_core::policy::LockStrategy;
 use kplock_sim::{
-    run, LatencyModel, Metrics, PreventionScheme, RunOutcome, SimConfig, VictimPolicy,
+    run, Delegation, FaultPlan, LatencyModel, Metrics, PreventionScheme, RunOutcome, SimConfig,
+    SiteCrash, VictimPolicy,
 };
 use kplock_workload::{avoid_mix_sweep, fault_plan_ladder, fig5, random_system, WorkloadParams};
 
@@ -187,6 +188,112 @@ fn pinned_mixed_avoidance_run_survives_the_fault_ladder() {
     }
 }
 
+#[test]
+fn fixed_seed_delegated_run_is_pinned() {
+    // The PIN_RANDOM workload re-run with delegated ownership on: the
+    // full metric tuple plus the delegation counters pin the cached
+    // fast path, the revocation protocol and the what-if accounting.
+    // (`Delegation::Off` needs no twin pin — it is the default every
+    // other test in this file already runs.)
+    let sys = random_system(&WorkloadParams {
+        seed: 21,
+        sites: 3,
+        entities_per_site: 2,
+        transactions: 4,
+        steps_per_txn: 6,
+        strategy: LockStrategy::TwoPhaseSync,
+        ..Default::default()
+    });
+    let cfg = SimConfig {
+        latency: LatencyModel::Uniform(1, 20),
+        seed: 7,
+        delegation: Delegation::On,
+        invariant_audit: true,
+        ..Default::default()
+    };
+    let r = run(&sys, &cfg).expect("valid config");
+    assert!(r.finished());
+    assert!(r.audit.serializable);
+    let deleg = |m: &Metrics| {
+        (
+            m.lock_traffic,
+            m.cache_hits,
+            m.revocations,
+            m.messages_saved,
+        )
+    };
+    assert_eq!(
+        (metrics(&r.metrics), deleg(&r.metrics)),
+        PIN_DELEGATED,
+        "actual: {:?}",
+        (metrics(&r.metrics), deleg(&r.metrics))
+    );
+    // The cache never sends what it saves: saved messages are not in the
+    // wire count, so On strictly undercuts the Off pin's total.
+    assert!(r.metrics.messages < PIN_RANDOM.2);
+}
+
+#[test]
+fn duplicated_grants_never_extend_leases_under_the_dup_heavy_ladder() {
+    // Satellite regression: a duplicated grant message re-lands at the
+    // lease table and must NOT slide the renewal clock — the lease keys
+    // off the original grant. Dup-heavy channels plus a crash that
+    // outlives the ttl make the distinction observable: with the old
+    // sliding clock, lucky duplicates "renew" doomed leases just before
+    // the outage and rescue holders that rightly expire, deflating
+    // `leases_expired`. The exact count (and completion) is pinned for
+    // both delegation modes.
+    let sys = random_system(&WorkloadParams {
+        seed: 23,
+        sites: 2,
+        entities_per_site: 2,
+        transactions: 4,
+        steps_per_txn: 6,
+        strategy: LockStrategy::TwoPhaseSync,
+        ..Default::default()
+    });
+    for (delegation, pin) in [
+        (Delegation::Off, PIN_DUP_LEASES_OFF),
+        (Delegation::On, PIN_DUP_LEASES_ON),
+    ] {
+        let cfg = SimConfig {
+            latency: LatencyModel::Fixed(5),
+            delegation,
+            invariant_audit: true,
+            faults: FaultPlan {
+                seed: 11,
+                duplication: 0.8,
+                reorder_window: 6,
+                retransmit_after: 80,
+                lease_ttl: 40,
+                crashes: vec![SiteCrash {
+                    site: 0,
+                    at: 30,
+                    down_for: 90,
+                }],
+                ..FaultPlan::none()
+            },
+            max_time: 500_000,
+            ..Default::default()
+        };
+        let r = run(&sys, &cfg).expect("valid config");
+        assert_eq!(r.outcome, RunOutcome::Completed, "{delegation:?}");
+        assert!(r.audit.serializable, "{delegation:?}");
+        assert!(r.metrics.messages_duplicated > 0, "dup must bite");
+        assert_eq!(r.metrics.recoveries, 1, "{delegation:?}");
+        assert_eq!(
+            (r.metrics.leases_expired, r.metrics.committed),
+            pin,
+            "{delegation:?} actual: {:?}",
+            (r.metrics.leases_expired, r.metrics.committed)
+        );
+        assert!(
+            r.metrics.leases_expired >= 1,
+            "{delegation:?}: a 90-tick outage must outlive a 40-tick lease"
+        );
+    }
+}
+
 // Pinned values, captured from the seed engine before the kplock-dlm
 // lock-table refactor (PR 2) and required to survive it unchanged.
 const PIN_RANDOM: (usize, usize, u64, u64, usize, u64) = (4, 1, 122, 875, 1, 402);
@@ -203,3 +310,16 @@ const PIN_NO_WAIT: (usize, usize, u64, u64, usize, u64) = (4, 10, 140, 0, 0, 293
 // sites, 4 transactions) at Fixed(5) — fully certified, then half.
 const PIN_AVOID_FULL: (usize, usize, u64, u64, usize, u64) = (4, 0, 96, 480, 0, 360);
 const PIN_AVOID_MIXED: (usize, usize, u64, u64, usize, u64) = (4, 5, 118, 329, 0, 400);
+
+// Delegation pins (PR 10): the PIN_RANDOM workload with delegated
+// ownership on — the base tuple plus
+// (lock_traffic, cache_hits, revocations, messages_saved).
+#[allow(clippy::type_complexity)]
+const PIN_DELEGATED: ((usize, usize, u64, u64, usize, u64), (u64, u64, u64, u64)) =
+    ((4, 1, 111, 1135, 1, 439), (61, 15, 10, 24));
+
+// Satellite pins (PR 10): (leases_expired, committed) on the seed-23
+// workload under dup=0.8 channels and a 90-tick outage against a
+// 40-tick lease ttl, per delegation mode.
+const PIN_DUP_LEASES_OFF: (usize, usize) = (2, 4);
+const PIN_DUP_LEASES_ON: (usize, usize) = (2, 4);
